@@ -1,0 +1,677 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
+	"fraccascade/internal/parallel"
+	"fraccascade/internal/pointloc"
+	"fraccascade/internal/rangetree"
+	"fraccascade/internal/segtree"
+	"fraccascade/internal/spatial"
+	"fraccascade/internal/subdivision"
+	"fraccascade/internal/tree"
+)
+
+// randomCatalogs builds one random catalog per node totalling roughly
+// `total` entries, with skewed per-node sizes.
+func randomCatalogs(t *tree.Tree, total int, rng *rand.Rand) []catalog.Catalog {
+	cats := make([]catalog.Catalog, t.N())
+	for v := range cats {
+		var size int
+		switch rng.Intn(3) {
+		case 0:
+			size = rng.Intn(4)
+		case 1:
+			size = rng.Intn(2*total/(t.N()+1) + 1)
+		default:
+			size = rng.Intn(4 * total / (t.N() + 1))
+		}
+		seen := map[catalog.Key]bool{}
+		keys := make([]catalog.Key, 0, size)
+		for len(keys) < size {
+			k := catalog.Key(rng.Intn(total * 8))
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		cats[v] = catalog.MustFromKeys(keys, nil)
+	}
+	return cats
+}
+
+func buildTree(leaves, total int, rng *rand.Rand, cfg core.Config) (*core.Structure, *tree.Tree) {
+	bt, err := tree.NewBalancedBinary(leaves)
+	if err != nil {
+		panic(err)
+	}
+	cats := randomCatalogs(bt, total, rng)
+	st, err := core.Build(bt, cats, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return st, bt
+}
+
+var e1Procs = []int{1, 4, 16, 256, 65536, 1 << 20}
+
+func runE1(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("paper: explicit search in O((log n)/log p) CREW steps, any 1 <= p <= n")
+	fmt.Println("\n-- default parameters (paper constants; hop height pinned near 1 at these n) --")
+	fmt.Printf("%10s %8s %8s %6s %6s %6s %6s %10s\n", "n", "p", "sub(h)", "steps", "root", "hops", "seq", "logn/logp")
+	for _, leaves := range []int{1 << 8, 1 << 10} {
+		total := leaves * 60
+		st, bt := buildTree(leaves, total, rng, core.Config{})
+		path := bt.RootPath(tree.NodeID(bt.N() - 1))
+		for _, p := range e1Procs {
+			var agg core.Stats
+			const reps = 20
+			for r := 0; r < reps; r++ {
+				y := catalog.Key(rng.Intn(total * 8))
+				_, stats, err := st.SearchExplicit(y, path, p)
+				if err != nil {
+					panic(err)
+				}
+				agg.Steps += stats.Steps
+				agg.RootRounds += stats.RootRounds
+				agg.Hops += stats.Hops
+				agg.SeqLevels += stats.SeqLevels
+				agg.Sub = stats.Sub
+			}
+			pred := math.Log2(float64(total)) / math.Log2(float64(p)+1.5)
+			fmt.Printf("%10d %8d %5d(%d) %6d %6d %6d %6d %10.1f\n",
+				total, p, agg.Sub, st.Substructure(agg.Sub).H,
+				agg.Steps/reps, agg.RootRounds/reps, agg.Hops/reps, agg.SeqLevels/reps, pred)
+		}
+	}
+	fmt.Println("\n-- large n (~1M entries): the default constants reach h=3 and beat sequential --")
+	fmt.Printf("%10s %8s %8s %6s %6s %6s %6s\n", "n", "p", "sub(h)", "steps", "root", "hops", "seq")
+	{
+		stBig, btBig := buildTree(1<<12, 1<<20, rng, core.Config{})
+		pathBig := btBig.RootPath(tree.NodeID(btBig.N() - 1))
+		nBig := stBig.Cascade().Stats().NativeEntries
+		for _, p := range []int{1, 256, 65536, 1 << 19} {
+			var agg core.Stats
+			const reps = 20
+			for r := 0; r < reps; r++ {
+				y := catalog.Key(rng.Int63n(1 << 40))
+				_, stats, err := stBig.SearchExplicit(y, pathBig, p)
+				if err != nil {
+					panic(err)
+				}
+				agg.Steps += stats.Steps
+				agg.RootRounds += stats.RootRounds
+				agg.Hops += stats.Hops
+				agg.SeqLevels += stats.SeqLevels
+				agg.Sub = stats.Sub
+			}
+			fmt.Printf("%10d %8d %5d(%d) %6d %6d %6d %6d\n",
+				nBig, p, agg.Sub, stBig.Substructure(agg.Sub).H,
+				agg.Steps/reps, agg.RootRounds/reps, agg.Hops/reps, agg.SeqLevels/reps)
+		}
+	}
+
+	fmt.Println("\n-- hop-height ablation (HOverride, no truncation): the 1/h curve in isolation --")
+	fmt.Printf("%6s %8s %8s %8s\n", "h", "steps", "hops", "seq")
+	bt, _ := tree.NewBalancedBinary(1 << 10)
+	cats := randomCatalogs(bt, 1<<16, rng)
+	for _, h := range []int{1, 2, 3, 5} {
+		h := h
+		st, err := core.Build(bt, cats, core.Config{MaxSubs: 1, NoTruncation: true,
+			HOverride: func(int) int { return h }})
+		if err != nil {
+			panic(err)
+		}
+		path := bt.RootPath(tree.NodeID(bt.N() - 1))
+		var steps, hops, seq int
+		const reps = 20
+		for r := 0; r < reps; r++ {
+			y := catalog.Key(rng.Intn(1 << 19))
+			_, stats, err := st.SearchExplicit(y, path, 64)
+			if err != nil {
+				panic(err)
+			}
+			steps += stats.Steps - stats.RootRounds
+			hops += stats.Hops
+			seq += stats.SeqLevels
+		}
+		fmt.Printf("%6d %8d %8d %8d\n", h, steps/reps, hops/reps, seq/reps)
+	}
+}
+
+func runE2(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("paper: implicit search (branch chosen at each node) in the same O((log n)/log p)")
+	st, bt := buildTree(1<<9, 30000, rng, core.Config{})
+	inorder, err := bt.InorderIndex()
+	if err != nil {
+		panic(err)
+	}
+	var leaves []tree.NodeID
+	for v := tree.NodeID(0); int(v) < bt.N(); v++ {
+		if bt.IsLeaf(v) {
+			leaves = append(leaves, v)
+		}
+	}
+	fmt.Printf("%8s %6s %6s %6s %6s %10s\n", "p", "steps", "root", "hops", "seq", "slotsPeak")
+	for _, p := range e1Procs {
+		var agg core.Stats
+		const reps = 20
+		for r := 0; r < reps; r++ {
+			target := leaves[rng.Intn(len(leaves))]
+			branch := func(res cascade.Result) core.Branch {
+				if inorder[res.Node] < inorder[target] {
+					return core.Right
+				}
+				return core.Left
+			}
+			y := catalog.Key(rng.Intn(240000))
+			_, leaf, stats, err := st.SearchImplicit(y, branch, p)
+			if err != nil {
+				panic(err)
+			}
+			if leaf != target {
+				panic("implicit search missed its target")
+			}
+			agg.Steps += stats.Steps
+			agg.RootRounds += stats.RootRounds
+			agg.Hops += stats.Hops
+			agg.SeqLevels += stats.SeqLevels
+			if stats.SlotsPeak > agg.SlotsPeak {
+				agg.SlotsPeak = stats.SlotsPeak
+			}
+		}
+		fmt.Printf("%8d %6d %6d %6d %6d %10d\n",
+			p, agg.Steps/reps, agg.RootRounds/reps, agg.Hops/reps, agg.SeqLevels/reps, agg.SlotsPeak)
+	}
+}
+
+func runE3(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("paper: preprocessing in O(log n) time with n/log n EREW processors")
+	fmt.Printf("%10s %8s %10s %12s %12s %10s\n", "n", "rounds", "logn", "aug-entries", "work", "wall")
+	for _, leaves := range []int{1 << 6, 1 << 8, 1 << 10, 1 << 12} {
+		total := leaves * 40
+		bt, _ := tree.NewBalancedBinary(leaves)
+		cats := randomCatalogs(bt, total, rng)
+		start := time.Now()
+		st, err := core.Build(bt, cats, core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		wall := time.Since(start)
+		cs := st.Cascade().Stats()
+		fmt.Printf("%10d %8d %10d %12d %12d %10s\n",
+			cs.NativeEntries, cs.Rounds, parallel.CeilLog2(int(cs.NativeEntries)),
+			cs.AugEntries, cs.Work, wall.Round(time.Millisecond))
+	}
+	fmt.Println("rounds grow with tree height = Θ(log n); work stays linear in n (EREW-legality of the")
+	fmt.Println("level-parallel schedule is machine-checked in the test suite on the PRAM simulator).")
+}
+
+func runE4(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("paper: T' uses O(n) space; per-T_i sizes sum geometrically (Lemma 2)")
+	fmt.Printf("%10s %10s %10s %10s %12s  per-substructure slots\n", "n", "aug", "skeleton", "total", "total/n")
+	for _, leaves := range []int{1 << 6, 1 << 8, 1 << 10, 1 << 12} {
+		total := leaves * 40
+		st, _ := buildTree(leaves, total, rng, core.Config{})
+		r := st.SpaceReport()
+		tot := r.AugEntries + r.SkeletonSlots
+		fmt.Printf("%10d %10d %10d %10d %12.2f  %v\n",
+			r.NativeEntries, r.AugEntries, r.SkeletonSlots, tot,
+			float64(tot)/float64(r.NativeEntries), r.PerSub)
+	}
+}
+
+func runE5(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("paper: path of length k in O(log n/log p + k/(p^(1-eps) log p)) (Theorem 2, eps=0.5)")
+	fmt.Printf("%8s %8s %8s %8s %8s\n", "k", "p", "steps", "hops", "seq")
+	for _, k := range []int{1000, 4000} {
+		pt, err := tree.NewPath(k)
+		if err != nil {
+			panic(err)
+		}
+		cats := randomCatalogs(pt, k*4, rng)
+		st, err := core.Build(pt, cats, core.Config{NoTruncation: true})
+		if err != nil {
+			panic(err)
+		}
+		full := pt.RootPath(tree.NodeID(k - 1))
+		for _, p := range []int{1, 16, 256, 4096, 65536} {
+			y := catalog.Key(rng.Intn(k * 32))
+			_, stats, err := st.SearchLongPath(y, full, p, 0.5)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%8d %8d %8d %8d %8d\n", k, p, stats.Steps, stats.Hops, stats.SeqLevels)
+		}
+	}
+}
+
+func runE6(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("paper: degree-d trees searched in O(log n · log d / log p) (Theorem 3)")
+	fmt.Printf("%6s %10s %8s %8s %12s\n", "d", "expanded", "p", "steps", "per-orig-node")
+	for _, d := range []int{2, 4, 8, 16} {
+		tr, err := tree.NewRandom(2000, d, rng)
+		if err != nil {
+			panic(err)
+		}
+		cats := randomCatalogs(tr, 8000, rng)
+		ds, err := core.BuildDegreeD(tr, cats, core.Config{NoTruncation: true})
+		if err != nil {
+			panic(err)
+		}
+		// Deepest node's path.
+		deepest := tree.NodeID(0)
+		for v := tree.NodeID(0); int(v) < tr.N(); v++ {
+			if tr.Depth(v) > tr.Depth(deepest) {
+				deepest = v
+			}
+		}
+		path := tr.RootPath(deepest)
+		for _, p := range []int{16, 4096} {
+			y := catalog.Key(rng.Intn(64000))
+			_, stats, err := ds.SearchExplicit(y, path, p)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%6d %10d %8d %8d %12.2f\n",
+				d, ds.Expanded().N(), p, stats.Steps, float64(stats.Steps)/float64(len(path)))
+		}
+	}
+}
+
+func runE7(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("paper: planar point location in O((log n)/log p) with O(n) space (Theorem 4)")
+	fmt.Printf("%8s %8s %8s %8s %8s %8s %10s\n", "regions", "edges", "p", "steps", "hops", "seq", "validated")
+	for _, f := range []int{64, 256, 1024} {
+		s := subdivision.Generate(f, 40, rng)
+		loc, err := pointloc.Build(s, core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		for _, p := range []int{1, 64, 65536} {
+			var agg core.Stats
+			const reps = 40
+			ok := 0
+			for r := 0; r < reps; r++ {
+				pt, want := s.RandomInteriorPoint(rng)
+				got, stats, err := loc.LocateCoop(pt, p)
+				if err != nil {
+					panic(err)
+				}
+				if got == want {
+					ok++
+				}
+				agg.Steps += stats.Steps
+				agg.Hops += stats.Hops
+				agg.SeqLevels += stats.SeqLevels
+			}
+			fmt.Printf("%8d %8d %8d %8d %8d %8d %8d/%d\n",
+				f, len(s.Edges), p, agg.Steps/reps, agg.Hops/reps, agg.SeqLevels/reps, ok, reps)
+		}
+	}
+	fmt.Println("\n-- hop-height ablation (the (log n)/log p curve for point location) --")
+	fmt.Printf("%6s %8s %8s\n", "h", "steps", "hops")
+	s := subdivision.Generate(1024, 50, rng)
+	for _, h := range []int{1, 2, 4} {
+		h := h
+		loc, err := pointloc.Build(s, core.Config{MaxSubs: 1, NoTruncation: true,
+			HOverride: func(int) int { return h }})
+		if err != nil {
+			panic(err)
+		}
+		var steps, hops int
+		const reps = 40
+		for r := 0; r < reps; r++ {
+			pt, want := s.RandomInteriorPoint(rng)
+			got, stats, err := loc.LocateCoop(pt, 64)
+			if err != nil {
+				panic(err)
+			}
+			if got != want {
+				panic("wrong region")
+			}
+			steps += stats.Steps - stats.RootRounds
+			hops += stats.Hops
+		}
+		fmt.Printf("%6d %8d %8d\n", h, steps/reps, hops/reps)
+	}
+}
+
+func runE8(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("paper: spatial point location in O((log^2 n)/log^2 p) (Theorem 5, Corollary 1)")
+	fmt.Printf("%8s %8s %8s %8s %8s %8s\n", "cells", "facets", "p", "steps", "hops", "seq")
+	for _, tiles := range []int{50, 200, 800} {
+		c := spatial.Generate(tiles, 5, rng)
+		loc, err := spatial.NewLocator(c)
+		if err != nil {
+			panic(err)
+		}
+		for _, p := range []int{1, 64, 65536} {
+			var agg spatial.Stats
+			const reps = 30
+			for r := 0; r < reps; r++ {
+				x, y, z, want := c.RandomInteriorPoint(rng)
+				got, stats, err := loc.LocateCoop(x, y, z, p)
+				if err != nil {
+					panic(err)
+				}
+				if got != want {
+					panic("wrong cell")
+				}
+				agg.Steps += stats.Steps
+				agg.Hops += stats.Hops
+				agg.SeqLevels += stats.SeqLevels
+			}
+			fmt.Printf("%8d %8d %8d %8d %8d %8d\n",
+				len(c.Cells), len(c.Facets), p, agg.Steps/reps, agg.Hops/reps, agg.SeqLevels/reps)
+		}
+	}
+}
+
+func runE9(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("paper: direct retrieval O(log n/log p + loglog n + k/p); indirect O(log n/log p) (Theorem 6)")
+	// Segment intersection.
+	segs := make([]segtree.VSegment, 4000)
+	for i := range segs {
+		y1 := 2 * rng.Int63n(8000)
+		segs[i] = segtree.VSegment{X: 2 * rng.Int63n(8000), Y1: y1, Y2: y1 + 2 + 2*rng.Int63n(4000)}
+	}
+	it, err := segtree.NewIntersector(segs, core.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\n-- segment intersection (k sweep via query width) --")
+	fmt.Printf("%8s %8s %6s | direct: %6s %6s %6s | indirect: %6s %7s\n",
+		"width", "p", "k", "search", "alloc", "report", "steps", "ranges")
+	for _, width := range []int64{200, 2000, 16000} {
+		for _, p := range []int{1, 64, 65536} {
+			q := segtree.HQuery{Y: 6001, X1: 1000, X2: 1000 + width}
+			_, ds, err := it.QueryDirect(q, p)
+			if err != nil {
+				panic(err)
+			}
+			ranges, is, err := it.QueryIndirect(q, p)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%8d %8d %6d | %14d %6d %6d | %16d %7d\n",
+				width, p, ds.K, ds.SearchSteps, ds.AllocSteps, ds.ReportSteps,
+				is.SearchSteps+is.AllocSteps, len(ranges))
+		}
+	}
+	// Point enclosure.
+	rects := make([]segtree.Rect, 4000)
+	for i := range rects {
+		x1, y1 := 2*rng.Int63n(8000), 2*rng.Int63n(8000)
+		rects[i] = segtree.Rect{X1: x1, X2: x1 + 2*rng.Int63n(3000), Y1: y1, Y2: y1 + 2*rng.Int63n(3000)}
+	}
+	en, err := segtree.NewEncloser(rects, core.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\n-- point enclosure --")
+	fmt.Printf("%8s %6s %8s %8s %8s\n", "p", "k", "search", "alloc", "report")
+	for _, p := range []int{1, 64, 65536} {
+		_, st2, err := en.QueryDirect(6001, 6001, p)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%8d %6d %8d %8d %8d\n", p, st2.K, st2.SearchSteps, st2.AllocSteps, st2.ReportSteps)
+	}
+}
+
+func runE10(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("paper: d-dim range search in O(((log n)/log p)^(d-1) + loglog n + k/p) (Corollary 2)")
+	fmt.Printf("%4s %8s %8s %6s %8s\n", "d", "n", "p", "k", "steps")
+	for _, d := range []int{2, 3} {
+		n := 2000
+		if d == 3 {
+			n = 600
+		}
+		pts := make([][]int64, n)
+		for i := range pts {
+			pt := make([]int64, d)
+			for c := range pt {
+				pt[c] = rng.Int63n(2000)
+			}
+			pts[i] = pt
+		}
+		kd, err := rangetree.NewKD(pts, core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		lo := make([]int64, d)
+		hi := make([]int64, d)
+		for c := 0; c < d; c++ {
+			lo[c], hi[c] = 300, 1500
+		}
+		for _, p := range []int{1, 64, 65536} {
+			ids, stats, err := kd.QueryDirect(rangetree.QueryKD{Lo: lo, Hi: hi}, p)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%4d %8d %8d %6d %8d\n", d, n, p, len(ids), stats.Total())
+		}
+	}
+	fmt.Println("\n-- d-dimensional point enclosure --")
+	fmt.Printf("%4s %8s %8s %6s %8s\n", "d", "n", "p", "k", "steps")
+	for _, d := range []int{2, 3} {
+		n := 1500
+		if d == 3 {
+			n = 300
+		}
+		boxes := make([]segtree.BoxKD, n)
+		for i := range boxes {
+			loC := make([]int64, d)
+			hiC := make([]int64, d)
+			for c := 0; c < d; c++ {
+				loC[c] = 2 * rng.Int63n(1000)
+				hiC[c] = loC[c] + 2*rng.Int63n(500)
+			}
+			boxes[i] = segtree.BoxKD{Lo: loC, Hi: hiC}
+		}
+		en, err := segtree.NewEncloserKD(boxes, core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		pt := make([]int64, d)
+		for c := range pt {
+			pt[c] = 1001
+		}
+		for _, p := range []int{1, 64, 65536} {
+			ids, stats, err := en.QueryDirect(pt, p)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%4d %8d %8d %6d %8d\n", d, n, p, len(ids), stats.Total())
+		}
+	}
+}
+
+func runE11(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("paper: skeleton trees U_1..U_m assign distinct keys to every block node (Lemma 1)")
+	st, _ := buildTree(1<<10, 1<<10*60, rng, core.Config{})
+	blocks, multi, nodesChecked, violations := 0, 0, 0, 0
+	for i := 0; i < st.NumSubstructures(); i++ {
+		sub := st.Substructure(i)
+		for _, blk := range sub.Blocks() {
+			blocks++
+			if blk.M < 2 {
+				continue
+			}
+			multi++
+			for z, v := range blk.Nodes {
+				nodesChecked++
+				seen := map[catalog.Key]bool{}
+				cat := st.Cascade().Aug(v)
+				for j := 0; j < blk.M; j++ {
+					k := cat.Key(int(blk.KeyPos[j][z]))
+					if seen[k] {
+						violations++
+					}
+					seen[k] = true
+				}
+			}
+		}
+	}
+	fmt.Printf("blocks: %d (m>1: %d), block-nodes checked: %d, disjointness violations: %d\n",
+		blocks, multi, nodesChecked, violations)
+}
+
+func runE12(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("paper: Step-3 windows always contain find(y, v) (Lemma 3)")
+	st, bt := buildTree(1<<8, 20000, rng, core.Config{})
+	trials, misses := 0, 0
+	for q := 0; q < 2000; q++ {
+		leaf := tree.NodeID(bt.N() - 1 - rng.Intn(1<<8))
+		path := bt.RootPath(leaf)
+		y := catalog.Key(rng.Intn(200000))
+		got, _, err := st.SearchExplicit(y, path, 1+rng.Intn(1<<16))
+		if err != nil {
+			misses++ // a window miss surfaces as an error
+			continue
+		}
+		want, err := st.Cascade().SearchPath(y, path)
+		if err != nil {
+			panic(err)
+		}
+		for i := range want {
+			if got[i].Key != want[i].Key {
+				misses++
+			}
+		}
+		trials++
+	}
+	fmt.Printf("searches: %d, window misses / wrong results: %d\n", trials, misses)
+}
+
+func runE13(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("paper: explicit hop uses <= 2 s_i (2b+1)^{h_i} = O(p) slots; implicit <= 2^{h_i} s_i^2 = O(p)")
+	st, bt := buildTree(1<<10, 60000, rng, core.Config{})
+	params := st.Params()
+	fmt.Printf("%4s %4s %8s %10s %14s %14s\n", "sub", "h", "s_i", "p-range", "peak(explicit)", "bound 4F^2h+2F^h+s")
+	for i := 0; i < st.NumSubstructures(); i++ {
+		sub := st.Substructure(i)
+		fh := 1
+		for l := 0; l < sub.H; l++ {
+			fh *= params.F
+		}
+		bound := 4*fh*fh + 2*fh + sub.S
+		pMin := 2
+		if i > 0 && i < 5 {
+			pMin = 1<<(1<<uint(i)) + 1
+		}
+		peak := 0
+		for r := 0; r < 30; r++ {
+			leaf := tree.NodeID(bt.N() - 1 - rng.Intn(1<<10))
+			_, stats, err := st.SearchExplicit(catalog.Key(rng.Intn(480000)), bt.RootPath(leaf), pMin)
+			if err != nil {
+				panic(err)
+			}
+			if stats.Sub == i && stats.SlotsPeak > peak {
+				peak = stats.SlotsPeak
+			}
+		}
+		fmt.Printf("%4d %4d %8d %10s %14d %14d\n",
+			i, sub.H, sub.S, fmt.Sprintf(">2^%d", 1<<uint(i)), peak, bound)
+	}
+}
+
+func runE14(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("paper: p-processor CREW search of n sorted keys in ceil(log(n+1)/log(p+1)) rounds (Snir-optimal)")
+	fmt.Printf("%10s %8s %10s %10s\n", "n", "p", "rounds", "predicted")
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 20} {
+		keys := make([]int64, n)
+		v := int64(0)
+		for i := range keys {
+			v += 1 + rng.Int63n(5)
+			keys[i] = v
+		}
+		for _, p := range []int{1, 3, 15, 255, 65535} {
+			worst := 0
+			for q := 0; q < 50; q++ {
+				y := rng.Int63n(keys[n-1] + 2)
+				_, rounds := parallel.CoopSearch(keys, y, p)
+				if rounds > worst {
+					worst = rounds
+				}
+			}
+			fmt.Printf("%10d %8d %10d %10d\n", n, p, worst, parallel.CoopSearchSteps(n, p))
+		}
+	}
+}
+
+func runFig5(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("Fig. 5 reproduction: the natural gap branch violates the consistency assumption.")
+	fmt.Println("Scanning subdivisions for a query with an off-path separator whose natural branch")
+	fmt.Println("points away from the search path (as at sigma_4/sigma_13 in the paper's figure):")
+	found := 0
+	for trial := 0; trial < 50 && found < 5; trial++ {
+		s := subdivision.Generate(16, 10, rng)
+		loc, err := pointloc.Build(s, core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		_ = loc
+		for q := 0; q < 50 && found < 5; q++ {
+			pt, region := s.RandomInteriorPoint(rng)
+			for j := 1; j < s.NumRegions; j++ {
+				e, err := s.EdgeAt(j, pt.Y)
+				if err != nil {
+					continue
+				}
+				minS, maxS := e.MinSep(), e.MaxSep()
+				if minS == maxS {
+					continue // proper at sigma_j itself: active node
+				}
+				// The natural branch of an inactive sigma_j points toward
+				// the edge's home; consistency demands pointing toward
+				// the query's region.
+				home := (minS + maxS) / 2 // stand-in: any separator in the shared range != j
+				if int32(j) == home {
+					continue
+				}
+				natural := "right"
+				if int32(j) < home {
+					natural = "left"
+				}
+				consistent := "left"
+				if j < region {
+					consistent = "right"
+				}
+				if natural != consistent {
+					fmt.Printf("  query (%d,%d) in r_%d: inactive sigma_%d (edge shared by sigma_%d..sigma_%d) branches %s, consistency needs %s\n",
+						pt.X, pt.Y, region, j, minS, maxS, natural, consistent)
+					found++
+					break
+				}
+			}
+		}
+	}
+	if found == 0 {
+		fmt.Println("  (no violation found this seed; rerun with another -seed)")
+	} else {
+		fmt.Println("the Section 3.1 hop handles these via the (L,R) bracket instead of stored branches.")
+	}
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
+	"fraccascade/internal/dynamic"
+	"fraccascade/internal/parallel"
+	"fraccascade/internal/pram"
+	"fraccascade/internal/tree"
+)
+
+// runE15 measures the generalized-search-path extension (the paper's open
+// problem 3): searching a root-anchored subtree spanned by several leaves.
+func runE15(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("extension (open problem 3): subtree search — steps track depth, slots track breadth")
+	st, bt := buildTree(1<<10, 60000, rng, core.Config{})
+	var leaves []tree.NodeID
+	for v := tree.NodeID(0); int(v) < bt.N(); v++ {
+		if bt.IsLeaf(v) {
+			leaves = append(leaves, v)
+		}
+	}
+	fmt.Printf("%8s %8s %8s %8s %12s\n", "targets", "p", "steps", "hops", "slotsPeak")
+	for _, k := range []int{1, 4, 16, 64} {
+		targets := make([]tree.NodeID, k)
+		for i := range targets {
+			targets[i] = leaves[rng.Intn(len(leaves))]
+		}
+		for _, p := range []int{256, 65536} {
+			y := catalog.Key(rng.Intn(480000))
+			_, stats, err := st.SearchSubtree(y, targets, p)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%8d %8d %8d %8d %12d\n", k, p, stats.Steps, stats.Hops, stats.SlotsPeak)
+		}
+	}
+}
+
+// runE17 executes complete explicit searches as programs on the CREW PRAM
+// simulator: real conflict-checked machine steps, not the cost model.
+func runE17(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("machine-measured Theorem 1: whole searches executed on the CREW simulator")
+	st, bt := buildTree(1<<6, 6000, rng, core.Config{})
+	path := bt.RootPath(tree.NodeID(bt.N() - 1))
+	fmt.Printf("%8s %12s %6s %6s %6s %10s\n", "p", "machineSteps", "root", "hop", "seq", "peakProcs")
+	for _, p := range []int{1, 4, 16, 256, 65536} {
+		var agg core.PRAMSearchReport
+		const reps = 10
+		for r := 0; r < reps; r++ {
+			m := pram.New(pram.CREW, 1<<21)
+			y := catalog.Key(rng.Intn(48000))
+			_, rep, err := st.SearchExplicitPRAM(m, y, path, p)
+			if err != nil {
+				panic(err)
+			}
+			agg.MachineSteps += rep.MachineSteps
+			agg.RootSteps += rep.RootSteps
+			agg.HopSteps += rep.HopSteps
+			agg.SeqSteps += rep.SeqSteps
+			if rep.PeakProcs > agg.PeakProcs {
+				agg.PeakProcs = rep.PeakProcs
+			}
+		}
+		fmt.Printf("%8d %12d %6d %6d %6d %10d\n",
+			p, agg.MachineSteps/reps, agg.RootSteps/reps, agg.HopSteps/reps, agg.SeqSteps/reps, agg.PeakProcs)
+	}
+}
+
+// runE18 plays the Snir lower-bound adversary game: no strategy beats
+// ⌈log(n+1)/log(p+1)⌉ rounds, and the cooperative (p+1)-ary split matches
+// it — the "optimal" in the paper's title, demonstrated mechanically.
+func runE18(seed int64) {
+	_ = seed
+	fmt.Println("optimality (Snir bound): adversary game rounds, lower bound vs strategies")
+	fmt.Printf("%10s %8s %12s %10s %10s\n", "n", "p", "lower bound", "uniform", "binary")
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 20} {
+		for _, p := range []int{3, 63, 1023} {
+			uni, _ := parallel.PlayGame(n, p, parallel.UniformStrategy, 10000)
+			bin, _ := parallel.PlayGame(n, p, parallel.BinaryStrategy, 10000)
+			fmt.Printf("%10d %8d %12d %10d %10d\n", n, p, parallel.LowerBoundRounds(n, p), uni, bin)
+		}
+	}
+	fmt.Println("uniform (the CoopSearch split) meets the bound; the p-oblivious binary split stays at log n.")
+}
+
+// runE16 measures the dynamic extension (open problem 4): query cost and
+// rebuild cadence under churn.
+func runE16(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("extension (open problem 4): lazy dynamic updates with amortized rebuilds")
+	bt, err := tree.NewBalancedBinary(1 << 7)
+	if err != nil {
+		panic(err)
+	}
+	native := randomCatalogs(bt, 8000, rng)
+	for _, capacity := range []int{32, 128, 512} {
+		d, err := dynamic.New(bt, native, core.Config{}, capacity)
+		if err != nil {
+			panic(err)
+		}
+		const ops = 2000
+		inserts, deletes, queries := 0, 0, 0
+		var querySteps int64
+		for op := 0; op < ops; op++ {
+			v := tree.NodeID(rng.Intn(bt.N()))
+			switch rng.Intn(3) {
+			case 0:
+				if d.Insert(v, catalog.Key(rng.Int63n(1<<40)), int32(op)) == nil {
+					inserts++
+				}
+			case 1:
+				k, _ := d.Find(v, catalog.Key(rng.Intn(32000)))
+				if k != catalog.PlusInf && d.Delete(v, k) == nil {
+					deletes++
+				}
+			default:
+				leaf := tree.NodeID(bt.N() - 1 - rng.Intn(1<<7))
+				_, stats, err := d.SearchExplicit(catalog.Key(rng.Intn(32000)), bt.RootPath(leaf), 256)
+				if err != nil {
+					panic(err)
+				}
+				querySteps += int64(stats.Steps)
+				queries++
+			}
+		}
+		fmt.Printf("capacity=%4d: %d ins, %d del, %d queries (avg %d steps), %d rebuilds\n",
+			capacity, inserts, deletes, queries, querySteps/int64(queries), d.Rebuilds())
+	}
+}

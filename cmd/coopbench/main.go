@@ -1,0 +1,73 @@
+// Command coopbench runs the reproduction experiments E1–E18 (see
+// DESIGN.md for the per-experiment index) and prints the tables recorded
+// in EXPERIMENTS.md. Each experiment regenerates one of the paper's
+// claims: a time/processor tradeoff, a space bound, or a structural lemma.
+//
+// Usage:
+//
+//	coopbench -experiment=all        # run everything
+//	coopbench -experiment=e1        # one experiment
+//	coopbench -experiment=fig5      # the Fig. 5 branch-function table
+//	coopbench -seed=7               # change workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	name  string
+	title string
+	run   func(seed int64)
+}
+
+func main() {
+	expFlag := flag.String("experiment", "all", "experiment id (e1..e14, fig5, all)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	experiments := []experiment{
+		{"e1", "E1 (Theorem 1): explicit cooperative search, steps vs (log n)/log p", runE1},
+		{"e2", "E2 (Theorem 1): implicit cooperative search", runE2},
+		{"e3", "E3 (Theorem 1): preprocessing rounds and work", runE3},
+		{"e4", "E4 (Lemma 2): space of T' is O(n)", runE4},
+		{"e5", "E5 (Theorem 2): long-path search in bounded-degree trees", runE5},
+		{"e6", "E6 (Theorem 3): degree-d trees, log d factor", runE6},
+		{"e7", "E7 (Theorem 4): cooperative planar point location", runE7},
+		{"e8", "E8 (Theorem 5 / Corollary 1): spatial point location", runE8},
+		{"e9", "E9 (Theorem 6): retrieval — segment intersection, enclosure, range search", runE9},
+		{"e10", "E10 (Corollary 2): d-dimensional range search", runE10},
+		{"e11", "E11 (Lemma 1): skeleton forest disjointness", runE11},
+		{"e12", "E12 (Lemma 3): window containment", runE12},
+		{"e13", "E13 (Section 2.2/2.3): per-hop processor demand", runE13},
+		{"e14", "E14 (Snir bound): cooperative binary search rounds", runE14},
+		{"fig5", "Fig. 5: branch-function inconsistency on the separator tree", runFig5},
+		{"e15", "E15 (extension, open problem 3): generalized search paths (subtrees)", runE15},
+		{"e16", "E16 (extension, open problem 4): dynamic updates, amortized rebuilds", runE16},
+		{"e17", "E17: whole searches executed on the conflict-checked CREW simulator", runE17},
+		{"e18", "E18: Snir lower-bound adversary game (optimality)", runE18},
+	}
+	want := strings.ToLower(*expFlag)
+	ran := 0
+	for _, e := range experiments {
+		if want == "all" || want == e.name {
+			fmt.Printf("\n=== %s ===\n", e.title)
+			e.run(*seed)
+			ran++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
+		var names []string
+		for _, e := range experiments {
+			names = append(names, e.name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "available: all %s\n", strings.Join(names, " "))
+		os.Exit(2)
+	}
+}

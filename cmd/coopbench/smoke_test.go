@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+// TestExperimentsSmoke runs the cheaper experiments end to end: they must
+// complete without panicking (each panics on any oracle mismatch or
+// internal error, so completing is a correctness statement, not just a
+// crash check).
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	for _, e := range []struct {
+		name string
+		run  func(int64)
+	}{
+		{"e5", runE5},
+		{"e9", runE9},
+		{"e10", runE10},
+		{"e12", runE12},
+		{"e14", runE14},
+		{"e15", runE15},
+		{"e16", runE16},
+		{"e17", runE17},
+		{"fig5", runFig5},
+	} {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			e.run(2)
+		})
+	}
+}

@@ -1,0 +1,83 @@
+// Command plquery is an interactive/scripted planar point-location demo:
+// it generates a random monotone subdivision, preprocesses it, and locates
+// points — either a batch of random ones or coordinates supplied as
+// arguments.
+//
+// Usage:
+//
+//	plquery -regions=64 -levels=30 -p=256 -queries=10
+//	plquery -regions=64 -levels=30 -p=256 101,51 33,77
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"fraccascade/internal/core"
+	"fraccascade/internal/geom"
+	"fraccascade/internal/pointloc"
+	"fraccascade/internal/subdivision"
+)
+
+func main() {
+	regions := flag.Int("regions", 64, "number of regions")
+	levels := flag.Int("levels", 30, "number of y-levels")
+	p := flag.Int("p", 256, "processor budget for cooperative queries")
+	queries := flag.Int("queries", 10, "random queries to run when no coordinates are given")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	s := subdivision.Generate(*regions, *levels, rng)
+	if err := s.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	loc, err := pointloc.Build(s, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("subdivision: %d regions, %d edges; queries must have %d < y < %d\n",
+		s.NumRegions, len(s.Edges), s.YMin, s.YMax)
+
+	locate := func(pt geom.Point) {
+		region, stats, err := loc.LocateCoop(pt, *p)
+		if err != nil {
+			fmt.Printf("(%d,%d): error: %v\n", pt.X, pt.Y, err)
+			return
+		}
+		brute, _ := s.LocateBrute(pt)
+		status := "ok"
+		if brute != region {
+			status = fmt.Sprintf("MISMATCH (oracle says r_%d)", brute)
+		}
+		fmt.Printf("(%6d,%6d) -> r_%-4d  steps=%d hops=%d seq=%d  [%s]\n",
+			pt.X, pt.Y, region, stats.Steps, stats.Hops, stats.SeqLevels, status)
+	}
+
+	if args := flag.Args(); len(args) > 0 {
+		for _, arg := range args {
+			parts := strings.SplitN(arg, ",", 2)
+			if len(parts) != 2 {
+				fmt.Fprintf(os.Stderr, "bad coordinate %q (want x,y)\n", arg)
+				os.Exit(2)
+			}
+			x, err1 := strconv.ParseInt(parts[0], 10, 64)
+			y, err2 := strconv.ParseInt(parts[1], 10, 64)
+			if err1 != nil || err2 != nil {
+				fmt.Fprintf(os.Stderr, "bad coordinate %q\n", arg)
+				os.Exit(2)
+			}
+			locate(geom.Point{X: x, Y: y})
+		}
+		return
+	}
+	for q := 0; q < *queries; q++ {
+		pt, _ := s.RandomInteriorPoint(rng)
+		locate(pt)
+	}
+}

@@ -1,0 +1,104 @@
+// Command implicit demonstrates basic implicit cooperative search
+// (Section 2.3): the root-to-leaf path is not known in advance — a branch
+// function satisfying the consistency assumption steers the search, and
+// the structure still jumps Θ(log p) levels per hop.
+//
+// The demo models a two-key dictionary: each leaf owns an x-interval, and
+// a query (x, y) must find, at every node on x's root-to-leaf path, the
+// smallest catalog key ≥ y.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
+	"fraccascade/internal/tree"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+
+	const leaves = 512
+	bt, err := tree.NewBalancedBinary(leaves)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cats := make([]catalog.Catalog, bt.N())
+	for v := range cats {
+		keySet := map[catalog.Key]bool{}
+		for len(keySet) < 5+rng.Intn(30) {
+			keySet[catalog.Key(rng.Intn(1<<20))] = true
+		}
+		keys := make([]catalog.Key, 0, len(keySet))
+		for k := range keySet {
+			keys = append(keys, k)
+		}
+		cats[v] = catalog.MustFromKeys(keys, nil)
+	}
+	st, err := core.Build(bt, cats, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each leaf owns one x-slot in left-to-right order; the branch
+	// function compares the query's x-slot with the inorder position of
+	// the node the search is visiting — left/right exactly as the
+	// consistency assumption prescribes.
+	inorder, err := bt.InorderIndex()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var leafByOrder []tree.NodeID
+	for v := tree.NodeID(0); int(v) < bt.N(); v++ {
+		if bt.IsLeaf(v) {
+			leafByOrder = append(leafByOrder, v)
+		}
+	}
+	// Sort leaves by inorder (left-to-right).
+	for i := 1; i < len(leafByOrder); i++ {
+		for j := i; j > 0 && inorder[leafByOrder[j]] < inorder[leafByOrder[j-1]]; j-- {
+			leafByOrder[j], leafByOrder[j-1] = leafByOrder[j-1], leafByOrder[j]
+		}
+	}
+
+	fmt.Println("   p    steps  hops  target-found")
+	for _, p := range []int{1, 16, 1024, 1 << 18} {
+		xSlot := rng.Intn(leaves)
+		target := leafByOrder[xSlot]
+		branch := func(r cascade.Result) core.Branch {
+			if inorder[r.Node] < inorder[target] {
+				return core.Right
+			}
+			return core.Left
+		}
+		y := catalog.Key(rng.Intn(1 << 20))
+		if err := st.CheckConsistency(y, branch); err != nil {
+			log.Fatalf("branch function violates the consistency assumption: %v", err)
+		}
+		results, leaf, stats, err := st.SearchImplicit(y, branch, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if leaf != target {
+			log.Fatalf("implicit search reached leaf %d, want %d", leaf, target)
+		}
+		// The discovered path's results must match the explicit search
+		// over the now-known path.
+		path := bt.RootPath(target)
+		want, _, err := st.SearchExplicit(y, path, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range want {
+			if results[i].Key != want[i].Key {
+				log.Fatalf("implicit result differs at node %d", path[i])
+			}
+		}
+		fmt.Printf("%7d %7d %5d  leaf %d (x-slot %d)\n", p, stats.Steps, stats.Hops, leaf, xSlot)
+	}
+	fmt.Println("\nimplicit cooperative search discovered every path correctly")
+}

@@ -1,0 +1,81 @@
+// Command quickstart demonstrates the core library: build a balanced
+// binary tree of catalogs, preprocess it into the cooperative search
+// structure T′, and run explicit cooperative searches with different
+// processor budgets, comparing the simulated parallel time against the
+// sequential fractional-cascading walk.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
+	"fraccascade/internal/tree"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// A balanced binary tree with 256 leaves (511 nodes), each node
+	// holding a sorted catalog of random keys.
+	const leaves = 256
+	bt, err := tree.NewBalancedBinary(leaves)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cats := make([]catalog.Catalog, bt.N())
+	total := 0
+	for v := range cats {
+		keys := map[catalog.Key]bool{}
+		for len(keys) < rng.Intn(40) {
+			keys[catalog.Key(rng.Intn(100000))] = true
+		}
+		flat := make([]catalog.Key, 0, len(keys))
+		for k := range keys {
+			flat = append(flat, k)
+		}
+		total += len(flat)
+		cats[v] = catalog.MustFromKeys(flat, nil)
+	}
+	fmt.Printf("tree: %d nodes, %d catalog entries\n", bt.N(), total)
+
+	// Preprocess (Theorem 1): O(log n) rounds, O(n) space.
+	st, err := core.Build(bt, cats, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := st.SpaceReport()
+	fmt.Printf("preprocessed: %d augmented entries, %d skeleton slots across %d substructures\n",
+		report.AugEntries, report.SkeletonSlots, st.NumSubstructures())
+
+	// A root-to-leaf search path and a query key.
+	leaf := tree.NodeID(bt.N() - 1 - rng.Intn(leaves))
+	path := bt.RootPath(leaf)
+	y := catalog.Key(rng.Intn(100000))
+	fmt.Printf("\nquery y=%d along a %d-node root-to-leaf path\n", y, len(path))
+
+	// Sequential baseline: one binary search plus bridge walks.
+	seqResults, err := st.Cascade().SearchPath(y, path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential FC search: find(y, leaf) = %d\n", seqResults[len(seqResults)-1].Key)
+
+	// Cooperative searches across the processor range.
+	fmt.Println("\n   p    steps  hops  seq-tail  substructure")
+	for _, p := range []int{1, 4, 16, 256, 65536} {
+		results, stats, err := st.SearchExplicit(y, path, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Same answers as the sequential search, in fewer parallel steps.
+		for i := range results {
+			if results[i].Key != seqResults[i].Key {
+				log.Fatalf("cooperative search diverged at node %d", path[i])
+			}
+		}
+		fmt.Printf("%6d %8d %5d %9d %13d\n", p, stats.Steps, stats.Hops, stats.SeqLevels, stats.Sub)
+	}
+}

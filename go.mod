@@ -1,0 +1,3 @@
+module fraccascade
+
+go 1.22

@@ -1,0 +1,207 @@
+package fraccascade
+
+import (
+	"math/rand"
+	"testing"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
+	"fraccascade/internal/dynamic"
+	"fraccascade/internal/pointloc"
+	"fraccascade/internal/pram"
+	"fraccascade/internal/rangetree"
+	"fraccascade/internal/segtree"
+	"fraccascade/internal/spatial"
+	"fraccascade/internal/subdivision"
+	"fraccascade/internal/tree"
+)
+
+// TestIntegrationFullStack exercises every layer together at a larger
+// scale than the unit tests: one big catalog tree searched explicitly,
+// implicitly, on long paths, over subtrees, on the PRAM simulator, and
+// under dynamic churn; plus every geometric application against its
+// oracle. Any disagreement anywhere fails the test.
+func TestIntegrationFullStack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(99))
+
+	// --- core stack ---
+	leaves := 1 << 9
+	bt, err := tree.NewBalancedBinary(leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := benchCatalogs(bt, 40000, rng)
+	st, err := core.Build(bt, cats, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inorder, err := bt.InorderIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leafIDs []tree.NodeID
+	for v := tree.NodeID(0); int(v) < bt.N(); v++ {
+		if bt.IsLeaf(v) {
+			leafIDs = append(leafIDs, v)
+		}
+	}
+	for q := 0; q < 300; q++ {
+		leaf := leafIDs[rng.Intn(len(leafIDs))]
+		path := bt.RootPath(leaf)
+		y := catalog.Key(rng.Intn(320000))
+		p := 1 + rng.Intn(1<<18)
+
+		want, err := st.Cascade().SearchPath(y, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotE, _, err := st.SearchExplicit(y, path, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		branch := func(r cascade.Result) core.Branch {
+			if inorder[r.Node] < inorder[leaf] {
+				return core.Right
+			}
+			return core.Left
+		}
+		gotI, iLeaf, _, err := st.SearchImplicit(y, branch, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iLeaf != leaf {
+			t.Fatalf("implicit search reached %d, want %d", iLeaf, leaf)
+		}
+		gotS, _, err := st.SearchSubtree(y, []tree.NodeID{leaf}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if gotE[i].Key != want[i].Key || gotI[i].Key != want[i].Key {
+				t.Fatalf("explicit/implicit mismatch at %d", path[i])
+			}
+			if r, ok := gotS[path[i]]; !ok || r.Key != want[i].Key {
+				t.Fatalf("subtree mismatch at %d", path[i])
+			}
+		}
+	}
+
+	// PRAM-machine spot checks.
+	for q := 0; q < 5; q++ {
+		leaf := leafIDs[rng.Intn(len(leafIDs))]
+		path := bt.RootPath(leaf)
+		y := catalog.Key(rng.Intn(320000))
+		m := pram.New(pram.CREW, 1<<21)
+		gotP, _, err := st.SearchExplicitPRAM(m, y, path, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := st.Cascade().SearchPath(y, path)
+		for i := range want {
+			if gotP[i].Key != want[i].Key {
+				t.Fatalf("PRAM mismatch at %d", path[i])
+			}
+		}
+	}
+
+	// Dynamic churn over the same tree shape.
+	d, err := dynamic.New(bt, cats, core.Config{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op := 0; op < 500; op++ {
+		v := tree.NodeID(rng.Intn(bt.N()))
+		if op%2 == 0 {
+			_ = d.Insert(v, catalog.Key(rng.Int63n(1<<40)), int32(op))
+		} else {
+			leaf := leafIDs[rng.Intn(len(leafIDs))]
+			path := bt.RootPath(leaf)
+			y := catalog.Key(rng.Intn(320000))
+			res, _, err := d.SearchExplicit(y, path, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, node := range path {
+				wk, _ := d.Find(node, y)
+				if res[i].Key != wk {
+					t.Fatalf("dynamic mismatch at node %d", node)
+				}
+			}
+		}
+	}
+
+	// --- geometric applications ---
+	s := subdivision.Generate(256, 50, rng)
+	loc, err := pointloc.Build(s, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc.Debug = true
+	for q := 0; q < 300; q++ {
+		pt, want := s.RandomInteriorPoint(rng)
+		got, _, err := loc.LocateCoop(pt, 1+rng.Intn(1<<16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("point location mismatch at %v", pt)
+		}
+	}
+
+	c := spatial.Generate(120, 5, rng)
+	sloc, err := spatial.NewLocator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 150; q++ {
+		x, y, z, want := c.RandomInteriorPoint(rng)
+		got, _, err := sloc.LocateCoop(x, y, z, 1+rng.Intn(1<<16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatal("spatial mismatch")
+		}
+	}
+
+	pts := make([]rangetree.Point2, 2500)
+	for i := range pts {
+		pts[i] = rangetree.Point2{X: rng.Int63n(5000), Y: rng.Int63n(5000)}
+	}
+	rt, err := rangetree.New2D(pts, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := make([]segtree.VSegment, 2000)
+	for i := range segs {
+		y1 := 2 * rng.Int63n(4000)
+		segs[i] = segtree.VSegment{X: 2 * rng.Int63n(4000), Y1: y1, Y2: y1 + 2 + 2*rng.Int63n(2000)}
+	}
+	it, err := segtree.NewIntersector(segs, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 100; q++ {
+		x1, y1 := rng.Int63n(5000), rng.Int63n(5000)
+		query := rangetree.Query2{X1: x1, X2: x1 + rng.Int63n(1500), Y1: y1, Y2: y1 + rng.Int63n(1500)}
+		got, _, err := rt.QueryDirect(query, 1+rng.Intn(4096))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(rt.NaiveQuery(query)) {
+			t.Fatal("range tree mismatch")
+		}
+		hq := segtree.HQuery{Y: 2*rng.Int63n(4000) + 1, X1: x1, X2: x1 + rng.Int63n(3000)}
+		hits, _, err := it.QueryDirect(hq, 1+rng.Intn(4096))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) != len(it.NaiveQuery(hq)) {
+			t.Fatal("segment intersection mismatch")
+		}
+	}
+}

@@ -1,0 +1,437 @@
+package cascade
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/tree"
+)
+
+// randCatalogs builds one random native catalog per node with highly
+// variable sizes (including empty), mimicking the paper's point that
+// individual catalogs may hold Θ(n) of the n total entries.
+func randCatalogs(t *tree.Tree, totalTarget int, rng *rand.Rand) []catalog.Catalog {
+	n := t.N()
+	cats := make([]catalog.Catalog, n)
+	for v := 0; v < n; v++ {
+		var size int
+		switch rng.Intn(4) {
+		case 0:
+			size = 0
+		case 1:
+			size = rng.Intn(4)
+		case 2:
+			size = rng.Intn(2*totalTarget/(n+1) + 1)
+		default:
+			size = rng.Intn(totalTarget/4 + 1)
+		}
+		seen := map[catalog.Key]bool{}
+		keys := make([]catalog.Key, 0, size)
+		for len(keys) < size {
+			k := catalog.Key(rng.Intn(totalTarget * 4))
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		payloads := make([]int32, len(keys))
+		for i := range payloads {
+			payloads[i] = int32(v)*1000 + int32(i)
+		}
+		cats[v] = catalog.MustFromKeys(keys, payloads)
+	}
+	return cats
+}
+
+func buildRandom(tb testing.TB, leaves, total int, seed int64) (*Structure, *tree.Tree, []catalog.Catalog, *rand.Rand) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	bt, err := tree.NewBalancedBinary(leaves)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cats := randCatalogs(bt, total, rng)
+	s, err := Build(bt, cats, Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s, bt, cats, rng
+}
+
+func TestBuildRejectsMismatch(t *testing.T) {
+	bt, _ := tree.NewBalancedBinary(2)
+	if _, err := Build(bt, nil, Options{}); err == nil {
+		t.Error("catalog count mismatch should fail")
+	}
+	if _, err := Build(bt, make([]catalog.Catalog, bt.N()), Options{Stride: 1}); err == nil {
+		t.Error("stride < 2 should fail")
+	}
+}
+
+func TestProperties(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		s, _, _, rng := buildRandom(t, 16, 400, seed)
+		probes := make([]catalog.Key, 50)
+		for i := range probes {
+			probes[i] = catalog.Key(rng.Intn(2000))
+		}
+		probes = append(probes, 0, catalog.PlusInf)
+		if err := s.CheckProperties(probes); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestSpaceBound(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		s, bt, _, _ := buildRandom(t, 64, 3000, seed)
+		st := s.Stats()
+		bound := 2*st.NativeEntries + 2*int64(bt.N())
+		if st.AugEntries > bound {
+			t.Errorf("seed %d: augmented size %d exceeds 2n+2N bound %d (native %d, nodes %d)",
+				seed, st.AugEntries, bound, st.NativeEntries, bt.N())
+		}
+	}
+}
+
+func TestBuildRounds(t *testing.T) {
+	s, bt, _, _ := buildRandom(t, 32, 500, 1)
+	// height+1 bottom-up rounds plus one bridge-installation round.
+	if got, want := s.Stats().Rounds, bt.Height()+2; got != want {
+		t.Errorf("rounds = %d, want height+2 = %d", got, want)
+	}
+}
+
+func TestSearchPathMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		s, bt, cats, rng := buildRandom(t, 32, 800, seed)
+		// All root-to-leaf paths, several probe keys each.
+		for v := tree.NodeID(0); int(v) < bt.N(); v++ {
+			if !bt.IsLeaf(v) {
+				continue
+			}
+			path := bt.RootPath(v)
+			for q := 0; q < 10; q++ {
+				y := catalog.Key(rng.Intn(4000))
+				got, err := s.SearchPath(y, path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _, err := NaiveSearchPath(bt, cats, y, path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i].Key != want[i].Key || got[i].Payload != want[i].Payload {
+						t.Fatalf("seed %d leaf %d y %d node %d: cascade (%d,%d) != naive (%d,%d)",
+							seed, v, y, path[i], got[i].Key, got[i].Payload, want[i].Key, want[i].Payload)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSearchPathValidation(t *testing.T) {
+	s, bt, _, _ := buildRandom(t, 4, 100, 2)
+	if _, err := s.SearchPath(5, nil); err == nil {
+		t.Error("empty path should fail")
+	}
+	leaf := tree.NodeID(bt.N() - 1)
+	if _, err := s.SearchPath(5, []tree.NodeID{leaf}); err == nil {
+		t.Error("path not starting at root should fail")
+	}
+}
+
+func TestDescendWalkBound(t *testing.T) {
+	s, bt, _, rng := buildRandom(t, 64, 2000, 3)
+	for trial := 0; trial < 2000; trial++ {
+		v := tree.NodeID(rng.Intn(bt.N()))
+		if bt.IsLeaf(v) {
+			continue
+		}
+		y := catalog.Key(rng.Intn(8000))
+		pos := s.Aug(v).Succ(y)
+		for ci := range bt.Children(v) {
+			_, walked := s.Descend(y, v, ci, pos)
+			if walked > s.B() {
+				t.Fatalf("descend walked %d > B=%d at node %d", walked, s.B(), v)
+			}
+		}
+	}
+}
+
+func TestCascadeBeatsNaiveOnComparisons(t *testing.T) {
+	// On a tall tree, cascading's O(log n + m) comparisons must beat the
+	// naive O(m log n).
+	rng := rand.New(rand.NewSource(4))
+	bt, err := tree.NewBalancedBinary(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := randCatalogs(bt, 1<<13, rng)
+	s, err := Build(bt, cats, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := tree.NodeID(bt.N() - 1)
+	path := bt.RootPath(leaf)
+	var cascadeC, naiveC int
+	for q := 0; q < 50; q++ {
+		y := catalog.Key(rng.Intn(1 << 15))
+		_, c1, err := s.SearchPathCounted(y, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, c2, err := NaiveSearchPath(bt, cats, y, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cascadeC += c1
+		naiveC += c2
+	}
+	if cascadeC >= naiveC {
+		t.Errorf("cascade comparisons %d not below naive %d", cascadeC, naiveC)
+	}
+}
+
+func TestGeneralTreeCascade(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		deg := 2 + rng.Intn(5)
+		tr, err := tree.NewRandom(100+rng.Intn(200), deg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cats := randCatalogs(tr, 1000, rng)
+		s, err := Build(tr, cats, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Stride() < 2*tr.MaxDegree() && s.Stride() != 4 {
+			t.Errorf("stride %d too small for degree %d", s.Stride(), tr.MaxDegree())
+		}
+		probes := []catalog.Key{0, 17, 500, 999, catalog.PlusInf}
+		if err := s.CheckProperties(probes); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Space bound for degree-d stride 2d: aug <= 2*native + 2*nodes.
+		st := s.Stats()
+		if st.AugEntries > 2*st.NativeEntries+2*int64(tr.N()) {
+			t.Errorf("trial %d: aug %d exceeds linear bound", trial, st.AugEntries)
+		}
+		// Random downward paths match naive search.
+		for q := 0; q < 20; q++ {
+			v := tree.NodeID(rng.Intn(tr.N()))
+			path := tr.RootPath(v)
+			y := catalog.Key(rng.Intn(4000))
+			got, err := s.SearchPath(y, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, _ := NaiveSearchPath(tr, cats, y, path)
+			for i := range want {
+				if got[i].Key != want[i].Key {
+					t.Fatalf("trial %d: mismatch at %d", trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSequentialBuildMatchesParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	bt, _ := tree.NewBalancedBinary(32)
+	cats := randCatalogs(bt, 600, rng)
+	a, err := Build(bt, cats, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(bt, cats, Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < bt.N(); v++ {
+		ea, eb := a.Aug(tree.NodeID(v)).Entries(), b.Aug(tree.NodeID(v)).Entries()
+		if len(ea) != len(eb) {
+			t.Fatalf("node %d: aug sizes differ", v)
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("node %d entry %d differs", v, i)
+			}
+		}
+	}
+}
+
+func TestEmptyCatalogsEverywhere(t *testing.T) {
+	bt, _ := tree.NewBalancedBinary(8)
+	cats := make([]catalog.Catalog, bt.N())
+	for i := range cats {
+		cats[i] = catalog.Empty()
+	}
+	s, err := Build(bt, cats, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := bt.RootPath(tree.NodeID(bt.N() - 1))
+	res, err := s.SearchPath(42, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Key != catalog.PlusInf {
+			t.Errorf("empty catalogs must answer +inf, got %d", r.Key)
+		}
+	}
+}
+
+func TestStrideSweep(t *testing.T) {
+	// Properties 1–3 must hold at every stride >= 2; larger strides give
+	// smaller structures but larger fan-out constants.
+	rng := rand.New(rand.NewSource(31))
+	bt, _ := tree.NewBalancedBinary(32)
+	cats := randCatalogs(bt, 800, rng)
+	var prevAug int64 = 1 << 62
+	for _, stride := range []int{2, 4, 6, 8, 16} {
+		s, err := Build(bt, cats, Options{Stride: stride, Bidirectional: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.B() != stride-1 {
+			t.Errorf("stride %d: B = %d, want %d", stride, s.B(), stride-1)
+		}
+		probes := make([]catalog.Key, 30)
+		for i := range probes {
+			probes[i] = catalog.Key(rng.Intn(4000))
+		}
+		if err := s.CheckProperties(probes); err != nil {
+			t.Fatalf("stride %d: %v", stride, err)
+		}
+		aug := s.Stats().AugEntries
+		if aug > prevAug {
+			t.Errorf("stride %d: augmented size %d grew from %d (larger stride must shrink)", stride, aug, prevAug)
+		}
+		prevAug = aug
+		// Searches stay correct.
+		path := bt.RootPath(tree.NodeID(bt.N() - 1))
+		for q := 0; q < 20; q++ {
+			y := catalog.Key(rng.Intn(4000))
+			got, err := s.SearchPath(y, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, _ := NaiveSearchPath(bt, cats, y, path)
+			for i := range want {
+				if got[i].Key != want[i].Key {
+					t.Fatalf("stride %d: mismatch", stride)
+				}
+			}
+		}
+	}
+}
+
+func TestBidirectionalProperties(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		bt, _ := tree.NewBalancedBinary(32)
+		cats := randCatalogs(bt, 800, rng)
+		s, err := Build(bt, cats, Options{Bidirectional: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Bidirectional() {
+			t.Fatal("Bidirectional flag lost")
+		}
+		probes := make([]catalog.Key, 40)
+		for i := range probes {
+			probes[i] = catalog.Key(rng.Intn(4000))
+		}
+		if err := s.CheckProperties(probes); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestBidirectionalSearchMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	bt, _ := tree.NewBalancedBinary(32)
+	cats := randCatalogs(bt, 800, rng)
+	s, err := Build(bt, cats, Options{Bidirectional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 200; q++ {
+		leaf := tree.NodeID(31 + rng.Intn(32))
+		path := bt.RootPath(leaf)
+		y := catalog.Key(rng.Intn(4000))
+		got, err := s.SearchPath(y, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, _ := NaiveSearchPath(bt, cats, y, path)
+		for i := range want {
+			if got[i].Key != want[i].Key || got[i].Payload != want[i].Payload {
+				t.Fatalf("q %d node %d: (%d,%d) != (%d,%d)", q, path[i],
+					got[i].Key, got[i].Payload, want[i].Key, want[i].Payload)
+			}
+		}
+	}
+}
+
+func TestBidirectionalSpaceLinear(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		bt, _ := tree.NewBalancedBinary(64)
+		cats := randCatalogs(bt, 3000, rng)
+		s, err := Build(bt, cats, Options{Bidirectional: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		// Geometric analysis: bottom-up gives <= 2n + 2N; the top-down pass
+		// adds at most a 1/(1-1/stride) factor: total <= (8/3)(2n + 2N).
+		bound := 3 * (2*st.NativeEntries + 2*int64(bt.N()))
+		if st.AugEntries > bound {
+			t.Errorf("seed %d: bidirectional size %d exceeds bound %d", seed, st.AugEntries, bound)
+		}
+	}
+}
+
+func TestQuickPathSearch(t *testing.T) {
+	type input struct {
+		Seed int64
+		Y    uint32
+	}
+	bt, _ := tree.NewBalancedBinary(16)
+	f := func(in input) bool {
+		rng := rand.New(rand.NewSource(in.Seed))
+		cats := randCatalogs(bt, 300, rng)
+		s, err := Build(bt, cats, Options{})
+		if err != nil {
+			return false
+		}
+		leaf := tree.NodeID(15 + rng.Intn(16))
+		path := bt.RootPath(leaf)
+		y := catalog.Key(in.Y % 2000)
+		got, err := s.SearchPath(y, path)
+		if err != nil {
+			return false
+		}
+		want, _, err := NaiveSearchPath(bt, cats, y, path)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i].Key != want[i].Key || got[i].Payload != want[i].Payload {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,40 @@
+package cascade_test
+
+import (
+	"fmt"
+	"log"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/tree"
+)
+
+// Example shows the sequential fractional cascading search: one binary
+// search at the root, then constant-time bridge walks.
+func Example() {
+	bt, err := tree.NewBalancedBinary(2) // 3 nodes: root 0, leaves 1 and 2
+	if err != nil {
+		log.Fatal(err)
+	}
+	cats := []catalog.Catalog{
+		catalog.MustFromKeys([]catalog.Key{5, 25, 45}, nil),
+		catalog.MustFromKeys([]catalog.Key{10, 30}, nil),
+		catalog.MustFromKeys([]catalog.Key{20, 40}, nil),
+	}
+	s, err := cascade.Build(bt, cats, cascade.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := s.SearchPath(22, []tree.NodeID{0, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("find(22, node %d) = %d\n", r.Node, r.Key)
+	}
+	fmt.Printf("fan-out constant b = %d\n", s.B())
+	// Output:
+	// find(22, node 0) = 25
+	// find(22, node 2) = 40
+	// fan-out constant b = 3
+}

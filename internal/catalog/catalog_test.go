@@ -1,0 +1,262 @@
+package catalog
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromKeysSortsAndTerminates(t *testing.T) {
+	c, err := FromKeys([]Key{30, 10, 20}, []int32{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (3 keys + terminal)", c.Len())
+	}
+	wantKeys := []Key{10, 20, 30, PlusInf}
+	wantPayloads := []int32{1, 2, 3, NoPayload}
+	for i := range wantKeys {
+		if c.Key(i) != wantKeys[i] {
+			t.Errorf("Key(%d) = %d, want %d", i, c.Key(i), wantKeys[i])
+		}
+		if c.At(i).Payload != wantPayloads[i] {
+			t.Errorf("Payload(%d) = %d, want %d", i, c.At(i).Payload, wantPayloads[i])
+		}
+		if !c.At(i).Native {
+			t.Errorf("entry %d should be native", i)
+		}
+	}
+}
+
+func TestFromKeysRejectsDuplicates(t *testing.T) {
+	if _, err := FromKeys([]Key{1, 2, 1}, nil); err == nil {
+		t.Error("expected duplicate-key error")
+	}
+}
+
+func TestFromKeysRejectsPayloadMismatch(t *testing.T) {
+	if _, err := FromKeys([]Key{1, 2}, []int32{1}); err == nil {
+		t.Error("expected payload-length error")
+	}
+}
+
+func TestFromKeysExplicitInf(t *testing.T) {
+	c, err := FromKeys([]Key{5, PlusInf}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (no double terminal)", c.Len())
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	c := Empty()
+	if c.Len() != 1 || c.Key(0) != PlusInf || !c.At(0).Native {
+		t.Errorf("Empty() = %+v", c.Entries())
+	}
+	if c.Succ(42) != 0 {
+		t.Errorf("Succ on empty catalog should hit terminal")
+	}
+}
+
+func TestSucc(t *testing.T) {
+	c := MustFromKeys([]Key{10, 20, 30}, nil)
+	cases := []struct {
+		y    Key
+		want int
+	}{{5, 0}, {10, 0}, {11, 1}, {20, 1}, {30, 2}, {31, 3}, {PlusInf, 3}}
+	for _, cse := range cases {
+		if got := c.Succ(cse.y); got != cse.want {
+			t.Errorf("Succ(%d) = %d, want %d", cse.y, got, cse.want)
+		}
+	}
+}
+
+func TestSuccInWindow(t *testing.T) {
+	c := MustFromKeys([]Key{10, 20, 30, 40, 50}, nil)
+	if got := c.SuccInWindow(25, 0, 5); got != 2 {
+		t.Errorf("full window: got %d, want 2", got)
+	}
+	if got := c.SuccInWindow(25, 2, 4); got != 2 {
+		t.Errorf("window [2,4]: got %d, want 2", got)
+	}
+	if got := c.SuccInWindow(25, -5, 100); got != 2 {
+		t.Errorf("clamped window: got %d, want 2", got)
+	}
+	if got := c.SuccInWindow(100, 0, 2); got != 3 {
+		t.Errorf("no hit in window: got %d, want hi+1 = 3", got)
+	}
+	if got := c.SuccInWindow(5, 3, 2); got != 3 {
+		t.Errorf("inverted window: got %d, want hi+1", got)
+	}
+}
+
+func TestNativeResult(t *testing.T) {
+	native := MustFromKeys([]Key{10, 30}, []int32{100, 300})
+	merged := MergeForCascade(native, []Entry{{Key: 20, Native: false, Payload: NoPayload}})
+	// merged keys: 10, 20(dummy), 30, +inf
+	pos := merged.Succ(15) // hits dummy 20
+	if merged.At(pos).Native {
+		t.Fatalf("expected dummy at pos %d", pos)
+	}
+	k, pl := merged.NativeResult(pos)
+	if k != 30 || pl != 300 {
+		t.Errorf("NativeResult = (%d, %d), want (30, 300)", k, pl)
+	}
+	k, pl = merged.NativeResult(merged.Succ(5))
+	if k != 10 || pl != 100 {
+		t.Errorf("NativeResult = (%d, %d), want (10, 100)", k, pl)
+	}
+}
+
+func TestSampleEvery(t *testing.T) {
+	c := MustFromKeys([]Key{1, 2, 3, 4, 5, 6, 7, 8, 9}, nil) // +inf makes 10 entries
+	s := c.SampleEvery(4)
+	// 1-indexed positions 4, 8 -> keys 4, 8; position 12 out of range.
+	if len(s) != 2 || s[0].Key != 4 || s[1].Key != 8 {
+		t.Errorf("SampleEvery(4) = %+v", s)
+	}
+	s1 := c.SampleEvery(1)
+	if len(s1) != c.Len() {
+		t.Errorf("SampleEvery(1) len = %d, want %d", len(s1), c.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SampleEvery(0) should panic")
+		}
+	}()
+	c.SampleEvery(0)
+}
+
+func TestMergeForCascadePrefersNative(t *testing.T) {
+	native := MustFromKeys([]Key{10, 20}, []int32{1, 2})
+	dummies := []Entry{{Key: 10, Native: false}, {Key: 15, Native: false}, {Key: PlusInf, Native: false}}
+	merged := MergeForCascade(native, dummies)
+	// Keys: 10 (native wins), 15 (dummy), 20 (native), +inf (native wins).
+	if merged.Len() != 4 {
+		t.Fatalf("Len = %d, want 4; entries %+v", merged.Len(), merged.Entries())
+	}
+	if !merged.At(0).Native || merged.At(0).Payload != 1 {
+		t.Errorf("entry 0 should be the native 10: %+v", merged.At(0))
+	}
+	if merged.At(1).Native {
+		t.Errorf("entry 1 should be the dummy 15: %+v", merged.At(1))
+	}
+	if !merged.At(3).Native || merged.At(3).Key != PlusInf {
+		t.Errorf("terminal should be native +inf: %+v", merged.At(3))
+	}
+}
+
+func TestMergeForCascadeMultipleSources(t *testing.T) {
+	native := MustFromKeys([]Key{50}, nil)
+	a := []Entry{{Key: 10}, {Key: 30}}
+	b := []Entry{{Key: 20}, {Key: 30}, {Key: 60}}
+	merged := MergeForCascade(native, a, b)
+	want := []Key{10, 20, 30, 50, 60, PlusInf}
+	if merged.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d: %+v", merged.Len(), len(want), merged.Entries())
+	}
+	for i, k := range want {
+		if merged.Key(i) != k {
+			t.Errorf("key[%d] = %d, want %d", i, merged.Key(i), k)
+		}
+	}
+	// Validate invariants via FromEntries round trip.
+	if _, err := FromEntries(merged.Entries()); err != nil {
+		t.Errorf("merged catalog fails validation: %v", err)
+	}
+}
+
+func TestFromEntriesValidation(t *testing.T) {
+	if _, err := FromEntries(nil); err == nil {
+		t.Error("empty list should fail")
+	}
+	bad := []Entry{{Key: 5, Native: true, NativeSucc: 0}, {Key: 5, Native: true, NativeSucc: 1}}
+	if _, err := FromEntries(bad); err == nil {
+		t.Error("non-increasing keys should fail")
+	}
+	noTerm := []Entry{{Key: 5, Native: true, NativeSucc: 0}}
+	if _, err := FromEntries(noTerm); err == nil {
+		t.Error("missing terminal should fail")
+	}
+	badSucc := []Entry{
+		{Key: 5, Native: true, NativeSucc: 1},
+		{Key: PlusInf, Native: true, NativeSucc: 1},
+	}
+	if _, err := FromEntries(badSucc); err == nil {
+		t.Error("wrong NativeSucc should fail")
+	}
+}
+
+func TestNativeLen(t *testing.T) {
+	native := MustFromKeys([]Key{1, 2, 3}, nil)
+	merged := MergeForCascade(native, []Entry{{Key: 10}, {Key: 20}})
+	if got := merged.NativeLen(); got != 4 {
+		t.Errorf("NativeLen = %d, want 4", got)
+	}
+	if got := merged.Len(); got != 6 {
+		t.Errorf("Len = %d, want 6", got)
+	}
+}
+
+func TestQuickSuccMatchesReference(t *testing.T) {
+	f := func(raw []uint16, y uint16) bool {
+		seen := map[Key]bool{}
+		var keys []Key
+		for _, r := range raw {
+			k := Key(r)
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		c := MustFromKeys(keys, nil)
+		got := c.Succ(Key(y))
+		all := c.Keys()
+		want := sort.Search(len(all), func(i int) bool { return all[i] >= Key(y) })
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMergeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		nNative := rng.Intn(20)
+		keys := make([]Key, 0, nNative)
+		seen := map[Key]bool{}
+		for len(keys) < nNative {
+			k := Key(rng.Intn(100))
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		native := MustFromKeys(keys, nil)
+		mkSample := func() []Entry {
+			var s []Entry
+			last := Key(-1)
+			for i := 0; i < rng.Intn(15); i++ {
+				last += 1 + Key(rng.Intn(20))
+				s = append(s, Entry{Key: last})
+			}
+			return s
+		}
+		merged := MergeForCascade(native, mkSample(), mkSample())
+		if _, err := FromEntries(merged.Entries()); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Every native key must survive as a native entry.
+		for _, k := range keys {
+			pos := merged.Succ(k)
+			if merged.Key(pos) != k || !merged.At(pos).Native {
+				t.Fatalf("trial %d: native key %d lost in merge", trial, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,688 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/tree"
+)
+
+// randCatalogs builds random native catalogs with skewed sizes.
+func randCatalogs(t *tree.Tree, totalTarget int, rng *rand.Rand) []catalog.Catalog {
+	n := t.N()
+	cats := make([]catalog.Catalog, n)
+	for v := 0; v < n; v++ {
+		var size int
+		switch rng.Intn(4) {
+		case 0:
+			size = 0
+		case 1:
+			size = rng.Intn(4)
+		case 2:
+			size = rng.Intn(2*totalTarget/(n+1) + 1)
+		default:
+			size = rng.Intn(totalTarget/4 + 1)
+		}
+		seen := map[catalog.Key]bool{}
+		keys := make([]catalog.Key, 0, size)
+		for len(keys) < size {
+			k := catalog.Key(rng.Intn(totalTarget * 4))
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		payloads := make([]int32, len(keys))
+		for i := range payloads {
+			payloads[i] = int32(v)*10000 + int32(i)
+		}
+		cats[v] = catalog.MustFromKeys(keys, payloads)
+	}
+	return cats
+}
+
+func buildStructure(tb testing.TB, leaves, total int, seed int64, cfg Config) (*Structure, []catalog.Catalog, *rand.Rand) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	bt, err := tree.NewBalancedBinary(leaves)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cats := randCatalogs(bt, total, rng)
+	st, err := Build(bt, cats, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return st, cats, rng
+}
+
+func TestParamsDerivation(t *testing.T) {
+	p := deriveParams(3, 1<<16)
+	if p.F != 4 {
+		t.Errorf("F = %d, want 4", p.F)
+	}
+	// Alpha = 1/(1+2*log2(4)) = 1/5.
+	if p.Alpha < 0.199 || p.Alpha > 0.201 {
+		t.Errorf("Alpha = %v, want 0.2", p.Alpha)
+	}
+	if p.LogN != 16 {
+		t.Errorf("LogN = %d, want 16", p.LogN)
+	}
+	if p.NumSubs != 4 {
+		t.Errorf("NumSubs = %d, want ceil(log2(16)) = 4", p.NumSubs)
+	}
+	// Hop heights are non-decreasing in i.
+	prev := 0
+	for i := 0; i < p.NumSubs; i++ {
+		h := p.HopHeight(i)
+		if h < 1 || h < prev {
+			t.Errorf("HopHeight(%d) = %d (prev %d)", i, h, prev)
+		}
+		prev = h
+	}
+	// SampleStride = 2*F^h.
+	if s := p.SampleStride(1); s != 8 {
+		t.Errorf("SampleStride(1) = %d, want 8", s)
+	}
+	if s := p.SampleStride(3); s != 128 {
+		t.Errorf("SampleStride(3) = %d, want 128", s)
+	}
+}
+
+func TestSubstructureFor(t *testing.T) {
+	p := deriveParams(3, 1<<20) // NumSubs = ceil(log2(20)) = 5
+	cases := []struct{ procs, want int }{
+		{0, 0}, {1, 0}, {4, 0}, {5, 1}, {16, 1}, {17, 2}, {256, 2},
+		{257, 3}, {65536, 3}, {65537, 4}, {1 << 30, 4},
+	}
+	for _, c := range cases {
+		if got := p.SubstructureFor(c.procs); got != c.want {
+			t.Errorf("SubstructureFor(%d) = %d, want %d", c.procs, got, c.want)
+		}
+	}
+}
+
+func TestTruncDepth(t *testing.T) {
+	p := deriveParams(3, 1<<16) // LogN 16
+	if d := p.TruncDepth(0, 100); d != 0 {
+		t.Errorf("TruncDepth(0) = %d, want 0", d)
+	}
+	if d := p.TruncDepth(1, 100); d != 8 {
+		t.Errorf("TruncDepth(1) = %d, want 8", d)
+	}
+	if d := p.TruncDepth(4, 100); d != 15 {
+		t.Errorf("TruncDepth(4) = %d, want 15", d)
+	}
+	if d := p.TruncDepth(3, 10); d != 10 {
+		t.Errorf("TruncDepth clamps to height: %d, want 10", d)
+	}
+}
+
+func TestBuildRequiresBidirectional(t *testing.T) {
+	bt, _ := tree.NewBalancedBinary(4)
+	cats := make([]catalog.Catalog, bt.N())
+	for i := range cats {
+		cats[i] = catalog.Empty()
+	}
+	s, err := cascade.Build(bt, cats, cascade.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildFromCascade(s, Config{}); err == nil {
+		t.Error("unidirectional cascade should be rejected")
+	}
+}
+
+func TestBlockPartition(t *testing.T) {
+	st, _, _ := buildStructure(t, 1<<8, 5000, 1, Config{})
+	tr := st.Tree()
+	for i := 0; i < st.NumSubstructures(); i++ {
+		sub := st.Substructure(i)
+		for _, blk := range sub.Blocks() {
+			d := tr.Depth(blk.Root)
+			if d%sub.H != 0 {
+				t.Errorf("sub %d: block root %d at unaligned depth %d (h=%d)", i, blk.Root, d, sub.H)
+			}
+			if d >= sub.TruncDepth && sub.TruncDepth > 0 {
+				t.Errorf("sub %d: block root below truncation depth", i)
+			}
+			if blk.Height < 1 || blk.Height > sub.H {
+				t.Errorf("sub %d: block height %d out of range", i, blk.Height)
+			}
+			if d+blk.Height > sub.TruncDepth && blk.Height == sub.H {
+				t.Errorf("sub %d: full-height block crosses truncation", i)
+			}
+			// KeyPos indices are valid catalog positions.
+			for j := 0; j < blk.M; j++ {
+				for z, v := range blk.Nodes {
+					kp := int(blk.KeyPos[j][z])
+					if kp < 0 || kp >= st.Cascade().Aug(v).Len() {
+						t.Fatalf("sub %d block %d tree %d node %d: KeyPos %d out of range", i, blk.Root, j, z, kp)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLemma1Disjointness is experiment E11: within every block, the
+// skeleton trees U_1..U_m assign distinct key values to every node.
+func TestLemma1Disjointness(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		st, _, _ := buildStructure(t, 1<<8, 20000, seed, Config{})
+		for i := 0; i < st.NumSubstructures(); i++ {
+			sub := st.Substructure(i)
+			for _, blk := range sub.Blocks() {
+				if blk.M < 2 {
+					continue
+				}
+				for z, v := range blk.Nodes {
+					cat := st.Cascade().Aug(v)
+					seen := map[catalog.Key]int{}
+					for j := 0; j < blk.M; j++ {
+						k := cat.Key(int(blk.KeyPos[j][z]))
+						if prev, dup := seen[k]; dup {
+							t.Fatalf("seed %d sub %d block %d node %d: trees %d and %d share key %d (Lemma 1 violated)",
+								seed, i, blk.Root, v, prev, j, k)
+						}
+						seen[k] = j
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExplicitMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		st, _, rng := buildStructure(t, 1<<6, 3000, seed, Config{})
+		tr := st.Tree()
+		leaves := []tree.NodeID{}
+		for v := tree.NodeID(0); int(v) < tr.N(); v++ {
+			if tr.IsLeaf(v) {
+				leaves = append(leaves, v)
+			}
+		}
+		for _, p := range []int{1, 2, 3, 7, 16, 100, 1000, 1 << 20} {
+			for q := 0; q < 25; q++ {
+				leaf := leaves[rng.Intn(len(leaves))]
+				path := tr.RootPath(leaf)
+				y := catalog.Key(rng.Intn(13000))
+				got, stats, err := st.SearchExplicit(y, path, p)
+				if err != nil {
+					t.Fatalf("seed %d p %d: %v", seed, p, err)
+				}
+				want, err := st.Cascade().SearchPath(y, path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i].Key != want[i].Key || got[i].Payload != want[i].Payload {
+						t.Fatalf("seed %d p %d y %d node %d: coop (%d,%d) != seq (%d,%d)",
+							seed, p, y, path[i], got[i].Key, got[i].Payload, want[i].Key, want[i].Payload)
+					}
+				}
+				if stats.Steps <= 0 {
+					t.Fatalf("no steps recorded")
+				}
+			}
+		}
+	}
+}
+
+func TestExplicitStepsShape(t *testing.T) {
+	// Theorem 1 shape: steps at large p sit well below steps at p = 1, and
+	// no processor count is more than a small constant factor worse than
+	// sequential (with the paper's constants, hops only beat the
+	// sequential walk once h_i ≥ 2; the ablation test below shows the
+	// clean (log n)/log p curve with taller hops).
+	st, _, rng := buildStructure(t, 1<<10, 150000, 7, Config{})
+	tr := st.Tree()
+	leaf := tree.NodeID(tr.N() - 1)
+	path := tr.RootPath(leaf)
+	y := catalog.Key(rng.Intn(600000))
+	steps := map[int]int{}
+	for _, p := range []int{1, 16, 256, 65536, 1 << 20} {
+		_, stats, err := st.SearchExplicit(y, path, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps[p] = stats.Steps
+	}
+	t.Logf("steps by p: %v", steps)
+	if steps[1<<20] >= steps[1] {
+		t.Errorf("steps(p=2^20) = %d not below steps(p=1) = %d", steps[1<<20], steps[1])
+	}
+	for p, s := range steps {
+		if s > steps[1]*2 {
+			t.Errorf("steps(p=%d) = %d more than doubles sequential %d", p, s, steps[1])
+		}
+	}
+}
+
+func TestAblationHopHeightShape(t *testing.T) {
+	// With hop height forced to h, the hop count is ~depth/h, so parallel
+	// steps must fall as h grows — the (log n)/log p curve in isolation.
+	rng := rand.New(rand.NewSource(77))
+	bt, _ := tree.NewBalancedBinary(1 << 10)
+	cats := randCatalogs(bt, 60000, rng)
+	var prevSteps int
+	for hi, h := range []int{1, 2, 3, 5} {
+		st, err := Build(bt, cats, Config{
+			MaxSubs:      1,
+			NoTruncation: true,
+			HOverride:    func(int) int { return h },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Force a fully truncation-free hop regime.
+		sub := st.Substructure(0)
+		path := bt.RootPath(tree.NodeID(bt.N() - 1))
+		y := catalog.Key(rng.Intn(200000))
+		got, stats, err := st.SearchExplicit(y, path, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := st.Cascade().SearchPath(y, path)
+		for i := range want {
+			if got[i].Key != want[i].Key {
+				t.Fatalf("h=%d: wrong result at %d", h, i)
+			}
+		}
+		hopPart := stats.Steps - stats.RootRounds
+		t.Logf("h=%d trunc=%d: steps=%d (root %d, hops %d, seq %d)",
+			h, sub.TruncDepth, stats.Steps, stats.RootRounds, stats.Hops, stats.SeqLevels)
+		if hi > 0 && hopPart > prevSteps {
+			t.Errorf("h=%d: hop steps %d did not shrink from %d", h, hopPart, prevSteps)
+		}
+		prevSteps = hopPart
+	}
+}
+
+// TestSlotsBound is experiment E13: the per-hop processor demand stays
+// within the analytic bound 4F^{2h} + 2F^h + s and, for the substructures
+// whose hop height is not clamped to 1, within O(p).
+func TestSlotsBound(t *testing.T) {
+	st, _, rng := buildStructure(t, 1<<9, 40000, 8, Config{})
+	tr := st.Tree()
+	params := st.Params()
+	for i := 0; i < st.NumSubstructures(); i++ {
+		sub := st.Substructure(i)
+		f, h := params.F, sub.H
+		fh := 1
+		for l := 0; l < h; l++ {
+			fh *= f
+		}
+		bound := 4*fh*fh + 2*fh + sub.S + 4*h // slack for per-level rounding
+		pMin := 2
+		if i > 0 {
+			exp := uint(1) << uint(i)
+			if exp < 30 {
+				pMin = 1<<exp + 1
+			} else {
+				pMin = 1 << 30
+			}
+		}
+		for q := 0; q < 30; q++ {
+			leaf := tree.NodeID(tr.N() - 1 - rng.Intn(1<<9))
+			path := tr.RootPath(leaf)
+			y := catalog.Key(rng.Intn(200000))
+			_, stats, err := st.SearchExplicit(y, path, pMin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Sub != i {
+				continue
+			}
+			if stats.SlotsPeak > bound {
+				t.Errorf("sub %d: SlotsPeak %d exceeds analytic bound %d", i, stats.SlotsPeak, bound)
+			}
+		}
+	}
+}
+
+func TestSingleNodeTree(t *testing.T) {
+	bt, _ := tree.NewBalancedBinary(1)
+	cats := []catalog.Catalog{catalog.MustFromKeys([]catalog.Key{5, 10}, nil)}
+	st, err := Build(bt, cats, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := st.SearchExplicit(7, []tree.NodeID{0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Key != 10 {
+		t.Errorf("res = %+v", res)
+	}
+	if stats.Hops != 0 {
+		t.Errorf("single node should not hop")
+	}
+}
+
+func TestExplicitPathValidation(t *testing.T) {
+	st, _, _ := buildStructure(t, 4, 100, 9, Config{})
+	if _, _, err := st.SearchExplicit(5, nil, 4); err == nil {
+		t.Error("empty path should fail")
+	}
+	if _, _, err := st.SearchExplicit(5, []tree.NodeID{3}, 4); err == nil {
+		t.Error("non-root path should fail")
+	}
+	if _, _, err := st.SearchExplicit(5, []tree.NodeID{0, 5}, 4); err == nil {
+		t.Error("broken path should fail")
+	}
+}
+
+func plantedBranch(t *tree.Tree, inorder []int32, target tree.NodeID) BranchFunc {
+	ti := inorder[target]
+	return func(r cascade.Result) Branch {
+		if inorder[r.Node] < ti {
+			return Right
+		}
+		return Left
+	}
+}
+
+func TestImplicitMatchesExplicit(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		st, _, rng := buildStructure(t, 1<<6, 3000, seed+20, Config{})
+		tr := st.Tree()
+		inorder, err := tr.InorderIndex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var leaves []tree.NodeID
+		for v := tree.NodeID(0); int(v) < tr.N(); v++ {
+			if tr.IsLeaf(v) {
+				leaves = append(leaves, v)
+			}
+		}
+		for _, p := range []int{1, 5, 64, 5000} {
+			for q := 0; q < 15; q++ {
+				target := leaves[rng.Intn(len(leaves))]
+				branch := plantedBranch(tr, inorder, target)
+				y := catalog.Key(rng.Intn(13000))
+				if err := st.CheckConsistency(y, branch); err != nil {
+					t.Fatalf("branch function inconsistent: %v", err)
+				}
+				results, leaf, stats, err := st.SearchImplicit(y, branch, p)
+				if err != nil {
+					t.Fatalf("seed %d p %d: %v", seed, p, err)
+				}
+				if leaf != target {
+					t.Fatalf("seed %d p %d: implicit search reached %d, want %d", seed, p, leaf, target)
+				}
+				path := tr.RootPath(target)
+				want, err := st.Cascade().SearchPath(y, path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(results) != len(want) {
+					t.Fatalf("result count %d != %d", len(results), len(want))
+				}
+				for i := range want {
+					if results[i].Key != want[i].Key || results[i].Node != want[i].Node {
+						t.Fatalf("node %d: implicit %d != seq %d", path[i], results[i].Key, want[i].Key)
+					}
+				}
+				if stats.Steps <= 0 {
+					t.Fatal("no steps recorded")
+				}
+			}
+		}
+	}
+}
+
+func TestImplicitRejectsNonBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	tr, _ := tree.NewRandom(50, 3, rng)
+	cats := randCatalogs(tr, 300, rng)
+	st, err := Build(tr, cats, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = st.SearchImplicit(5, func(cascade.Result) Branch { return Left }, 4)
+	if err == nil {
+		t.Error("implicit search on degree-3 tree should fail")
+	}
+}
+
+func TestLongPathMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	tr, err := tree.NewPath(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := randCatalogs(tr, 3000, rng)
+	st, err := Build(tr, cats, Config{NoTruncation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := tr.RootPath(tree.NodeID(tr.N() - 1))
+	for _, p := range []int{1, 4, 64, 1024} {
+		for q := 0; q < 10; q++ {
+			y := catalog.Key(rng.Intn(13000))
+			got, stats, err := st.SearchLongPath(y, full, p, 0.5)
+			if err != nil {
+				t.Fatalf("p %d: %v", p, err)
+			}
+			want, err := st.Cascade().SearchPath(y, full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("p %d: %d results, want %d", p, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Key != want[i].Key || got[i].Node != want[i].Node {
+					t.Fatalf("p %d i %d: %d != %d", p, i, got[i].Key, want[i].Key)
+				}
+			}
+			if stats.Steps <= 0 {
+				t.Fatal("no steps")
+			}
+		}
+	}
+}
+
+func TestLongPathStepsDecreaseWithP(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tr, _ := tree.NewPath(2000)
+	cats := randCatalogs(tr, 8000, rng)
+	st, err := Build(tr, cats, Config{NoTruncation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := tr.RootPath(tree.NodeID(tr.N() - 1))
+	y := catalog.Key(5000)
+	var prev int
+	for i, p := range []int{1, 16, 256, 4096} {
+		_, stats, err := st.SearchLongPath(y, full, p, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && stats.Steps > prev {
+			t.Errorf("steps grew from %d to %d at p=%d", prev, stats.Steps, p)
+		}
+		prev = stats.Steps
+	}
+}
+
+func TestLongPathEpsValidation(t *testing.T) {
+	st, _, _ := buildStructure(t, 4, 100, 42, Config{})
+	path := st.Tree().RootPath(3)
+	if _, _, err := st.SearchLongPath(5, path, 4, 0); err == nil {
+		t.Error("eps = 0 should fail")
+	}
+	if _, _, err := st.SearchLongPath(5, path, 4, 1.5); err == nil {
+		t.Error("eps > 1 should fail")
+	}
+}
+
+func TestDegreeDSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 3; trial++ {
+		d := 3 + rng.Intn(6)
+		tr, err := tree.NewRandom(150, d, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cats := randCatalogs(tr, 1500, rng)
+		ds, err := BuildDegreeD(tr, cats, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Expanded().MaxDegree() > 2 {
+			t.Fatal("expansion not binary")
+		}
+		for q := 0; q < 30; q++ {
+			v := tree.NodeID(rng.Intn(tr.N()))
+			path := tr.RootPath(v)
+			y := catalog.Key(rng.Intn(6000))
+			got, _, err := ds.SearchExplicit(y, path, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := cascade.NaiveSearchPath(tr, cats, y, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("got %d results, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Key != want[i].Key || got[i].Payload != want[i].Payload || got[i].Node != want[i].Node {
+					t.Fatalf("trial %d node %d: (%d,%d) != (%d,%d)", trial, want[i].Node,
+						got[i].Key, got[i].Payload, want[i].Key, want[i].Payload)
+				}
+			}
+		}
+	}
+}
+
+// TestLemma2Space is experiment E4: skeleton storage stays linear in the
+// structure size, and per-substructure sizes are dominated by the largest.
+func TestLemma2Space(t *testing.T) {
+	for _, leaves := range []int{1 << 6, 1 << 8, 1 << 10} {
+		st, _, _ := buildStructure(t, leaves, leaves*40, 60, Config{})
+		r := st.SpaceReport()
+		budget := 8 * (r.AugEntries + int64(st.Tree().N()))
+		if r.SkeletonSlots > budget {
+			t.Errorf("leaves %d: skeleton slots %d exceed linear budget %d (aug %d)",
+				leaves, r.SkeletonSlots, budget, r.AugEntries)
+		}
+		t.Logf("leaves=%d native=%d aug=%d skeleton=%d per-sub=%v",
+			leaves, r.NativeEntries, r.AugEntries, r.SkeletonSlots, r.PerSub)
+	}
+}
+
+func TestHOverride(t *testing.T) {
+	st, _, rng := buildStructure(t, 1<<6, 2000, 70, Config{
+		HOverride: func(i int) int { return 2 },
+	})
+	for i := 0; i < st.NumSubstructures(); i++ {
+		if h := st.Substructure(i).H; h != 2 {
+			t.Errorf("sub %d: h = %d, want 2 (overridden)", i, h)
+		}
+	}
+	// Searches still correct under the override.
+	tr := st.Tree()
+	for q := 0; q < 30; q++ {
+		leaf := tree.NodeID(tr.N() - 1 - rng.Intn(1<<6))
+		path := tr.RootPath(leaf)
+		y := catalog.Key(rng.Intn(8000))
+		got, _, err := st.SearchExplicit(y, path, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := st.Cascade().SearchPath(y, path)
+		for i := range want {
+			if got[i].Key != want[i].Key {
+				t.Fatalf("override search mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestExplicitOnGeneralTrees(t *testing.T) {
+	// Theorem 2's machinery must run directly on bounded-degree trees
+	// (no binary expansion), including partial paths ending at internal
+	// nodes and ragged leaf depths.
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 4; trial++ {
+		deg := 2 + rng.Intn(4)
+		tr, err := tree.NewRandom(200+rng.Intn(400), deg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cats := randCatalogs(tr, 3000, rng)
+		st, err := Build(tr, cats, Config{NoTruncation: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 40; q++ {
+			v := tree.NodeID(rng.Intn(tr.N())) // any node: partial paths too
+			path := tr.RootPath(v)
+			y := catalog.Key(rng.Intn(13000))
+			p := 1 + rng.Intn(1<<14)
+			got, _, err := st.SearchExplicit(y, path, p)
+			if err != nil {
+				t.Fatalf("trial %d deg %d: %v", trial, deg, err)
+			}
+			want, err := st.Cascade().SearchPath(y, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i].Key != want[i].Key || got[i].Payload != want[i].Payload {
+					t.Fatalf("trial %d node %d: (%d) != (%d)", trial, path[i], got[i].Key, want[i].Key)
+				}
+			}
+		}
+	}
+}
+
+func TestCascadeStrideOverride(t *testing.T) {
+	// The whole pipeline (derived α, s_i, windows) must adapt to a
+	// different fan-out constant.
+	rng := rand.New(rand.NewSource(90))
+	bt, _ := tree.NewBalancedBinary(1 << 6)
+	cats := randCatalogs(bt, 3000, rng)
+	for _, stride := range []int{2, 8} {
+		st, err := Build(bt, cats, Config{CascadeStride: stride})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Params().B != stride-1 {
+			t.Errorf("stride %d: derived B = %d", stride, st.Params().B)
+		}
+		for q := 0; q < 40; q++ {
+			leaf := tree.NodeID(bt.N() - 1 - rng.Intn(1<<6))
+			path := bt.RootPath(leaf)
+			y := catalog.Key(rng.Intn(13000))
+			got, _, err := st.SearchExplicit(y, path, 1+rng.Intn(1<<16))
+			if err != nil {
+				t.Fatalf("stride %d: %v", stride, err)
+			}
+			want, _ := st.Cascade().SearchPath(y, path)
+			for i := range want {
+				if got[i].Key != want[i].Key {
+					t.Fatalf("stride %d: mismatch at %d", stride, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxSubs(t *testing.T) {
+	st, _, _ := buildStructure(t, 1<<8, 10000, 80, Config{MaxSubs: 2})
+	if st.NumSubstructures() != 2 {
+		t.Errorf("NumSubstructures = %d, want 2", st.NumSubstructures())
+	}
+	if st.SelectSub(1<<20) != 1 {
+		t.Errorf("SelectSub must clamp to built range")
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/tree"
+)
+
+// DegreeDSearcher implements Theorem 3: cooperative search in trees of
+// degree d by expanding each level into ⌈log d⌉ binary levels, paying a
+// log d factor in search time. Original catalogs sit at the images of the
+// original nodes; auxiliary splitter nodes carry empty catalogs.
+type DegreeDSearcher struct {
+	orig *tree.Tree
+	exp  *tree.Tree
+	fwd  []tree.NodeID // original -> expanded
+	rev  []tree.NodeID // expanded -> original (Nil at auxiliary nodes)
+	st   *Structure
+}
+
+// BuildDegreeD preprocesses a degree-d tree per Theorem 3.
+func BuildDegreeD(t *tree.Tree, native []catalog.Catalog, cfg Config) (*DegreeDSearcher, error) {
+	if len(native) != t.N() {
+		return nil, fmt.Errorf("core: %d catalogs for %d nodes", len(native), t.N())
+	}
+	exp, fwd, rev, err := tree.ExpandDegree(t)
+	if err != nil {
+		return nil, err
+	}
+	expNative := make([]catalog.Catalog, exp.N())
+	for v := range expNative {
+		if o := rev[v]; o != tree.Nil {
+			expNative[v] = native[o]
+		} else {
+			expNative[v] = catalog.Empty()
+		}
+	}
+	st, err := Build(exp, expNative, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DegreeDSearcher{orig: t, exp: exp, fwd: fwd, rev: rev, st: st}, nil
+}
+
+// Structure exposes the underlying cooperative search structure over the
+// expanded binary tree.
+func (ds *DegreeDSearcher) Structure() *Structure { return ds.st }
+
+// Expanded returns the binary expansion of the original tree.
+func (ds *DegreeDSearcher) Expanded() *tree.Tree { return ds.exp }
+
+// SearchExplicit searches along a path of original-tree nodes, returning
+// one result per original path node (auxiliary nodes are searched too —
+// they contribute the log d time factor — but filtered from the output).
+func (ds *DegreeDSearcher) SearchExplicit(y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, Stats, error) {
+	if err := ds.orig.ValidatePath(path); err != nil {
+		return nil, Stats{}, err
+	}
+	epath := tree.ExpandPath(ds.exp, ds.fwd, path)
+	expResults, stats, err := ds.st.SearchExplicit(y, epath, p)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]cascade.Result, 0, len(path))
+	for i, r := range expResults {
+		if o := ds.rev[epath[i]]; o != tree.Nil {
+			r.Node = o
+			out = append(out, r)
+		}
+	}
+	return out, stats, nil
+}
+
+// SearchLongPath is the Theorem 3 variant of the Theorem 2 long-path
+// search on degree-d trees: O((log n)/log p + k·(log d)/(p^{1−ε}·log p)).
+func (ds *DegreeDSearcher) SearchLongPath(y catalog.Key, path []tree.NodeID, p int, eps float64) ([]cascade.Result, Stats, error) {
+	if err := ds.orig.ValidatePath(path); err != nil {
+		return nil, Stats{}, err
+	}
+	epath := tree.ExpandPath(ds.exp, ds.fwd, path)
+	expResults, stats, err := ds.st.SearchLongPath(y, epath, p, eps)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]cascade.Result, 0, len(path))
+	for i, r := range expResults {
+		if o := ds.rev[epath[i]]; o != tree.Nil {
+			r.Node = o
+			out = append(out, r)
+		}
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/tree"
+)
+
+// TestExtremeQueryKeys exercises the boundaries of the key space: keys
+// below every catalog entry, above every entry, and the +∞ terminal
+// itself.
+func TestExtremeQueryKeys(t *testing.T) {
+	st, _, _ := buildStructure(t, 1<<5, 1200, 500, Config{})
+	tr := st.Tree()
+	path := tr.RootPath(tree.NodeID(tr.N() - 1))
+	for _, y := range []catalog.Key{-1 << 62, -1, 0, catalog.PlusInf - 1, catalog.PlusInf} {
+		for _, p := range []int{1, 64, 1 << 18} {
+			got, _, err := st.SearchExplicit(y, path, p)
+			if err != nil {
+				t.Fatalf("y=%d p=%d: %v", y, p, err)
+			}
+			want, err := st.Cascade().SearchPath(y, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i].Key != want[i].Key {
+					t.Fatalf("y=%d node %d: %d != %d", y, path[i], got[i].Key, want[i].Key)
+				}
+			}
+			if y == catalog.PlusInf {
+				for i := range got {
+					if got[i].Key != catalog.PlusInf {
+						t.Fatalf("find(+inf) must be the terminal, got %d", got[i].Key)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHugeProcessorCounts checks p far beyond n: substructure selection
+// clamps and searches stay correct.
+func TestHugeProcessorCounts(t *testing.T) {
+	st, _, rng := buildStructure(t, 1<<4, 400, 501, Config{})
+	tr := st.Tree()
+	path := tr.RootPath(tree.NodeID(tr.N() - 1))
+	for _, p := range []int{1 << 30, 1 << 50, 1<<62 - 1} {
+		y := catalog.Key(rng.Intn(2000))
+		got, stats, err := st.SearchExplicit(y, path, p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if stats.Sub >= st.NumSubstructures() {
+			t.Fatalf("substructure index %d out of range", stats.Sub)
+		}
+		want, _ := st.Cascade().SearchPath(y, path)
+		for i := range want {
+			if got[i].Key != want[i].Key {
+				t.Fatalf("p=%d: mismatch", p)
+			}
+		}
+	}
+}
+
+// TestZeroAndNegativeProcessorCounts clamp to 1.
+func TestZeroAndNegativeProcessorCounts(t *testing.T) {
+	st, _, _ := buildStructure(t, 4, 100, 502, Config{})
+	path := st.Tree().RootPath(tree.NodeID(st.Tree().N() - 1))
+	for _, p := range []int{0, -5} {
+		if _, _, err := st.SearchExplicit(7, path, p); err != nil {
+			t.Fatalf("p=%d should clamp to 1: %v", p, err)
+		}
+	}
+}
+
+// TestPathToEveryNode: explicit search works for a path ending at every
+// single node of the tree, not just leaves.
+func TestPathToEveryNode(t *testing.T) {
+	st, _, rng := buildStructure(t, 1<<4, 600, 503, Config{})
+	tr := st.Tree()
+	for v := tree.NodeID(0); int(v) < tr.N(); v++ {
+		path := tr.RootPath(v)
+		y := catalog.Key(rng.Intn(3000))
+		got, _, err := st.SearchExplicit(y, path, 64)
+		if err != nil {
+			t.Fatalf("node %d: %v", v, err)
+		}
+		want, _ := st.Cascade().SearchPath(y, path)
+		for i := range want {
+			if got[i].Key != want[i].Key {
+				t.Fatalf("node %d: mismatch at %d", v, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
+	"fraccascade/internal/tree"
+)
+
+// Example builds a small cooperative search structure and runs one
+// explicit search with 16 processors.
+func Example() {
+	bt, err := tree.NewBalancedBinary(4) // 7 nodes
+	if err != nil {
+		log.Fatal(err)
+	}
+	cats := []catalog.Catalog{
+		catalog.MustFromKeys([]catalog.Key{10, 40, 80}, nil), // root
+		catalog.MustFromKeys([]catalog.Key{20, 60}, nil),
+		catalog.MustFromKeys([]catalog.Key{30, 70}, nil),
+		catalog.MustFromKeys([]catalog.Key{15, 55}, nil), // leaves...
+		catalog.MustFromKeys([]catalog.Key{25, 65}, nil),
+		catalog.MustFromKeys([]catalog.Key{35, 75}, nil),
+		catalog.MustFromKeys([]catalog.Key{45, 85}, nil),
+	}
+	st, err := core.Build(bt, cats, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := bt.RootPath(5) // root -> node 2 -> node 5
+	results, _, err := st.SearchExplicit(50, path, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range results {
+		fmt.Printf("find(50, node %d) = %d\n", path[i], r.Key)
+	}
+	// Output:
+	// find(50, node 0) = 80
+	// find(50, node 2) = 70
+	// find(50, node 5) = 75
+}
+
+// ExampleStructure_SearchImplicit shows an implicit search steered by a
+// branch function that satisfies the consistency assumption (always
+// branch left: the path hugs the leftmost spine).
+func ExampleStructure_SearchImplicit() {
+	bt, _ := tree.NewBalancedBinary(4)
+	cats := make([]catalog.Catalog, bt.N())
+	for v := range cats {
+		cats[v] = catalog.MustFromKeys([]catalog.Key{catalog.Key(10 * (v + 1))}, nil)
+	}
+	st, err := core.Build(bt, cats, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	branch := func(cascade.Result) core.Branch { return core.Left }
+	_, leaf, _, err := st.SearchImplicit(5, branch, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("always-left lands at leaf %d\n", leaf)
+	// Output:
+	// always-left lands at leaf 3
+}

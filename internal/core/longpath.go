@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/tree"
+)
+
+// SearchLongPath performs the Theorem 2 explicit cooperative search along
+// an arbitrary downward path of length k in a bounded-degree tree:
+// the path is partitioned into subpaths of length log n; p^ε processors
+// handle each subpath, so ⌊p^{1−ε}⌋ subpaths proceed concurrently, giving
+// O((log n)/log p + k/(p^{1−ε}·log p)) total time. The structure should be
+// built with NoTruncation (long paths descend below the truncation depth
+// of root-to-leaf substructures).
+//
+// The returned Stats aggregate the simulated schedule: Steps is the sum
+// over concurrent batches of the slowest subpath in the batch.
+func (st *Structure) SearchLongPath(y catalog.Key, path []tree.NodeID, p int, eps float64) ([]cascade.Result, Stats, error) {
+	if err := st.t.ValidatePath(path); err != nil {
+		return nil, Stats{}, err
+	}
+	if eps <= 0 || eps > 1 {
+		return nil, Stats{}, fmt.Errorf("core: eps must be in (0, 1], got %v", eps)
+	}
+	if p < 1 {
+		p = 1
+	}
+	pe := int(math.Floor(math.Pow(float64(p), eps)))
+	if pe < 1 {
+		pe = 1
+	}
+	groupSize := p / pe
+	if groupSize < 1 {
+		groupSize = 1
+	}
+	segLen := st.params.LogN
+	if segLen < 1 {
+		segLen = 1
+	}
+	si := st.SelectSub(pe)
+	sub := st.subs[si]
+	total := Stats{Sub: si, P: p}
+
+	// Partition into subpaths; adjacent subpaths share their boundary node
+	// so each segment is self-contained (its head search replaces the
+	// bridge that a purely sequential walk would use).
+	var segments [][]tree.NodeID
+	for lo := 0; lo < len(path)-1 || lo == 0; lo += segLen {
+		hi := lo + segLen
+		if hi > len(path)-1 {
+			hi = len(path) - 1
+		}
+		segments = append(segments, path[lo:hi+1])
+		if hi == len(path)-1 {
+			break
+		}
+	}
+
+	results := make([]cascade.Result, 0, len(path))
+	// Process groups of groupSize segments "concurrently": charge the max
+	// step count within each batch.
+	for lo := 0; lo < len(segments); lo += groupSize {
+		hi := lo + groupSize
+		if hi > len(segments) {
+			hi = len(segments)
+		}
+		batchMax := 0
+		for six := lo; six < hi; six++ {
+			seg := segments[six]
+			var segStats Stats
+			segResults, err := st.searchSegment(sub, y, seg, pe, &segStats)
+			if err != nil {
+				return nil, total, err
+			}
+			if six == 0 {
+				results = append(results, segResults...)
+			} else {
+				results = append(results, segResults[1:]...) // boundary node already reported
+			}
+			if segStats.Steps > batchMax {
+				batchMax = segStats.Steps
+			}
+			total.RootRounds += segStats.RootRounds
+			total.Hops += segStats.Hops
+			total.SeqLevels += segStats.SeqLevels
+			total.SlotsTotal += segStats.SlotsTotal
+			if segStats.SlotsPeak > total.SlotsPeak {
+				total.SlotsPeak = segStats.SlotsPeak
+			}
+		}
+		total.Steps += batchMax
+	}
+	return results, total, nil
+}

@@ -1,0 +1,135 @@
+// Package core implements the paper's primary contribution: preprocessing a
+// fractional cascaded tree T into the cooperative search structure T′, and
+// the explicit and implicit cooperative search procedures of Sections
+// 2.2–2.4 (Theorems 1–3, Lemmas 1–3).
+//
+// The structure contains ⌈log log n⌉ search substructures T_i. Substructure
+// T_i serves processor counts p in the range 2^{2^i} < p ≤ 2^{2^{i+1}} and
+// is built over the truncated tree S′ (levels 0..⌈(1−2^{-i})·log n⌉ of S):
+// the tree is partitioned into subtree blocks of height h_i = Θ(log p), and
+// for each block the catalog of its root is sampled with stride s_i; each
+// sampled entry grows a skeleton tree (same shape as the block, one
+// precomputed catalog position per node, induced by bridges). A cooperative
+// search jumps one block per O(1)-time hop by assigning processors to
+// position windows around the skeleton keys (Lemma 3), finishing the
+// truncated tail sequentially.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fraccascade/internal/parallel"
+)
+
+// Params are the derived constants of the construction, all functions of
+// the cascade's fan-out constant b (Section 2.1).
+type Params struct {
+	// B is the fan-out constant of fractional cascading property 1.
+	B int
+	// F = B+1 is the per-level expansion factor: adjacent catalog entries
+	// bridge to entries at most F apart (property 2 for this construction),
+	// so a position uncertainty of d at one level grows to at most F·d+B
+	// one level down.
+	F int
+	// Alpha relates hop height to the processor budget:
+	// h_i = max(1, ⌊Alpha·2^i⌋) with Alpha = 1/(1 + 2·log₂F), the analogue
+	// of the paper's (2(2b+1)²)^α = 2. It guarantees that the implicit
+	// hop's processor demand 2^{h_i}·s_i² stays O(p) for p > 2^{2^i}.
+	Alpha float64
+	// NumSubs = ⌈log log n⌉ is the number of substructures T_i.
+	NumSubs int
+	// LogN = ⌈log₂ n⌉ where n is the total native catalog size.
+	LogN int
+}
+
+// deriveParams computes the construction constants for fan-out b and total
+// native catalog size n.
+func deriveParams(b, n int) Params {
+	f := b + 1
+	alpha := 1.0 / (1.0 + 2.0*math.Log2(float64(f)))
+	logn := parallel.CeilLog2(n)
+	if logn < 1 {
+		logn = 1
+	}
+	numSubs := parallel.CeilLog2(logn)
+	if numSubs < 1 {
+		numSubs = 1
+	}
+	return Params{B: b, F: f, Alpha: alpha, NumSubs: numSubs, LogN: logn}
+}
+
+// HopHeight returns h_i = max(1, ⌊Alpha·2^i⌋), the block height of
+// substructure i.
+func (p Params) HopHeight(i int) int {
+	h := int(p.Alpha * float64(int64(1)<<uint(i)))
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// SampleStride returns s_i = 2·F^{h_i}, the root-catalog sampling stride of
+// substructure i. Two entries s_i apart in a block root's catalog cannot
+// induce the same skeleton key anywhere in the block (Lemma 1 for this
+// construction: the reverse-density recurrence r_{l−1} ≤ F·(r_l + 1) sums
+// to less than (F/(F−1))·F^h < s_i).
+func (p Params) SampleStride(h int) int {
+	s := 2
+	for l := 0; l < h; l++ {
+		if s > 1<<28 {
+			return s // clamp: larger strides never sample anything anyway
+		}
+		s *= p.F
+	}
+	return s
+}
+
+// TruncDepth returns the deepest tree level covered by substructure i:
+// ⌈(1−2^{-i})·log n⌉, clamped to the tree height. Levels below it are
+// searched sequentially in O(2^{-i}·log n) = O((log n)/log p) time.
+func (p Params) TruncDepth(i, height int) int {
+	frac := 1.0 - math.Pow(2, -float64(i))
+	d := int(math.Ceil(frac * float64(p.LogN)))
+	if d > height {
+		d = height
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// SubstructureFor returns the index i of the substructure serving p
+// processors: the smallest i with p ≤ 2^{2^{i+1}}, clamped to the built
+// range (Section 2.2: "searching is confined to the substructure T_i for
+// which 2^{2^i} < p ≤ 2^{2^{i+1}}").
+func (p Params) SubstructureFor(procs int) int {
+	if procs < 1 {
+		procs = 1
+	}
+	for i := 0; i < p.NumSubs-1; i++ {
+		exp := uint(1) << uint(i+1)
+		if exp >= 63 || procs <= 1<<exp {
+			return i
+		}
+	}
+	return p.NumSubs - 1
+}
+
+// windowLo advances the Lemma 3 window recurrence one level:
+// lo′ = F·lo − B, where lo ≤ 0 is the (non-positive) left slack of the
+// current level's window relative to the skeleton key position. The true
+// successor position never lies right of the skeleton key (bridges point
+// to successors), so the window is always [key+lo, key].
+func (p Params) windowLo(lo int) int {
+	next := p.F*lo - p.B
+	if next < -(1 << 30) {
+		return -(1 << 30) // clamp; windows are intersected with catalogs
+	}
+	return next
+}
+
+func (p Params) String() string {
+	return fmt.Sprintf("Params{B:%d F:%d α:%.4f subs:%d logN:%d}", p.B, p.F, p.Alpha, p.NumSubs, p.LogN)
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/pram"
+	"fraccascade/internal/tree"
+)
+
+// WindowAssignment describes the processor allocation of one hop level:
+// processors test consecutive positions [Lo, Hi] of a node's catalog.
+type WindowAssignment struct {
+	// Node is the tree node whose catalog is probed.
+	Node tree.NodeID
+	// Lo and Hi bound the probed positions, inclusive and pre-clamped.
+	Lo, Hi int
+}
+
+// HopWindows reconstructs the Step-3 window assignment an explicit hop
+// would use for query key y arriving at block root position pos: one
+// window per path node per block level. It mirrors hopExplicit without
+// executing the search, for PRAM-kernel validation and the slot-accounting
+// experiments.
+func (st *Structure) HopWindows(sub *Substructure, block *Block, pathInBlock []tree.NodeID, pos int) ([]WindowAssignment, error) {
+	j, offset := block.sampleFor(pos, sub.S)
+	kp := block.KeyPos[j]
+	lo := -offset
+	local := int32(0)
+	var out []WindowAssignment
+	for l := 1; l < len(pathInBlock); l++ {
+		v := pathInBlock[l]
+		ci := st.t.ChildIndex(pathInBlock[l-1], v)
+		if ci < 0 || ci >= len(block.Children[local]) {
+			return nil, fmt.Errorf("core: path leaves block at level %d", l)
+		}
+		local = block.Children[local][ci]
+		lo = st.params.windowLo(lo)
+		anchor := int(kp[local])
+		winLo := anchor + lo
+		if winLo < 0 {
+			winLo = 0
+		}
+		hi := anchor
+		if n := st.s.Aug(v).Len() - 1; hi > n {
+			hi = n
+		}
+		out = append(out, WindowAssignment{Node: v, Lo: winLo, Hi: hi})
+	}
+	return out, nil
+}
+
+// RunHopKernelPRAM executes one hop's Step 3 on a CREW PRAM machine: one
+// processor per window position tests c_{g−1} < y ≤ c_g; the unique winner
+// per window writes the answer (an exclusive write). It runs in exactly
+// one machine step regardless of window sizes — the mechanical content of
+// "a subtree of height Θ(log p) is processed in constant time" — and
+// returns the found position for each window.
+//
+// The kernel is CREW: all processors read the shared y cell concurrently;
+// adjacent processors read overlapping catalog cells.
+func (st *Structure) RunHopKernelPRAM(m *pram.Machine, y catalog.Key, windows []WindowAssignment) ([]int, error) {
+	if !m.Model().AllowsConcurrentRead() {
+		return nil, fmt.Errorf("core: hop kernel requires concurrent reads (CREW); machine is %s", m.Model())
+	}
+	// Stage catalogs and the query into PRAM memory.
+	type slot struct {
+		winIdx int
+		pos    int
+		base   int // catalog base address
+		lo     int
+	}
+	var slots []slot
+	yAddr := m.Alloc(1)
+	m.Store(yAddr, y)
+	resBase := m.Alloc(len(windows))
+	for i := range windows {
+		m.Store(resBase+i, -1)
+	}
+	for wi, w := range windows {
+		cat := st.s.Aug(w.Node)
+		base := m.Alloc(cat.Len())
+		for i := 0; i < cat.Len(); i++ {
+			m.Store(base+i, cat.Key(i))
+		}
+		for g := w.Lo; g <= w.Hi; g++ {
+			slots = append(slots, slot{winIdx: wi, pos: g, base: base, lo: w.Lo})
+		}
+	}
+	if len(slots) > m.Procs() {
+		return nil, fmt.Errorf("core: hop needs %d processors, machine has %d", len(slots), m.Procs())
+	}
+	err := m.Step(len(slots), func(p *pram.Proc) {
+		s := slots[p.ID]
+		yv := p.Read(yAddr)
+		cg := p.Read(s.base + s.pos)
+		var prev catalog.Key
+		if s.pos == 0 {
+			prev = -(1 << 62)
+		} else {
+			prev = p.Read(s.base + s.pos - 1)
+		}
+		// The window's left boundary acts as position lo with the
+		// convention that the answer is the first in-window success; a
+		// processor at lo with prev >= y would mean the window missed,
+		// which Lemma 3 excludes for correctly seeded windows.
+		if prev < yv && yv <= cg {
+			p.Write(resBase+s.winIdx, int64(s.pos))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(windows))
+	for i := range windows {
+		out[i] = int(m.Load(resBase + i))
+	}
+	return out, nil
+}

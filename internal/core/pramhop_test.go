@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/pram"
+	"fraccascade/internal/tree"
+)
+
+// TestHopKernelPRAM mechanically validates the Theorem 1 claim that one hop
+// runs in O(1) time on a CREW PRAM: the Step-3 window tests of a whole
+// block execute in exactly one machine step, with the unique winner per
+// window performing an exclusive write.
+func TestHopKernelPRAM(t *testing.T) {
+	st, _, rng := buildStructure(t, 1<<5, 2000, 90, Config{
+		NoTruncation: true,
+		MaxSubs:      1,
+		HOverride:    func(int) int { return 2 },
+	})
+	tr := st.Tree()
+	sub := st.Substructure(0)
+	checked := 0
+	for trial := 0; trial < 200 && checked < 50; trial++ {
+		leaf := tree.NodeID(tr.N() - 1 - rng.Intn(1<<5))
+		path := tr.RootPath(leaf)
+		y := catalog.Key(rng.Intn(8000))
+		block := sub.BlockAt(path[0])
+		if block == nil {
+			t.Fatal("no block at root")
+		}
+		pos := st.Cascade().Aug(path[0]).Succ(y)
+		end := block.Height
+		if end > len(path)-1 {
+			end = len(path) - 1
+		}
+		windows, err := st.HopWindows(sub, block, path[:end+1], pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots := 0
+		for _, w := range windows {
+			slots += w.Hi - w.Lo + 1
+		}
+		m := pram.New(pram.CREW, slots)
+		got, err := st.RunHopKernelPRAM(m, y, windows)
+		if err != nil {
+			t.Fatalf("hop kernel: %v", err)
+		}
+		if m.Time() != 1 {
+			t.Fatalf("hop kernel took %d steps, want exactly 1", m.Time())
+		}
+		for i, w := range windows {
+			want := st.Cascade().Aug(w.Node).Succ(y)
+			if got[i] != want {
+				t.Fatalf("window %d (node %d): kernel found %d, want %d", i, w.Node, got[i], want)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no hops checked")
+	}
+}
+
+// TestHopKernelRejectsEREW confirms the kernel declares its CREW
+// requirement instead of silently producing conflicts.
+func TestHopKernelRejectsEREW(t *testing.T) {
+	st, _, _ := buildStructure(t, 4, 100, 91, Config{})
+	m := pram.New(pram.EREW, 16)
+	if _, err := st.RunHopKernelPRAM(m, 5, nil); err == nil {
+		t.Error("EREW machine should be rejected")
+	}
+}
+
+// TestHopKernelProcessorBudget verifies the kernel fails cleanly when the
+// machine has fewer processors than window slots.
+func TestHopKernelProcessorBudget(t *testing.T) {
+	st, _, rng := buildStructure(t, 1<<5, 2000, 92, Config{
+		NoTruncation: true, MaxSubs: 1, HOverride: func(int) int { return 2 },
+	})
+	tr := st.Tree()
+	sub := st.Substructure(0)
+	path := tr.RootPath(tree.NodeID(tr.N() - 1))
+	y := catalog.Key(rng.Intn(8000))
+	block := sub.BlockAt(path[0])
+	pos := st.Cascade().Aug(path[0]).Succ(y)
+	end := block.Height
+	windows, err := st.HopWindows(sub, block, path[:end+1], pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := pram.New(pram.CREW, 1)
+	if _, err := st.RunHopKernelPRAM(m, y, windows); err == nil {
+		t.Error("under-provisioned machine should be rejected")
+	}
+}

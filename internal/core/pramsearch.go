@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/parallel"
+	"fraccascade/internal/pram"
+	"fraccascade/internal/tree"
+)
+
+// PRAMSearchReport ties a machine execution to the Stats cost model.
+type PRAMSearchReport struct {
+	// MachineSteps is the PRAM's synchronous step count for the whole
+	// search program.
+	MachineSteps int
+	// RootSteps, HopSteps, SeqSteps decompose it.
+	RootSteps, HopSteps, SeqSteps int
+	// Hops and SeqLevels mirror Stats.
+	Hops, SeqLevels int
+	// PeakProcs is the largest processor count used in any step.
+	PeakProcs int
+}
+
+// SearchExplicitPRAM executes the full explicit cooperative search as a
+// program on a CREW PRAM machine: the Step-1 cooperative binary search,
+// one single-step window kernel per hop, and one step per sequential tail
+// level, with all key data staged in shared memory. It returns the same
+// results as SearchExplicit plus a report reconciling real machine steps
+// with the Stats cost model — the end-to-end mechanical check of
+// Theorem 1's time bound.
+//
+// Host-side work between steps is limited to uniform control flow
+// (choosing the next hop's windows from positions read out of shared
+// memory), per the standard PRAM convention.
+func (st *Structure) SearchExplicitPRAM(m *pram.Machine, y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, PRAMSearchReport, error) {
+	var rep PRAMSearchReport
+	if !m.Model().AllowsConcurrentRead() {
+		return nil, rep, fmt.Errorf("core: the cooperative search is CREW; machine is %s", m.Model())
+	}
+	if err := st.t.ValidatePath(path); err != nil {
+		return nil, rep, err
+	}
+	if path[0] != st.t.Root() {
+		return nil, rep, fmt.Errorf("core: path must start at the root")
+	}
+	if p < 1 {
+		p = 1
+	}
+	si := st.SelectSub(p)
+	sub := st.subs[si]
+	results := make([]cascade.Result, len(path))
+
+	// Step 1: cooperative binary search in the root catalog, on-machine.
+	rootCat := st.s.Aug(path[0])
+	keysBase := m.Alloc(rootCat.Len())
+	for i := 0; i < rootCat.Len(); i++ {
+		m.Store(keysBase+i, rootCat.Key(i))
+	}
+	scratch := m.Alloc(p + 2)
+	posAddr := m.Alloc(1)
+	before := m.Time()
+	if err := parallel.CoopSearchPRAM(m, keysBase, rootCat.Len(), y, p, scratch, posAddr); err != nil {
+		return nil, rep, err
+	}
+	rep.RootSteps = m.Time() - before
+	pos := int(m.Load(posAddr))
+	results[0] = st.s.ResultAt(path[0], pos)
+
+	idx := 0
+	for idx < len(path)-1 {
+		v := path[idx]
+		block := sub.BlockAt(v)
+		if block == nil || st.t.Depth(v) >= sub.TruncDepth {
+			// Sequential tail level: one processor does the bridge
+			// descent (bridge target plus at most B left probes) in one
+			// machine step.
+			ci := st.t.ChildIndex(v, path[idx+1])
+			w := st.t.Children(v)[ci]
+			childCat := st.s.Aug(w)
+			bridge := st.s.BridgePos(v, ci, pos)
+			cBase := m.Alloc(childCat.Len() + 1)
+			for i := 0; i < childCat.Len(); i++ {
+				m.Store(cBase+i, childCat.Key(i))
+			}
+			outAddr := m.Alloc(1)
+			before = m.Time()
+			err := m.Step(1, func(proc *pram.Proc) {
+				j := bridge
+				for j > 0 && proc.Read(cBase+j-1) >= y {
+					j--
+				}
+				proc.Write(outAddr, int64(j))
+			})
+			if err != nil {
+				return nil, rep, err
+			}
+			rep.SeqSteps += m.Time() - before
+			rep.SeqLevels++
+			pos = int(m.Load(outAddr))
+			idx++
+			results[idx] = st.s.ResultAt(path[idx], pos)
+			continue
+		}
+		// One hop: a single window-kernel step resolves all block levels.
+		end := idx + block.Height
+		if end > len(path)-1 {
+			end = len(path) - 1
+		}
+		windows, err := st.HopWindows(sub, block, path[idx:end+1], pos)
+		if err != nil {
+			return nil, rep, err
+		}
+		before = m.Time()
+		found, err := st.RunHopKernelPRAM(m, y, windows)
+		if err != nil {
+			return nil, rep, err
+		}
+		rep.HopSteps += m.Time() - before
+		rep.Hops++
+		for l, fp := range found {
+			results[idx+1+l] = st.s.ResultAt(path[idx+1+l], fp)
+		}
+		pos = found[len(found)-1]
+		idx = end
+	}
+	rep.MachineSteps = m.Time()
+	rep.PeakProcs = m.PeakActive()
+	return results, rep, nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/parallel"
+	"fraccascade/internal/pram"
+	"fraccascade/internal/tree"
+)
+
+// TestSearchExplicitPRAMEndToEnd runs complete searches on the simulator
+// and checks (a) results equal the host implementation, (b) machine time
+// matches the cost-model decomposition, (c) hops really take one step.
+func TestSearchExplicitPRAMEndToEnd(t *testing.T) {
+	st, _, rng := buildStructure(t, 1<<5, 1500, 400, Config{})
+	tr := st.Tree()
+	for _, p := range []int{1, 4, 17, 300, 70000} {
+		for q := 0; q < 15; q++ {
+			leaf := tree.NodeID(tr.N() - 1 - rng.Intn(1<<5))
+			path := tr.RootPath(leaf)
+			y := catalog.Key(rng.Intn(8000))
+
+			hostResults, stats, err := st.SearchExplicit(y, path, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := pram.New(pram.CREW, 1<<20)
+			pramResults, rep, err := st.SearchExplicitPRAM(m, y, path, p)
+			if err != nil {
+				t.Fatalf("p=%d: %v", p, err)
+			}
+			for i := range hostResults {
+				if pramResults[i].Key != hostResults[i].Key || pramResults[i].Payload != hostResults[i].Payload {
+					t.Fatalf("p=%d node %d: PRAM (%d,%d) != host (%d,%d)", p, path[i],
+						pramResults[i].Key, pramResults[i].Payload, hostResults[i].Key, hostResults[i].Payload)
+				}
+			}
+			// Decomposition sanity.
+			if rep.MachineSteps != rep.RootSteps+rep.HopSteps+rep.SeqSteps {
+				t.Fatalf("machine steps %d != %d+%d+%d", rep.MachineSteps, rep.RootSteps, rep.HopSteps, rep.SeqSteps)
+			}
+			if rep.Hops != stats.Hops || rep.SeqLevels != stats.SeqLevels {
+				t.Fatalf("p=%d: PRAM hops/seq (%d,%d) != host stats (%d,%d)",
+					p, rep.Hops, rep.SeqLevels, stats.Hops, stats.SeqLevels)
+			}
+			// Each hop is exactly one machine step; each tail level one.
+			if rep.HopSteps != rep.Hops {
+				t.Fatalf("p=%d: %d hop steps for %d hops (hops must be O(1))", p, rep.HopSteps, rep.Hops)
+			}
+			if rep.SeqSteps != rep.SeqLevels {
+				t.Fatalf("p=%d: %d seq steps for %d levels", p, rep.SeqSteps, rep.SeqLevels)
+			}
+			// Root search within the Snir bound (2 machine steps/round).
+			rootCat := st.Cascade().Aug(path[0])
+			bound := 2 * (parallel.CoopSearchSteps(rootCat.Len(), p) + 2)
+			if rep.RootSteps > bound {
+				t.Fatalf("p=%d: root search %d steps exceeds bound %d", p, rep.RootSteps, bound)
+			}
+		}
+	}
+}
+
+// TestSearchExplicitPRAMRejectsEREW confirms the declared CREW
+// requirement.
+func TestSearchExplicitPRAMRejectsEREW(t *testing.T) {
+	st, _, _ := buildStructure(t, 4, 100, 401, Config{})
+	m := pram.New(pram.EREW, 64)
+	path := st.Tree().RootPath(tree.NodeID(st.Tree().N() - 1))
+	if _, _, err := st.SearchExplicitPRAM(m, 5, path, 4); err == nil {
+		t.Error("EREW machine should be rejected")
+	}
+}
+
+// TestSearchExplicitPRAMTimeDropsWithP is Theorem 1 measured on the
+// machine itself: real synchronous steps fall as p grows.
+func TestSearchExplicitPRAMTimeDropsWithP(t *testing.T) {
+	st, _, rng := buildStructure(t, 1<<6, 6000, 402, Config{})
+	tr := st.Tree()
+	leaf := tree.NodeID(tr.N() - 1)
+	path := tr.RootPath(leaf)
+	y := catalog.Key(rng.Intn(30000))
+	m1 := pram.New(pram.CREW, 1<<20)
+	_, rep1, err := st.SearchExplicitPRAM(m1, y, path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mBig := pram.New(pram.CREW, 1<<20)
+	_, repBig, err := st.SearchExplicitPRAM(mBig, y, path, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repBig.RootSteps >= rep1.RootSteps {
+		t.Errorf("root steps did not drop: %d vs %d", repBig.RootSteps, rep1.RootSteps)
+	}
+	t.Logf("p=1: %d steps (root %d); p=2^18: %d steps (root %d, peak %d procs)",
+		rep1.MachineSteps, rep1.RootSteps, repBig.MachineSteps, repBig.RootSteps, repBig.PeakProcs)
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/tree"
+)
+
+// TestQuickExplicitEqualsSequential is the package's central property:
+// for arbitrary catalogs, queries, and processor counts, the cooperative
+// search agrees with the sequential fractional cascading walk.
+func TestQuickExplicitEqualsSequential(t *testing.T) {
+	type input struct {
+		Seed  int64
+		Y     uint32
+		P     uint16
+		Leaf  uint16
+		Total uint8
+	}
+	bt, err := tree.NewBalancedBinary(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(in input) bool {
+		rng := rand.New(rand.NewSource(in.Seed))
+		cats := randCatalogs(bt, 100+int(in.Total)*10, rng)
+		st, err := Build(bt, cats, Config{})
+		if err != nil {
+			return false
+		}
+		leaf := tree.NodeID(31 + int(in.Leaf)%32)
+		path := bt.RootPath(leaf)
+		y := catalog.Key(in.Y % 8000)
+		p := int(in.P)%70000 + 1
+		got, _, err := st.SearchExplicit(y, path, p)
+		if err != nil {
+			return false
+		}
+		want, err := st.Cascade().SearchPath(y, path)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i].Key != want[i].Key || got[i].Payload != want[i].Payload {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWindowRecurrenceContainment property-tests Lemma 3 directly:
+// seeded with any non-positive slack, the recurrence window anchored at a
+// bridged position always contains the true successor one level down.
+func TestQuickWindowRecurrenceContainment(t *testing.T) {
+	st, _, rng := buildStructure(t, 1<<6, 4000, 300, Config{})
+	tr := st.Tree()
+	params := st.Params()
+	f := func(yRaw uint32, nodeRaw uint16, slackRaw uint8) bool {
+		v := tree.NodeID(int(nodeRaw) % tr.N())
+		if tr.IsLeaf(v) {
+			return true
+		}
+		y := catalog.Key(yRaw % 20000)
+		cat := st.Cascade().Aug(v)
+		truePos := cat.Succ(y)
+		// Any anchor at or right of the true position with slack covering
+		// the gap models a skeleton key position.
+		slack := int(slackRaw) % 16
+		anchor := truePos + slack
+		if anchor >= cat.Len() {
+			anchor = cat.Len() - 1
+			slack = anchor - truePos
+		}
+		lo := -slack
+		for ci := range tr.Children(v) {
+			w := tr.Children(v)[ci]
+			childAnchor := st.Cascade().BridgePos(v, ci, anchor)
+			childLo := params.windowLo(lo)
+			childTrue := st.Cascade().Aug(w).Succ(y)
+			if childTrue > childAnchor || childTrue < childAnchor+childLo {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSampleForInvariants property-tests the Step-2 sample selection:
+// the chosen skeleton tree's root key position is always >= pos, within
+// catalog range, and the offset is exact.
+func TestQuickSampleForInvariants(t *testing.T) {
+	st, _, _ := buildStructure(t, 1<<6, 4000, 301, Config{})
+	var blocks []*Block
+	var subs []*Substructure
+	for i := 0; i < st.NumSubstructures(); i++ {
+		sub := st.Substructure(i)
+		bs := sub.Blocks()
+		for bi := range bs {
+			blocks = append(blocks, &bs[bi])
+			subs = append(subs, sub)
+		}
+	}
+	if len(blocks) == 0 {
+		t.Skip("no blocks at this size")
+	}
+	f := func(blockRaw uint16, posRaw uint16) bool {
+		bi := int(blockRaw) % len(blocks)
+		block, sub := blocks[bi], subs[bi]
+		tLen := st.Cascade().Aug(block.Root).Len()
+		pos := int(posRaw) % tLen
+		j, offset := block.sampleFor(pos, sub.S)
+		if j < 0 || j >= block.M {
+			return false
+		}
+		sampled := int(block.KeyPos[j][0])
+		if sampled < pos || sampled >= tLen {
+			return false
+		}
+		return offset == sampled-pos
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStatsInvariants checks structural stats invariants over random
+// searches: steps decompose into root + hops + tail, slots are consistent.
+func TestQuickStatsInvariants(t *testing.T) {
+	st, _, _ := buildStructure(t, 1<<7, 8000, 302, Config{})
+	bt := st.Tree()
+	f := func(yRaw uint32, pRaw uint32, leafRaw uint16) bool {
+		leaf := tree.NodeID(bt.N() - 1 - int(leafRaw)%(1<<7))
+		path := bt.RootPath(leaf)
+		p := int(pRaw)%(1<<22) + 1
+		_, stats, err := st.SearchExplicit(catalog.Key(yRaw%40000), path, p)
+		if err != nil {
+			return false
+		}
+		if stats.Steps != stats.RootRounds+hopCostSteps*stats.Hops+stats.SeqLevels {
+			return false
+		}
+		if stats.SlotsPeak > 0 && int64(stats.SlotsPeak) > stats.SlotsTotal {
+			return false
+		}
+		if stats.Hops == 0 && stats.SlotsTotal != 0 {
+			return false
+		}
+		sub := st.Substructure(stats.Sub)
+		// Every hop advances at most H levels; hops*H + seq covers the path.
+		if stats.Hops*sub.H+stats.SeqLevels < len(path)-1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/tree"
+)
+
+// TestStressLargeScale builds a ~1M-entry structure — large enough for
+// log n = 20, five substructures, and derived hop heights up to 3 — and
+// validates searches across the full processor range, including the
+// h ≥ 2 regime that small tests cannot reach with the paper's constants.
+func TestStressLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale stress test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(1234))
+	leaves := 1 << 12
+	bt, err := tree.NewBalancedBinary(leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~1M entries spread over 8191 nodes.
+	cats := make([]catalog.Catalog, bt.N())
+	for v := range cats {
+		size := rng.Intn(260)
+		seen := make(map[catalog.Key]bool, size)
+		keys := make([]catalog.Key, 0, size)
+		for len(keys) < size {
+			k := catalog.Key(rng.Int63n(1 << 40))
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		cats[v] = catalog.MustFromKeys(keys, nil)
+	}
+	st, err := Build(bt, cats, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := st.Cascade().Stats().NativeEntries
+	if n < 900_000 {
+		t.Fatalf("workload too small: %d entries", n)
+	}
+	t.Logf("n = %d entries, %d substructures", n, st.NumSubstructures())
+	// The top substructure must have hop height >= 2 at this scale —
+	// the genuinely multi-level-hop regime.
+	top := st.Substructure(st.NumSubstructures() - 1)
+	if top.H < 2 {
+		t.Errorf("top substructure h = %d; expected >= 2 at n ~ 1M", top.H)
+	}
+	maxH := 0
+	stepsByP := map[int]int{}
+	for _, p := range []int{1, 256, 65536, 1 << 19} {
+		for q := 0; q < 25; q++ {
+			leaf := tree.NodeID(bt.N() - 1 - rng.Intn(leaves))
+			path := bt.RootPath(leaf)
+			y := catalog.Key(rng.Int63n(1 << 40))
+			got, stats, err := st.SearchExplicit(y, path, p)
+			if err != nil {
+				t.Fatalf("p=%d: %v", p, err)
+			}
+			want, err := st.Cascade().SearchPath(y, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i].Key != want[i].Key {
+					t.Fatalf("p=%d: mismatch at node %d", p, path[i])
+				}
+			}
+			if h := st.Substructure(stats.Sub).H; h > maxH {
+				maxH = h
+			}
+			stepsByP[p] += stats.Steps
+		}
+	}
+	t.Logf("steps by p (sum of 25): %v; deepest hop height used: %d", stepsByP, maxH)
+	if maxH < 2 {
+		t.Errorf("searches never used an h >= 2 substructure")
+	}
+	if stepsByP[1<<19] >= stepsByP[1] {
+		t.Errorf("steps at p=2^19 (%d) not below p=1 (%d)", stepsByP[1<<19], stepsByP[1])
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/parallel"
+	"fraccascade/internal/tree"
+)
+
+// SearchSubtree extends the explicit cooperative search to generalized
+// search paths (the paper's open problem 3, for the tree case): it
+// returns find(y, v) for every node of the root-anchored subtree spanned
+// by the given target nodes — the union of their root paths.
+//
+// The search proceeds band-synchronously: all branches of the subtree
+// inside one depth band advance together, by a block hop where blocks
+// exist and by one bridge descent elsewhere, so the parallel time is that
+// of the deepest single path — O((log n)/log p) for targets at leaf depth
+// — while the processor-slot demand grows with the subtree's breadth
+// (reported in Stats; the band's slots are the sum over its branches).
+func (st *Structure) SearchSubtree(y catalog.Key, targets []tree.NodeID, p int) (map[tree.NodeID]cascade.Result, Stats, error) {
+	if len(targets) == 0 {
+		return nil, Stats{}, fmt.Errorf("core: no target nodes")
+	}
+	if p < 1 {
+		p = 1
+	}
+	// Closure under parent.
+	member := make(map[tree.NodeID]bool)
+	for _, v := range targets {
+		if int(v) < 0 || int(v) >= st.t.N() {
+			return nil, Stats{}, fmt.Errorf("core: target %d out of range", v)
+		}
+		for x := v; x != tree.Nil && !member[x]; x = st.t.Parent(x) {
+			member[x] = true
+		}
+	}
+	si := st.SelectSub(p)
+	sub := st.subs[si]
+	stats := Stats{Sub: si, P: p}
+
+	results := make(map[tree.NodeID]cascade.Result, len(member))
+	root := st.t.Root()
+	rootCat := st.s.Aug(root)
+	pos := rootCat.Succ(y)
+	stats.RootRounds = parallel.CoopSearchSteps(rootCat.Len(), p)
+	stats.Steps += stats.RootRounds
+	results[root] = st.s.ResultAt(root, pos)
+
+	frontier := []frontierItem{{root, pos}}
+	for len(frontier) > 0 {
+		depth := st.t.Depth(frontier[0].v)
+		blockBand := false
+		for _, it := range frontier {
+			if st.t.Depth(it.v) != depth {
+				return nil, stats, fmt.Errorf("core: frontier depth skew")
+			}
+			if sub.BlockAt(it.v) != nil && depth < sub.TruncDepth {
+				blockBand = true
+			}
+		}
+		var next []frontierItem
+		bandSlots := int64(0)
+		hopped := false
+		for _, it := range frontier {
+			block := sub.BlockAt(it.v)
+			if blockBand && block != nil && depth < sub.TruncDepth {
+				exits, slots, err := st.hopSubtree(sub, block, y, it.pos, member, results)
+				if err != nil {
+					return nil, stats, err
+				}
+				bandSlots += slots
+				next = append(next, exits...)
+				hopped = true
+				continue
+			}
+			// Sequential band (or a branch that ended where no block
+			// starts): advance one level.
+			for ci, c := range st.t.Children(it.v) {
+				if !member[c] {
+					continue
+				}
+				cPos, _ := st.s.Descend(y, it.v, ci, it.pos)
+				results[c] = st.s.ResultAt(c, cPos)
+				next = append(next, frontierItem{c, cPos})
+			}
+		}
+		if hopped {
+			stats.Hops++
+			stats.Steps += hopCostSteps
+		} else if len(next) > 0 {
+			stats.SeqLevels++
+			stats.Steps++
+		}
+		stats.SlotsTotal += bandSlots
+		if int(bandSlots) > stats.SlotsPeak {
+			stats.SlotsPeak = int(bandSlots)
+		}
+		// Mixed bands cannot happen when the whole frontier advanced by a
+		// hop, because block roots share alignment; when blockBand is true
+		// but some branch lacked a block (ended at a leaf), that branch
+		// simply produced no exits.
+		frontier = next
+	}
+	return results, stats, nil
+}
+
+// frontierItem is one active branch of a subtree search: a node and the
+// successor position of the query key in its catalog.
+type frontierItem struct {
+	v   tree.NodeID
+	pos int
+}
+
+// hopSubtree resolves find(y, ·) for every member node of the block and
+// returns the member exits at the block's leaf level.
+func (st *Structure) hopSubtree(sub *Substructure, block *Block, y catalog.Key, pos int, member map[tree.NodeID]bool, results map[tree.NodeID]cascade.Result) (exits []frontierItem, slots int64, err error) {
+	j, offset := block.sampleFor(pos, sub.S)
+	kp := block.KeyPos[j]
+	slots = int64(sub.S)
+	lo := -offset
+	curLevel := int8(0)
+	findPos := make([]int32, len(block.Nodes))
+	findPos[0] = int32(pos)
+	for z := 1; z < len(block.Nodes); z++ {
+		if block.Level[z] != curLevel {
+			curLevel = block.Level[z]
+			lo = st.params.windowLo(lo)
+		}
+		v := block.Nodes[z]
+		if !member[v] {
+			continue
+		}
+		anchor := int(kp[z])
+		winLo, winHi := anchor+lo, anchor
+		cat := st.s.Aug(v)
+		found := cat.SuccInWindow(y, winLo, winHi)
+		if found > winHi {
+			return nil, 0, fmt.Errorf("core: Lemma 3 window [%d,%d] missed find(y,%d)", winLo, winHi, v)
+		}
+		findPos[z] = int32(found)
+		results[v] = st.s.ResultAt(v, found)
+		slots += int64(winHi - max(0, winLo) + 1)
+	}
+	for z, v := range block.Nodes {
+		if int(block.Level[z]) == block.Height && member[v] && !st.t.IsLeaf(v) {
+			exits = append(exits, frontierItem{v, int(findPos[z])})
+		}
+	}
+	return exits, slots, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/tree"
+)
+
+func TestSearchSubtreeMatchesPaths(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		st, _, rng := buildStructure(t, 1<<6, 3000, seed+200, Config{})
+		tr := st.Tree()
+		var leaves []tree.NodeID
+		for v := tree.NodeID(0); int(v) < tr.N(); v++ {
+			if tr.IsLeaf(v) {
+				leaves = append(leaves, v)
+			}
+		}
+		for _, p := range []int{1, 16, 4096} {
+			for q := 0; q < 15; q++ {
+				k := 1 + rng.Intn(8)
+				targets := make([]tree.NodeID, k)
+				for i := range targets {
+					targets[i] = leaves[rng.Intn(len(leaves))]
+				}
+				y := catalog.Key(rng.Intn(13000))
+				got, stats, err := st.SearchSubtree(y, targets, p)
+				if err != nil {
+					t.Fatalf("seed %d p %d: %v", seed, p, err)
+				}
+				// Union of root paths, each validated against the
+				// sequential search.
+				want := map[tree.NodeID]catalog.Key{}
+				for _, target := range targets {
+					path := tr.RootPath(target)
+					res, err := st.Cascade().SearchPath(y, path)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i, v := range path {
+						want[v] = res[i].Key
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("seed %d: %d results, want %d", seed, len(got), len(want))
+				}
+				for v, wk := range want {
+					r, ok := got[v]
+					if !ok {
+						t.Fatalf("seed %d: node %d missing from subtree results", seed, v)
+					}
+					if r.Key != wk {
+						t.Fatalf("seed %d node %d: got %d, want %d", seed, v, r.Key, wk)
+					}
+				}
+				if stats.Steps <= 0 {
+					t.Fatal("no steps")
+				}
+			}
+		}
+	}
+}
+
+func TestSearchSubtreeInternalTargets(t *testing.T) {
+	st, _, rng := buildStructure(t, 1<<5, 1000, 210, Config{})
+	tr := st.Tree()
+	// Internal nodes as targets: results cover exactly their root paths.
+	targets := []tree.NodeID{tree.NodeID(rng.Intn(tr.N())), tree.NodeID(rng.Intn(tr.N()))}
+	got, _, err := st.SearchSubtree(77, targets, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := map[tree.NodeID]bool{}
+	for _, v := range targets {
+		for x := v; x != tree.Nil; x = tr.Parent(x) {
+			expect[x] = true
+		}
+	}
+	if len(got) != len(expect) {
+		t.Fatalf("%d results, want %d", len(got), len(expect))
+	}
+}
+
+func TestSearchSubtreeDepthDoesNotGrowWithBreadth(t *testing.T) {
+	// Band-synchronous advance: searching 8 paths costs the same number
+	// of steps as 1 path (only slots grow).
+	st, _, rng := buildStructure(t, 1<<8, 10000, 220, Config{})
+	tr := st.Tree()
+	var leaves []tree.NodeID
+	for v := tree.NodeID(0); int(v) < tr.N(); v++ {
+		if tr.IsLeaf(v) {
+			leaves = append(leaves, v)
+		}
+	}
+	y := catalog.Key(rng.Intn(40000))
+	_, one, err := st.SearchSubtree(y, leaves[:1], 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many := make([]tree.NodeID, 8)
+	for i := range many {
+		many[i] = leaves[rng.Intn(len(leaves))]
+	}
+	_, eight, err := st.SearchSubtree(y, many, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eight.Steps > one.Steps+2 {
+		t.Errorf("steps grew with breadth: %d vs %d", eight.Steps, one.Steps)
+	}
+	if eight.SlotsPeak < one.SlotsPeak {
+		t.Errorf("slots should grow with breadth: %d vs %d", eight.SlotsPeak, one.SlotsPeak)
+	}
+}
+
+func TestSearchSubtreeValidation(t *testing.T) {
+	st, _, _ := buildStructure(t, 4, 100, 230, Config{})
+	if _, _, err := st.SearchSubtree(5, nil, 4); err == nil {
+		t.Error("no targets should fail")
+	}
+	if _, _, err := st.SearchSubtree(5, []tree.NodeID{999}, 4); err == nil {
+		t.Error("out-of-range target should fail")
+	}
+}

@@ -1,0 +1,265 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
+	"fraccascade/internal/tree"
+)
+
+// model is a reference implementation over plain maps.
+type model struct {
+	keys map[tree.NodeID]map[catalog.Key]int32
+}
+
+func newModel(t *tree.Tree, native []catalog.Catalog) *model {
+	m := &model{keys: make(map[tree.NodeID]map[catalog.Key]int32)}
+	for v := range native {
+		mm := map[catalog.Key]int32{}
+		for _, e := range native[v].Entries() {
+			if e.Native && e.Key != catalog.PlusInf {
+				mm[e.Key] = e.Payload
+			}
+		}
+		m.keys[tree.NodeID(v)] = mm
+	}
+	return m
+}
+
+func (m *model) find(v tree.NodeID, y catalog.Key) (catalog.Key, int32) {
+	best, payload := catalog.PlusInf, catalog.NoPayload
+	for k, pl := range m.keys[v] {
+		if k >= y && k < best {
+			best, payload = k, pl
+		}
+	}
+	return best, payload
+}
+
+func setup(tb testing.TB, leaves, total int, seed int64, capacity int) (*Structure, *model, *tree.Tree, *rand.Rand) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	bt, err := tree.NewBalancedBinary(leaves)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	native := make([]catalog.Catalog, bt.N())
+	for v := range native {
+		seen := map[catalog.Key]bool{}
+		var keys []catalog.Key
+		for len(keys) < rng.Intn(2*total/(bt.N()+1)+2) {
+			k := catalog.Key(rng.Intn(total * 4))
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		payloads := make([]int32, len(keys))
+		for i := range payloads {
+			payloads[i] = int32(v)*1000 + int32(i)
+		}
+		native[v] = catalog.MustFromKeys(keys, payloads)
+	}
+	d, err := New(bt, native, core.Config{}, capacity)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return d, newModel(bt, native), bt, rng
+}
+
+func TestDynamicMatchesModelUnderChurn(t *testing.T) {
+	d, m, bt, rng := setup(t, 1<<5, 600, 1, 32)
+	var leaves []tree.NodeID
+	for v := tree.NodeID(0); int(v) < bt.N(); v++ {
+		if bt.IsLeaf(v) {
+			leaves = append(leaves, v)
+		}
+	}
+	for op := 0; op < 1500; op++ {
+		v := tree.NodeID(rng.Intn(bt.N()))
+		switch rng.Intn(3) {
+		case 0: // insert
+			k := catalog.Key(rng.Intn(2400))
+			pl := int32(op)
+			if _, exists := m.keys[v][k]; exists {
+				if err := d.Insert(v, k, pl); err == nil {
+					t.Fatalf("op %d: duplicate insert of %d at %d succeeded", op, k, v)
+				}
+			} else {
+				if err := d.Insert(v, k, pl); err != nil {
+					t.Fatalf("op %d: insert: %v", op, err)
+				}
+				m.keys[v][k] = pl
+			}
+		case 1: // delete
+			var victim catalog.Key = -1
+			for k := range m.keys[v] {
+				victim = k
+				break
+			}
+			if victim < 0 {
+				if err := d.Delete(v, 42); err == nil && len(m.keys[v]) == 0 {
+					t.Fatalf("op %d: delete from empty node succeeded", op)
+				}
+				continue
+			}
+			if err := d.Delete(v, victim); err != nil {
+				t.Fatalf("op %d: delete: %v", op, err)
+			}
+			delete(m.keys[v], victim)
+		default: // query
+			leaf := leaves[rng.Intn(len(leaves))]
+			path := bt.RootPath(leaf)
+			y := catalog.Key(rng.Intn(2400))
+			results, _, err := d.SearchExplicit(y, path, 1+rng.Intn(1024))
+			if err != nil {
+				t.Fatalf("op %d: search: %v", op, err)
+			}
+			for i, node := range path {
+				wantK, wantP := m.find(node, y)
+				if results[i].Key != wantK || (wantK != catalog.PlusInf && results[i].Payload != wantP) {
+					t.Fatalf("op %d node %d y %d: got (%d,%d), want (%d,%d)",
+						op, node, y, results[i].Key, results[i].Payload, wantK, wantP)
+				}
+			}
+		}
+	}
+	if d.Rebuilds() == 0 {
+		t.Error("expected at least one amortized rebuild under churn")
+	}
+}
+
+func TestDynamicFindMatchesModel(t *testing.T) {
+	d, m, bt, rng := setup(t, 1<<4, 300, 2, 0)
+	for op := 0; op < 400; op++ {
+		v := tree.NodeID(rng.Intn(bt.N()))
+		k := catalog.Key(rng.Intn(1200))
+		if _, exists := m.keys[v][k]; !exists && rng.Intn(2) == 0 {
+			if err := d.Insert(v, k, int32(op)); err != nil {
+				t.Fatal(err)
+			}
+			m.keys[v][k] = int32(op)
+		}
+		qv := tree.NodeID(rng.Intn(bt.N()))
+		y := catalog.Key(rng.Intn(1200))
+		gk, gp := d.Find(qv, y)
+		wk, wp := m.find(qv, y)
+		if gk != wk || (wk != catalog.PlusInf && gp != wp) {
+			t.Fatalf("op %d: Find(%d,%d) = (%d,%d), want (%d,%d)", op, qv, y, gk, gp, wk, wp)
+		}
+	}
+}
+
+func TestDynamicRejections(t *testing.T) {
+	d, _, _, _ := setup(t, 4, 50, 3, 0)
+	if err := d.Insert(0, catalog.PlusInf, 1); err == nil {
+		t.Error("+inf insert should fail")
+	}
+	if err := d.Delete(0, catalog.PlusInf); err == nil {
+		t.Error("+inf delete should fail")
+	}
+	if err := d.Insert(0, 123456, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(0, 123456, 2); err == nil {
+		t.Error("duplicate pending insert should fail")
+	}
+	if err := d.Delete(0, 999999); err == nil {
+		t.Error("deleting absent key should fail")
+	}
+}
+
+func TestDynamicDeleteCancelsPendingInsert(t *testing.T) {
+	d, _, _, _ := setup(t, 4, 50, 4, 1000)
+	if err := d.Insert(1, 500, 7); err != nil {
+		t.Fatal(err)
+	}
+	if d.Buffered() != 1 {
+		t.Fatalf("Buffered = %d, want 1", d.Buffered())
+	}
+	if err := d.Delete(1, 500); err != nil {
+		t.Fatal(err)
+	}
+	if d.Buffered() != 0 {
+		t.Fatalf("Buffered = %d after cancel, want 0", d.Buffered())
+	}
+	if k, _ := d.Find(1, 500); k == 500 {
+		t.Error("cancelled insert still visible")
+	}
+}
+
+func TestDynamicReinsertAfterDelete(t *testing.T) {
+	d, m, bt, rng := setup(t, 8, 200, 5, 1000)
+	// Pick a committed key and delete+reinsert with a new payload.
+	var v tree.NodeID
+	var k catalog.Key = -1
+	for vv := tree.NodeID(0); int(vv) < bt.N() && k < 0; vv++ {
+		for kk := range m.keys[vv] {
+			v, k = vv, kk
+			break
+		}
+	}
+	if k < 0 {
+		t.Skip("no committed keys in this seed")
+	}
+	if err := d.Delete(v, k); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(v, k, 9999); err != nil {
+		t.Fatalf("reinsert: %v", err)
+	}
+	gk, gp := d.Find(v, k)
+	if gk != k || gp != 9999 {
+		t.Fatalf("Find = (%d,%d), want (%d,9999)", gk, gp, k)
+	}
+	// Survives a flush.
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	gk, gp = d.Find(v, k)
+	if gk != k || gp != 9999 {
+		t.Fatalf("after flush: Find = (%d,%d), want (%d,9999)", gk, gp, k)
+	}
+	_ = rng
+}
+
+func TestDynamicFlushIdempotent(t *testing.T) {
+	d, _, _, _ := setup(t, 4, 50, 6, 1000)
+	if err := d.Insert(2, 777, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r1 := d.Rebuilds()
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Buffered() != 0 {
+		t.Error("buffer should be empty after flush")
+	}
+	if d.Rebuilds() != r1+1 {
+		t.Errorf("Rebuilds = %d, want %d", d.Rebuilds(), r1+1)
+	}
+	if k, _ := d.Find(2, 777); k != 777 {
+		t.Error("committed key lost by flush")
+	}
+}
+
+func TestDynamicAmortizedRebuildCadence(t *testing.T) {
+	d, _, bt, rng := setup(t, 1<<4, 200, 7, 50)
+	inserted := 0
+	for inserted < 500 {
+		v := tree.NodeID(rng.Intn(bt.N()))
+		k := catalog.Key(rng.Intn(1 << 30))
+		if err := d.Insert(v, k, 1); err == nil {
+			inserted++
+		}
+	}
+	// 500 inserts at capacity 50: about 10 rebuilds.
+	if d.Rebuilds() < 8 || d.Rebuilds() > 12 {
+		t.Errorf("Rebuilds = %d, want ~10", d.Rebuilds())
+	}
+}

@@ -1,0 +1,32 @@
+package geom
+
+import "testing"
+
+// FuzzOrient cross-checks the 128-bit orientation predicate against the
+// big.Int reference on arbitrary coordinates (also runs its seed corpus as
+// ordinary tests under `go test`).
+func FuzzOrient(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(10), int64(0), int64(5), int64(5))
+	f.Add(int64(-1<<62), int64(1<<62), int64(1<<62), int64(-1<<62), int64(0), int64(0))
+	f.Add(int64(1), int64(1), int64(2), int64(2), int64(3), int64(3))
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, cx, cy int64) {
+		// Keep differences within int64 (the predicate's documented
+		// domain): clamp to half range.
+		clamp := func(v int64) int64 {
+			const m = 1 << 62
+			if v > m {
+				return m
+			}
+			if v < -m {
+				return -m
+			}
+			return v
+		}
+		a := Point{clamp(ax), clamp(ay)}
+		b := Point{clamp(bx), clamp(by)}
+		c := Point{clamp(cx), clamp(cy)}
+		if got, want := Orient(a, b, c), orientBig(a, b, c); got != want {
+			t.Fatalf("Orient(%v,%v,%v) = %d, want %d", a, b, c, got, want)
+		}
+	})
+}

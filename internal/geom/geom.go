@@ -1,0 +1,95 @@
+// Package geom provides the exact integer geometric primitives used by the
+// point-location and retrieval structures: points, y-monotone segments, and
+// sign-exact orientation predicates (128-bit intermediate arithmetic, no
+// floating point).
+package geom
+
+import "math/bits"
+
+// Point is a point with integer coordinates.
+type Point struct {
+	X, Y int64
+}
+
+// Segment is a directed segment; the point-location structures keep the
+// invariant A.Y < B.Y (y-monotone, pointing up).
+type Segment struct {
+	A, B Point
+}
+
+// mul128 returns the signed 128-bit product of a and b as (hi, lo).
+func mul128(a, b int64) (hi int64, lo uint64) {
+	neg := false
+	ua, ub := uint64(a), uint64(b)
+	if a < 0 {
+		ua = uint64(-a)
+		neg = !neg
+	}
+	if b < 0 {
+		ub = uint64(-b)
+		neg = !neg
+	}
+	h, l := bits.Mul64(ua, ub)
+	if neg {
+		// Two's complement negate the 128-bit value.
+		l = ^l + 1
+		h = ^h
+		if l == 0 {
+			h++
+		}
+	}
+	return int64(h), l
+}
+
+// add128 adds two signed 128-bit values.
+func add128(ah int64, al uint64, bh int64, bl uint64) (int64, uint64) {
+	lo, carry := bits.Add64(al, bl, 0)
+	hi := ah + bh + int64(carry)
+	return hi, lo
+}
+
+// sign128 returns the sign of a signed 128-bit value.
+func sign128(hi int64, lo uint64) int {
+	if hi < 0 {
+		return -1
+	}
+	if hi > 0 || lo > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Orient returns the orientation of the ordered triple (a, b, c):
+// +1 if c lies left of the directed line a→b (counter-clockwise),
+// −1 if right (clockwise), and 0 if collinear. Exact for all int64
+// coordinates.
+func Orient(a, b, c Point) int {
+	// sign((b-a) × (c-a)) with 128-bit products.
+	p1h, p1l := mul128(b.X-a.X, c.Y-a.Y)
+	p2h, p2l := mul128(b.Y-a.Y, c.X-a.X)
+	// p1 - p2.
+	nh, nl := p2h, p2l
+	nl = ^nl + 1
+	nh = ^nh
+	if nl == 0 {
+		nh++
+	}
+	h, l := add128(p1h, p1l, nh, nl)
+	return sign128(h, l)
+}
+
+// SideOf classifies query point q against the upward y-monotone segment s
+// (s.A.Y < s.B.Y): −1 if q is strictly left, +1 if strictly right, 0 if q
+// lies on the supporting line.
+func SideOf(q Point, s Segment) int {
+	// Left of the upward directed line A→B means Orient(A, B, q) > 0.
+	return -Orient(s.A, s.B, q)
+}
+
+// SpansY reports whether segment s's closed y-extent contains y.
+func (s Segment) SpansY(y int64) bool {
+	return s.A.Y <= y && y <= s.B.Y
+}
+
+// YMonotone reports whether the segment points strictly upward.
+func (s Segment) YMonotone() bool { return s.A.Y < s.B.Y }

@@ -1,0 +1,127 @@
+package geom
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func orientBig(a, b, c Point) int {
+	bx := new(big.Int).SetInt64(b.X - a.X)
+	cy := new(big.Int).SetInt64(c.Y - a.Y)
+	by := new(big.Int).SetInt64(b.Y - a.Y)
+	cx := new(big.Int).SetInt64(c.X - a.X)
+	left := new(big.Int).Mul(bx, cy)
+	right := new(big.Int).Mul(by, cx)
+	return left.Sub(left, right).Sign()
+}
+
+func TestOrientBasic(t *testing.T) {
+	a, b := Point{0, 0}, Point{10, 0}
+	if Orient(a, b, Point{5, 5}) != 1 {
+		t.Error("point above x-axis should be CCW (+1)")
+	}
+	if Orient(a, b, Point{5, -5}) != -1 {
+		t.Error("point below x-axis should be CW (-1)")
+	}
+	if Orient(a, b, Point{20, 0}) != 0 {
+		t.Error("collinear point should give 0")
+	}
+}
+
+func TestOrientMatchesBigInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ranges := []int64{10, 1000, 1 << 30, 1 << 40, math.MaxInt64 / 4}
+	for _, r := range ranges {
+		for trial := 0; trial < 500; trial++ {
+			p := func() Point {
+				return Point{rng.Int63n(2*r+1) - r, rng.Int63n(2*r+1) - r}
+			}
+			a, b, c := p(), p(), p()
+			if got, want := Orient(a, b, c), orientBig(a, b, c); got != want {
+				t.Fatalf("Orient(%v,%v,%v) = %d, want %d", a, b, c, got, want)
+			}
+		}
+	}
+}
+
+func TestOrientExtremes(t *testing.T) {
+	const m = math.MaxInt64 / 2
+	cases := [][3]Point{
+		{{-m, -m}, {m, m}, {m, -m}},
+		{{-m, -m}, {m, m}, {-m, m}},
+		{{-m, -m}, {m, m}, {0, 0}},
+		{{0, 0}, {m, 1}, {m, 1}},
+	}
+	for _, c := range cases {
+		if got, want := Orient(c[0], c[1], c[2]), orientBig(c[0], c[1], c[2]); got != want {
+			t.Errorf("Orient(%v) = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestQuickOrient(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int32) bool {
+		a := Point{int64(ax), int64(ay)}
+		b := Point{int64(bx), int64(by)}
+		c := Point{int64(cx), int64(cy)}
+		return Orient(a, b, c) == orientBig(a, b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrientAntisymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		p := func() Point { return Point{rng.Int63n(1000) - 500, rng.Int63n(1000) - 500} }
+		a, b, c := p(), p(), p()
+		if Orient(a, b, c) != -Orient(b, a, c) {
+			t.Fatalf("antisymmetry violated for %v %v %v", a, b, c)
+		}
+		if Orient(a, b, c) != Orient(b, c, a) {
+			t.Fatalf("cyclic invariance violated for %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestSideOf(t *testing.T) {
+	s := Segment{A: Point{0, 0}, B: Point{0, 10}} // vertical, pointing up
+	if SideOf(Point{-5, 5}, s) != -1 {
+		t.Error("point with smaller x should be left of upward vertical segment")
+	}
+	if SideOf(Point{5, 5}, s) != 1 {
+		t.Error("point with larger x should be right")
+	}
+	if SideOf(Point{0, 3}, s) != 0 {
+		t.Error("point on segment should be 0")
+	}
+	slanted := Segment{A: Point{0, 0}, B: Point{10, 10}}
+	if SideOf(Point{1, 9}, slanted) != -1 {
+		t.Error("above the diagonal is left")
+	}
+	if SideOf(Point{9, 1}, slanted) != 1 {
+		t.Error("below the diagonal is right")
+	}
+}
+
+func TestSpansY(t *testing.T) {
+	s := Segment{A: Point{0, 2}, B: Point{5, 8}}
+	for _, c := range []struct {
+		y    int64
+		want bool
+	}{{1, false}, {2, true}, {5, true}, {8, true}, {9, false}} {
+		if got := s.SpansY(c.y); got != c.want {
+			t.Errorf("SpansY(%d) = %v, want %v", c.y, got, c.want)
+		}
+	}
+	if !s.YMonotone() {
+		t.Error("segment should be y-monotone")
+	}
+	if (Segment{A: Point{0, 5}, B: Point{1, 5}}).YMonotone() {
+		t.Error("horizontal segment is not y-monotone")
+	}
+}

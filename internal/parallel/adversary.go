@@ -1,0 +1,121 @@
+package parallel
+
+import "sort"
+
+// Adversary implements the comparison-game argument behind Snir's
+// Ω((log n)/log p) lower bound for p-processor search, which the paper
+// invokes for the optimality of Theorem 1: the answer is one of n+1
+// "gaps" of a sorted array; each synchronous round the searcher probes at
+// most p positions, which partitions the candidate gaps into at most p+1
+// groups, and the adversary answers all probes consistently so that the
+// largest group survives. Any strategy therefore needs at least
+// ⌈log(n+1)/log(p+1)⌉ rounds — matching CoopSearch's upper bound.
+type Adversary struct {
+	lo, hi int // candidate answers form [lo, hi] (positions 0..n)
+	rounds int
+}
+
+// NewAdversary starts a game over a sorted array of n keys: the searcher
+// must determine the successor position, one of 0..n.
+func NewAdversary(n int) *Adversary {
+	return &Adversary{lo: 0, hi: n}
+}
+
+// Candidates returns the number of still-possible answers.
+func (a *Adversary) Candidates() int { return a.hi - a.lo + 1 }
+
+// Rounds returns the number of probe rounds answered so far.
+func (a *Adversary) Rounds() int { return a.rounds }
+
+// Done reports whether the searcher has pinned the answer.
+func (a *Adversary) Done() bool { return a.lo == a.hi }
+
+// Answer returns the forced answer once Done.
+func (a *Adversary) Answer() int { return a.lo }
+
+// Probe processes one synchronous round of probes at the given array
+// positions. For each probed position i the searcher learns whether the
+// answer is ≤ i or > i; the adversary commits to the consistent outcome
+// set keeping the largest candidate interval, and returns, for each probe
+// (after sorting and deduplication), whether "answer ≤ position" holds.
+func (a *Adversary) Probe(positions []int) {
+	if a.Done() {
+		return
+	}
+	a.rounds++
+	ps := append([]int(nil), positions...)
+	sort.Ints(ps)
+	// Distinct in-range probes split [lo, hi] into segments
+	// [lo..p1], [p1+1..p2], ..., [pk+1..hi]; keep the largest.
+	bestLo, bestHi := a.lo, a.hi
+	curLo := a.lo
+	bestLen := 0
+	consider := func(l, h int) {
+		if h >= l && h-l+1 > bestLen {
+			bestLo, bestHi, bestLen = l, h, h-l+1
+		}
+	}
+	prev := -1
+	for _, p := range ps {
+		if p < a.lo || p >= a.hi || p == prev {
+			continue // out-of-interval probes answer themselves; dupes free
+		}
+		prev = p
+		consider(curLo, p)
+		curLo = p + 1
+	}
+	consider(curLo, a.hi)
+	a.lo, a.hi = bestLo, bestHi
+}
+
+// Strategy produces the next round's probe positions from the current
+// candidate interval [lo, hi] and the processor budget p.
+type Strategy func(lo, hi, p int) []int
+
+// UniformStrategy spreads p probes evenly across the interval — the
+// optimal (p+1)-ary split that CoopSearch uses.
+func UniformStrategy(lo, hi, p int) []int {
+	span := hi - lo + 1
+	var out []int
+	for i := 1; i <= p; i++ {
+		pos := lo + span*i/(p+1)
+		if pos > hi-1 {
+			pos = hi - 1
+		}
+		if pos >= lo {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// BinaryStrategy ignores the processor budget and probes only the
+// midpoint — the p-oblivious strategy whose round count stays Θ(log n).
+func BinaryStrategy(lo, hi, _ int) []int {
+	return []int{(lo + hi) / 2}
+}
+
+// PlayGame drives a strategy against the adversary until the answer is
+// forced, returning the number of rounds used. maxRounds guards against
+// non-converging strategies.
+func PlayGame(n, p int, s Strategy, maxRounds int) (rounds int, converged bool) {
+	a := NewAdversary(n)
+	for !a.Done() {
+		if a.Rounds() >= maxRounds {
+			return a.Rounds(), false
+		}
+		before := a.Candidates()
+		a.Probe(s(a.lo, a.hi, p))
+		if a.Candidates() == before && before > 1 {
+			// A strategy probing nothing useful never converges.
+			return a.Rounds(), false
+		}
+	}
+	return a.Rounds(), true
+}
+
+// LowerBoundRounds is the information-theoretic floor of the game:
+// ⌈log(n+1)/log(p+1)⌉ rounds are necessary against the adversary.
+func LowerBoundRounds(n, p int) int {
+	return CoopSearchSteps(n, p)
+}

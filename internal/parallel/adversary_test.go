@@ -1,0 +1,104 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAdversaryEnforcesLowerBound: no strategy — including adversarial
+// random ones — finishes in fewer rounds than ⌈log(n+1)/log(p+1)⌉.
+// This is the Snir optimality half of Theorem 1's "both time/processor
+// constraints are optimal".
+func TestAdversaryEnforcesLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randomStrategy := func(lo, hi, p int) []int {
+		var out []int
+		for i := 0; i < p; i++ {
+			if hi-1 >= lo {
+				out = append(out, lo+rng.Intn(hi-lo))
+			}
+		}
+		return out
+	}
+	for _, n := range []int{1, 2, 7, 100, 1000, 1 << 16} {
+		for _, p := range []int{1, 2, 7, 64, 1024} {
+			bound := LowerBoundRounds(n, p)
+			for name, s := range map[string]Strategy{
+				"uniform": UniformStrategy,
+				"binary":  BinaryStrategy,
+				"random":  randomStrategy,
+			} {
+				rounds, converged := PlayGame(n, p, s, 10*n+64)
+				if !converged {
+					t.Fatalf("n=%d p=%d: %s strategy did not converge", n, p, name)
+				}
+				if rounds < bound {
+					t.Errorf("n=%d p=%d: %s strategy beat the lower bound: %d < %d",
+						n, p, name, rounds, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestUniformStrategyIsOptimal: the (p+1)-ary split matches the lower
+// bound exactly against the adversary — the CoopSearch upper bound is
+// tight.
+func TestUniformStrategyIsOptimal(t *testing.T) {
+	for _, n := range []int{1, 10, 1000, 1 << 14} {
+		for _, p := range []int{1, 3, 15, 255} {
+			rounds, converged := PlayGame(n, p, UniformStrategy, 1000)
+			if !converged {
+				t.Fatalf("n=%d p=%d: uniform did not converge", n, p)
+			}
+			bound := LowerBoundRounds(n, p)
+			if rounds > bound+1 {
+				t.Errorf("n=%d p=%d: uniform used %d rounds, lower bound %d (not tight)",
+					n, p, rounds, bound)
+			}
+		}
+	}
+}
+
+// TestBinaryStrategyWastesProcessors: the p-oblivious strategy needs
+// Θ(log n) rounds no matter how large p is — the gap the cooperative
+// search closes.
+func TestBinaryStrategyWastesProcessors(t *testing.T) {
+	n, p := 1<<16, 1024
+	binRounds, _ := PlayGame(n, p, BinaryStrategy, 1000)
+	uniRounds, _ := PlayGame(n, p, UniformStrategy, 1000)
+	if binRounds < 16 {
+		t.Errorf("binary strategy should need ~log n = 16 rounds, used %d", binRounds)
+	}
+	if uniRounds*3 > binRounds {
+		t.Errorf("uniform (%d rounds) should be well below binary (%d) at p=%d",
+			uniRounds, binRounds, p)
+	}
+}
+
+func TestAdversaryMechanics(t *testing.T) {
+	a := NewAdversary(10)
+	if a.Candidates() != 11 || a.Done() {
+		t.Fatal("fresh adversary state wrong")
+	}
+	// Probing everything forces a singleton in one round... except the
+	// adversary keeps the largest group, which is a single gap.
+	var all []int
+	for i := 0; i < 10; i++ {
+		all = append(all, i)
+	}
+	a.Probe(all)
+	if !a.Done() {
+		t.Fatalf("full probe should finish the game, %d candidates left", a.Candidates())
+	}
+	if a.Rounds() != 1 {
+		t.Errorf("Rounds = %d, want 1", a.Rounds())
+	}
+	_ = a.Answer()
+	// Out-of-range and duplicate probes are free but useless.
+	b := NewAdversary(5)
+	b.Probe([]int{-3, 99, 2, 2})
+	if b.Candidates() >= 6 {
+		t.Error("in-range probe must shrink candidates")
+	}
+}

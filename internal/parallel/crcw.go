@@ -1,0 +1,52 @@
+package parallel
+
+import "fraccascade/internal/pram"
+
+// NextPointersPRAM computes, for every index i of the flag array
+// [flagsBase, flagsBase+n), the smallest j > i with flag[j] != 0, writing
+// it to next[i] (or n if none) — in exactly ONE step using n² processors
+// on a priority-CRCW machine (our CRCWArbitrary resolves concurrent writes
+// to the lowest processor id, which is the classic Priority model).
+//
+// This is the O(1) concurrent-write linking of Theorem 6.2: the non-empty
+// catalog ranges of an indirect retrieval chain into a linked list without
+// a prefix computation, provided p = Ω(log² n) (n here is the path
+// length, so n² = log² of the structure size).
+func NextPointersPRAM(m *pram.Machine, flagsBase, n, nextBase int) error {
+	if n == 0 {
+		return nil
+	}
+	// Initialise next[i] = n.
+	err := m.Step(n, func(p *pram.Proc) {
+		p.Write(nextBase+p.ID, int64(n))
+	})
+	if err != nil {
+		return err
+	}
+	// Processor i*n + (j-i-1) handles pair (i, j); for fixed i, smaller j
+	// means smaller processor id, so the priority write keeps the minimum.
+	return m.Step(n*n, func(p *pram.Proc) {
+		i := p.ID / n
+		j := i + 1 + p.ID%n
+		if j >= n {
+			return
+		}
+		if p.Read(flagsBase+j) != 0 {
+			p.Write(nextBase+i, int64(j))
+		}
+	})
+}
+
+// NextPointersSeq is the host reference implementation.
+func NextPointersSeq(flags []int64) []int {
+	n := len(flags)
+	next := make([]int, n)
+	nxt := n
+	for i := n - 1; i >= 0; i-- {
+		next[i] = nxt
+		if flags[i] != 0 {
+			nxt = i
+		}
+	}
+	return next
+}

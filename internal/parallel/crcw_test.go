@@ -1,0 +1,69 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+
+	"fraccascade/internal/pram"
+)
+
+func TestNextPointersPRAMMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(30)
+		flags := make([]int64, n)
+		for i := range flags {
+			if rng.Intn(3) == 0 {
+				flags[i] = 1 + rng.Int63n(5)
+			}
+		}
+		m := pram.New(pram.CRCWArbitrary, n*n)
+		flagsBase := m.Alloc(n)
+		nextBase := m.Alloc(n)
+		for i, f := range flags {
+			m.Store(flagsBase+i, f)
+		}
+		if err := NextPointersPRAM(m, flagsBase, n, nextBase); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := NextPointersSeq(flags)
+		for i := 0; i < n; i++ {
+			if got := int(m.Load(nextBase + i)); got != want[i] {
+				t.Fatalf("trial %d: next[%d] = %d, want %d (flags %v)", trial, i, got, want[i], flags)
+			}
+		}
+		if m.Time() != 2 {
+			t.Fatalf("linking took %d steps, want exactly 2 (init + priority write)", m.Time())
+		}
+	}
+}
+
+func TestNextPointersPRAMNeedsCRCW(t *testing.T) {
+	// Two set flags after index 0 force a write conflict on CREW.
+	flags := []int64{0, 1, 1}
+	m := pram.New(pram.CREW, 9)
+	flagsBase := m.Alloc(3)
+	nextBase := m.Alloc(3)
+	for i, f := range flags {
+		m.Store(flagsBase+i, f)
+	}
+	if err := NextPointersPRAM(m, flagsBase, 3, nextBase); err == nil {
+		t.Error("CREW machine should reject the concurrent-write linking")
+	}
+}
+
+func TestNextPointersSeqEdges(t *testing.T) {
+	if got := NextPointersSeq(nil); len(got) != 0 {
+		t.Error("empty input")
+	}
+	got := NextPointersSeq([]int64{0, 0, 0})
+	for i, v := range got {
+		if v != 3 {
+			t.Errorf("next[%d] = %d, want 3 (none)", i, v)
+		}
+	}
+	got = NextPointersSeq([]int64{1, 0, 2})
+	if got[0] != 2 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("got %v", got)
+	}
+}

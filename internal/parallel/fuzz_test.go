@@ -1,0 +1,60 @@
+package parallel
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzCoopSearch feeds arbitrary byte strings as key material and checks
+// the cooperative search against sort.Search.
+func FuzzCoopSearch(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, uint16(3), uint8(4))
+	f.Add([]byte{}, uint16(0), uint8(0))
+	f.Add([]byte{255, 255, 0, 0, 128}, uint16(200), uint8(63))
+	f.Fuzz(func(t *testing.T, raw []byte, yRaw uint16, pRaw uint8) {
+		keys := make([]int64, 0, len(raw))
+		var run int64
+		for _, b := range raw {
+			run += int64(b) + 1 // strictly increasing, distinct
+			keys = append(keys, run)
+		}
+		y := int64(yRaw)
+		p := int(pRaw)%128 + 1
+		got, rounds := CoopSearch(keys, y, p)
+		want := sort.Search(len(keys), func(i int) bool { return keys[i] >= y })
+		if got != want {
+			t.Fatalf("CoopSearch(n=%d, y=%d, p=%d) = %d, want %d", len(keys), y, p, got, want)
+		}
+		if bound := CoopSearchSteps(len(keys), p) + 2; rounds > bound {
+			t.Fatalf("rounds %d exceed bound %d", rounds, bound)
+		}
+	})
+}
+
+// FuzzMergeByRanking checks the ranking merge against a sort-based
+// reference for arbitrary inputs.
+func FuzzMergeByRanking(f *testing.F) {
+	f.Add([]byte{1, 2}, []byte{3})
+	f.Add([]byte{}, []byte{5, 5, 5})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		mk := func(raw []byte) []int64 {
+			out := make([]int64, len(raw))
+			for i, b := range raw {
+				out[i] = int64(b)
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return out
+		}
+		a, b := mk(rawA), mk(rawB)
+		got, _ := MergeByRanking(a, b)
+		want := refMerge(a, b)
+		if len(got) != len(want) {
+			t.Fatalf("length %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("out[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+	})
+}

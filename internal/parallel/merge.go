@@ -1,0 +1,170 @@
+package parallel
+
+import (
+	"sort"
+
+	"fraccascade/internal/pram"
+)
+
+// MergeByRanking merges two sorted slices by cross-ranking: element i of a
+// goes to position i + rank(a[i], b). With one processor per element this
+// is an O(log n)-time CREW merge — the elementary round of cascading
+// divide-and-conquer [Atallah–Cole–Goodrich], which the paper's Step 1
+// preprocessing invokes. Ties rank a before b. It returns the merged
+// slice and the per-element round count (the binary-search depth).
+func MergeByRanking(a, b []int64) (out []int64, rounds int) {
+	out = make([]int64, len(a)+len(b))
+	rounds = CeilLog2(len(b)+1) + CeilLog2(len(a)+1)
+	for i, v := range a {
+		r := sort.Search(len(b), func(j int) bool { return b[j] >= v })
+		out[i+r] = v
+	}
+	for j, v := range b {
+		r := sort.Search(len(a), func(i int) bool { return a[i] > v })
+		out[j+r] = v
+	}
+	return out, rounds
+}
+
+// MergePRAM merges sorted memory blocks a[0..na) and b[0..nb) into
+// out[0..na+nb) on a CREW machine with one processor per element: each
+// processor binary-searches the opposite array (log rounds, one probe per
+// round) and writes its element to its final position (exclusive write).
+// Equal keys are stable (a's copy precedes b's).
+func MergePRAM(m *pram.Machine, aBase, na, bBase, nb, outBase int) error {
+	if na+nb == 0 {
+		return nil
+	}
+	// scratch: per-processor [lo, hi) interval state.
+	lo := make([]int, na+nb)
+	hi := make([]int, na+nb)
+	for i := 0; i < na; i++ {
+		lo[i], hi[i] = 0, nb
+	}
+	for j := 0; j < nb; j++ {
+		lo[na+j], hi[na+j] = 0, na
+	}
+	maxRounds := CeilLog2(na+1) + CeilLog2(nb+1) + 2
+	for r := 0; r < maxRounds; r++ {
+		done := true
+		for i := range lo {
+			if lo[i] < hi[i] {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		err := m.Step(na+nb, func(p *pram.Proc) {
+			i := p.ID
+			if lo[i] >= hi[i] {
+				return
+			}
+			mid := (lo[i] + hi[i]) / 2
+			if i < na {
+				v := p.Read(aBase + i)
+				w := p.Read(bBase + mid)
+				// rank of a[i] in b: first j with b[j] >= a[i].
+				if w >= v {
+					hi[i] = mid
+				} else {
+					lo[i] = mid + 1
+				}
+			} else {
+				j := i - na
+				v := p.Read(bBase + j)
+				w := p.Read(aBase + mid)
+				// rank of b[j] in a: first i with a[i] > b[j] (stability).
+				if w > v {
+					hi[i] = mid
+				} else {
+					lo[i] = mid + 1
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Final placement round: exclusive writes to distinct positions.
+	return m.Step(na+nb, func(p *pram.Proc) {
+		i := p.ID
+		if i < na {
+			v := p.Read(aBase + i)
+			p.Write(outBase+i+lo[i], v)
+		} else {
+			j := i - na
+			v := p.Read(bBase + j)
+			p.Write(outBase+j+lo[i], v)
+		}
+	})
+}
+
+// ScanWorkOptimalPRAM computes exclusive prefix sums over [base, base+n)
+// using only ⌈n/log n⌉ processors in O(log n) time — the work-optimal
+// schedule matching the paper's preprocessing budget. Three phases:
+// each processor serially sums a block of ~log n elements; a Blelloch
+// scan over the block sums; each processor serially redistributes.
+// The caller must provide scratch capacity: scratch must have room for
+// the next power of two of the block count, zero-initialised.
+func ScanWorkOptimalPRAM(m *pram.Machine, base, n, scratch int) error {
+	if n <= 1 {
+		if n == 1 {
+			m.Store(base, 0)
+		}
+		return nil
+	}
+	blockSize := CeilLog2(n)
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	blocks := (n + blockSize - 1) / blockSize
+	// Phase 1: serial block sums (blockSize steps with `blocks` procs).
+	for k := 0; k < blockSize; k++ {
+		err := m.Step(blocks, func(p *pram.Proc) {
+			i := p.ID*blockSize + k
+			if i >= n {
+				return
+			}
+			v := p.Read(base + i)
+			var acc int64
+			if k > 0 {
+				acc = p.Read(scratch + p.ID)
+			}
+			p.Write(scratch+p.ID, acc+v)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Phase 2: scan the block sums.
+	if err := ScanExclusivePRAM(m, scratch, blocks); err != nil {
+		return err
+	}
+	// Phase 3: serial redistribution. Each processor walks its block,
+	// carrying the running prefix; element i is replaced by the prefix
+	// before it.
+	carry := make([]int64, blocks)
+	for k := 0; k < blockSize; k++ {
+		err := m.Step(blocks, func(p *pram.Proc) {
+			i := p.ID*blockSize + k
+			if i >= n {
+				return
+			}
+			var acc int64
+			if k == 0 {
+				acc = p.Read(scratch + p.ID)
+			} else {
+				acc = carry[p.ID]
+			}
+			v := p.Read(base + i)
+			p.Write(base+i, acc)
+			carry[p.ID] = acc + v
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package parallel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fraccascade/internal/pram"
+)
+
+func refMerge(a, b []int64) []int64 {
+	out := append(append([]int64{}, a...), b...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestMergeByRanking(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		a := sortedKeys(rng, rng.Intn(50))
+		b := sortedKeys(rng, rng.Intn(50))
+		got, rounds := MergeByRanking(a, b)
+		want := refMerge(a, b)
+		if len(got) != len(want) {
+			t.Fatalf("length %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: out[%d] = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+		if rounds > CeilLog2(len(a)+1)+CeilLog2(len(b)+1) {
+			t.Fatalf("rounds %d exceeds log bound", rounds)
+		}
+	}
+}
+
+func TestMergeByRankingEdges(t *testing.T) {
+	if out, _ := MergeByRanking(nil, nil); len(out) != 0 {
+		t.Error("empty merge should be empty")
+	}
+	out, _ := MergeByRanking([]int64{1, 2}, nil)
+	if len(out) != 2 || out[0] != 1 {
+		t.Errorf("one-sided merge = %v", out)
+	}
+}
+
+func TestMergeByRankingWithTies(t *testing.T) {
+	a := []int64{1, 3, 3, 5}
+	b := []int64{3, 3, 4}
+	got, _ := MergeByRanking(a, b)
+	want := []int64{1, 3, 3, 3, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergePRAMMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		na, nb := rng.Intn(40), rng.Intn(40)
+		// Allow duplicates across (not within) inputs to test stability.
+		a := sortedKeys(rng, na)
+		b := make([]int64, nb)
+		for j := range b {
+			if na > 0 && rng.Intn(3) == 0 {
+				b[j] = a[rng.Intn(na)]
+			} else {
+				b[j] = rng.Int63n(300)
+			}
+		}
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		m := pram.New(pram.CREW, na+nb+1)
+		aBase := m.Alloc(na + 1)
+		bBase := m.Alloc(nb + 1)
+		outBase := m.Alloc(na + nb + 1)
+		for i, v := range a {
+			m.Store(aBase+i, v)
+		}
+		for j, v := range b {
+			m.Store(bBase+j, v)
+		}
+		if err := MergePRAM(m, aBase, na, bBase, nb, outBase); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := refMerge(a, b)
+		for i := range want {
+			if got := m.Load(outBase + i); got != want[i] {
+				t.Fatalf("trial %d: out[%d] = %d, want %d (a=%v b=%v)", trial, i, got, want[i], a, b)
+			}
+		}
+	}
+}
+
+func TestMergePRAMStepBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	na, nb := 1000, 1000
+	a := sortedKeys(rng, na)
+	b := sortedKeys(rng, nb)
+	m := pram.New(pram.CREW, na+nb)
+	aBase := m.Alloc(na)
+	bBase := m.Alloc(nb)
+	outBase := m.Alloc(na + nb)
+	for i, v := range a {
+		m.Store(aBase+i, v)
+	}
+	for j, v := range b {
+		m.Store(bBase+j, v)
+	}
+	if err := MergePRAM(m, aBase, na, bBase, nb, outBase); err != nil {
+		t.Fatal(err)
+	}
+	bound := CeilLog2(na+1) + CeilLog2(nb+1) + 3
+	if m.Time() > bound {
+		t.Errorf("merge took %d steps, bound %d", m.Time(), bound)
+	}
+}
+
+func TestScanWorkOptimalPRAM(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 5, 17, 64, 200, 1000} {
+		src := make([]int64, n)
+		for i := range src {
+			src[i] = rng.Int63n(50)
+		}
+		blockSize := CeilLog2(n)
+		if blockSize < 1 {
+			blockSize = 1
+		}
+		blocks := (n + blockSize - 1) / blockSize
+		scratchSize := 1 << CeilLog2(blocks)
+		if scratchSize < 1 {
+			scratchSize = 1
+		}
+		procs := blocks
+		if scratchSize > procs {
+			procs = scratchSize
+		}
+		if procs < 1 {
+			procs = 1
+		}
+		m := pram.New(pram.EREW, procs)
+		base := m.Alloc(n)
+		scratch := m.Alloc(scratchSize)
+		for i, v := range src {
+			m.Store(base+i, v)
+		}
+		if err := ScanWorkOptimalPRAM(m, base, n, scratch); err != nil {
+			t.Fatalf("n=%d: %v (must be EREW-legal)", n, err)
+		}
+		want, _, _ := ScanExclusive(src)
+		for i := 0; i < n; i++ {
+			if got := m.Load(base + i); got != want[i] {
+				t.Fatalf("n=%d: prefix[%d] = %d, want %d", n, i, got, want[i])
+			}
+		}
+		// Work-optimality: processors used <= ~n/log n (+ scan padding),
+		// time O(log n).
+		if m.Time() > 4*CeilLog2(n)+6 {
+			t.Errorf("n=%d: %d steps exceeds O(log n) budget", n, m.Time())
+		}
+		if m.PeakActive() > procs {
+			t.Errorf("n=%d: peak %d processors exceeds budget %d", n, m.PeakActive(), procs)
+		}
+	}
+}
+
+func TestQuickMergeByRanking(t *testing.T) {
+	f := func(rawA, rawB []uint8) bool {
+		a := make([]int64, len(rawA))
+		for i, v := range rawA {
+			a[i] = int64(v)
+		}
+		b := make([]int64, len(rawB))
+		for i, v := range rawB {
+			b[i] = int64(v)
+		}
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		// Dedupe within each side (catalog-style inputs).
+		dedupe := func(s []int64) []int64 {
+			out := s[:0]
+			var prev int64 = -1
+			for _, v := range s {
+				if v != prev {
+					out = append(out, v)
+					prev = v
+				}
+			}
+			return out
+		}
+		a, b = dedupe(a), dedupe(b)
+		got, _ := MergeByRanking(a, b)
+		want := refMerge(a, b)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,334 @@
+// Package parallel provides the PRAM building blocks used by the
+// preprocessing and query algorithms: prefix sums, reductions, and the
+// cooperative p-ary search of a sorted array (the Step-1 primitive of the
+// explicit cooperative search, optimal by Snir's lower bound).
+//
+// Each primitive comes in two forms that share their control structure:
+//
+//   - a step-exact form running on a pram.Machine, used by tests to verify
+//     step counts and memory-model legality for small inputs; and
+//   - a plain form operating on Go slices that returns the same step count
+//     analytically, used by the large-scale benchmarks.
+package parallel
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"fraccascade/internal/pram"
+)
+
+// CeilLog2 returns ⌈log₂ x⌉ for x ≥ 1, and 0 for x ≤ 1.
+func CeilLog2(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	return bits.Len(uint(x - 1))
+}
+
+// FloorLog2 returns ⌊log₂ x⌋ for x ≥ 1; it panics for x < 1.
+func FloorLog2(x int) int {
+	if x < 1 {
+		panic("parallel: FloorLog2 of non-positive value")
+	}
+	return bits.Len(uint(x)) - 1
+}
+
+// CoopSearchSteps returns the number of synchronous rounds a p-processor
+// CREW cooperative search needs on a sorted array of n keys:
+// ⌈log(n+1) / log(p+1)⌉. This is Θ((log n)/log p), optimal by Snir's
+// lower bound for parallel comparison search.
+func CoopSearchSteps(n, p int) int {
+	if n <= 0 {
+		return 0
+	}
+	if p < 1 {
+		p = 1
+	}
+	// Number of rounds r such that (p+1)^r >= n+1.
+	r := 0
+	remaining := n + 1
+	for remaining > 1 {
+		remaining = (remaining + p) / (p + 1)
+		r++
+	}
+	return r
+}
+
+// CoopSearch finds the smallest index i in the sorted slice keys with
+// keys[i] >= y, simulating a p-processor cooperative search. It returns
+// len(keys) if no such index exists, together with the number of
+// synchronous rounds the search used.
+//
+// Each round narrows the candidate interval by a factor p+1 using p
+// simultaneous probes, exactly as in the CREW search of Section 2.2 Step 1.
+func CoopSearch(keys []int64, y int64, p int) (idx, rounds int) {
+	if p < 1 {
+		p = 1
+	}
+	// Invariant: answer lies in [lo, hi] where hi==len(keys) encodes "none".
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		// p probes split [lo, hi) into p+1 chunks.
+		span := hi - lo
+		newLo, newHi := lo, hi
+		// Probe positions are lo + ceil(span*(i+1)/(p+1)) - 1 for i in [0,p).
+		prevPos := lo - 1
+		decided := false
+		for i := 0; i < p && !decided; i++ {
+			pos := lo + (span*(i+1))/(p+1)
+			if pos >= hi {
+				pos = hi - 1
+			}
+			if pos <= prevPos {
+				pos = prevPos + 1
+				if pos >= hi {
+					break
+				}
+			}
+			if keys[pos] >= y {
+				// First probe that is >= y: answer in (prevPos, pos].
+				newLo, newHi = prevPos+1, pos
+				decided = true
+			}
+			prevPos = pos
+		}
+		if !decided {
+			// All probes < y: answer in (prevPos, hi].
+			newLo, newHi = prevPos+1, hi
+		}
+		rounds++
+		if newLo == lo && newHi == hi {
+			// Guard against non-progress on degenerate splits.
+			if keys[lo] >= y {
+				return lo, rounds
+			}
+			lo++
+			continue
+		}
+		lo, hi = newLo, newHi
+		if lo == hi {
+			return lo, rounds
+		}
+		if hi-lo == 1 && hi < len(keys) {
+			// One candidate left: a final comparison resolves it.
+			// (Counted inside the same round's comparison budget.)
+			if keys[lo] >= y {
+				return lo, rounds
+			}
+			return hi, rounds
+		}
+	}
+	return lo, rounds
+}
+
+// CoopSearchPRAM runs the p-processor cooperative search on a pram.Machine.
+// The sorted keys occupy memory [keysBase, keysBase+n); the result index is
+// written to resultAddr. It requires a CREW (or stronger) machine because
+// every processor reads the shared interval bounds each round.
+//
+// Layout of scratch (allocated by the caller via machine.Alloc(p + 2)):
+// scratch[0] = lo, scratch[1] = hi, scratch[2..2+p) = probe flags.
+func CoopSearchPRAM(m *pram.Machine, keysBase, n int, y int64, p, scratch, resultAddr int) error {
+	if p < 1 {
+		p = 1
+	}
+	loA, hiA, flags := scratch, scratch+1, scratch+2
+	m.Store(loA, 0)
+	m.Store(hiA, int64(n))
+	for {
+		lo, hi := int(m.Load(loA)), int(m.Load(hiA))
+		if lo >= hi {
+			m.Store(resultAddr, int64(lo))
+			return nil
+		}
+		span := hi - lo
+		// Round part 1: p probes write monotone flags.
+		err := m.Step(p, func(pr *pram.Proc) {
+			pos := lo + (span*(pr.ID+1))/(p+1)
+			if pos >= hi {
+				pos = hi - 1
+			}
+			v := pr.Read(keysBase + pos)
+			if v >= y {
+				pr.Write(flags+pr.ID, int64(pos+1)) // flag>0 encodes "probe >= y", stores pos+1
+			} else {
+				pr.Write(flags+pr.ID, -int64(pos+1)) // negative encodes "probe < y"
+			}
+		})
+		if err != nil {
+			return err
+		}
+		// Round part 2: the unique boundary processor narrows [lo, hi].
+		err = m.Step(p, func(pr *pram.Proc) {
+			cur := pr.Read(flags + pr.ID)
+			var prev int64 = -int64(lo) // sentinel: position lo-1 compared < y
+			if pr.ID > 0 {
+				prev = pr.Read(flags + pr.ID - 1)
+			}
+			curGE := cur > 0
+			prevGE := prev > 0
+			curPos := int(cur)
+			if curPos < 0 {
+				curPos = -curPos
+			}
+			curPos-- // back to 0-based probe position
+			prevPos := int(prev)
+			if prevPos < 0 {
+				prevPos = -prevPos
+			}
+			prevPos--
+			if curGE && !prevGE {
+				// Transition probe: answer in (prevPos, curPos].
+				pr.Write(loA, int64(prevPos+1))
+				pr.Write(hiA, int64(curPos))
+			} else if pr.ID == p-1 && !curGE {
+				// All probes < y: answer in (curPos, hi].
+				pr.Write(loA, int64(curPos+1))
+			}
+		})
+		if err != nil {
+			return err
+		}
+		nlo, nhi := int(m.Load(loA)), int(m.Load(hiA))
+		if nlo == nhi {
+			m.Store(resultAddr, int64(nlo))
+			return nil
+		}
+		if nlo == lo && nhi == hi {
+			// Degenerate split made no progress (tiny span vs p);
+			// finish with one scalar comparison per remaining element.
+			for i := nlo; i < nhi; i++ {
+				kv := m.Load(keysBase + i)
+				if kv >= y {
+					m.Store(resultAddr, int64(i))
+					return nil
+				}
+			}
+			m.Store(resultAddr, int64(nhi))
+			return nil
+		}
+	}
+}
+
+// ScanExclusive computes the exclusive prefix sums of src into a new slice:
+// out[i] = src[0] + ... + src[i-1]. It also returns the total and the EREW
+// step count of the corresponding Blelloch scan (2·⌈log₂ n⌉ rounds).
+func ScanExclusive(src []int64) (out []int64, total int64, steps int) {
+	out = make([]int64, len(src))
+	var run int64
+	for i, v := range src {
+		out[i] = run
+		run += v
+	}
+	return out, run, 2 * CeilLog2(len(src))
+}
+
+// ScanExclusivePRAM computes exclusive prefix sums in place over the memory
+// block [base, base+n) using the Blelloch up-sweep/down-sweep algorithm on
+// an EREW machine. n is padded internally to a power of two by the caller's
+// allocation contract: the block must have capacity for the next power of
+// two of n, with the padding words zeroed.
+func ScanExclusivePRAM(m *pram.Machine, base, n int) error {
+	if n <= 1 {
+		if n == 1 {
+			m.Store(base, 0)
+		}
+		return nil
+	}
+	size := 1 << CeilLog2(n)
+	// Up-sweep.
+	for d := 1; d < size; d <<= 1 {
+		pairs := size / (2 * d)
+		stride := 2 * d
+		err := m.Step(pairs, func(p *pram.Proc) {
+			right := base + p.ID*stride + stride - 1
+			left := right - d
+			a := p.Read(left)
+			b := p.Read(right)
+			p.Write(right, a+b)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	m.Store(base+size-1, 0)
+	// Down-sweep.
+	for d := size / 2; d >= 1; d >>= 1 {
+		pairs := size / (2 * d)
+		stride := 2 * d
+		err := m.Step(pairs, func(p *pram.Proc) {
+			right := base + p.ID*stride + stride - 1
+			left := right - d
+			a := p.Read(left)
+			b := p.Read(right)
+			p.Write(left, b)
+			p.Write(right, a+b)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReduceMaxPRAM computes the maximum of memory block [base, base+n) on an
+// EREW machine, writing it to resultAddr. The block is consumed as scratch.
+func ReduceMaxPRAM(m *pram.Machine, base, n, resultAddr int) error {
+	for span := n; span > 1; {
+		half := (span + 1) / 2
+		err := m.Step(span/2, func(p *pram.Proc) {
+			a := p.Read(base + p.ID)
+			b := p.Read(base + half + p.ID)
+			if b > a {
+				p.Write(base+p.ID, b)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		span = half
+	}
+	m.Store(resultAddr, m.Load(base))
+	return nil
+}
+
+// ForEach partitions [0, n) into contiguous chunks of at least grain
+// elements and runs fn on the chunks concurrently with up to GOMAXPROCS
+// workers. It is the host-parallel counterpart of a PRAM "for all i" round,
+// used by the preprocessing code for real concurrency during construction.
+func ForEach(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > workers {
+		chunks = workers
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	per := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

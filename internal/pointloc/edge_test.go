@@ -1,0 +1,96 @@
+package pointloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"fraccascade/internal/core"
+	"fraccascade/internal/geom"
+	"fraccascade/internal/subdivision"
+)
+
+// TestExtremeLateralQueries exercises points far left and far right of
+// every chain: they must land in r_1 and r_f respectively, sequentially
+// and cooperatively.
+func TestExtremeLateralQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		f := 2 + rng.Intn(40)
+		s := subdivision.Generate(f, 4+rng.Intn(12), rng)
+		l, err := Build(s, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Debug = true
+		for y := s.YMin + 1; y < s.YMax; y += 2 {
+			farLeft := geom.Point{X: -(1 << 40) + 1, Y: y}
+			farRight := geom.Point{X: 1<<40 + 1, Y: y}
+			if r, err := l.LocateSeq(farLeft); err != nil || r != 1 {
+				t.Fatalf("trial %d: far left seq = (%d, %v), want r_1", trial, r, err)
+			}
+			if r, err := l.LocateSeq(farRight); err != nil || r != f {
+				t.Fatalf("trial %d: far right seq = (%d, %v), want r_%d", trial, r, err, f)
+			}
+			if r, _, err := l.LocateCoop(farLeft, 256); err != nil || r != 1 {
+				t.Fatalf("trial %d: far left coop = (%d, %v)", trial, r, err)
+			}
+			if r, _, err := l.LocateCoop(farRight, 256); err != nil || r != f {
+				t.Fatalf("trial %d: far right coop = (%d, %v)", trial, r, err)
+			}
+		}
+	}
+}
+
+// TestTwoRegions is the smallest non-trivial locator: one separator.
+func TestTwoRegions(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := subdivision.Generate(2, 3, rng)
+	l, err := Build(s, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug = true
+	for q := 0; q < 200; q++ {
+		pt, want := s.RandomInteriorPoint(rng)
+		got, _, err := l.LocateCoop(pt, 1+rng.Intn(100))
+		if err != nil || got != want {
+			t.Fatalf("(%v) = (%d, %v), want %d", pt, got, err, want)
+		}
+	}
+}
+
+// TestQueriesNearChainVertices probes just beside chain vertex levels —
+// the y values closest to catalog key boundaries.
+func TestQueriesNearChainVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	s := subdivision.Generate(24, 12, rng)
+	l, err := Build(s, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug = true
+	for _, e := range s.Edges {
+		for _, y := range []int64{e.Seg.A.Y + 1, e.Seg.B.Y - 1} {
+			if y <= s.YMin || y >= s.YMax || y%2 == 0 {
+				continue
+			}
+			for _, dx := range []int64{-3, 3} {
+				q := geom.Point{X: (e.Seg.A.X+e.Seg.B.X)/2 + dx, Y: y}
+				if q.X%2 == 0 {
+					q.X++
+				}
+				want, err := s.LocateBrute(q)
+				if err != nil {
+					continue
+				}
+				got, _, err := l.LocateCoop(q, 64)
+				if err != nil {
+					t.Fatalf("%v: %v", q, err)
+				}
+				if got != want {
+					t.Fatalf("%v: got %d, want %d", q, got, want)
+				}
+			}
+		}
+	}
+}

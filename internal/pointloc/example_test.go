@@ -1,0 +1,50 @@
+package pointloc_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fraccascade/internal/core"
+	"fraccascade/internal/geom"
+	"fraccascade/internal/pointloc"
+	"fraccascade/internal/subdivision"
+)
+
+// Example locates a point in a randomly generated monotone subdivision
+// both sequentially and cooperatively.
+func Example() {
+	rng := rand.New(rand.NewSource(42))
+	s := subdivision.Generate(16, 12, rng)
+	loc, err := pointloc.Build(s, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pt, oracle := s.RandomInteriorPoint(rng)
+	seq, err := loc.LocateSeq(pt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coop, _, err := loc.LocateCoop(pt, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("oracle=%v seq=%v coop=%v agree=%v\n",
+		oracle, seq, coop, oracle == seq && seq == coop)
+	// Output:
+	// oracle=12 seq=12 coop=12 agree=true
+}
+
+// ExampleLocator_LocateSeq shows the query band requirement.
+func ExampleLocator_LocateSeq() {
+	rng := rand.New(rand.NewSource(1))
+	s := subdivision.Generate(4, 5, rng)
+	loc, err := pointloc.Build(s, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = loc.LocateSeq(geom.Point{X: 1, Y: s.YMax + 10})
+	fmt.Println(err != nil)
+	// Output:
+	// true
+}

@@ -1,0 +1,302 @@
+package pointloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"fraccascade/internal/core"
+	"fraccascade/internal/geom"
+	"fraccascade/internal/subdivision"
+)
+
+func buildLocator(tb testing.TB, f, levels int, seed int64, cfg core.Config) (*Locator, *subdivision.Subdivision, *rand.Rand) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := subdivision.Generate(f, levels, rng)
+	if err := s.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	l, err := Build(s, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	l.Debug = true
+	return l, s, rng
+}
+
+func TestSingleRegionLocator(t *testing.T) {
+	l, s, rng := buildLocator(t, 1, 5, 1, core.Config{})
+	q, _ := s.RandomInteriorPoint(rng)
+	r, err := l.LocateSeq(q)
+	if err != nil || r != 1 {
+		t.Errorf("LocateSeq = (%d, %v), want (1, nil)", r, err)
+	}
+	r, _, err = l.LocateCoop(q, 8)
+	if err != nil || r != 1 {
+		t.Errorf("LocateCoop = (%d, %v), want (1, nil)", r, err)
+	}
+}
+
+func TestLocateSeqMatchesBrute(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		f := 2 + int(seed)*7
+		l, s, rng := buildLocator(t, f, 6+int(seed)*3, seed, core.Config{})
+		for q := 0; q < 300; q++ {
+			pt, want := s.RandomInteriorPoint(rng)
+			got, err := l.LocateSeq(pt)
+			if err != nil {
+				t.Fatalf("seed %d q %v: %v", seed, pt, err)
+			}
+			if got != want {
+				t.Fatalf("seed %d: LocateSeq(%v) = %d, want %d", seed, pt, got, want)
+			}
+		}
+	}
+}
+
+func TestLocateCoopMatchesBrute(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		f := 2 + int(seed)*11
+		l, s, rng := buildLocator(t, f, 5+int(seed)*4, seed+100, core.Config{})
+		for _, p := range []int{1, 2, 8, 64, 4096} {
+			for q := 0; q < 80; q++ {
+				pt, want := s.RandomInteriorPoint(rng)
+				got, stats, err := l.LocateCoop(pt, p)
+				if err != nil {
+					t.Fatalf("seed %d p %d q %v: %v", seed, p, pt, err)
+				}
+				if got != want {
+					t.Fatalf("seed %d p %d: LocateCoop(%v) = %d, want %d", seed, p, pt, got, want)
+				}
+				if stats.Steps <= 0 {
+					t.Fatal("no steps recorded")
+				}
+			}
+		}
+	}
+}
+
+func TestLocateCoopHopsOccur(t *testing.T) {
+	// With large f and large p, the coop locator must actually hop.
+	l, s, rng := buildLocator(t, 200, 40, 7, core.Config{})
+	hops := 0
+	for q := 0; q < 50; q++ {
+		pt, _ := s.RandomInteriorPoint(rng)
+		_, stats, err := l.LocateCoop(pt, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hops += stats.Hops
+	}
+	if hops == 0 {
+		t.Error("cooperative locator never hopped; truncation too aggressive for test size")
+	}
+}
+
+func TestLocateRejectsOutOfBand(t *testing.T) {
+	l, s, _ := buildLocator(t, 5, 6, 9, core.Config{})
+	bad := geom.Point{X: 1, Y: s.YMax + 10}
+	if _, err := l.LocateSeq(bad); err == nil {
+		t.Error("out-of-band query should fail LocateSeq")
+	}
+	if _, _, err := l.LocateCoop(bad, 4); err == nil {
+		t.Error("out-of-band query should fail LocateCoop")
+	}
+}
+
+func TestPaddingRegionsUnreachable(t *testing.T) {
+	// f = 5 pads to 8: dummy regions 6..8 must never be answers.
+	l, s, rng := buildLocator(t, 5, 10, 11, core.Config{})
+	if l.fPad != 8 {
+		t.Fatalf("fPad = %d, want 8", l.fPad)
+	}
+	for q := 0; q < 500; q++ {
+		pt, _ := s.RandomInteriorPoint(rng)
+		r, err := l.LocateSeq(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r > 5 {
+			t.Fatalf("sequential locate returned dummy region %d", r)
+		}
+		r, _, err = l.LocateCoop(pt, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r > 5 {
+			t.Fatalf("cooperative locate returned dummy region %d", r)
+		}
+	}
+}
+
+// TestInconsistentBranchExists reproduces the Fig. 5 observation: the
+// natural sequential branch function violates the consistency assumption —
+// there is a query and an off-path inactive separator whose stored branch
+// points away from the path. We detect it by finding an inactive node
+// whose Step-5 resolution (right) lies right of the query's leaf, or vice
+// versa.
+func TestInconsistentBranchExists(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	foundViolation := false
+	for trial := 0; trial < 60 && !foundViolation; trial++ {
+		s := subdivision.Generate(12+rng.Intn(20), 8+rng.Intn(10), rng)
+		l, err := Build(s, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 60 && !foundViolation; q++ {
+			pt, region := s.RandomInteriorPoint(rng)
+			// For every inactive separator at pt.Y whose chain edge is
+			// proper elsewhere, the "natural" gap branch (derived from
+			// the home's side) can disagree with the side the separator
+			// actually lies on relative to the region. The consistency
+			// assumption demands: separators < region branch right,
+			// separators >= region branch left. Compute the natural
+			// branch: j < homeSep means branch left (paper Section 3.1).
+			for j := 1; j < s.NumRegions; j++ {
+				e, err := s.EdgeAt(j, pt.Y)
+				if err != nil {
+					continue
+				}
+				homeNode := l.homeOf(e)
+				homeSep := l.sep[homeNode]
+				if homeSep == int32(j) {
+					continue // active node
+				}
+				var natural string
+				if int32(j) < homeSep {
+					natural = "left"
+				} else {
+					natural = "right"
+				}
+				var consistent string
+				if j < region {
+					consistent = "right"
+				} else {
+					consistent = "left"
+				}
+				if natural != consistent {
+					foundViolation = true
+					break
+				}
+			}
+		}
+	}
+	if !foundViolation {
+		t.Error("never observed the Fig. 5 consistency violation; generator may be too tame")
+	}
+}
+
+func TestStepsShrinkWithHopHeight(t *testing.T) {
+	// The (log n)/log p curve in isolation: with hop height h (h grows
+	// with log p), the hop count is height/h, so total steps must fall as
+	// h rises. Results stay correct throughout.
+	rng := rand.New(rand.NewSource(17))
+	s := subdivision.Generate(256, 60, rng)
+	prev := 1 << 30
+	for _, h := range []int{1, 2, 4} {
+		l, err := Build(s, core.Config{
+			MaxSubs:      1,
+			NoTruncation: true,
+			HOverride:    func(int) int { return h },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Debug = true
+		total := 0
+		for q := 0; q < 40; q++ {
+			pt, want := s.RandomInteriorPoint(rng)
+			got, stats, err := l.LocateCoop(pt, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("h=%d: LocateCoop(%v) = %d, want %d", h, pt, got, want)
+			}
+			total += stats.Steps - stats.RootRounds
+		}
+		t.Logf("h=%d: hop+tail steps %d", h, total)
+		if total >= prev {
+			t.Errorf("h=%d: steps %d did not shrink from %d", h, total, prev)
+		}
+		prev = total
+	}
+}
+
+func TestLocateOnNestedSubdivisions(t *testing.T) {
+	// The nested generator produces deeply shared edges and pinched-away
+	// regions — the separator tree must still answer every sampleable
+	// query correctly.
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 15; trial++ {
+		f := 2 + rng.Intn(50)
+		s := subdivision.GenerateNested(f, 4+rng.Intn(20), rng)
+		l, err := Build(s, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Debug = true
+		for q := 0; q < 60; q++ {
+			pt, want := s.RandomInteriorPoint(rng)
+			seq, err := l.LocateSeq(pt)
+			if err != nil || seq != want {
+				t.Fatalf("trial %d: seq (%d, %v), want %d at %v", trial, seq, err, want, pt)
+			}
+			coop, _, err := l.LocateCoop(pt, 1+rng.Intn(1<<14))
+			if err != nil || coop != want {
+				t.Fatalf("trial %d: coop (%d, %v), want %d at %v", trial, coop, err, want, pt)
+			}
+		}
+	}
+}
+
+func TestSpaceLinearInEdges(t *testing.T) {
+	// Theorem 4: O(n) space — every edge is stored exactly once as a
+	// proper edge, and the augmented structure stays within the cascade's
+	// linear bound.
+	rng := rand.New(rand.NewSource(23))
+	for _, f := range []int{32, 128, 512} {
+		s := subdivision.Generate(f, 30, rng)
+		l, err := Build(s, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		native := l.st.Cascade().Stats().NativeEntries
+		// Native entries = one per edge + one +inf terminal per node.
+		wantNative := int64(len(s.Edges)) + int64(l.t.N())
+		if native != wantNative {
+			t.Errorf("f=%d: native entries %d, want %d (each edge once)", f, native, wantNative)
+		}
+		aug := l.st.Cascade().Stats().AugEntries
+		if aug > 6*wantNative {
+			t.Errorf("f=%d: augmented size %d exceeds linear bound %d", f, aug, 6*wantNative)
+		}
+	}
+}
+
+func TestManySubdivisionShapes(t *testing.T) {
+	// Sweep odd region counts (padding paths) and level counts.
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 25; trial++ {
+		f := 2 + rng.Intn(60)
+		levels := 2 + rng.Intn(25)
+		s := subdivision.Generate(f, levels, rng)
+		l, err := Build(s, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Debug = true
+		for q := 0; q < 40; q++ {
+			pt, want := s.RandomInteriorPoint(rng)
+			got, err := l.LocateSeq(pt)
+			if err != nil || got != want {
+				t.Fatalf("trial %d (f=%d, levels=%d): seq (%d, %v), want %d", trial, f, levels, got, err, want)
+			}
+			got, _, err = l.LocateCoop(pt, 1+rng.Intn(1<<12))
+			if err != nil || got != want {
+				t.Fatalf("trial %d (f=%d, levels=%d): coop (%d, %v), want %d", trial, f, levels, got, err, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,318 @@
+// Package pram implements a synchronous PRAM (Parallel Random Access
+// Machine) simulator used as the execution substrate for the cooperative
+// search algorithms of Tamassia and Vitter.
+//
+// The simulator models the three classic memory-access disciplines:
+//
+//   - EREW: exclusive read, exclusive write
+//   - CREW: concurrent read, exclusive write
+//   - CRCW: concurrent read, concurrent write (Common and Arbitrary variants)
+//
+// A computation is a sequence of synchronous steps. In each step every
+// active processor (1) reads any number of shared-memory words, (2) computes
+// locally, and (3) buffers writes; all writes commit atomically at the end of
+// the step. Access conflicts are detected against the declared model and
+// reported as errors, which lets tests mechanically verify, for example,
+// that a preprocessing phase claimed to be EREW really never issues a
+// concurrent read.
+//
+// Cost accounting follows the standard PRAM conventions: Time is the number
+// of steps executed, and Work is the sum over steps of the number of active
+// processors. These are exactly the quantities bounded by the paper's
+// theorems, independent of host hardware.
+//
+// Processors can run as goroutines (Concurrent mode) or be simulated in a
+// deterministic sequential loop. Both modes produce identical memory states
+// because writes are buffered per processor and committed in processor-ID
+// order with model-dependent conflict resolution.
+package pram
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Model selects the memory-access discipline enforced by a Machine.
+type Model int
+
+const (
+	// EREW forbids both concurrent reads and concurrent writes to the
+	// same address within one step.
+	EREW Model = iota
+	// CREW allows concurrent reads but forbids concurrent writes.
+	CREW
+	// CRCWCommon allows concurrent writes only if all writers write the
+	// same value.
+	CRCWCommon
+	// CRCWArbitrary allows concurrent writes; the lowest-numbered
+	// processor wins (a deterministic refinement of "arbitrary").
+	CRCWArbitrary
+)
+
+// String returns the conventional name of the model.
+func (m Model) String() string {
+	switch m {
+	case EREW:
+		return "EREW"
+	case CREW:
+		return "CREW"
+	case CRCWCommon:
+		return "CRCW-Common"
+	case CRCWArbitrary:
+		return "CRCW-Arbitrary"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// AllowsConcurrentRead reports whether the model permits two processors to
+// read the same address in one step.
+func (m Model) AllowsConcurrentRead() bool { return m != EREW }
+
+// AllowsConcurrentWrite reports whether the model permits two processors to
+// write the same address in one step (subject to the variant's value rule).
+func (m Model) AllowsConcurrentWrite() bool { return m == CRCWCommon || m == CRCWArbitrary }
+
+// A ConflictError reports a memory-access violation of the machine's model.
+type ConflictError struct {
+	Model Model  // model in force
+	Kind  string // "read" or "write"
+	Addr  int    // conflicting address
+	Step  int    // step index (0-based) at which the conflict occurred
+	ProcA int    // first involved processor
+	ProcB int    // second involved processor
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("pram: concurrent %s of address %d by processors %d and %d at step %d violates %s",
+		e.Kind, e.Addr, e.ProcA, e.ProcB, e.Step, e.Model)
+}
+
+// Machine is a synchronous PRAM with a fixed processor budget and a shared
+// memory. The zero value is not usable; construct with New.
+type Machine struct {
+	model      Model
+	procs      int
+	mem        []int64
+	steps      int
+	work       int64
+	peakActive int
+	concurrent bool
+
+	// scratch reused across steps
+	writeBuf []writeOp
+	readLog  map[int]int32 // addr -> first reader (EREW checking)
+	writeLog map[int]int32 // addr -> first writer
+}
+
+type writeOp struct {
+	addr int
+	val  int64
+	proc int32
+}
+
+// New returns a Machine with the given model and processor budget.
+// The memory starts empty; use Alloc to reserve words.
+func New(model Model, procs int) *Machine {
+	if procs < 1 {
+		panic("pram: processor count must be positive")
+	}
+	return &Machine{
+		model:    model,
+		procs:    procs,
+		readLog:  make(map[int]int32),
+		writeLog: make(map[int]int32),
+	}
+}
+
+// SetConcurrent chooses whether Step executes processors on goroutines
+// (true) or in a deterministic in-order loop (false, the default). Results
+// are identical in both modes.
+func (m *Machine) SetConcurrent(c bool) { m.concurrent = c }
+
+// Model returns the machine's memory-access model.
+func (m *Machine) Model() Model { return m.model }
+
+// Procs returns the machine's processor budget.
+func (m *Machine) Procs() int { return m.procs }
+
+// Time returns the number of synchronous steps executed so far.
+func (m *Machine) Time() int { return m.steps }
+
+// Work returns the cumulative processor-steps (sum of active processors
+// over all steps).
+func (m *Machine) Work() int64 { return m.work }
+
+// PeakActive returns the largest number of processors active in any step.
+func (m *Machine) PeakActive() int { return m.peakActive }
+
+// ResetCost zeroes the time/work counters without touching memory.
+func (m *Machine) ResetCost() {
+	m.steps = 0
+	m.work = 0
+	m.peakActive = 0
+}
+
+// Alloc reserves n fresh words of shared memory, zero-initialised, and
+// returns the base address of the block.
+func (m *Machine) Alloc(n int) int {
+	base := len(m.mem)
+	m.mem = append(m.mem, make([]int64, n)...)
+	return base
+}
+
+// Load reads a word outside of any step (host access, not charged).
+func (m *Machine) Load(addr int) int64 { return m.mem[addr] }
+
+// Store writes a word outside of any step (host access, not charged).
+// It is intended for input staging before a computation begins.
+func (m *Machine) Store(addr int, v int64) { m.mem[addr] = v }
+
+// LoadSlice copies n words starting at base into a fresh slice
+// (host access, not charged).
+func (m *Machine) LoadSlice(base, n int) []int64 {
+	out := make([]int64, n)
+	copy(out, m.mem[base:base+n])
+	return out
+}
+
+// StoreSlice stages the words of src into memory starting at base
+// (host access, not charged).
+func (m *Machine) StoreSlice(base int, src []int64) {
+	copy(m.mem[base:base+len(src)], src)
+}
+
+// MemWords returns the current shared-memory size in words.
+func (m *Machine) MemWords() int { return len(m.mem) }
+
+// Proc is the view a single processor has of the machine during one step.
+// Reads observe the memory state at the beginning of the step; writes are
+// buffered and commit when the step ends.
+type Proc struct {
+	// ID is the processor index in [0, active).
+	ID int
+
+	m      *Machine
+	reads  []int
+	writes []writeOp
+	halted bool
+}
+
+// Read returns the word at addr as of the start of the current step.
+func (p *Proc) Read(addr int) int64 {
+	p.reads = append(p.reads, addr)
+	return p.m.mem[addr]
+}
+
+// Write buffers a write of v to addr; it becomes visible after the step.
+func (p *Proc) Write(addr int, v int64) {
+	p.writes = append(p.writes, writeOp{addr: addr, val: v, proc: int32(p.ID)})
+}
+
+// Step runs one synchronous step with `active` processors executing body.
+// It returns a *ConflictError if the access pattern violates the model.
+// On conflict, memory is left in the pre-step state.
+func (m *Machine) Step(active int, body func(p *Proc)) error {
+	if active < 0 {
+		panic("pram: negative active processor count")
+	}
+	if active > m.procs {
+		return fmt.Errorf("pram: step requests %d processors but machine has %d", active, m.procs)
+	}
+	views := make([]Proc, active)
+	for i := range views {
+		views[i] = Proc{ID: i, m: m}
+	}
+	if m.concurrent && active > 1 {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > active {
+			workers = active
+		}
+		var wg sync.WaitGroup
+		chunk := (active + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > active {
+				hi = active
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					body(&views[i])
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < active; i++ {
+			body(&views[i])
+		}
+	}
+
+	// Conflict detection and commit, in deterministic processor order.
+	clear(m.readLog)
+	clear(m.writeLog)
+	if !m.model.AllowsConcurrentRead() {
+		for i := range views {
+			for _, a := range views[i].reads {
+				if prev, ok := m.readLog[a]; ok && prev != int32(i) {
+					return &ConflictError{Model: m.model, Kind: "read", Addr: a, Step: m.steps, ProcA: int(prev), ProcB: i}
+				}
+				m.readLog[a] = int32(i)
+			}
+		}
+	}
+	m.writeBuf = m.writeBuf[:0]
+	firstVal := make(map[int]int64)
+	for i := range views {
+		for _, w := range views[i].writes {
+			if prev, ok := m.writeLog[w.addr]; ok && prev != int32(i) {
+				switch m.model {
+				case CRCWCommon:
+					if firstVal[w.addr] != w.val {
+						return &ConflictError{Model: m.model, Kind: "write", Addr: w.addr, Step: m.steps, ProcA: int(prev), ProcB: i}
+					}
+					continue // same value: drop duplicate
+				case CRCWArbitrary:
+					continue // lowest processor already recorded wins
+				default:
+					return &ConflictError{Model: m.model, Kind: "write", Addr: w.addr, Step: m.steps, ProcA: int(prev), ProcB: i}
+				}
+			}
+			m.writeLog[w.addr] = int32(i)
+			firstVal[w.addr] = w.val
+			m.writeBuf = append(m.writeBuf, w)
+		}
+	}
+	for _, w := range m.writeBuf {
+		m.mem[w.addr] = w.val
+	}
+	m.steps++
+	m.work += int64(active)
+	if active > m.peakActive {
+		m.peakActive = active
+	}
+	return nil
+}
+
+// Run executes body repeatedly until it returns false, propagating any
+// conflict error. It is a convenience for loop-shaped kernels where the
+// host-side control flow is considered free (the standard PRAM convention
+// for uniform control).
+func (m *Machine) Run(body func() (more bool, err error)) error {
+	for {
+		more, err := body()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package pram
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestModelString(t *testing.T) {
+	cases := map[Model]string{
+		EREW:          "EREW",
+		CREW:          "CREW",
+		CRCWCommon:    "CRCW-Common",
+		CRCWArbitrary: "CRCW-Arbitrary",
+		Model(42):     "Model(42)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Model(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestModelCapabilities(t *testing.T) {
+	if EREW.AllowsConcurrentRead() {
+		t.Error("EREW must not allow concurrent reads")
+	}
+	if !CREW.AllowsConcurrentRead() {
+		t.Error("CREW must allow concurrent reads")
+	}
+	if CREW.AllowsConcurrentWrite() {
+		t.Error("CREW must not allow concurrent writes")
+	}
+	if !CRCWCommon.AllowsConcurrentWrite() || !CRCWArbitrary.AllowsConcurrentWrite() {
+		t.Error("CRCW variants must allow concurrent writes")
+	}
+}
+
+func TestAllocAndHostAccess(t *testing.T) {
+	m := New(EREW, 4)
+	a := m.Alloc(10)
+	b := m.Alloc(5)
+	if a != 0 || b != 10 {
+		t.Fatalf("Alloc bases = %d, %d; want 0, 10", a, b)
+	}
+	if m.MemWords() != 15 {
+		t.Fatalf("MemWords = %d, want 15", m.MemWords())
+	}
+	m.Store(a+3, 42)
+	if got := m.Load(a + 3); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+	m.StoreSlice(b, []int64{1, 2, 3})
+	got := m.LoadSlice(b, 3)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("LoadSlice = %v", got)
+	}
+}
+
+func TestStepBasicWriteVisibility(t *testing.T) {
+	m := New(EREW, 8)
+	base := m.Alloc(8)
+	err := m.Step(8, func(p *Proc) {
+		p.Write(base+p.ID, int64(p.ID*p.ID))
+	})
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		if got := m.Load(base + i); got != int64(i*i) {
+			t.Errorf("mem[%d] = %d, want %d", i, got, i*i)
+		}
+	}
+	if m.Time() != 1 || m.Work() != 8 || m.PeakActive() != 8 {
+		t.Errorf("cost = (t=%d, w=%d, peak=%d), want (1, 8, 8)", m.Time(), m.Work(), m.PeakActive())
+	}
+}
+
+func TestStepReadsSeePreStepState(t *testing.T) {
+	// Synchronous semantics: a rotation via simultaneous read+write must
+	// read the old values, not a partially updated array.
+	m := New(EREW, 8)
+	base := m.Alloc(8)
+	for i := 0; i < 8; i++ {
+		m.Store(base+i, int64(i))
+	}
+	err := m.Step(8, func(p *Proc) {
+		v := p.Read(base + (p.ID+1)%8)
+		p.Write(base+p.ID, v)
+	})
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		want := int64((i + 1) % 8)
+		if got := m.Load(base + i); got != want {
+			t.Errorf("mem[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestEREWReadConflictDetected(t *testing.T) {
+	m := New(EREW, 2)
+	base := m.Alloc(1)
+	err := m.Step(2, func(p *Proc) {
+		p.Read(base)
+	})
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want ConflictError, got %v", err)
+	}
+	if ce.Kind != "read" || ce.Addr != base {
+		t.Errorf("conflict = %+v, want read of %d", ce, base)
+	}
+}
+
+func TestCREWAllowsConcurrentRead(t *testing.T) {
+	m := New(CREW, 16)
+	base := m.Alloc(1)
+	m.Store(base, 7)
+	sum := m.Alloc(16)
+	err := m.Step(16, func(p *Proc) {
+		v := p.Read(base)
+		p.Write(sum+p.ID, v)
+	})
+	if err != nil {
+		t.Fatalf("CREW concurrent read should succeed: %v", err)
+	}
+}
+
+func TestCREWWriteConflictDetected(t *testing.T) {
+	m := New(CREW, 2)
+	base := m.Alloc(1)
+	err := m.Step(2, func(p *Proc) {
+		p.Write(base, int64(p.ID))
+	})
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want ConflictError, got %v", err)
+	}
+	if ce.Kind != "write" {
+		t.Errorf("conflict kind = %q, want write", ce.Kind)
+	}
+}
+
+func TestConflictLeavesMemoryUnchanged(t *testing.T) {
+	m := New(CREW, 2)
+	base := m.Alloc(2)
+	m.Store(base, 100)
+	m.Store(base+1, 200)
+	err := m.Step(2, func(p *Proc) {
+		p.Write(base, 1) // both write addr base: conflict
+	})
+	if err == nil {
+		t.Fatal("expected conflict")
+	}
+	if m.Load(base) != 100 || m.Load(base+1) != 200 {
+		t.Errorf("memory changed after failed step: [%d %d]", m.Load(base), m.Load(base+1))
+	}
+	if m.Time() != 0 {
+		t.Errorf("failed step should not be charged, Time = %d", m.Time())
+	}
+}
+
+func TestCRCWCommonSameValueOK(t *testing.T) {
+	m := New(CRCWCommon, 8)
+	base := m.Alloc(1)
+	err := m.Step(8, func(p *Proc) {
+		p.Write(base, 5)
+	})
+	if err != nil {
+		t.Fatalf("CRCW-Common equal-value writes should succeed: %v", err)
+	}
+	if m.Load(base) != 5 {
+		t.Errorf("mem = %d, want 5", m.Load(base))
+	}
+}
+
+func TestCRCWCommonDifferentValuesConflict(t *testing.T) {
+	m := New(CRCWCommon, 2)
+	base := m.Alloc(1)
+	err := m.Step(2, func(p *Proc) {
+		p.Write(base, int64(p.ID))
+	})
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want ConflictError, got %v", err)
+	}
+}
+
+func TestCRCWArbitraryLowestWins(t *testing.T) {
+	m := New(CRCWArbitrary, 8)
+	base := m.Alloc(1)
+	err := m.Step(8, func(p *Proc) {
+		p.Write(base, int64(10+p.ID))
+	})
+	if err != nil {
+		t.Fatalf("CRCW-Arbitrary writes should succeed: %v", err)
+	}
+	if m.Load(base) != 10 {
+		t.Errorf("mem = %d, want 10 (lowest processor wins)", m.Load(base))
+	}
+}
+
+func TestStepOverBudget(t *testing.T) {
+	m := New(EREW, 4)
+	if err := m.Step(5, func(p *Proc) {}); err == nil {
+		t.Error("expected error when exceeding processor budget")
+	}
+}
+
+func TestConcurrentModeMatchesSequential(t *testing.T) {
+	run := func(concurrent bool) []int64 {
+		m := New(CRCWArbitrary, 64)
+		m.SetConcurrent(concurrent)
+		base := m.Alloc(64)
+		acc := m.Alloc(1)
+		for s := 0; s < 10; s++ {
+			err := m.Step(64, func(p *Proc) {
+				v := p.Read(base + (p.ID*7+s)%64)
+				p.Write(base+p.ID, v+int64(p.ID))
+				p.Write(acc, v) // CRCW: lowest proc wins deterministically
+			})
+			if err != nil {
+				t.Fatalf("step %d: %v", s, err)
+			}
+		}
+		return m.LoadSlice(0, m.MemWords())
+	}
+	seq := run(false)
+	con := run(true)
+	for i := range seq {
+		if seq[i] != con[i] {
+			t.Fatalf("mem[%d]: sequential %d != concurrent %d", i, seq[i], con[i])
+		}
+	}
+}
+
+func TestResetCost(t *testing.T) {
+	m := New(EREW, 2)
+	m.Alloc(2)
+	if err := m.Step(2, func(p *Proc) { p.Write(p.ID, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	m.ResetCost()
+	if m.Time() != 0 || m.Work() != 0 || m.PeakActive() != 0 {
+		t.Error("ResetCost did not zero counters")
+	}
+	if m.Load(0) != 1 {
+		t.Error("ResetCost must not touch memory")
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	m := New(EREW, 2)
+	base := m.Alloc(1)
+	i := 0
+	err := m.Run(func() (bool, error) {
+		i++
+		err := m.Step(2, func(p *Proc) { p.Read(base) }) // conflict
+		return i < 5, err
+	})
+	if err == nil {
+		t.Error("Run should propagate step error")
+	}
+	if i != 1 {
+		t.Errorf("Run continued after error, i = %d", i)
+	}
+}
+
+func TestZeroActiveStep(t *testing.T) {
+	m := New(EREW, 4)
+	if err := m.Step(0, func(p *Proc) { t.Error("body must not run") }); err != nil {
+		t.Fatalf("zero-active step: %v", err)
+	}
+	if m.Time() != 1 {
+		t.Errorf("zero-active step should still cost a time unit, Time = %d", m.Time())
+	}
+}

@@ -1,0 +1,228 @@
+package rangetree
+
+import (
+	"fmt"
+	"sort"
+
+	"fraccascade/internal/core"
+	"fraccascade/internal/parallel"
+)
+
+// TreeKD is the d-dimensional range tree of Corollary 2 (d ≥ 2): a
+// balanced tree over the first coordinate whose every node carries a
+// (d−1)-dimensional structure for its subtree's points, bottoming out at
+// the fractionally cascaded Tree2D.
+type TreeKD struct {
+	d    int
+	pts  [][]int64
+	ids  []int32
+	xs   []int64 // sorted first coordinates (one per real leaf)
+	perm []int   // point index by x-rank
+	// subs[v] is the (d−1)-dim structure of implicit complete-tree node v
+	// (d > 2); sub2 is the fractionally cascaded base structure (d == 2).
+	subs  []*node
+	sub2  *Tree2D
+	nLeaf int
+	cfg   core.Config
+}
+
+type node struct {
+	kd *TreeKD // d−1 > 2 levels
+	t2 *Tree2D // d−1 == 2 base
+}
+
+// QueryKD is a closed axis-parallel box: Lo and Hi hold d coordinates.
+type QueryKD struct {
+	Lo, Hi []int64
+}
+
+// NewKD builds the structure over n points of dimension d ≥ 2.
+func NewKD(pts [][]int64, cfg core.Config) (*TreeKD, error) {
+	ids := make([]int32, len(pts))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return newKD(pts, ids, cfg)
+}
+
+func newKD(pts [][]int64, ids []int32, cfg core.Config) (*TreeKD, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("rangetree: no points")
+	}
+	d := len(pts[0])
+	if d < 2 {
+		return nil, fmt.Errorf("rangetree: dimension %d < 2", d)
+	}
+	for _, pt := range pts {
+		if len(pt) != d {
+			return nil, fmt.Errorf("rangetree: ragged point set")
+		}
+	}
+	if d == 2 {
+		p2 := make([]Point2, len(pts))
+		for i, pt := range pts {
+			p2[i] = Point2{X: pt[0], Y: pt[1]}
+		}
+		t2, err := new2D(p2, ids, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &TreeKD{d: 2, pts: pts, ids: ids, sub2: t2}, nil
+	}
+	kd := &TreeKD{d: d, pts: pts, ids: ids, cfg: cfg}
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pts[order[a]][0] < pts[order[b]][0] })
+	kd.perm = order
+	pad := 1
+	for pad < len(pts) {
+		pad *= 2
+	}
+	kd.nLeaf = pad
+	kd.xs = make([]int64, pad)
+	for i := 0; i < pad; i++ {
+		if i < len(order) {
+			kd.xs[i] = pts[order[i]][0]
+		} else {
+			kd.xs[i] = 1 << 62
+		}
+	}
+	// One (d−1)-dim structure per implicit-tree node over its leaf span.
+	kd.subs = make([]*node, 2*pad-1)
+	var build func(v, lo, hi int) error
+	build = func(v, lo, hi int) error {
+		realHi := hi
+		if realHi > len(order) {
+			realHi = len(order)
+		}
+		if lo >= realHi {
+			return nil
+		}
+		subPts := make([][]int64, 0, realHi-lo)
+		subIDs := make([]int32, 0, realHi-lo)
+		for i := lo; i < realHi; i++ {
+			subPts = append(subPts, pts[order[i]][1:])
+			subIDs = append(subIDs, ids[order[i]])
+		}
+		sub, err := newKD(subPts, subIDs, kd.cfg)
+		if err != nil {
+			return err
+		}
+		if sub.d == 2 {
+			kd.subs[v] = &node{t2: sub.sub2}
+		} else {
+			kd.subs[v] = &node{kd: sub}
+		}
+		if hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if err := build(2*v+1, lo, mid); err != nil {
+				return err
+			}
+			if err := build(2*v+2, mid, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := build(0, 0, pad); err != nil {
+		return nil, err
+	}
+	return kd, nil
+}
+
+// Dim returns the dimensionality.
+func (kd *TreeKD) Dim() int { return kd.d }
+
+// NaiveQuery scans all points.
+func (kd *TreeKD) NaiveQuery(q QueryKD) []int32 {
+	var out []int32
+	for i, pt := range kd.pts {
+		in := true
+		for c := 0; c < kd.d; c++ {
+			if pt[c] < q.Lo[c] || pt[c] > q.Hi[c] {
+				in = false
+				break
+			}
+		}
+		if in {
+			out = append(out, kd.ids[i])
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// QueryDirect reports all points in the box with p processors. Steps
+// follow the Corollary 2 recursion: a dictionary-search phase per level of
+// the recursion, with processors divided among the canonical subproblems
+// that then run concurrently (the max of their costs is charged).
+func (kd *TreeKD) QueryDirect(q QueryKD, p int) ([]int32, Stats, error) {
+	if p < 1 {
+		p = 1
+	}
+	if len(q.Lo) != kd.d || len(q.Hi) != kd.d {
+		return nil, Stats{}, fmt.Errorf("rangetree: query dimension mismatch")
+	}
+	if kd.d == 2 {
+		return kd.sub2.QueryDirect(Query2{X1: q.Lo[0], X2: q.Hi[0], Y1: q.Lo[1], Y2: q.Hi[1]}, p)
+	}
+	var stats Stats
+	lo := sort.Search(kd.nLeaf, func(i int) bool { return kd.xs[i] >= q.Lo[0] })
+	hi := sort.Search(kd.nLeaf, func(i int) bool { return kd.xs[i] > q.Hi[0] })
+	stats.SearchSteps += 2 * parallel.CoopSearchSteps(kd.nLeaf, p)
+	if lo >= hi {
+		return nil, stats, nil
+	}
+	var canon []int
+	var collect func(v, nodeLo, nodeHi int)
+	collect = func(v, nodeLo, nodeHi int) {
+		if lo <= nodeLo && nodeHi <= hi {
+			canon = append(canon, v)
+			return
+		}
+		mid := (nodeLo + nodeHi) / 2
+		if lo < mid {
+			collect(2*v+1, nodeLo, mid)
+		}
+		if hi > mid {
+			collect(2*v+2, mid, nodeHi)
+		}
+	}
+	collect(0, 0, kd.nLeaf)
+	pShare := p / len(canon)
+	if pShare < 1 {
+		pShare = 1
+	}
+	subQ := QueryKD{Lo: q.Lo[1:], Hi: q.Hi[1:]}
+	var out []int32
+	maxSub := Stats{}
+	for _, v := range canon {
+		nd := kd.subs[v]
+		if nd == nil {
+			continue
+		}
+		var ids []int32
+		var st Stats
+		var err error
+		if nd.t2 != nil {
+			ids, st, err = nd.t2.QueryDirect(Query2{X1: subQ.Lo[0], X2: subQ.Hi[0], Y1: subQ.Lo[1], Y2: subQ.Hi[1]}, pShare)
+		} else {
+			ids, st, err = nd.kd.QueryDirect(subQ, pShare)
+		}
+		if err != nil {
+			return nil, stats, err
+		}
+		out = append(out, ids...)
+		if st.SearchSteps+st.AllocSteps > maxSub.SearchSteps+maxSub.AllocSteps {
+			maxSub = st
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	stats.SearchSteps += maxSub.SearchSteps
+	stats.AllocSteps += maxSub.AllocSteps + 2*parallel.CeilLog2(len(canon)+1)
+	stats.K = len(out)
+	stats.ReportSteps = (len(out) + p - 1) / p
+	return out, stats, nil
+}

@@ -1,0 +1,248 @@
+package rangetree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fraccascade/internal/core"
+)
+
+func randPoints(n int, coordRange int64, rng *rand.Rand) []Point2 {
+	pts := make([]Point2, n)
+	for i := range pts {
+		pts[i] = Point2{X: rng.Int63n(coordRange), Y: rng.Int63n(coordRange)}
+	}
+	return pts
+}
+
+func TestTree2DMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 6; trial++ {
+		n := 1 + rng.Intn(300)
+		pts := randPoints(n, 500, rng)
+		rt, err := New2D(pts, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 8, 1024} {
+			for q := 0; q < 40; q++ {
+				x1, y1 := rng.Int63n(600)-50, rng.Int63n(600)-50
+				query := Query2{X1: x1, X2: x1 + rng.Int63n(300), Y1: y1, Y2: y1 + rng.Int63n(300)}
+				want := rt.NaiveQuery(query)
+				got, stats, err := rt.QueryDirect(query, p)
+				if err != nil {
+					t.Fatalf("trial %d p %d: %v", trial, p, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d p %d %+v: got %v, want %v", trial, p, query, got, want)
+				}
+				if stats.K != len(want) {
+					t.Fatalf("K = %d, want %d", stats.K, len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestTree2DDuplicateCoordinates(t *testing.T) {
+	pts := []Point2{{5, 5}, {5, 5}, {5, 7}, {7, 5}}
+	rt, err := New2D(pts, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := rt.QueryDirect(Query2{X1: 5, X2: 5, Y1: 5, Y2: 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int32{0, 1}) {
+		t.Errorf("got %v, want [0 1]", got)
+	}
+}
+
+func TestTree2DEmptyResults(t *testing.T) {
+	rt, err := New2D(randPoints(50, 100, rand.New(rand.NewSource(2))), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := rt.QueryDirect(Query2{X1: 1000, X2: 2000, Y1: 0, Y2: 100}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || stats.K != 0 {
+		t.Errorf("expected empty result, got %v", got)
+	}
+	if _, _, err := rt.QueryDirect(Query2{X1: 5, X2: 4, Y1: 0, Y2: 1}, 4); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+func TestTree2DStatsImproveWithP(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rt, err := New2D(randPoints(3000, 3000, rng), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query2{X1: 0, X2: 3000, Y1: 0, Y2: 3000}
+	_, s1, err := rt.QueryDirect(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sp, err := rt.QueryDirect(q, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Total() >= s1.Total() {
+		t.Errorf("total steps p=2^18 (%d) not below p=1 (%d)", sp.Total(), s1.Total())
+	}
+	if sp.ReportSteps >= s1.ReportSteps {
+		t.Errorf("report steps did not shrink: %d vs %d", sp.ReportSteps, s1.ReportSteps)
+	}
+}
+
+func TestQueryCountMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rt, err := New2D(randPoints(800, 1000, rng), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 100; q++ {
+		x1, y1 := rng.Int63n(1200)-100, rng.Int63n(1200)-100
+		query := Query2{X1: x1, X2: x1 + rng.Int63n(600), Y1: y1, Y2: y1 + rng.Int63n(600)}
+		ids, _, err := rt.QueryDirect(query, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, stats, err := rt.QueryCount(query, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != len(ids) {
+			t.Fatalf("QueryCount = %d, QueryDirect found %d (%+v)", count, len(ids), query)
+		}
+		if stats.ReportSteps != 0 {
+			t.Fatalf("counting must not pay the k/p report term, got %d", stats.ReportSteps)
+		}
+	}
+}
+
+func TestQueryIndirectExpandsToDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rt, err := New2D(randPoints(600, 800, rng), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 80; q++ {
+		x1, y1 := rng.Int63n(900)-50, rng.Int63n(900)-50
+		query := Query2{X1: x1, X2: x1 + rng.Int63n(500), Y1: y1, Y2: y1 + rng.Int63n(500)}
+		direct, _, err := rt.QueryDirect(query, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranges, stats, err := rt.QueryIndirect(query, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := rt.Expand(ranges)
+		if !reflect.DeepEqual(got, direct) {
+			t.Fatalf("indirect expansion %v != direct %v", got, direct)
+		}
+		if stats.K != len(direct) {
+			t.Fatalf("indirect K = %d, want %d", stats.K, len(direct))
+		}
+		if stats.ReportSteps != 0 {
+			t.Fatal("indirect retrieval must not pay k/p")
+		}
+	}
+}
+
+func TestQueryCountIsOutputInsensitive(t *testing.T) {
+	// A huge-k query must cost the same steps as a tiny-k query.
+	rng := rand.New(rand.NewSource(10))
+	rt, err := New2D(randPoints(3000, 3000, rng), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, all, err := rt.QueryCount(Query2{X1: 0, X2: 3000, Y1: 0, Y2: 3000}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tiny, err := rt.QueryCount(Query2{X1: 0, X2: 10, Y1: 0, Y2: 10}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Total() > 2*tiny.Total()+8 {
+		t.Errorf("counting steps grew with k: %d (k=%d) vs %d (k=%d)",
+			all.Total(), all.K, tiny.Total(), tiny.K)
+	}
+}
+
+func randPointsKD(n, d int, coordRange int64, rng *rand.Rand) [][]int64 {
+	pts := make([][]int64, n)
+	for i := range pts {
+		pt := make([]int64, d)
+		for c := range pt {
+			pt[c] = rng.Int63n(coordRange)
+		}
+		pts[i] = pt
+	}
+	return pts
+}
+
+func TestTreeKDMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, d := range []int{2, 3, 4} {
+		for trial := 0; trial < 3; trial++ {
+			n := 1 + rng.Intn(120)
+			pts := randPointsKD(n, d, 200, rng)
+			kd, err := NewKD(pts, core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kd.Dim() != d {
+				t.Fatalf("Dim = %d, want %d", kd.Dim(), d)
+			}
+			for _, p := range []int{1, 16, 4096} {
+				for q := 0; q < 20; q++ {
+					loC := make([]int64, d)
+					hiC := make([]int64, d)
+					for c := 0; c < d; c++ {
+						loC[c] = rng.Int63n(250) - 25
+						hiC[c] = loC[c] + rng.Int63n(150)
+					}
+					query := QueryKD{Lo: loC, Hi: hiC}
+					want := kd.NaiveQuery(query)
+					got, stats, err := kd.QueryDirect(query, p)
+					if err != nil {
+						t.Fatalf("d %d trial %d p %d: %v", d, trial, p, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("d %d trial %d p %d: got %v, want %v", d, trial, p, got, want)
+					}
+					if stats.K != len(want) {
+						t.Fatalf("K mismatch")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTreeKDValidation(t *testing.T) {
+	if _, err := NewKD(nil, core.Config{}); err == nil {
+		t.Error("empty point set should fail")
+	}
+	if _, err := NewKD([][]int64{{1}}, core.Config{}); err == nil {
+		t.Error("dimension 1 should fail")
+	}
+	if _, err := NewKD([][]int64{{1, 2}, {1, 2, 3}}, core.Config{}); err == nil {
+		t.Error("ragged points should fail")
+	}
+	kd, err := NewKD([][]int64{{1, 2, 3}, {4, 5, 6}}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := kd.QueryDirect(QueryKD{Lo: []int64{0}, Hi: []int64{9}}, 4); err == nil {
+		t.Error("query dimension mismatch should fail")
+	}
+}

@@ -1,0 +1,216 @@
+package segtree
+
+import (
+	"fmt"
+	"sort"
+
+	"fraccascade/internal/core"
+	"fraccascade/internal/parallel"
+)
+
+// BoxKD is a closed axis-aligned box in d dimensions.
+type BoxKD struct {
+	Lo, Hi []int64
+}
+
+// ContainsKD reports whether the box contains the point.
+func (b BoxKD) ContainsKD(pt []int64) bool {
+	for c := range pt {
+		if pt[c] < b.Lo[c] || pt[c] > b.Hi[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// EncloserKD answers d-dimensional point-enclosure queries (Corollary 2,
+// second structure): a segment tree over the boxes' first-coordinate
+// intervals whose every canonical node stores a (d−1)-dimensional
+// structure, bottoming out at the 2-D Encloser. Space O(n·log^{d−1} n);
+// cooperative query O(((log n)/log p)^{d−1} + k/p).
+type EncloserKD struct {
+	d     int
+	boxes []BoxKD
+	ids   []int32
+	// Base structure for d == 2.
+	base *Encloser
+	// Recursion for d > 2: implicit complete segment tree over the first
+	// coordinate; subs[v] is node v's (d−1)-dim structure.
+	leafLo []int64
+	nLeaf  int
+	subs   []*EncloserKD
+	cfg    core.Config
+}
+
+// NewEncloserKD builds the structure over boxes of dimension d ≥ 2.
+func NewEncloserKD(boxes []BoxKD, cfg core.Config) (*EncloserKD, error) {
+	ids := make([]int32, len(boxes))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return newEncloserKD(boxes, ids, cfg)
+}
+
+func newEncloserKD(boxes []BoxKD, ids []int32, cfg core.Config) (*EncloserKD, error) {
+	if len(boxes) == 0 {
+		return nil, fmt.Errorf("segtree: no boxes")
+	}
+	d := len(boxes[0].Lo)
+	if d < 2 {
+		return nil, fmt.Errorf("segtree: dimension %d < 2", d)
+	}
+	for i, b := range boxes {
+		if len(b.Lo) != d || len(b.Hi) != d {
+			return nil, fmt.Errorf("segtree: box %d has inconsistent dimension", i)
+		}
+		for c := 0; c < d; c++ {
+			if b.Lo[c] > b.Hi[c] {
+				return nil, fmt.Errorf("segtree: box %d empty in dimension %d", i, c)
+			}
+		}
+	}
+	en := &EncloserKD{d: d, boxes: boxes, ids: ids, cfg: cfg}
+	if d == 2 {
+		rects := make([]Rect, len(boxes))
+		for i, b := range boxes {
+			rects[i] = Rect{X1: b.Lo[0], X2: b.Hi[0], Y1: b.Lo[1], Y2: b.Hi[1]}
+		}
+		base, err := newEncloserIDs(rects, ids, cfg)
+		if err != nil {
+			return nil, err
+		}
+		en.base = base
+		return en, nil
+	}
+	// Segment tree over the first coordinate.
+	coordSet := map[int64]bool{}
+	for _, b := range boxes {
+		coordSet[b.Lo[0]] = true
+		coordSet[b.Hi[0]+1] = true
+	}
+	coords := make([]int64, 0, len(coordSet))
+	for c := range coordSet {
+		coords = append(coords, c)
+	}
+	sort.Slice(coords, func(a, b int) bool { return coords[a] < coords[b] })
+	nLeaf := len(coords) + 1
+	pad := 1
+	for pad < nLeaf {
+		pad *= 2
+	}
+	en.nLeaf = pad
+	en.leafLo = make([]int64, pad)
+	en.leafLo[0] = -(1 << 62)
+	for i := range coords {
+		en.leafLo[i+1] = coords[i]
+	}
+	for i := nLeaf; i < pad; i++ {
+		en.leafLo[i] = 1 << 62
+	}
+	perNode := make([][]int32, 2*pad-1)
+	var insert func(v, nodeLo, nodeHi, lo, hi int, bi int32)
+	insert = func(v, nodeLo, nodeHi, lo, hi int, bi int32) {
+		if lo <= nodeLo && nodeHi <= hi {
+			perNode[v] = append(perNode[v], bi)
+			return
+		}
+		mid := (nodeLo + nodeHi) / 2
+		if lo < mid {
+			insert(2*v+1, nodeLo, mid, lo, min(hi, mid), bi)
+		}
+		if hi > mid {
+			insert(2*v+2, mid, nodeHi, max(lo, mid), hi, bi)
+		}
+	}
+	leafIndex := func(x int64) int {
+		return sort.Search(len(en.leafLo), func(i int) bool { return en.leafLo[i] > x }) - 1
+	}
+	for bi, b := range boxes {
+		insert(0, 0, pad, leafIndex(b.Lo[0]), leafIndex(b.Hi[0]+1), int32(bi))
+	}
+	en.subs = make([]*EncloserKD, 2*pad-1)
+	for v, list := range perNode {
+		if len(list) == 0 {
+			continue
+		}
+		subBoxes := make([]BoxKD, len(list))
+		subIDs := make([]int32, len(list))
+		for i, bi := range list {
+			subBoxes[i] = BoxKD{Lo: boxes[bi].Lo[1:], Hi: boxes[bi].Hi[1:]}
+			subIDs[i] = ids[bi]
+		}
+		sub, err := newEncloserKD(subBoxes, subIDs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		en.subs[v] = sub
+	}
+	return en, nil
+}
+
+// Dim returns the dimensionality.
+func (en *EncloserKD) Dim() int { return en.d }
+
+// NaiveQuery scans every box.
+func (en *EncloserKD) NaiveQuery(pt []int64) []int32 {
+	var out []int32
+	for i, b := range en.boxes {
+		if b.ContainsKD(pt) {
+			out = append(out, en.ids[i])
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// QueryDirect reports every box containing pt with p processors. The step
+// recursion matches Corollary 2: one dictionary search per level plus the
+// slowest stabbing-path subquery with processors shared along the path.
+func (en *EncloserKD) QueryDirect(pt []int64, p int) ([]int32, RetrievalStats, error) {
+	if p < 1 {
+		p = 1
+	}
+	if len(pt) != en.d {
+		return nil, RetrievalStats{}, fmt.Errorf("segtree: query dimension %d, want %d", len(pt), en.d)
+	}
+	if en.d == 2 {
+		return en.base.QueryDirect(pt[0], pt[1], p)
+	}
+	var stats RetrievalStats
+	stats.SearchSteps += parallel.CoopSearchSteps(en.nLeaf, p)
+	leaf := sort.Search(len(en.leafLo), func(i int) bool { return en.leafLo[i] > pt[0] }) - 1
+	if leaf < 0 {
+		leaf = 0
+	}
+	// Stabbing path: all canonical nodes containing pt[0].
+	var out []int32
+	pathLen := 0
+	for v, lo, hi := 0, 0, en.nLeaf; ; {
+		pathLen++
+		if sub := en.subs[v]; sub != nil {
+			ids, st2, err := sub.QueryDirect(pt[1:], max(1, p/pathLen))
+			if err != nil {
+				return nil, stats, err
+			}
+			out = append(out, ids...)
+			if st2.SearchSteps+st2.AllocSteps > stats.AllocSteps {
+				stats.AllocSteps = st2.SearchSteps + st2.AllocSteps // slowest subquery
+			}
+		}
+		if hi-lo == 1 {
+			break
+		}
+		mid := (lo + hi) / 2
+		if leaf < mid {
+			v, hi = 2*v+1, mid
+		} else {
+			v, lo = 2*v+2, mid
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	stats.SearchSteps += stats.AllocSteps
+	stats.AllocSteps = 2 * parallel.CeilLog2(pathLen+1)
+	stats.K = len(out)
+	stats.ReportSteps = (len(out) + p - 1) / p
+	return out, stats, nil
+}

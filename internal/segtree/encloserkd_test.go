@@ -1,0 +1,104 @@
+package segtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fraccascade/internal/core"
+)
+
+func randBoxesKD(n, d int, coordRange int64, rng *rand.Rand) []BoxKD {
+	boxes := make([]BoxKD, n)
+	for i := range boxes {
+		lo := make([]int64, d)
+		hi := make([]int64, d)
+		for c := 0; c < d; c++ {
+			lo[c] = 2 * rng.Int63n(coordRange)
+			hi[c] = lo[c] + 2*rng.Int63n(coordRange/2+1)
+		}
+		boxes[i] = BoxKD{Lo: lo, Hi: hi}
+	}
+	return boxes
+}
+
+func TestEncloserKDMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{2, 3, 4} {
+		for trial := 0; trial < 3; trial++ {
+			n := 5 + rng.Intn(80)
+			boxes := randBoxesKD(n, d, 100, rng)
+			en, err := NewEncloserKD(boxes, core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if en.Dim() != d {
+				t.Fatalf("Dim = %d, want %d", en.Dim(), d)
+			}
+			for _, p := range []int{1, 16, 4096} {
+				for q := 0; q < 25; q++ {
+					pt := make([]int64, d)
+					for c := range pt {
+						pt[c] = 2*rng.Int63n(160) + 1
+					}
+					want := en.NaiveQuery(pt)
+					got, stats, err := en.QueryDirect(pt, p)
+					if err != nil {
+						t.Fatalf("d %d trial %d: %v", d, trial, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("d %d trial %d pt %v: got %v, want %v", d, trial, pt, got, want)
+					}
+					if stats.K != len(want) {
+						t.Fatalf("K mismatch")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEncloserKDNested(t *testing.T) {
+	boxes := []BoxKD{
+		{Lo: []int64{0, 0, 0}, Hi: []int64{100, 100, 100}},
+		{Lo: []int64{10, 10, 10}, Hi: []int64{90, 90, 90}},
+		{Lo: []int64{200, 0, 0}, Hi: []int64{300, 100, 100}},
+	}
+	en, err := NewEncloserKD(boxes, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := en.QueryDirect([]int64{50, 50, 50}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int32{0, 1}) {
+		t.Errorf("got %v, want [0 1]", got)
+	}
+	got, _, err = en.QueryDirect([]int64{250, 50, 50}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int32{2}) {
+		t.Errorf("got %v, want [2]", got)
+	}
+}
+
+func TestEncloserKDValidation(t *testing.T) {
+	if _, err := NewEncloserKD(nil, core.Config{}); err == nil {
+		t.Error("empty boxes should fail")
+	}
+	if _, err := NewEncloserKD([]BoxKD{{Lo: []int64{1}, Hi: []int64{2}}}, core.Config{}); err == nil {
+		t.Error("dimension 1 should fail")
+	}
+	if _, err := NewEncloserKD([]BoxKD{{Lo: []int64{5, 0}, Hi: []int64{4, 1}}}, core.Config{}); err == nil {
+		t.Error("empty box should fail")
+	}
+	en, err := NewEncloserKD([]BoxKD{{Lo: []int64{0, 0, 0}, Hi: []int64{1, 1, 1}}}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := en.QueryDirect([]int64{0, 0}, 4); err == nil {
+		t.Error("query dimension mismatch should fail")
+	}
+}

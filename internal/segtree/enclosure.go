@@ -1,0 +1,265 @@
+package segtree
+
+import (
+	"fmt"
+	"sort"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
+	"fraccascade/internal/parallel"
+	"fraccascade/internal/tree"
+)
+
+// Rect is an axis-aligned rectangle.
+type Rect struct {
+	X1, X2, Y1, Y2 int64
+}
+
+// Contains reports whether the rectangle contains (x, y), closed.
+func (r Rect) Contains(x, y int64) bool {
+	return r.X1 <= x && x <= r.X2 && r.Y1 <= y && y <= r.Y2
+}
+
+// Encloser answers point-enclosure queries: report every rectangle
+// containing a query point (Theorem 6, third problem).
+//
+// It is a segment tree over the rectangles' x-intervals. A rectangle is
+// stored at its O(log n) canonical nodes; each node's catalog holds its
+// rectangles keyed by bottom edge (composite with the id). A query walks
+// the stabbing path for q.x with one explicit cooperative search on
+// q.y, which yields in every node's catalog the prefix of rectangles with
+// Y1 ≤ q.y; the hits are those among the prefix with Y2 ≥ q.y, enumerated
+// output-sensitively through a per-node max-Y2 tournament tree.
+type Encloser struct {
+	rects []Rect
+	// outIDs maps local rectangle indices to caller ids (identity for
+	// NewEncloser; set by the d-dimensional recursion).
+	outIDs []int32
+	t      *tree.Tree
+	st     *core.Structure
+	leafLo []int64
+	nLeaf  int
+	// ids[v] is node v's rectangles sorted by (Y1, id); rank[v][pos] is
+	// the number of native entries before position pos of v's augmented
+	// catalog (maps a search position to a prefix length of ids[v]).
+	ids  [][]int32
+	rank [][]int32
+	// maxT[v] is a tournament (max) tree over the Y2 values of ids[v].
+	maxT [][]int64
+}
+
+// NewEncloser preprocesses the rectangles.
+func NewEncloser(rects []Rect, cfg core.Config) (*Encloser, error) {
+	ids := make([]int32, len(rects))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return newEncloserIDs(rects, ids, cfg)
+}
+
+// newEncloserIDs builds an encloser whose reported ids come from the
+// caller-provided mapping (used by the d-dimensional recursion).
+func newEncloserIDs(rects []Rect, outIDs []int32, cfg core.Config) (*Encloser, error) {
+	if len(rects) >= 1<<idBits {
+		return nil, fmt.Errorf("segtree: %d rectangles exceed composite-key capacity", len(rects))
+	}
+	for i, r := range rects {
+		if r.X1 > r.X2 || r.Y1 > r.Y2 {
+			return nil, fmt.Errorf("segtree: rectangle %d is empty", i)
+		}
+	}
+	if len(outIDs) != len(rects) {
+		return nil, fmt.Errorf("segtree: %d ids for %d rectangles", len(outIDs), len(rects))
+	}
+	en := &Encloser{rects: rects, outIDs: outIDs}
+	coordSet := map[int64]bool{}
+	for _, r := range rects {
+		coordSet[r.X1] = true
+		coordSet[r.X2+1] = true // closed x-interval → half-open [X1, X2+1)
+	}
+	coords := make([]int64, 0, len(coordSet))
+	for c := range coordSet {
+		coords = append(coords, c)
+	}
+	sort.Slice(coords, func(a, b int) bool { return coords[a] < coords[b] })
+	nLeaf := len(coords) + 1
+	pad := 1
+	for pad < nLeaf {
+		pad *= 2
+	}
+	en.nLeaf = pad
+	en.leafLo = make([]int64, pad)
+	en.leafLo[0] = -(1 << 62)
+	for i := range coords {
+		en.leafLo[i+1] = coords[i]
+	}
+	for i := nLeaf; i < pad; i++ {
+		en.leafLo[i] = 1 << 62
+	}
+	t, err := tree.NewBalancedBinary(pad)
+	if err != nil {
+		return nil, err
+	}
+	en.t = t
+	perNode := make([][]int32, t.N())
+	var insert func(v tree.NodeID, nodeLo, nodeHi, lo, hi int, id int32)
+	insert = func(v tree.NodeID, nodeLo, nodeHi, lo, hi int, id int32) {
+		if lo <= nodeLo && nodeHi <= hi {
+			perNode[v] = append(perNode[v], id)
+			return
+		}
+		mid := (nodeLo + nodeHi) / 2
+		if lo < mid {
+			insert(2*v+1, nodeLo, mid, lo, min(hi, mid), id)
+		}
+		if hi > mid {
+			insert(2*v+2, mid, nodeHi, max(lo, mid), hi, id)
+		}
+	}
+	leafIndex := func(x int64) int {
+		return sort.Search(len(en.leafLo), func(i int) bool { return en.leafLo[i] > x }) - 1
+	}
+	for id, r := range rects {
+		insert(0, 0, pad, leafIndex(r.X1), leafIndex(r.X2+1), int32(id))
+	}
+	cats := make([]catalog.Catalog, t.N())
+	en.ids = make([][]int32, t.N())
+	en.rank = make([][]int32, t.N())
+	en.maxT = make([][]int64, t.N())
+	for v := range cats {
+		list := perNode[v]
+		sort.Slice(list, func(a, b int) bool {
+			if rects[list[a]].Y1 != rects[list[b]].Y1 {
+				return rects[list[a]].Y1 < rects[list[b]].Y1
+			}
+			return list[a] < list[b]
+		})
+		en.ids[v] = list
+		if len(list) == 0 {
+			cats[v] = catalog.Empty()
+			continue
+		}
+		keys := make([]catalog.Key, len(list))
+		payloads := make([]int32, len(list))
+		for i, id := range list {
+			keys[i] = compose(rects[id].Y1, id)
+			payloads[i] = id
+		}
+		cats[v], err = catalog.FromKeys(keys, payloads)
+		if err != nil {
+			return nil, err
+		}
+		en.maxT[v] = buildMaxTree(rects, list)
+	}
+	st, err := core.Build(t, cats, cfg)
+	if err != nil {
+		return nil, err
+	}
+	en.st = st
+	// Native-rank tables over the final augmented catalogs.
+	for v := 0; v < t.N(); v++ {
+		cat := st.Cascade().Aug(tree.NodeID(v))
+		rk := make([]int32, cat.Len()+1)
+		run := int32(0)
+		for i := 0; i < cat.Len(); i++ {
+			rk[i] = run
+			e := cat.At(i)
+			if e.Native && e.Payload >= 0 {
+				run++
+			}
+		}
+		rk[cat.Len()] = run
+		en.rank[v] = rk
+	}
+	return en, nil
+}
+
+// buildMaxTree builds a tournament tree of max Y2 over the ordered ids.
+func buildMaxTree(rects []Rect, ids []int32) []int64 {
+	m := 1
+	for m < len(ids) {
+		m *= 2
+	}
+	tr := make([]int64, 2*m)
+	for i := range tr {
+		tr[i] = -(1 << 62)
+	}
+	for i, id := range ids {
+		tr[m+i] = rects[id].Y2
+	}
+	for i := m - 1; i >= 1; i-- {
+		tr[i] = max(tr[2*i], tr[2*i+1])
+	}
+	return tr
+}
+
+// Structure exposes the underlying cooperative search structure.
+func (en *Encloser) Structure() *core.Structure { return en.st }
+
+// NaiveQuery scans every rectangle: the validation oracle.
+func (en *Encloser) NaiveQuery(x, y int64) []int32 {
+	var out []int32
+	for id, r := range en.rects {
+		if r.Contains(x, y) {
+			out = append(out, en.outIDs[id])
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// QueryDirect reports all rectangles containing (x, y) with p processors.
+func (en *Encloser) QueryDirect(x, y int64, p int) ([]int32, RetrievalStats, error) {
+	if p < 1 {
+		p = 1
+	}
+	var stats RetrievalStats
+	stats.SearchSteps += parallel.CoopSearchSteps(en.nLeaf, p)
+	leaf := sort.Search(len(en.leafLo), func(i int) bool { return en.leafLo[i] > x }) - 1
+	if leaf < 0 {
+		leaf = 0
+	}
+	path := en.t.RootPath(tree.NodeID(en.nLeaf - 1 + leaf))
+	// One explicit cooperative search finds, in every path catalog, the
+	// boundary of the prefix with Y1 <= y.
+	res, s1, err := en.st.SearchExplicit(composeLo(y+1), path, p)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.SearchSteps += s1.Steps
+	var out []int32
+	for i, v := range path {
+		prefix := int(en.rank[v][res[i].AugPos])
+		out = en.enumerate(v, prefix, y, out)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	stats.K = len(out)
+	stats.AllocSteps = 2 * parallel.CeilLog2(len(path)+1)
+	stats.ReportSteps = (len(out) + p - 1) / p
+	return out, stats, nil
+}
+
+// enumerate reports ids[v][0:prefix] whose Y2 >= y via the tournament
+// tree, in O(1 + hits) amortised node visits.
+func (en *Encloser) enumerate(v tree.NodeID, prefix int, y int64, out []int32) []int32 {
+	tr := en.maxT[v]
+	if len(tr) == 0 || prefix == 0 {
+		return out
+	}
+	m := len(tr) / 2
+	var walk func(node, lo, hi int)
+	walk = func(node, lo, hi int) {
+		if lo >= prefix || tr[node] < y {
+			return
+		}
+		if hi-lo == 1 {
+			out = append(out, en.outIDs[en.ids[v][lo]])
+			return
+		}
+		mid := (lo + hi) / 2
+		walk(2*node, lo, mid)
+		walk(2*node+1, mid, hi)
+	}
+	walk(1, 0, m)
+	return out
+}

@@ -1,0 +1,265 @@
+package segtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fraccascade/internal/core"
+	"fraccascade/internal/pram"
+)
+
+func randSegments(n int, coordRange int64, rng *rand.Rand) []VSegment {
+	segs := make([]VSegment, n)
+	for i := range segs {
+		y1 := 2 * rng.Int63n(coordRange)
+		y2 := y1 + 2 + 2*rng.Int63n(coordRange)
+		segs[i] = VSegment{X: 2 * rng.Int63n(coordRange), Y1: y1, Y2: y2}
+	}
+	return segs
+}
+
+func TestIntersectorMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 6; trial++ {
+		n := 5 + rng.Intn(200)
+		segs := randSegments(n, 200, rng)
+		it, err := NewIntersector(segs, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 8, 512} {
+			for q := 0; q < 40; q++ {
+				x1 := 2*rng.Int63n(400) - 100
+				hq := HQuery{
+					Y:  2*rng.Int63n(500) + 1, // odd: never an endpoint
+					X1: x1,
+					X2: x1 + rng.Int63n(300),
+				}
+				want := it.NaiveQuery(hq)
+				got, stats, err := it.QueryDirect(hq, p)
+				if err != nil {
+					t.Fatalf("trial %d p %d: %v", trial, p, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d p %d q %+v: direct %v, want %v", trial, p, hq, got, want)
+				}
+				if stats.K != len(want) {
+					t.Fatalf("K = %d, want %d", stats.K, len(want))
+				}
+				ranges, _, err := it.QueryIndirect(hq, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got2 := it.Expand(ranges); !reflect.DeepEqual(got2, want) {
+					t.Fatalf("trial %d p %d: indirect %v, want %v", trial, p, got2, want)
+				}
+			}
+		}
+	}
+}
+
+func TestIntersectorRejectsBadInput(t *testing.T) {
+	if _, err := NewIntersector([]VSegment{{X: 0, Y1: 5, Y2: 5}}, core.Config{}); err == nil {
+		t.Error("empty segment should be rejected")
+	}
+	it, err := NewIntersector(randSegments(10, 50, rand.New(rand.NewSource(2))), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := it.QueryDirect(HQuery{Y: 1, X1: 10, X2: 5}, 4); err == nil {
+		t.Error("inverted x-range should be rejected")
+	}
+}
+
+func TestIntersectorDuplicateX(t *testing.T) {
+	// Multiple segments sharing an abscissa must all be reported
+	// (composite keys keep catalog keys distinct).
+	segs := []VSegment{
+		{X: 10, Y1: 0, Y2: 100},
+		{X: 10, Y1: 0, Y2: 100},
+		{X: 10, Y1: 50, Y2: 60},
+		{X: 20, Y1: 0, Y2: 100},
+	}
+	it, err := NewIntersector(segs, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := it.QueryDirect(HQuery{Y: 55, X1: 0, X2: 15}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestIntersectorStatsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	segs := randSegments(2000, 5000, rng)
+	it, err := NewIntersector(segs, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hq := HQuery{Y: 4001, X1: 0, X2: 10000}
+	_, s1, err := it.QueryDirect(hq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sp, err := it.QueryDirect(hq, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.ReportSteps >= s1.ReportSteps && s1.K > 1 {
+		t.Errorf("k/p reporting did not shrink: %d vs %d (k=%d)", sp.ReportSteps, s1.ReportSteps, s1.K)
+	}
+	if sp.Total() >= s1.Total() {
+		t.Errorf("total steps with p=2^16 (%d) not below p=1 (%d)", sp.Total(), s1.Total())
+	}
+}
+
+func TestQueryIndirectPRAMMatchesHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	segs := randSegments(300, 300, rng)
+	it, err := NewIntersector(segs, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 40; q++ {
+		x1 := 2 * rng.Int63n(400)
+		hq := HQuery{Y: 2*rng.Int63n(500) + 1, X1: x1, X2: x1 + rng.Int63n(400)}
+		hostRanges, _, err := it.QueryIndirect(hq, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := pram.New(pram.CRCWArbitrary, 4096)
+		pramRanges, linkSteps, err := it.QueryIndirectPRAM(m, hq, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if linkSteps != 2 {
+			t.Fatalf("linking took %d machine steps, want 2 (O(1) CRCW)", linkSteps)
+		}
+		if len(hostRanges) != len(pramRanges) {
+			t.Fatalf("linked list %v differs from host ranges %v", pramRanges, hostRanges)
+		}
+		for i := range hostRanges {
+			if hostRanges[i] != pramRanges[i] {
+				t.Fatalf("range %d: %v != %v", i, pramRanges[i], hostRanges[i])
+			}
+		}
+	}
+	// CREW machines must be rejected.
+	m := pram.New(pram.CREW, 4096)
+	if _, _, err := it.QueryIndirectPRAM(m, HQuery{Y: 1, X1: 0, X2: 10}, 8); err == nil {
+		t.Error("CREW machine should be rejected for concurrent-write linking")
+	}
+}
+
+func randRects(n int, coordRange int64, rng *rand.Rand) []Rect {
+	rects := make([]Rect, n)
+	for i := range rects {
+		x1 := 2 * rng.Int63n(coordRange)
+		y1 := 2 * rng.Int63n(coordRange)
+		rects[i] = Rect{
+			X1: x1, X2: x1 + 2*rng.Int63n(coordRange/2+1),
+			Y1: y1, Y2: y1 + 2*rng.Int63n(coordRange/2+1),
+		}
+	}
+	return rects
+}
+
+func TestEncloserMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 6; trial++ {
+		n := 5 + rng.Intn(200)
+		rects := randRects(n, 150, rng)
+		en, err := NewEncloser(rects, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 8, 512} {
+			for q := 0; q < 60; q++ {
+				x := 2*rng.Int63n(300) + 1
+				y := 2*rng.Int63n(300) + 1
+				want := en.NaiveQuery(x, y)
+				got, stats, err := en.QueryDirect(x, y, p)
+				if err != nil {
+					t.Fatalf("trial %d p %d: %v", trial, p, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d p %d (%d,%d): got %v, want %v", trial, p, x, y, got, want)
+				}
+				if stats.K != len(want) {
+					t.Fatalf("K mismatch")
+				}
+			}
+		}
+	}
+}
+
+func TestEncloserNestedRects(t *testing.T) {
+	rects := []Rect{
+		{X1: 0, X2: 100, Y1: 0, Y2: 100},
+		{X1: 10, X2: 90, Y1: 10, Y2: 90},
+		{X1: 20, X2: 80, Y1: 20, Y2: 80},
+		{X1: 200, X2: 300, Y1: 0, Y2: 100},
+	}
+	en, err := NewEncloser(rects, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := en.QueryDirect(51, 51, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int32{0, 1, 2}) {
+		t.Errorf("nested query got %v", got)
+	}
+	got, _, err = en.QueryDirect(15, 15, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int32{0, 1}) {
+		t.Errorf("middle query got %v", got)
+	}
+	got, _, err = en.QueryDirect(500, 500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("outside query got %v", got)
+	}
+}
+
+func TestEncloserRejectsEmptyRect(t *testing.T) {
+	if _, err := NewEncloser([]Rect{{X1: 5, X2: 4, Y1: 0, Y2: 1}}, core.Config{}); err == nil {
+		t.Error("empty rectangle should be rejected")
+	}
+}
+
+func TestEncloserOutputSensitive(t *testing.T) {
+	// Many rectangles, query hitting few: enumeration must not blow up.
+	rng := rand.New(rand.NewSource(5))
+	var rects []Rect
+	for i := 0; i < 500; i++ {
+		x1 := int64(4 * i)
+		rects = append(rects, Rect{X1: x1, X2: x1 + 2, Y1: 0, Y2: 2})
+	}
+	en, err := NewEncloser(rects, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := en.QueryDirect(5, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int32{1}) {
+		t.Errorf("got %v, want [1]", got)
+	}
+	if stats.K != 1 {
+		t.Errorf("K = %d", stats.K)
+	}
+	_ = rng
+}

@@ -1,0 +1,85 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestQueriesNearColumnBoundaries probes just above the bottom sentinel
+// and just below the top sentinel of every column's extreme cells.
+func TestQueriesNearColumnBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := Generate(40, 5, rng)
+	l, err := NewLocator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range c.Cells {
+		if b.X2-b.X1 < 2 || b.Y2-b.Y1 < 2 {
+			continue
+		}
+		x := b.X1 + 1
+		y := b.Y1 + 1
+		for _, z := range []int64{b.Z1 + 1, b.Z2 - 1} {
+			if z <= c.ZMin || z >= c.ZMax || z%2 == 0 {
+				continue
+			}
+			got, err := l.LocateSeq(x, y, z)
+			if err != nil {
+				t.Fatalf("cell %d z=%d: %v", i, z, err)
+			}
+			want, err := c.LocateBrute(x, y, z)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("cell %d (%d,%d,%d): got %d, want %d", i, x, y, z, got, want)
+			}
+		}
+	}
+}
+
+// TestSingleColumnManyCells: one tile, deep stack — the tree degenerates
+// to pure z-search.
+func TestSingleColumnManyCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	c := Generate(1, 40, rng)
+	l, err := NewLocator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 200; q++ {
+		x, y, z, want := c.RandomInteriorPoint(rng)
+		for _, p := range []int{1, 64, 1 << 16} {
+			got, _, err := l.LocateCoop(x, y, z, p)
+			if err != nil {
+				t.Fatalf("p=%d: %v", p, err)
+			}
+			if got != want {
+				t.Fatalf("p=%d: got %d, want %d", p, got, want)
+			}
+		}
+	}
+}
+
+// TestManyColumnsSingleCellEach: flat complex — every column one cell,
+// surfaces have huge facet sets, queries exercise the per-node planar
+// structures heavily.
+func TestManyColumnsSingleCellEach(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c := Generate(150, 1, rng)
+	l, err := NewLocator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 150; q++ {
+		x, y, z, want := c.RandomInteriorPoint(rng)
+		got, _, err := l.LocateCoop(x, y, z, 1+rng.Intn(1<<14))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("got %d, want %d", got, want)
+		}
+	}
+}

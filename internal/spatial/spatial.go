@@ -1,0 +1,284 @@
+// Package spatial implements spatial point location in an acyclic cell
+// complex (Theorem 5, Corollary 1): the three-dimensional extension of the
+// separator tree based on separating surfaces.
+//
+// Cells are axis-aligned boxes arranged in vertical columns over a
+// guillotine tiling of the xy-square; the vertical dominance relation is
+// acyclic by construction and sorting boxes by their bottom z-coordinate
+// yields a topological order, standing in for the Voronoi complexes of
+// Corollary 1 (see DESIGN.md for the substitution argument). The balanced
+// tree T has the cells at its leaves in topological order; internal node j
+// is the separating surface χ_j between cells of index ≤ j and > j. A
+// facet whose lower cell has index b and upper cell index a belongs to
+// surfaces χ_b..χ_{a−1} and is stored once, at the LCA of that range
+// (its proper surface), exactly like proper edges in the planar case.
+// Sentinel facets at the bottom and top of every column make each χ_j
+// total over every column, so every "gap" during a search is a
+// stored-elsewhere gap resolved by the same monotone (L, R) bracket as in
+// planar point location.
+//
+// Discriminating a query against χ_j is a planar point location in the
+// projection of χ_j's proper facets. Because the projected facets are
+// disjoint axis-aligned rectangles, each node carries a slab structure
+// (x-slabs, y-sorted rectangles per slab) searched with two cooperative
+// p-ary dictionary searches — the same O((log n)/log p) discrimination
+// cost Theorem 4 provides for general monotone subdivisions. A hop
+// processes Θ(log p) levels of T at once, giving the Theorem 5 total of
+// O((log² n)/log² p).
+package spatial
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fraccascade/internal/parallel"
+)
+
+// Box is an axis-aligned cell.
+type Box struct {
+	X1, X2, Y1, Y2, Z1, Z2 int64
+}
+
+// Contains reports whether the box contains the (strict interior) point.
+func (b Box) Contains(x, y, z int64) bool {
+	return b.X1 < x && x < b.X2 && b.Y1 < y && y < b.Y2 && b.Z1 < z && z < b.Z2
+}
+
+// Facet is a horizontal rectangle separating two cells of a column
+// (sentinel facets use cell index 0 below the column and r+1 above it).
+type Facet struct {
+	X1, X2, Y1, Y2 int64
+	Z              int64
+	// Below and Above are 1-based cell indices in topological order;
+	// Below == 0 marks the bottom sentinel, Above == r+1 the top one.
+	Below, Above int32
+}
+
+// Complex is an acyclic cell complex of stacked boxes over a rectangular
+// tiling, with cells listed in topological (dominance-respecting) order.
+type Complex struct {
+	Cells  []Box
+	Facets []Facet
+	// XYMin/XYMax bound the tiling; ZMin/ZMax bound every column.
+	XYMin, XYMax, ZMin, ZMax int64
+}
+
+// Generate builds a random complex: a guillotine tiling of the xy-square
+// into `tiles` rectangles, each carrying a stack of 1..maxStack boxes.
+func Generate(tiles, maxStack int, rng *rand.Rand) *Complex {
+	if tiles < 1 || maxStack < 1 {
+		panic(fmt.Sprintf("spatial: invalid parameters tiles=%d maxStack=%d", tiles, maxStack))
+	}
+	const span = int64(1 << 20) // even extent; queries use odd coordinates
+	type rect struct{ x1, x2, y1, y2 int64 }
+	rects := []rect{{0, span, 0, span}}
+	for len(rects) < tiles {
+		// Split the largest-area rectangle that still has room.
+		best, bestArea := -1, int64(0)
+		for i, r := range rects {
+			area := (r.x2 - r.x1) * (r.y2 - r.y1)
+			if area > bestArea && (r.x2-r.x1 >= 4 || r.y2-r.y1 >= 4) {
+				best, bestArea = i, area
+			}
+		}
+		if best < 0 {
+			break
+		}
+		r := rects[best]
+		splitX := r.x2-r.x1 >= r.y2-r.y1
+		if splitX && r.x2-r.x1 < 4 {
+			splitX = false
+		}
+		if !splitX && r.y2-r.y1 < 4 {
+			splitX = true
+		}
+		if splitX {
+			cut := r.x1 + 2 + 2*rng.Int63n((r.x2-r.x1-2)/2)
+			rects[best] = rect{r.x1, cut, r.y1, r.y2}
+			rects = append(rects, rect{cut, r.x2, r.y1, r.y2})
+		} else {
+			cut := r.y1 + 2 + 2*rng.Int63n((r.y2-r.y1-2)/2)
+			rects[best] = rect{r.x1, r.x2, r.y1, cut}
+			rects = append(rects, rect{r.x1, r.x2, cut, r.y2})
+		}
+	}
+	const zSpan = int64(1 << 20)
+	c := &Complex{XYMin: 0, XYMax: span, ZMin: 0, ZMax: zSpan}
+	type col struct {
+		r    rect
+		cuts []int64 // interior z cuts, even
+	}
+	cols := make([]col, len(rects))
+	for i, r := range rects {
+		k := 1 + rng.Intn(maxStack)
+		cutSet := map[int64]bool{}
+		for len(cutSet) < k-1 {
+			cutSet[2+2*rng.Int63n(zSpan/2-2)] = true
+		}
+		cuts := make([]int64, 0, k-1)
+		for z := range cutSet {
+			cuts = append(cuts, z)
+		}
+		sort.Slice(cuts, func(a, b int) bool { return cuts[a] < cuts[b] })
+		cols[i] = col{r: r, cuts: cuts}
+	}
+	// Cells: all boxes, topologically ordered by bottom z (ties broken by
+	// column — dominance is intra-column only, so any z1-sorted order is
+	// topological).
+	type protoCell struct {
+		box Box
+		col int
+	}
+	var proto []protoCell
+	for ci, cl := range cols {
+		bounds := append(append([]int64{c.ZMin}, cl.cuts...), c.ZMax)
+		for k := 0; k+1 < len(bounds); k++ {
+			proto = append(proto, protoCell{
+				box: Box{X1: cl.r.x1, X2: cl.r.x2, Y1: cl.r.y1, Y2: cl.r.y2, Z1: bounds[k], Z2: bounds[k+1]},
+				col: ci,
+			})
+		}
+	}
+	sort.SliceStable(proto, func(a, b int) bool {
+		if proto[a].box.Z1 != proto[b].box.Z1 {
+			return proto[a].box.Z1 < proto[b].box.Z1
+		}
+		return proto[a].col < proto[b].col
+	})
+	c.Cells = make([]Box, len(proto))
+	idxInCol := make(map[int][]int32) // column -> cell indices bottom-up
+	for i, pc := range proto {
+		c.Cells[i] = pc.box
+		idxInCol[pc.col] = append(idxInCol[pc.col], int32(i+1))
+	}
+	r := int32(len(c.Cells))
+	// Facets: between consecutive boxes of a column, plus sentinels.
+	for ci, cl := range cols {
+		ids := idxInCol[ci]
+		bounds := append(append([]int64{c.ZMin}, cl.cuts...), c.ZMax)
+		mk := func(z int64, below, above int32) {
+			c.Facets = append(c.Facets, Facet{
+				X1: cl.r.x1, X2: cl.r.x2, Y1: cl.r.y1, Y2: cl.r.y2,
+				Z: z, Below: below, Above: above,
+			})
+		}
+		mk(c.ZMin, 0, ids[0])
+		for k := 0; k+1 < len(ids); k++ {
+			mk(bounds[k+1], ids[k], ids[k+1])
+		}
+		mk(c.ZMax, ids[len(ids)-1], r+1)
+	}
+	return c
+}
+
+// LocateBrute returns the 1-based index of the cell containing the query
+// by scanning all cells: the validation oracle.
+func (c *Complex) LocateBrute(x, y, z int64) (int, error) {
+	for i, b := range c.Cells {
+		if b.Contains(x, y, z) {
+			return i + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("spatial: point (%d,%d,%d) in no cell", x, y, z)
+}
+
+// RandomInteriorPoint returns an odd-coordinate point strictly inside a
+// random cell, with that cell's index.
+func (c *Complex) RandomInteriorPoint(rng *rand.Rand) (x, y, z int64, cell int) {
+	for {
+		i := rng.Intn(len(c.Cells))
+		b := c.Cells[i]
+		if b.X2-b.X1 < 2 || b.Y2-b.Y1 < 2 || b.Z2-b.Z1 < 2 {
+			continue
+		}
+		x = b.X1 + 1 + 2*rng.Int63n((b.X2-b.X1)/2)
+		y = b.Y1 + 1 + 2*rng.Int63n((b.Y2-b.Y1)/2)
+		z = b.Z1 + 1 + 2*rng.Int63n((b.Z2-b.Z1)/2)
+		return x, y, z, i + 1
+	}
+}
+
+// Validate checks structural invariants of the complex.
+func (c *Complex) Validate() error {
+	r := int32(len(c.Cells))
+	for i, f := range c.Facets {
+		if f.Below < 0 || f.Above > r+1 || (f.Below >= f.Above) {
+			return fmt.Errorf("spatial: facet %d has bad cell pair (%d, %d)", i, f.Below, f.Above)
+		}
+	}
+	// Topological order: for facets between real cells, below < above
+	// already checked; also cells sorted by Z1 within shared columns is
+	// implied by construction.
+	prev := int64(-1)
+	for i, b := range c.Cells {
+		if b.Z1 < prev {
+			return fmt.Errorf("spatial: cell %d breaks z-sorted topological order", i)
+		}
+		prev = b.Z1
+	}
+	return nil
+}
+
+// nodeLocator is the per-surface planar point-location structure over the
+// projections of the surface's proper facets: x-slabs with y-sorted
+// disjoint rectangles.
+type nodeLocator struct {
+	xs    []int64   // slab boundaries (sorted unique x-coordinates)
+	slabs [][]int32 // facet ids per slab, sorted by Y1
+}
+
+func buildNodeLocator(facets []Facet, ids []int32) nodeLocator {
+	var nl nodeLocator
+	if len(ids) == 0 {
+		return nl
+	}
+	seen := map[int64]bool{}
+	for _, id := range ids {
+		f := facets[id]
+		if !seen[f.X1] {
+			seen[f.X1] = true
+			nl.xs = append(nl.xs, f.X1)
+		}
+		if !seen[f.X2] {
+			seen[f.X2] = true
+			nl.xs = append(nl.xs, f.X2)
+		}
+	}
+	sort.Slice(nl.xs, func(a, b int) bool { return nl.xs[a] < nl.xs[b] })
+	nl.slabs = make([][]int32, len(nl.xs)-1)
+	for _, id := range ids {
+		f := facets[id]
+		lo := sort.Search(len(nl.xs), func(i int) bool { return nl.xs[i] >= f.X1 })
+		hi := sort.Search(len(nl.xs), func(i int) bool { return nl.xs[i] >= f.X2 })
+		for s := lo; s < hi; s++ {
+			nl.slabs[s] = append(nl.slabs[s], id)
+		}
+	}
+	for s := range nl.slabs {
+		slab := nl.slabs[s]
+		sort.Slice(slab, func(a, b int) bool { return facets[slab[a]].Y1 < facets[slab[b]].Y1 })
+	}
+	return nl
+}
+
+// locate returns the proper facet covering (x, y) in projection, or −1.
+// rounds reports the cooperative search cost with p processors: two p-ary
+// dictionary searches (x-slab, then y within the slab).
+func (nl *nodeLocator) locate(facets []Facet, x, y int64, p int) (id int32, rounds int) {
+	if len(nl.xs) == 0 {
+		return -1, 1
+	}
+	slab := sort.Search(len(nl.xs), func(i int) bool { return nl.xs[i] > x }) - 1
+	rounds += parallel.CoopSearchSteps(len(nl.xs), p)
+	if slab < 0 || slab >= len(nl.slabs) {
+		return -1, rounds
+	}
+	list := nl.slabs[slab]
+	rounds += parallel.CoopSearchSteps(len(list), p)
+	i := sort.Search(len(list), func(k int) bool { return facets[list[k]].Y2 >= y })
+	if i < len(list) && facets[list[i]].Y1 <= y && y <= facets[list[i]].Y2 {
+		return list[i], rounds
+	}
+	return -1, rounds
+}

@@ -1,0 +1,181 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		c := Generate(1+rng.Intn(30), 1+rng.Intn(6), rng)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(c.Cells) == 0 {
+			t.Fatal("no cells generated")
+		}
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate(0, 1) should panic")
+		}
+	}()
+	Generate(0, 1, rand.New(rand.NewSource(1)))
+}
+
+func TestSentinelFacetsComplete(t *testing.T) {
+	// Every column contributes stack+1 facets (bottom sentinel, interior
+	// boundaries, top sentinel), so every vertical line crosses every
+	// surface exactly once.
+	rng := rand.New(rand.NewSource(2))
+	c := Generate(10, 4, rng)
+	bottoms, tops := 0, 0
+	for _, f := range c.Facets {
+		if f.Below == 0 {
+			bottoms++
+		}
+		if f.Above == int32(len(c.Cells))+1 {
+			tops++
+		}
+	}
+	if bottoms == 0 || tops == 0 {
+		t.Errorf("sentinel facets missing: %d bottoms, %d tops", bottoms, tops)
+	}
+	if bottoms != tops {
+		t.Errorf("bottoms %d != tops %d (one pair per column)", bottoms, tops)
+	}
+}
+
+func TestLocateBruteFindsInterior(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := Generate(15, 4, rng)
+	for q := 0; q < 100; q++ {
+		x, y, z, want := c.RandomInteriorPoint(rng)
+		got, err := c.LocateBrute(x, y, z)
+		if err != nil || got != want {
+			t.Fatalf("LocateBrute(%d,%d,%d) = (%d, %v), want %d", x, y, z, got, err, want)
+		}
+	}
+}
+
+func TestSingleCell(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := Generate(1, 1, rng)
+	l, err := NewLocator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y, z, _ := c.RandomInteriorPoint(rng)
+	got, err := l.LocateSeq(x, y, z)
+	if err != nil || got != 1 {
+		t.Errorf("LocateSeq = (%d, %v), want (1, nil)", got, err)
+	}
+}
+
+func TestLocateSeqMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		c := Generate(2+rng.Intn(40), 1+rng.Intn(5), rng)
+		l, err := NewLocator(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 100; q++ {
+			x, y, z, want := c.RandomInteriorPoint(rng)
+			got, err := l.LocateSeq(x, y, z)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if got != want {
+				t.Fatalf("trial %d: LocateSeq(%d,%d,%d) = %d, want %d", trial, x, y, z, got, want)
+			}
+		}
+	}
+}
+
+func TestLocateCoopMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 5; trial++ {
+		c := Generate(2+rng.Intn(60), 1+rng.Intn(6), rng)
+		l, err := NewLocator(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 4, 16, 256, 1 << 16} {
+			for q := 0; q < 40; q++ {
+				x, y, z, want := c.RandomInteriorPoint(rng)
+				got, stats, err := l.LocateCoop(x, y, z, p)
+				if err != nil {
+					t.Fatalf("trial %d p %d: %v", trial, p, err)
+				}
+				if got != want {
+					t.Fatalf("trial %d p %d: LocateCoop = %d, want %d", trial, p, got, want)
+				}
+				if stats.Steps <= 0 {
+					t.Fatal("no steps recorded")
+				}
+			}
+		}
+	}
+}
+
+func TestCoopHopsReduceSteps(t *testing.T) {
+	// Theorem 5 shape: (log² n)/log² p — more processors, fewer steps.
+	rng := rand.New(rand.NewSource(7))
+	c := Generate(300, 6, rng)
+	l, err := NewLocator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := map[int]int{}
+	for q := 0; q < 40; q++ {
+		x, y, z, _ := c.RandomInteriorPoint(rng)
+		for _, p := range []int{1, 64, 1 << 16} {
+			_, stats, err := l.LocateCoop(x, y, z, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum[p] += stats.Steps
+		}
+	}
+	t.Logf("steps by p: %v", sum)
+	if sum[1<<16] >= sum[1] {
+		t.Errorf("steps(p=2^16) = %d not below steps(p=1) = %d", sum[1<<16], sum[1])
+	}
+	if sum[64] > sum[1] {
+		t.Errorf("steps(p=64) = %d above steps(p=1) = %d", sum[64], sum[1])
+	}
+}
+
+func TestOutOfBoundsQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := Generate(4, 2, rng)
+	l, err := NewLocator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LocateSeq(-5, 1, 1); err == nil {
+		t.Error("out-of-bounds query should fail")
+	}
+	if _, _, err := l.LocateCoop(1, 1, c.ZMax+1, 4); err == nil {
+		t.Error("out-of-bounds z should fail")
+	}
+}
+
+func TestTopologicalOrderIsDominanceRespecting(t *testing.T) {
+	// For every interior facet, the cell below must precede the cell
+	// above in the order — the Corollary 1 precondition.
+	rng := rand.New(rand.NewSource(9))
+	c := Generate(25, 5, rng)
+	for _, f := range c.Facets {
+		if f.Below >= 1 && int(f.Above) <= len(c.Cells) {
+			if f.Below >= f.Above {
+				t.Fatalf("dominance violated: facet between %d and %d", f.Below, f.Above)
+			}
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Package subdivision represents monotone planar subdivisions in the form
+// the bridged separator tree consumes: regions r_1..r_f ordered left to
+// right, and y-monotone edges, each knowing the regions on its two sides.
+//
+// The random generator builds a subdivision from f−1 pairwise non-crossing
+// y-monotone chains over a shared grid of y-levels; consecutive chains may
+// coincide over arbitrary level intervals, which is exactly what produces
+// shared edges (edges proper to a range of separators) and the "gaps" that
+// make point-location branch functions inconsistent (Fig. 5).
+//
+// Coordinates are kept on even lattices (chain x ≡ 0 mod 4, vertex y even)
+// so that query points with odd coordinates never lie on a chain, keeping
+// every orientation test strict.
+package subdivision
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fraccascade/internal/geom"
+)
+
+// Edge is a y-monotone subdivision edge with its two incident regions.
+type Edge struct {
+	// Seg points upward (Seg.A.Y < Seg.B.Y).
+	Seg geom.Segment
+	// Left and Right are the 1-based indices of the regions left and
+	// right of the edge; Left < Right always holds in a left-to-right
+	// region numbering. The edge belongs to separators σ_Left..σ_{Right−1}.
+	Left, Right int32
+}
+
+// MinSep returns the smallest separator index containing the edge.
+func (e Edge) MinSep() int32 { return e.Left }
+
+// MaxSep returns the largest separator index containing the edge.
+func (e Edge) MaxSep() int32 { return e.Right - 1 }
+
+// Subdivision is a monotone planar subdivision.
+type Subdivision struct {
+	// Edges lists all edges; the edge index is the identity used in
+	// catalogs and query answers.
+	Edges []Edge
+	// NumRegions is f, the number of regions.
+	NumRegions int
+	// YMin and YMax bound the vertex y-range; queries must satisfy
+	// YMin < q.Y < YMax.
+	YMin, YMax int64
+
+	// chains[c][k] is the x-coordinate of chain c+1 (separator σ_{c+1})
+	// at level k; retained for the brute-force oracle.
+	chains [][]int64
+	levelY []int64
+}
+
+// Generate builds a random monotone subdivision with f regions over the
+// given number of y-levels (levels ≥ 2). It panics on invalid parameters.
+func Generate(f, levels int, rng *rand.Rand) *Subdivision {
+	if f < 1 || levels < 2 {
+		panic(fmt.Sprintf("subdivision: invalid parameters f=%d levels=%d", f, levels))
+	}
+	m := levels
+	levelY := make([]int64, m)
+	for k := range levelY {
+		levelY[k] = int64(2 * k)
+	}
+	chains := make([][]int64, f-1)
+	base := make([]int64, m)
+	for k := 1; k < m; k++ {
+		base[k] = base[k-1] + int64(4*(rng.Intn(3)-1)) // steps −4, 0, +4
+	}
+	prev := base
+	for c := 0; c < f-1; c++ {
+		x := make([]int64, m)
+		copy(x, prev)
+		// Push right over 1–3 random intervals (at least one level).
+		nIv := 1 + rng.Intn(3)
+		pushed := false
+		for iv := 0; iv < nIv; iv++ {
+			a := rng.Intn(m)
+			b := a + rng.Intn(m-a)
+			for k := a; k <= b; k++ {
+				x[k] += int64(4 * (1 + rng.Intn(2)))
+				pushed = true
+			}
+		}
+		if !pushed {
+			x[rng.Intn(m)] += 4
+		}
+		chains[c] = x
+		prev = x
+	}
+	s := &Subdivision{
+		NumRegions: f,
+		YMin:       levelY[0],
+		YMax:       levelY[m-1],
+		chains:     chains,
+		levelY:     levelY,
+	}
+	// Extract edges: per level-gap, group maximal runs of chains with an
+	// identical segment.
+	for k := 0; k+1 < m; k++ {
+		c := 0
+		for c < len(chains) {
+			run := c
+			for run+1 < len(chains) &&
+				chains[run+1][k] == chains[c][k] && chains[run+1][k+1] == chains[c][k+1] {
+				run++
+			}
+			s.Edges = append(s.Edges, Edge{
+				Seg: geom.Segment{
+					A: geom.Point{X: chains[c][k], Y: levelY[k]},
+					B: geom.Point{X: chains[c][k+1], Y: levelY[k+1]},
+				},
+				Left:  int32(c + 1),
+				Right: int32(run + 2),
+			})
+			c = run + 1
+		}
+	}
+	return s
+}
+
+// GenerateNested builds a monotone subdivision by hierarchical insertion:
+// each new chain copies a random existing chain, pushes right over random
+// intervals, and is clamped below its right neighbour. Compared with
+// Generate, this yields regions nested to arbitrary depth, gaps bounded
+// on both sides, and possibly empty (pinched-away) regions — a stress
+// shape for the separator tree's inactive-node machinery.
+func GenerateNested(f, levels int, rng *rand.Rand) *Subdivision {
+	if f < 1 || levels < 2 {
+		panic(fmt.Sprintf("subdivision: invalid parameters f=%d levels=%d", f, levels))
+	}
+	m := levels
+	levelY := make([]int64, m)
+	for k := range levelY {
+		levelY[k] = int64(2 * k)
+	}
+	base := make([]int64, m)
+	for k := 1; k < m; k++ {
+		base[k] = base[k-1] + int64(4*(rng.Intn(3)-1))
+	}
+	chains := make([][]int64, 0, f-1)
+	if f > 1 {
+		chains = append(chains, base)
+	}
+	for len(chains) < f-1 {
+		j := rng.Intn(len(chains))
+		x := append([]int64(nil), chains[j]...)
+		nIv := 1 + rng.Intn(3)
+		for iv := 0; iv < nIv; iv++ {
+			a := rng.Intn(m)
+			b := a + rng.Intn(m-a)
+			for k := a; k <= b; k++ {
+				x[k] += int64(4 * (1 + rng.Intn(2)))
+			}
+		}
+		// Clamp below the right neighbour to stay sorted.
+		if j+1 < len(chains) {
+			for k := range x {
+				if x[k] > chains[j+1][k] {
+					x[k] = chains[j+1][k]
+				}
+			}
+		}
+		chains = append(chains[:j+1], append([][]int64{x}, chains[j+1:]...)...)
+	}
+	s := &Subdivision{
+		NumRegions: f,
+		YMin:       levelY[0],
+		YMax:       levelY[m-1],
+		chains:     chains,
+		levelY:     levelY,
+	}
+	for k := 0; k+1 < m; k++ {
+		c := 0
+		for c < len(chains) {
+			run := c
+			for run+1 < len(chains) &&
+				chains[run+1][k] == chains[c][k] && chains[run+1][k+1] == chains[c][k+1] {
+				run++
+			}
+			s.Edges = append(s.Edges, Edge{
+				Seg: geom.Segment{
+					A: geom.Point{X: chains[c][k], Y: levelY[k]},
+					B: geom.Point{X: chains[c][k+1], Y: levelY[k+1]},
+				},
+				Left:  int32(c + 1),
+				Right: int32(run + 2),
+			})
+			c = run + 1
+		}
+	}
+	return s
+}
+
+// Validate checks structural invariants; tests call it after Generate.
+func (s *Subdivision) Validate() error {
+	for i, e := range s.Edges {
+		if !e.Seg.YMonotone() {
+			return fmt.Errorf("subdivision: edge %d not y-monotone", i)
+		}
+		if e.Left < 1 || e.Right <= e.Left || int(e.Right) > s.NumRegions {
+			return fmt.Errorf("subdivision: edge %d has bad regions (%d, %d)", i, e.Left, e.Right)
+		}
+	}
+	for c := 1; c < len(s.chains); c++ {
+		for k := range s.chains[c] {
+			if s.chains[c][k] < s.chains[c-1][k] {
+				return fmt.Errorf("subdivision: chains %d and %d cross at level %d", c, c+1, k)
+			}
+		}
+	}
+	return nil
+}
+
+// chainSegmentAt returns chain c's segment containing height y
+// (s.YMin < y < s.YMax).
+func (s *Subdivision) chainSegmentAt(c int, y int64) geom.Segment {
+	// levelY[k] = 2k.
+	k := int((y - s.levelY[0]) / 2)
+	if k >= len(s.levelY)-1 {
+		k = len(s.levelY) - 2
+	}
+	return geom.Segment{
+		A: geom.Point{X: s.chains[c][k], Y: s.levelY[k]},
+		B: geom.Point{X: s.chains[c][k+1], Y: s.levelY[k+1]},
+	}
+}
+
+// LocateBrute returns the region containing q by testing q against every
+// chain: the oracle used to validate the separator-tree locators. A point
+// on a chain belongs to the region right of it (the same convention the
+// tree locators use).
+func (s *Subdivision) LocateBrute(q geom.Point) (int, error) {
+	if q.Y <= s.YMin || q.Y >= s.YMax {
+		return 0, fmt.Errorf("subdivision: query y=%d outside (%d, %d)", q.Y, s.YMin, s.YMax)
+	}
+	region := 1
+	for c := range s.chains {
+		if geom.SideOf(q, s.chainSegmentAt(c, q.Y)) >= 0 {
+			region++
+		}
+	}
+	return region, nil
+}
+
+// RandomInteriorPoint returns a query point with odd coordinates that lies
+// strictly inside some region, plus that region's index. It retries until
+// it finds a spot where the enclosing chains leave room.
+func (s *Subdivision) RandomInteriorPoint(rng *rand.Rand) (geom.Point, int) {
+	for {
+		y := s.YMin + 1 + 2*int64(rng.Intn(int((s.YMax-s.YMin)/2)))
+		// x range spanning all chains with margin.
+		lo, hi := int64(-8), int64(8)
+		for c := range s.chains {
+			seg := s.chainSegmentAt(c, y)
+			if seg.A.X < lo {
+				lo = seg.A.X - 8
+			}
+			if seg.B.X > hi {
+				hi = seg.B.X + 8
+			}
+		}
+		x := lo + int64(rng.Intn(int(hi-lo+1)))
+		if x%2 == 0 {
+			x++
+		}
+		q := geom.Point{X: x, Y: y}
+		r, err := s.LocateBrute(q)
+		if err != nil {
+			continue
+		}
+		return q, r
+	}
+}
+
+// EdgeAt returns, for separator index sep (1-based) and height y, the edge
+// of that separator's chain whose y-span contains y. It is the oracle for
+// active-node checks in tests.
+func (s *Subdivision) EdgeAt(sep int, y int64) (Edge, error) {
+	if sep < 1 || sep > len(s.chains) {
+		return Edge{}, fmt.Errorf("subdivision: separator %d out of range", sep)
+	}
+	for _, e := range s.Edges {
+		if e.MinSep() <= int32(sep) && int32(sep) <= e.MaxSep() &&
+			e.Seg.A.Y <= y && y <= e.Seg.B.Y {
+			return e, nil
+		}
+	}
+	return Edge{}, fmt.Errorf("subdivision: no edge of separator %d at y=%d", sep, y)
+}
+
+// TotalVertices estimates n (the subdivision complexity) as the number of
+// chain vertices.
+func (s *Subdivision) TotalVertices() int {
+	return len(s.chains) * len(s.levelY)
+}

@@ -1,0 +1,212 @@
+package subdivision
+
+import (
+	"math/rand"
+	"testing"
+
+	"fraccascade/internal/geom"
+)
+
+func TestGenerateValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		f := 1 + rng.Intn(40)
+		levels := 2 + rng.Intn(30)
+		s := Generate(f, levels, rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("f=%d levels=%d: %v", f, levels, err)
+		}
+		if s.NumRegions != f {
+			t.Fatalf("NumRegions = %d, want %d", s.NumRegions, f)
+		}
+	}
+}
+
+func TestGeneratePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate(0, 2) should panic")
+		}
+	}()
+	Generate(0, 2, rand.New(rand.NewSource(1)))
+}
+
+func TestSingleRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := Generate(1, 5, rng)
+	if len(s.Edges) != 0 {
+		t.Errorf("single region should have no edges, got %d", len(s.Edges))
+	}
+	q := geom.Point{X: 1, Y: 3}
+	r, err := s.LocateBrute(q)
+	if err != nil || r != 1 {
+		t.Errorf("LocateBrute = (%d, %v), want (1, nil)", r, err)
+	}
+}
+
+func TestSharedEdgesExist(t *testing.T) {
+	// With many chains over few levels, shared edges (gaps in separators)
+	// must appear.
+	rng := rand.New(rand.NewSource(3))
+	shared := false
+	for trial := 0; trial < 20 && !shared; trial++ {
+		s := Generate(30, 20, rng)
+		for _, e := range s.Edges {
+			if e.Right-e.Left >= 2 {
+				shared = true
+				break
+			}
+		}
+	}
+	if !shared {
+		t.Error("generator never produced an edge shared by multiple separators")
+	}
+}
+
+func TestLocateBruteRejectsOutOfBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := Generate(5, 10, rng)
+	if _, err := s.LocateBrute(geom.Point{X: 0, Y: s.YMin}); err == nil {
+		t.Error("query at YMin should fail")
+	}
+	if _, err := s.LocateBrute(geom.Point{X: 0, Y: s.YMax + 5}); err == nil {
+		t.Error("query above YMax should fail")
+	}
+}
+
+func TestRandomInteriorPointConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		s := Generate(2+rng.Intn(30), 2+rng.Intn(20), rng)
+		for q := 0; q < 50; q++ {
+			pt, want := s.RandomInteriorPoint(rng)
+			if pt.X%2 == 0 || pt.Y%2 == 0 {
+				t.Fatalf("interior point %v has even coordinate", pt)
+			}
+			got, err := s.LocateBrute(pt)
+			if err != nil || got != want {
+				t.Fatalf("LocateBrute(%v) = (%d, %v), want %d", pt, got, err, want)
+			}
+		}
+	}
+}
+
+func TestRegionCoverage(t *testing.T) {
+	// Random interior points eventually hit every region: regions are all
+	// nonempty.
+	rng := rand.New(rand.NewSource(6))
+	s := Generate(8, 12, rng)
+	seen := map[int]bool{}
+	for q := 0; q < 3000 && len(seen) < s.NumRegions; q++ {
+		_, r := s.RandomInteriorPoint(rng)
+		if r < 1 || r > s.NumRegions {
+			t.Fatalf("region %d out of range", r)
+		}
+		seen[r] = true
+	}
+	if len(seen) < s.NumRegions {
+		t.Errorf("only %d of %d regions reachable", len(seen), s.NumRegions)
+	}
+}
+
+func TestEdgeAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := Generate(10, 10, rng)
+	for sep := 1; sep < s.NumRegions; sep++ {
+		for y := s.YMin + 1; y < s.YMax; y += 2 {
+			e, err := s.EdgeAt(sep, y)
+			if err != nil {
+				t.Fatalf("separator %d has no edge at y=%d: %v (chains must span the whole band)", sep, y, err)
+			}
+			if !(e.MinSep() <= int32(sep) && int32(sep) <= e.MaxSep()) {
+				t.Fatalf("EdgeAt returned edge of separators [%d,%d] for separator %d", e.MinSep(), e.MaxSep(), sep)
+			}
+		}
+	}
+	if _, err := s.EdgeAt(0, 1); err == nil {
+		t.Error("separator 0 should be rejected")
+	}
+}
+
+func TestEdgeSideConsistency(t *testing.T) {
+	// A point just left (right) of a chain must land in the edge's Left
+	// (Right) region... more precisely in a region <= Left (>= Right)
+	// since other chains may coincide.
+	rng := rand.New(rand.NewSource(8))
+	s := Generate(12, 8, rng)
+	for _, e := range s.Edges {
+		midY := (e.Seg.A.Y + e.Seg.B.Y) / 2
+		if midY%2 == 0 {
+			midY++
+		}
+		if midY <= e.Seg.A.Y || midY >= e.Seg.B.Y {
+			continue
+		}
+		midX := (e.Seg.A.X + e.Seg.B.X) / 2
+		left := geom.Point{X: midX - 1, Y: midY}
+		right := geom.Point{X: midX + 1, Y: midY}
+		if geom.SideOf(left, e.Seg) >= 0 || geom.SideOf(right, e.Seg) <= 0 {
+			continue // probe too close to a slanted edge; skip
+		}
+		rl, err := s.LocateBrute(left)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := s.LocateBrute(right)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rl > int(e.Left) {
+			t.Fatalf("point left of edge (%d,%d) located in region %d", e.Left, e.Right, rl)
+		}
+		if rr < int(e.Right) {
+			t.Fatalf("point right of edge (%d,%d) located in region %d", e.Left, e.Right, rr)
+		}
+	}
+}
+
+func TestGenerateNestedValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		f := 1 + rng.Intn(40)
+		levels := 2 + rng.Intn(30)
+		s := GenerateNested(f, levels, rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("f=%d levels=%d: %v", f, levels, err)
+		}
+		// Brute-force location remains consistent with interior sampling.
+		for q := 0; q < 30; q++ {
+			pt, want := s.RandomInteriorPoint(rng)
+			got, err := s.LocateBrute(pt)
+			if err != nil || got != want {
+				t.Fatalf("trial %d: LocateBrute(%v) = (%d, %v), want %d", trial, pt, got, err, want)
+			}
+		}
+	}
+}
+
+func TestGenerateNestedSharesBothSides(t *testing.T) {
+	// Nested insertion with clamping produces edges shared across wide
+	// separator ranges.
+	rng := rand.New(rand.NewSource(22))
+	widest := int32(0)
+	for trial := 0; trial < 20; trial++ {
+		s := GenerateNested(24, 15, rng)
+		for _, e := range s.Edges {
+			if w := e.Right - e.Left; w > widest {
+				widest = w
+			}
+		}
+	}
+	if widest < 3 {
+		t.Errorf("nested generator never produced a widely shared edge (max span %d)", widest)
+	}
+}
+
+func TestTotalVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := Generate(6, 11, rng)
+	if s.TotalVertices() != 5*11 {
+		t.Errorf("TotalVertices = %d, want 55", s.TotalVertices())
+	}
+}
