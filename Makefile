@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test race bench chaos
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/pram/... ./internal/parallel/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+chaos:
+	$(GO) run ./cmd/coopbench -chaos

@@ -230,7 +230,10 @@ func BenchmarkE6DegreeD(b *testing.B) {
 // (Theorem 4), validated per query.
 func BenchmarkE7PointLocation(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	s := subdivision.Generate(512, 40, rng)
+	s, err := subdivision.Generate(512, 40, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
 	loc, err := pointloc.Build(s, core.Config{})
 	if err != nil {
 		b.Fatal(err)
@@ -265,7 +268,10 @@ func BenchmarkE7PointLocation(b *testing.B) {
 // BenchmarkE8Spatial measures spatial point location (Theorem 5).
 func BenchmarkE8Spatial(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	c := spatial.Generate(400, 5, rng)
+	c, err := spatial.Generate(400, 5, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
 	loc, err := spatial.NewLocator(c)
 	if err != nil {
 		b.Fatal(err)

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
+	"fraccascade/internal/faults"
+	"fraccascade/internal/tree"
+)
+
+// runE19 is the chaos-mode experiment: it sweeps seeded fault rates across
+// processor budgets and measures how the degrading cooperative search
+// survives. For every (rate, p) cell it runs many searches, each under an
+// independent seeded fault plan (crashes at the given per-processor rate,
+// stragglers at half of it), and reports:
+//
+//	ok      — searches that completed (≥1 processor survived throughout)
+//	dead    — searches aborted because every processor died
+//	bad     — completed searches whose answers differ from the sequential
+//	          oracle (must be 0: degradation may cost steps, never answers)
+//	min p′  — average of the smallest live processor count per search
+//	steps   — average steps of completed searches
+//	factor  — average steps / ((log n)/log(min p′+1)), the constant in the
+//	          degraded Theorem 1 shape
+//	redrv   — average substructure re-derivations per completed search
+func runE19(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("chaos mode: seeded fault plans vs the degrading cooperative search")
+	leaves := 1 << 10
+	total := leaves * 60
+	st, bt := buildTree(leaves, total, rng, core.Config{})
+	logN := st.Params().LogN
+	fmt.Printf("structure: n=%d, log n=%d, substructures=%d\n\n", total, logN, st.NumSubstructures())
+	fmt.Printf("%6s %8s %6s %6s %6s %8s %8s %8s %7s\n",
+		"rate", "p", "ok", "dead", "bad", "min p'", "steps", "factor", "redrv")
+	const runs = 200
+	for _, rate := range []float64{0, 0.1, 0.3, 0.6, 0.9} {
+		for _, p := range []int{16, 256, 4096} {
+			var ok, dead, bad int
+			var sumMin, sumSteps, sumRedrives int64
+			var sumFactor float64
+			for r := 0; r < runs; r++ {
+				planSeed := seed*1_000_000 + int64(r)
+				plan, err := faults.Random(planSeed, p, faults.Options{
+					CrashRate:     rate,
+					StragglerRate: rate / 2,
+					MaxStall:      4,
+					Horizon:       64,
+				})
+				if err != nil {
+					panic(err)
+				}
+				leaf := tree.NodeID(bt.N() - 1 - rng.Intn(leaves))
+				path := bt.RootPath(leaf)
+				y := catalog.Key(rng.Intn(total * 8))
+				got, ds, err := st.SearchExplicitDegraded(y, path, p, plan)
+				if err != nil {
+					dead++
+					continue
+				}
+				ok++
+				want, werr := st.Cascade().SearchPath(y, path)
+				if werr != nil {
+					panic(werr)
+				}
+				for i := range want {
+					if got[i].Key != want[i].Key || got[i].Payload != want[i].Payload {
+						bad++
+						break
+					}
+				}
+				sumMin += int64(ds.MinLiveP)
+				sumSteps += int64(ds.Steps)
+				sumRedrives += int64(ds.Redrives)
+				sumFactor += float64(ds.Steps) / (float64(logN) / math.Log2(float64(ds.MinLiveP)+1))
+			}
+			avg := func(sum int64) float64 {
+				if ok == 0 {
+					return 0
+				}
+				return float64(sum) / float64(ok)
+			}
+			avgFactor := 0.0
+			if ok > 0 {
+				avgFactor = sumFactor / float64(ok)
+			}
+			fmt.Printf("%6.2f %8d %6d %6d %6d %8.1f %8.1f %8.2f %7.2f\n",
+				rate, p, ok, dead, bad, avg(sumMin), avg(sumSteps), avgFactor, avg(sumRedrives))
+		}
+	}
+	// Second table: targeted mass crashes that force the surviving count
+	// across substructure boundaries, exercising mid-search re-derivation.
+	fmt.Println("\nmass crash at step 3: p=4096 collapses to p' survivors mid-search")
+	fmt.Printf("%8s %6s %6s %8s %8s %7s\n", "p'", "ok", "bad", "steps", "factor", "redrv")
+	p := 4096
+	for _, survivors := range []int{1024, 64, 4, 1} {
+		plan, err := faults.NewPlan(p)
+		if err != nil {
+			panic(err)
+		}
+		for proc := survivors; proc < p; proc++ {
+			if err := plan.Crash(proc, 3); err != nil {
+				panic(err)
+			}
+		}
+		var ok, bad int
+		var sumSteps, sumRedrives int64
+		var sumFactor float64
+		for r := 0; r < runs; r++ {
+			leaf := tree.NodeID(bt.N() - 1 - rng.Intn(leaves))
+			path := bt.RootPath(leaf)
+			y := catalog.Key(rng.Intn(total * 8))
+			got, ds, err := st.SearchExplicitDegraded(y, path, p, plan)
+			if err != nil {
+				panic(err) // survivors ≥ 1: the search must complete
+			}
+			ok++
+			want, werr := st.Cascade().SearchPath(y, path)
+			if werr != nil {
+				panic(werr)
+			}
+			for i := range want {
+				if got[i].Key != want[i].Key || got[i].Payload != want[i].Payload {
+					bad++
+					break
+				}
+			}
+			sumSteps += int64(ds.Steps)
+			sumRedrives += int64(ds.Redrives)
+			sumFactor += float64(ds.Steps) / (float64(logN) / math.Log2(float64(ds.MinLiveP)+1))
+		}
+		fmt.Printf("%8d %6d %6d %8.1f %8.2f %7.2f\n",
+			survivors, ok, bad, float64(sumSteps)/float64(ok), sumFactor/float64(ok), float64(sumRedrives)/float64(ok))
+	}
+	fmt.Println("\nanswers stay oracle-exact whenever one processor survives (bad = 0);")
+	fmt.Println("steps degrade smoothly toward the surviving count's (log n)/log p' shape.")
+}

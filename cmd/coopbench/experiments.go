@@ -296,7 +296,10 @@ func runE7(seed int64) {
 	fmt.Println("paper: planar point location in O((log n)/log p) with O(n) space (Theorem 4)")
 	fmt.Printf("%8s %8s %8s %8s %8s %8s %10s\n", "regions", "edges", "p", "steps", "hops", "seq", "validated")
 	for _, f := range []int{64, 256, 1024} {
-		s := subdivision.Generate(f, 40, rng)
+		s, err := subdivision.Generate(f, 40, rng)
+		if err != nil {
+			panic(err)
+		}
 		loc, err := pointloc.Build(s, core.Config{})
 		if err != nil {
 			panic(err)
@@ -324,7 +327,10 @@ func runE7(seed int64) {
 	}
 	fmt.Println("\n-- hop-height ablation (the (log n)/log p curve for point location) --")
 	fmt.Printf("%6s %8s %8s\n", "h", "steps", "hops")
-	s := subdivision.Generate(1024, 50, rng)
+	s, err := subdivision.Generate(1024, 50, rng)
+	if err != nil {
+		panic(err)
+	}
 	for _, h := range []int{1, 2, 4} {
 		h := h
 		loc, err := pointloc.Build(s, core.Config{MaxSubs: 1, NoTruncation: true,
@@ -355,7 +361,10 @@ func runE8(seed int64) {
 	fmt.Println("paper: spatial point location in O((log^2 n)/log^2 p) (Theorem 5, Corollary 1)")
 	fmt.Printf("%8s %8s %8s %8s %8s %8s\n", "cells", "facets", "p", "steps", "hops", "seq")
 	for _, tiles := range []int{50, 200, 800} {
-		c := spatial.Generate(tiles, 5, rng)
+		c, err := spatial.Generate(tiles, 5, rng)
+		if err != nil {
+			panic(err)
+		}
 		loc, err := spatial.NewLocator(c)
 		if err != nil {
 			panic(err)
@@ -628,7 +637,10 @@ func runFig5(seed int64) {
 	fmt.Println("points away from the search path (as at sigma_4/sigma_13 in the paper's figure):")
 	found := 0
 	for trial := 0; trial < 50 && found < 5; trial++ {
-		s := subdivision.Generate(16, 10, rng)
+		s, err := subdivision.Generate(16, 10, rng)
+		if err != nil {
+			panic(err)
+		}
 		loc, err := pointloc.Build(s, core.Config{})
 		if err != nil {
 			panic(err)

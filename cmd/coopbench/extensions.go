@@ -53,7 +53,7 @@ func runE17(seed int64) {
 		var agg core.PRAMSearchReport
 		const reps = 10
 		for r := 0; r < reps; r++ {
-			m := pram.New(pram.CREW, 1<<21)
+			m := pram.MustNew(pram.CREW, 1<<21)
 			y := catalog.Key(rng.Intn(48000))
 			_, rep, err := st.SearchExplicitPRAM(m, y, path, p)
 			if err != nil {

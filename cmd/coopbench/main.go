@@ -1,4 +1,4 @@
-// Command coopbench runs the reproduction experiments E1–E18 (see
+// Command coopbench runs the reproduction experiments E1–E19 (see
 // DESIGN.md for the per-experiment index) and prints the tables recorded
 // in EXPERIMENTS.md. Each experiment regenerates one of the paper's
 // claims: a time/processor tradeoff, a space bound, or a structural lemma.
@@ -9,6 +9,7 @@
 //	coopbench -experiment=e1        # one experiment
 //	coopbench -experiment=fig5      # the Fig. 5 branch-function table
 //	coopbench -seed=7               # change workload seed
+//	coopbench -chaos                # shorthand for -experiment=e19
 package main
 
 import (
@@ -26,9 +27,13 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("experiment", "all", "experiment id (e1..e14, fig5, all)")
+	expFlag := flag.String("experiment", "all", "experiment id (e1..e19, fig5, all)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	chaos := flag.Bool("chaos", false, "run the chaos-mode fault sweep (alias for -experiment=e19)")
 	flag.Parse()
+	if *chaos {
+		*expFlag = "e19"
+	}
 
 	experiments := []experiment{
 		{"e1", "E1 (Theorem 1): explicit cooperative search, steps vs (log n)/log p", runE1},
@@ -50,6 +55,7 @@ func main() {
 		{"e16", "E16 (extension, open problem 4): dynamic updates, amortized rebuilds", runE16},
 		{"e17", "E17: whole searches executed on the conflict-checked CREW simulator", runE17},
 		{"e18", "E18: Snir lower-bound adversary game (optimality)", runE18},
+		{"e19", "E19 (chaos mode): fault-injected degrading cooperative search", runE19},
 	}
 	want := strings.ToLower(*expFlag)
 	ran := 0

@@ -22,6 +22,7 @@ func TestExperimentsSmoke(t *testing.T) {
 		{"e15", runE15},
 		{"e16", runE16},
 		{"e17", runE17},
+		{"e19", runE19},
 		{"fig5", runFig5},
 	} {
 		e := e

@@ -33,7 +33,11 @@ func main() {
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
-	s := subdivision.Generate(*regions, *levels, rng)
+	s, err := subdivision.Generate(*regions, *levels, rng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if err := s.Validate(); err != nil {
 		log.Fatal(err)
 	}

@@ -20,7 +20,10 @@ func main() {
 	// A monotone subdivision with 64 regions over 40 y-levels. Chains may
 	// share edges, so separators have gaps — the case that defeats the
 	// basic implicit search and needs the paper's Section 3.1 hop.
-	s := subdivision.Generate(64, 40, rng)
+	s, err := subdivision.Generate(64, 40, rng)
+	if err != nil {
+		panic(err)
+	}
 	if err := s.Validate(); err != nil {
 		log.Fatal(err)
 	}

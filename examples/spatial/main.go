@@ -16,7 +16,10 @@ import (
 func main() {
 	rng := rand.New(rand.NewSource(3))
 
-	c := spatial.Generate(250, 6, rng)
+	c, err := spatial.Generate(250, 6, rng)
+	if err != nil {
+		panic(err)
+	}
 	if err := c.Validate(); err != nil {
 		log.Fatal(err)
 	}

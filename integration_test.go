@@ -95,7 +95,7 @@ func TestIntegrationFullStack(t *testing.T) {
 		leaf := leafIDs[rng.Intn(len(leafIDs))]
 		path := bt.RootPath(leaf)
 		y := catalog.Key(rng.Intn(320000))
-		m := pram.New(pram.CREW, 1<<21)
+		m := pram.MustNew(pram.CREW, 1<<21)
 		gotP, _, err := st.SearchExplicitPRAM(m, y, path, 256)
 		if err != nil {
 			t.Fatal(err)
@@ -135,7 +135,10 @@ func TestIntegrationFullStack(t *testing.T) {
 	}
 
 	// --- geometric applications ---
-	s := subdivision.Generate(256, 50, rng)
+	s, err := subdivision.Generate(256, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	loc, err := pointloc.Build(s, core.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -152,7 +155,10 @@ func TestIntegrationFullStack(t *testing.T) {
 		}
 	}
 
-	c := spatial.Generate(120, 5, rng)
+	c, err := spatial.Generate(120, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sloc, err := spatial.NewLocator(c)
 	if err != nil {
 		t.Fatal(err)

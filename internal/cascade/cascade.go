@@ -138,7 +138,9 @@ func Build(t *tree.Tree, native []catalog.Catalog, opts Options) (*Structure, er
 			parallel.ForEach(len(nodes), grain, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					v := nodes[i]
-					sample := s.aug[s.t.Parent(v)].SampleEvery(s.stride)
+					// Stride is validated ≥ 2 in Build, so the error path
+					// is unreachable here.
+					sample, _ := s.aug[s.t.Parent(v)].SampleEvery(s.stride)
 					s.aug[v] = catalog.MergeForCascade(s.aug[v], dummied(sample))
 				}
 			})
@@ -178,7 +180,10 @@ func (s *Structure) buildBottomUp(v tree.NodeID) {
 	}
 	samples := make([][]catalog.Entry, len(ch))
 	for i, c := range ch {
-		samples[i] = dummied(s.aug[c].SampleEvery(s.stride))
+		// Stride is validated ≥ 2 in Build, so the error path is
+		// unreachable here.
+		sample, _ := s.aug[c].SampleEvery(s.stride)
+		samples[i] = dummied(sample)
 	}
 	s.aug[v] = catalog.MergeForCascade(s.native[v], samples...)
 }

@@ -181,16 +181,18 @@ func (c Catalog) NativeResult(pos int) (Key, int32) {
 
 // SampleEvery returns the entries at positions k-1, 2k-1, 3k-1, ... (every
 // k-th entry, 1-indexed as in the paper). The returned keys are used as
-// dummy entries one level up. k must be positive.
-func (c Catalog) SampleEvery(k int) []Entry {
+// dummy entries one level up. A non-positive stride is reported as an
+// error rather than a panic, per the repository-wide constructor
+// convention.
+func (c Catalog) SampleEvery(k int) ([]Entry, error) {
 	if k <= 0 {
-		panic("catalog: non-positive sampling stride")
+		return nil, fmt.Errorf("catalog: non-positive sampling stride %d", k)
 	}
 	var out []Entry
 	for i := k - 1; i < len(c.entries); i += k {
 		out = append(out, c.entries[i])
 	}
-	return out
+	return out, nil
 }
 
 // MergeForCascade builds the augmented catalog of a node: the node's native

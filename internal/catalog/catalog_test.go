@@ -114,21 +114,26 @@ func TestNativeResult(t *testing.T) {
 
 func TestSampleEvery(t *testing.T) {
 	c := MustFromKeys([]Key{1, 2, 3, 4, 5, 6, 7, 8, 9}, nil) // +inf makes 10 entries
-	s := c.SampleEvery(4)
+	s, err := c.SampleEvery(4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// 1-indexed positions 4, 8 -> keys 4, 8; position 12 out of range.
 	if len(s) != 2 || s[0].Key != 4 || s[1].Key != 8 {
 		t.Errorf("SampleEvery(4) = %+v", s)
 	}
-	s1 := c.SampleEvery(1)
+	s1, err := c.SampleEvery(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(s1) != c.Len() {
 		t.Errorf("SampleEvery(1) len = %d, want %d", len(s1), c.Len())
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("SampleEvery(0) should panic")
+	for _, k := range []int{0, -3} {
+		if _, err := c.SampleEvery(k); err == nil {
+			t.Errorf("SampleEvery(%d) should return an error", k)
 		}
-	}()
-	c.SampleEvery(0)
+	}
 }
 
 func TestMergeForCascadePrefersNative(t *testing.T) {

@@ -74,6 +74,13 @@ func (st *Structure) SearchExplicit(y catalog.Key, path []tree.NodeID, p int) ([
 // aligned blocks, and sequential bridge descents elsewhere. The segment
 // head may be any tree node (long-path searches enter mid-tree).
 func (st *Structure) searchSegment(sub *Substructure, y catalog.Key, seg []tree.NodeID, p int, stats *Stats) ([]cascade.Result, error) {
+	return st.searchSegmentCtl(sub, y, seg, p, stats, nil)
+}
+
+// searchSegmentCtl is searchSegment with an optional control hook checked
+// between hops: context cancellation and census-driven substructure
+// re-derivation (see degraded.go). A nil ctl is the fault-free fast path.
+func (st *Structure) searchSegmentCtl(sub *Substructure, y catalog.Key, seg []tree.NodeID, p int, stats *Stats, ctl *searchControl) ([]cascade.Result, error) {
 	results := make([]cascade.Result, len(seg))
 	head := st.s.Aug(seg[0])
 	pos := head.Succ(y)
@@ -84,6 +91,12 @@ func (st *Structure) searchSegment(sub *Substructure, y catalog.Key, seg []tree.
 
 	idx := 0 // index into seg of the node whose find position is `pos`
 	for idx < len(seg)-1 {
+		if ctl != nil {
+			var err error
+			if sub, p, err = ctl.check(st, sub, p, stats); err != nil {
+				return nil, err
+			}
+		}
 		v := seg[idx]
 		block := sub.BlockAt(v)
 		if block == nil || st.t.Depth(v) >= sub.TruncDepth {

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/faults"
+)
+
+// FuzzDegradedSearch drives SearchExplicitDegraded with a fuzzer-chosen
+// tree, query, processor budget, and fault plan, asserting the degraded
+// answers always equal the sequential fractional-cascading walk whenever
+// at least one processor survives.
+func FuzzDegradedSearch(f *testing.F) {
+	f.Add(int64(1), int64(100), uint8(8), int64(2), uint8(40), uint8(30))
+	f.Add(int64(3), int64(0), uint8(1), int64(9), uint8(100), uint8(0))
+	f.Add(int64(5), int64(999999), uint8(255), int64(7), uint8(0), uint8(100))
+	f.Fuzz(func(t *testing.T, treeSeed, y int64, pRaw uint8, faultSeed int64, crashPct, stallPct uint8) {
+		leaves := 4 << (uint(treeSeed%3+3) % 3) // 4, 8, or 16
+		st, _, rng := buildStructure(t, leaves, 150, treeSeed, Config{})
+		p := int(pRaw)%64 + 1
+		plan, err := faults.Random(faultSeed, p, faults.Options{
+			CrashRate:     float64(crashPct%101) / 100,
+			StragglerRate: float64(stallPct%101) / 100,
+			MaxStall:      3,
+			Horizon:       32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := randomLeafPath(st.Tree(), rng)
+		key := catalog.Key(y)
+		got, ds, err := st.SearchExplicitDegraded(key, path, p, plan)
+		if plan.MinLive(64) < 1 {
+			if err == nil && ds.MinLiveP < 1 {
+				t.Fatalf("all-dead plan returned success with MinLiveP=%d", ds.MinLiveP)
+			}
+			return // zero survivors: an error (or a finish before the die-off) is fine
+		}
+		if err != nil {
+			t.Fatalf("treeSeed=%d faultSeed=%d p=%d: %v\nplan: %v", treeSeed, faultSeed, p, err, plan.Events())
+		}
+		want, err := st.Cascade().SearchPath(key, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i].Key != want[i].Key || got[i].Payload != want[i].Payload {
+				t.Fatalf("treeSeed=%d faultSeed=%d p=%d y=%d node %d: degraded (%d,%d) != oracle (%d,%d)\nplan: %v",
+					treeSeed, faultSeed, p, y, path[i], got[i].Key, got[i].Payload, want[i].Key, want[i].Payload, plan.Events())
+			}
+		}
+	})
+}

@@ -42,7 +42,7 @@ func TestHopKernelPRAM(t *testing.T) {
 		for _, w := range windows {
 			slots += w.Hi - w.Lo + 1
 		}
-		m := pram.New(pram.CREW, slots)
+		m := pram.MustNew(pram.CREW, slots)
 		got, err := st.RunHopKernelPRAM(m, y, windows)
 		if err != nil {
 			t.Fatalf("hop kernel: %v", err)
@@ -67,7 +67,7 @@ func TestHopKernelPRAM(t *testing.T) {
 // requirement instead of silently producing conflicts.
 func TestHopKernelRejectsEREW(t *testing.T) {
 	st, _, _ := buildStructure(t, 4, 100, 91, Config{})
-	m := pram.New(pram.EREW, 16)
+	m := pram.MustNew(pram.EREW, 16)
 	if _, err := st.RunHopKernelPRAM(m, 5, nil); err == nil {
 		t.Error("EREW machine should be rejected")
 	}
@@ -90,7 +90,7 @@ func TestHopKernelProcessorBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := pram.New(pram.CREW, 1)
+	m := pram.MustNew(pram.CREW, 1)
 	if _, err := st.RunHopKernelPRAM(m, y, windows); err == nil {
 		t.Error("under-provisioned machine should be rejected")
 	}

@@ -25,7 +25,7 @@ func TestSearchExplicitPRAMEndToEnd(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			m := pram.New(pram.CREW, 1<<20)
+			m := pram.MustNew(pram.CREW, 1<<20)
 			pramResults, rep, err := st.SearchExplicitPRAM(m, y, path, p)
 			if err != nil {
 				t.Fatalf("p=%d: %v", p, err)
@@ -65,7 +65,7 @@ func TestSearchExplicitPRAMEndToEnd(t *testing.T) {
 // requirement.
 func TestSearchExplicitPRAMRejectsEREW(t *testing.T) {
 	st, _, _ := buildStructure(t, 4, 100, 401, Config{})
-	m := pram.New(pram.EREW, 64)
+	m := pram.MustNew(pram.EREW, 64)
 	path := st.Tree().RootPath(tree.NodeID(st.Tree().N() - 1))
 	if _, _, err := st.SearchExplicitPRAM(m, 5, path, 4); err == nil {
 		t.Error("EREW machine should be rejected")
@@ -80,12 +80,12 @@ func TestSearchExplicitPRAMTimeDropsWithP(t *testing.T) {
 	leaf := tree.NodeID(tr.N() - 1)
 	path := tr.RootPath(leaf)
 	y := catalog.Key(rng.Intn(30000))
-	m1 := pram.New(pram.CREW, 1<<20)
+	m1 := pram.MustNew(pram.CREW, 1<<20)
 	_, rep1, err := st.SearchExplicitPRAM(m1, y, path, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mBig := pram.New(pram.CREW, 1<<20)
+	mBig := pram.MustNew(pram.CREW, 1<<20)
 	_, repBig, err := st.SearchExplicitPRAM(mBig, y, path, 1<<18)
 	if err != nil {
 		t.Fatal(err)

@@ -16,7 +16,9 @@ func TestStressLargeScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("large-scale stress test skipped in -short mode")
 	}
-	rng := rand.New(rand.NewSource(1234))
+	const stressSeed int64 = 1234
+	t.Logf("stress seed %d", stressSeed)
+	rng := rand.New(rand.NewSource(stressSeed))
 	leaves := 1 << 12
 	bt, err := tree.NewBalancedBinary(leaves)
 	if err != nil {

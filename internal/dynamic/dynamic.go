@@ -16,9 +16,11 @@
 package dynamic
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"fraccascade/internal/cascade"
 	"fraccascade/internal/catalog"
@@ -52,15 +54,36 @@ type Structure struct {
 	buffered int
 	capacity int
 	rebuilds int
+
+	// rebuildHook, when set, runs before every rebuild attempt; an error
+	// aborts that attempt as if the build itself had failed. Tests use it
+	// to inject transient and permanent rebuild faults.
+	rebuildHook func(attempt int) error
+	// maxAttempts and sleep parameterize the retry loop; sleep is
+	// injectable so tests need not wait out real backoff.
+	maxAttempts int
+	sleep       func(time.Duration)
 }
+
+// Rebuild retry parameters: up to defaultRebuildAttempts tries with
+// exponential backoff starting at rebuildBackoffBase, capped at
+// rebuildBackoffCap.
+const defaultRebuildAttempts = 3
+
+const (
+	rebuildBackoffBase = time.Millisecond
+	rebuildBackoffCap  = 50 * time.Millisecond
+)
 
 // New builds a dynamic structure over the initial catalogs. capacity 0
 // selects the default max(16, ⌈√n⌉).
 func New(t *tree.Tree, native []catalog.Catalog, cfg core.Config, capacity int) (*Structure, error) {
 	d := &Structure{
-		t:        t,
-		cfg:      cfg,
-		overlays: make(map[tree.NodeID]*overlay),
+		t:           t,
+		cfg:         cfg,
+		overlays:    make(map[tree.NodeID]*overlay),
+		maxAttempts: defaultRebuildAttempts,
+		sleep:       time.Sleep,
 	}
 	d.curKeys = make([][]catalog.Key, t.N())
 	d.curPayloads = make([][]int32, t.N())
@@ -190,8 +213,26 @@ func (d *Structure) maybeRebuild() error {
 	return d.Flush()
 }
 
-// Flush commits all pending mutations and rebuilds the static structure.
+// SetRebuildHook installs a hook run before every rebuild attempt; a
+// non-nil error from it fails that attempt (and is retried like any other
+// rebuild failure). Pass nil to remove the hook. Intended for fault
+// injection in tests and chaos experiments.
+func (d *Structure) SetRebuildHook(hook func(attempt int) error) { d.rebuildHook = hook }
+
+// Flush commits all pending mutations and rebuilds the static structure
+// transactionally: merged catalogs are staged in fresh slices and the new
+// static structure is built from the staged state; only after the build
+// succeeds are the committed keys, overlays, and static structure swapped.
+// A failed build attempt (for example one interrupted by an injected
+// fault) is retried with capped exponential backoff; if every attempt
+// fails, Flush returns the last error and the structure is unchanged —
+// pending mutations stay buffered and queries keep answering from the old
+// static structure corrected by the overlays.
 func (d *Structure) Flush() error {
+	newKeys := make([][]catalog.Key, len(d.curKeys))
+	newPayloads := make([][]int32, len(d.curPayloads))
+	copy(newKeys, d.curKeys)
+	copy(newPayloads, d.curPayloads)
 	for v, o := range d.overlays {
 		if len(o.ins) == 0 && len(o.del) == 0 {
 			continue
@@ -213,27 +254,62 @@ func (d *Structure) Flush() error {
 				j++
 			}
 		}
-		d.curKeys[v], d.curPayloads[v] = newKs, newPs
+		newKeys[v], newPayloads[v] = newKs, newPs
 	}
-	d.overlays = make(map[tree.NodeID]*overlay)
-	d.buffered = 0
-	if err := d.rebuild(); err != nil {
+	st, err := d.rebuildFrom(newKeys, newPayloads)
+	if err != nil {
 		return err
 	}
+	d.curKeys, d.curPayloads = newKeys, newPayloads
+	d.overlays = make(map[tree.NodeID]*overlay)
+	d.buffered = 0
+	d.st = st
 	d.rebuilds++
 	return nil
 }
 
-func (d *Structure) rebuild() error {
+// rebuildFrom builds a static structure over the given staged catalogs,
+// retrying failed attempts with capped exponential backoff. It never
+// mutates d beyond consuming backoff sleeps.
+func (d *Structure) rebuildFrom(keys [][]catalog.Key, payloads [][]int32) (*core.Structure, error) {
+	backoff := rebuildBackoffBase
+	var lastErr error
+	for attempt := 1; attempt <= d.maxAttempts; attempt++ {
+		if attempt > 1 {
+			d.sleep(backoff)
+			backoff *= 2
+			if backoff > rebuildBackoffCap {
+				backoff = rebuildBackoffCap
+			}
+		}
+		st, err := d.buildOnce(attempt, keys, payloads)
+		if err == nil {
+			return st, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("dynamic: rebuild failed after %d attempts: %w", d.maxAttempts, lastErr)
+}
+
+func (d *Structure) buildOnce(attempt int, keys [][]catalog.Key, payloads [][]int32) (*core.Structure, error) {
+	if d.rebuildHook != nil {
+		if err := d.rebuildHook(attempt); err != nil {
+			return nil, err
+		}
+	}
 	cats := make([]catalog.Catalog, d.t.N())
 	for v := range cats {
-		c, err := catalog.FromKeys(d.curKeys[v], d.curPayloads[v])
+		c, err := catalog.FromKeys(keys[v], payloads[v])
 		if err != nil {
-			return fmt.Errorf("dynamic: node %d: %w", v, err)
+			return nil, fmt.Errorf("dynamic: node %d: %w", v, err)
 		}
 		cats[v] = c
 	}
-	st, err := core.Build(d.t, cats, d.cfg)
+	return core.Build(d.t, cats, d.cfg)
+}
+
+func (d *Structure) rebuild() error {
+	st, err := d.rebuildFrom(d.curKeys, d.curPayloads)
 	if err != nil {
 		return err
 	}
@@ -272,6 +348,19 @@ func (d *Structure) correct(v tree.NodeID, y catalog.Key, r cascade.Result) casc
 // corrects every result against the pending overlays.
 func (d *Structure) SearchExplicit(y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, core.Stats, error) {
 	results, stats, err := d.st.SearchExplicit(y, path, p)
+	if err != nil {
+		return nil, stats, err
+	}
+	for i := range results {
+		results[i] = d.correct(path[i], y, results[i])
+	}
+	return results, stats, nil
+}
+
+// SearchExplicitContext is SearchExplicit honouring cancellation and
+// deadlines between hops of the underlying static search.
+func (d *Structure) SearchExplicitContext(ctx context.Context, y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, core.Stats, error) {
+	results, stats, err := d.st.SearchExplicitContext(ctx, y, path, p)
 	if err != nil {
 		return nil, stats, err
 	}

@@ -1,0 +1,275 @@
+// Package faults provides deterministic, seeded fault injection for the
+// PRAM substrate and the cooperative search algorithms.
+//
+// The paper's bounds assume p perfectly reliable, lock-step processors. A
+// production deployment does not: processors crash mid-computation, stall
+// behind their peers, and occasionally return corrupted reads. This package
+// makes those failures a first-class, *replayable* input: a Plan is a
+// declared schedule of fault events, generated either explicitly (one event
+// at a time, for tests that need a specific scenario) or pseudo-randomly
+// from a seed (for chaos sweeps). Because a Plan is pure data — no clocks,
+// no global randomness — any run that misbehaved under a plan can be
+// re-executed under the identical fault schedule by reusing the seed.
+//
+// A Plan plugs into the machinery at two levels:
+//
+//   - pram.Machine accepts a Plan as its FaultHook: crashed or stalled
+//     processors skip their step bodies (their buffered writes are lost,
+//     exactly like a processor that died before the barrier), and reads can
+//     be transiently corrupted (a single-step XOR perturbation).
+//   - The analytic searches (core.SearchExplicitDegraded and friends)
+//     consult a Plan as a Census: LiveAt(step) reports how many processor
+//     slots survive at a synchronous step, which is the signal the
+//     degrading search uses to re-derive its substructure for p' < p.
+//
+// The fault model is crash-stop with transient stalls: a crashed processor
+// never returns; a straggler returns after its delay. Memory is reliable
+// at the cell level (writes that committed stay committed); only in-flight
+// reads are corrupted. This matches the asynchronous-adversary models used
+// by work on resilient search structures (see PAPERS.md: Gilbert–Lim,
+// parallel finger search under asynchrony).
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// stall is a half-open inactivity interval [From, Until) for one processor.
+type stall struct {
+	proc        int
+	from, until int
+}
+
+// corruption is a transient XOR perturbation of every read issued by one
+// processor during one step.
+type corruption struct {
+	proc, step int
+	mask       int64
+}
+
+// Plan is a deterministic fault schedule over a fixed processor budget.
+// The zero value is a no-fault plan for zero processors; construct with
+// NewPlan or Random.
+type Plan struct {
+	procs     int
+	seed      int64
+	crashStep []int // per processor: step at which it dies, or -1
+	stalls    []stall
+	corrupt   map[[2]int]int64 // (step, proc) -> XOR mask
+
+	// liveCache memoises LiveAt by step (plans are immutable after build).
+	liveCache map[int]int
+}
+
+// NewPlan returns an empty (fault-free) plan for procs processors, to be
+// populated with Crash, Stall, and CorruptRead. procs must be positive.
+func NewPlan(procs int) (*Plan, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("faults: processor count must be positive, got %d", procs)
+	}
+	p := &Plan{procs: procs, seed: -1}
+	p.crashStep = make([]int, procs)
+	for i := range p.crashStep {
+		p.crashStep[i] = -1
+	}
+	p.corrupt = make(map[[2]int]int64)
+	p.liveCache = make(map[int]int)
+	return p, nil
+}
+
+// Options configures random plan generation. All rates are probabilities
+// in [0, 1]; zero values inject nothing of that kind.
+type Options struct {
+	// CrashRate is the per-processor probability of a permanent crash at a
+	// uniformly random step in [0, Horizon).
+	CrashRate float64
+	// StragglerRate is the per-processor probability of one stall interval
+	// starting at a uniformly random step, lasting 1..MaxStall steps.
+	StragglerRate float64
+	// MaxStall bounds the straggler delay in steps (default 4).
+	MaxStall int
+	// CorruptRate is the per-processor probability of one transient
+	// read-corruption event at a uniformly random step.
+	CorruptRate float64
+	// Horizon is the number of steps the schedule covers (default 64).
+	// Crashes scheduled inside the horizon persist beyond it.
+	Horizon int
+}
+
+// Random generates a seeded pseudo-random plan. The same (seed, procs,
+// opts) triple always yields the identical plan, so a failure observed
+// under a random plan is replayed by printing the seed.
+func Random(seed int64, procs int, opts Options) (*Plan, error) {
+	p, err := NewPlan(procs)
+	if err != nil {
+		return nil, err
+	}
+	if opts.CrashRate < 0 || opts.CrashRate > 1 ||
+		opts.StragglerRate < 0 || opts.StragglerRate > 1 ||
+		opts.CorruptRate < 0 || opts.CorruptRate > 1 {
+		return nil, fmt.Errorf("faults: rates must lie in [0,1]: %+v", opts)
+	}
+	p.seed = seed
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		horizon = 64
+	}
+	maxStall := opts.MaxStall
+	if maxStall <= 0 {
+		maxStall = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for proc := 0; proc < procs; proc++ {
+		if opts.CrashRate > 0 && rng.Float64() < opts.CrashRate {
+			p.crashStep[proc] = rng.Intn(horizon)
+		}
+		if opts.StragglerRate > 0 && rng.Float64() < opts.StragglerRate {
+			from := rng.Intn(horizon)
+			p.stalls = append(p.stalls, stall{proc: proc, from: from, until: from + 1 + rng.Intn(maxStall)})
+		}
+		if opts.CorruptRate > 0 && rng.Float64() < opts.CorruptRate {
+			// A non-zero mask guarantees the read really is perturbed.
+			mask := rng.Int63() | 1
+			p.corrupt[[2]int{rng.Intn(horizon), proc}] = mask
+		}
+	}
+	return p, nil
+}
+
+// Seed returns the generation seed, or -1 for explicitly built plans.
+func (p *Plan) Seed() int64 { return p.seed }
+
+// Procs returns the processor budget the plan covers.
+func (p *Plan) Procs() int { return p.procs }
+
+// Crash schedules processor proc to die permanently at step (it still
+// participates in steps < step). Scheduling a second crash for the same
+// processor keeps the earlier one.
+func (p *Plan) Crash(proc, step int) error {
+	if err := p.checkProc(proc); err != nil {
+		return err
+	}
+	if step < 0 {
+		return fmt.Errorf("faults: negative crash step %d", step)
+	}
+	if p.crashStep[proc] < 0 || step < p.crashStep[proc] {
+		p.crashStep[proc] = step
+	}
+	p.liveCache = make(map[int]int)
+	return nil
+}
+
+// Stall makes processor proc inactive for delay steps starting at step.
+func (p *Plan) Stall(proc, step, delay int) error {
+	if err := p.checkProc(proc); err != nil {
+		return err
+	}
+	if step < 0 || delay < 1 {
+		return fmt.Errorf("faults: bad stall (step=%d, delay=%d)", step, delay)
+	}
+	p.stalls = append(p.stalls, stall{proc: proc, from: step, until: step + delay})
+	p.liveCache = make(map[int]int)
+	return nil
+}
+
+// CorruptRead XORs mask into every value processor proc reads during step.
+// The corruption is transient: the underlying memory cell is untouched.
+func (p *Plan) CorruptRead(proc, step int, mask int64) error {
+	if err := p.checkProc(proc); err != nil {
+		return err
+	}
+	if step < 0 {
+		return fmt.Errorf("faults: negative corruption step %d", step)
+	}
+	if mask == 0 {
+		return fmt.Errorf("faults: zero corruption mask is a no-op")
+	}
+	p.corrupt[[2]int{step, proc}] = mask
+	return nil
+}
+
+func (p *Plan) checkProc(proc int) error {
+	if proc < 0 || proc >= p.procs {
+		return fmt.Errorf("faults: processor %d outside [0, %d)", proc, p.procs)
+	}
+	return nil
+}
+
+// ProcLive reports whether processor proc participates in step. It is the
+// pram.FaultHook liveness query; Plan is immutable during execution, so
+// concurrent calls are safe.
+func (p *Plan) ProcLive(step, proc int) bool {
+	if proc < 0 || proc >= p.procs {
+		return true // processors outside the plan's budget are unmanaged
+	}
+	if cs := p.crashStep[proc]; cs >= 0 && step >= cs {
+		return false
+	}
+	for _, s := range p.stalls {
+		if s.proc == proc && s.from <= step && step < s.until {
+			return false
+		}
+	}
+	return true
+}
+
+// PerturbRead returns the possibly corrupted value of a read of addr by
+// proc at step. It is the pram.FaultHook read interceptor.
+func (p *Plan) PerturbRead(step, proc, addr int, v int64) int64 {
+	if mask, ok := p.corrupt[[2]int{step, proc}]; ok {
+		return v ^ mask
+	}
+	return v
+}
+
+// LiveAt returns the number of processors participating at step — the
+// census a degrading cooperative search consults at each barrier.
+func (p *Plan) LiveAt(step int) int {
+	if n, ok := p.liveCache[step]; ok {
+		return n
+	}
+	n := 0
+	for proc := 0; proc < p.procs; proc++ {
+		if p.ProcLive(step, proc) {
+			n++
+		}
+	}
+	p.liveCache[step] = n
+	return n
+}
+
+// MinLive returns the minimum of LiveAt over steps [0, horizon).
+func (p *Plan) MinLive(horizon int) int {
+	min := p.procs
+	for s := 0; s < horizon; s++ {
+		if n := p.LiveAt(s); n < min {
+			min = n
+		}
+	}
+	return min
+}
+
+// Events returns a human-readable, deterministic summary of the schedule,
+// for logging alongside a replay seed.
+func (p *Plan) Events() []string {
+	var out []string
+	for proc, cs := range p.crashStep {
+		if cs >= 0 {
+			out = append(out, fmt.Sprintf("crash proc=%d step=%d", proc, cs))
+		}
+	}
+	for _, s := range p.stalls {
+		out = append(out, fmt.Sprintf("stall proc=%d steps=[%d,%d)", s.proc, s.from, s.until))
+	}
+	for k, mask := range p.corrupt {
+		out = append(out, fmt.Sprintf("corrupt proc=%d step=%d mask=%#x", k[1], k[0], mask))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (p *Plan) String() string {
+	return fmt.Sprintf("faults.Plan{procs:%d seed:%d events:%d}", p.procs, p.seed, len(p.Events()))
+}

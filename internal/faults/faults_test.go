@@ -1,0 +1,152 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNewPlanValidation(t *testing.T) {
+	for _, procs := range []int{0, -5} {
+		if _, err := NewPlan(procs); err == nil {
+			t.Errorf("NewPlan(%d) should return an error", procs)
+		}
+	}
+	p, err := NewPlan(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Procs() != 4 || p.Seed() != -1 {
+		t.Errorf("fresh plan: procs=%d seed=%d", p.Procs(), p.Seed())
+	}
+	for step := 0; step < 10; step++ {
+		if p.LiveAt(step) != 4 {
+			t.Fatalf("empty plan LiveAt(%d) = %d, want 4", step, p.LiveAt(step))
+		}
+	}
+}
+
+func TestCrashIsPermanentAndKeepsEarliest(t *testing.T) {
+	p, _ := NewPlan(3)
+	if err := p.Crash(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Crash(1, 9); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 5; step++ {
+		if !p.ProcLive(step, 1) {
+			t.Fatalf("proc 1 should live before step 5 (step %d)", step)
+		}
+	}
+	for step := 5; step < 20; step++ {
+		if p.ProcLive(step, 1) {
+			t.Fatalf("proc 1 should stay dead from step 5 (step %d)", step)
+		}
+	}
+	if got := p.LiveAt(7); got != 2 {
+		t.Errorf("LiveAt(7) = %d, want 2", got)
+	}
+	// The later crash must not have overridden the earlier one.
+	if p.ProcLive(6, 1) {
+		t.Error("Crash(1, 9) after Crash(1, 5) must keep the earlier step")
+	}
+}
+
+func TestStallIsTransient(t *testing.T) {
+	p, _ := NewPlan(2)
+	if err := p.Stall(0, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	wantLive := map[int]bool{2: true, 3: false, 4: false, 5: true}
+	for step, want := range wantLive {
+		if got := p.ProcLive(step, 0); got != want {
+			t.Errorf("ProcLive(%d, 0) = %v, want %v", step, got, want)
+		}
+	}
+	if got := p.MinLive(10); got != 1 {
+		t.Errorf("MinLive(10) = %d, want 1", got)
+	}
+	if err := p.Stall(0, 1, 0); err == nil {
+		t.Error("zero-delay stall should be rejected")
+	}
+}
+
+func TestCorruptReadXORsExactlyOnce(t *testing.T) {
+	p, _ := NewPlan(2)
+	if err := p.CorruptRead(1, 4, 0xff); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PerturbRead(4, 1, 0, 0x0f); got != 0xf0 {
+		t.Errorf("PerturbRead at the scheduled (step, proc) = %#x, want 0xf0", got)
+	}
+	if got := p.PerturbRead(4, 0, 0, 0x0f); got != 0x0f {
+		t.Errorf("other processor must read clean, got %#x", got)
+	}
+	if got := p.PerturbRead(5, 1, 0, 0x0f); got != 0x0f {
+		t.Errorf("other step must read clean, got %#x", got)
+	}
+	if err := p.CorruptRead(1, 4, 0); err == nil {
+		t.Error("zero mask should be rejected")
+	}
+	if err := p.CorruptRead(7, 4, 1); err == nil {
+		t.Error("out-of-range processor should be rejected")
+	}
+}
+
+func TestRandomIsDeterministic(t *testing.T) {
+	opts := Options{CrashRate: 0.5, StragglerRate: 0.5, CorruptRate: 0.5, Horizon: 32}
+	a, err := Random(99, 16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(99, 16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Errorf("same seed produced different plans:\n%v\n%v", a.Events(), b.Events())
+	}
+	c, err := Random(100, 16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events(), c.Events()) && len(a.Events()) > 0 {
+		t.Error("different seeds produced identical non-empty plans")
+	}
+	for step := 0; step < 32; step++ {
+		if a.LiveAt(step) != b.LiveAt(step) {
+			t.Fatalf("LiveAt(%d) differs between identically seeded plans", step)
+		}
+	}
+}
+
+func TestRandomRejectsBadRates(t *testing.T) {
+	bad := []Options{
+		{CrashRate: -0.1},
+		{CrashRate: 1.5},
+		{StragglerRate: 2},
+		{CorruptRate: -1},
+	}
+	for _, opts := range bad {
+		if _, err := Random(1, 4, opts); err == nil {
+			t.Errorf("Random with %+v should return an error", opts)
+		}
+	}
+	if _, err := Random(1, 0, Options{}); err == nil {
+		t.Error("Random with zero processors should return an error")
+	}
+}
+
+func TestRandomRatesProduceEvents(t *testing.T) {
+	// With rate 1 every processor gets one event of each kind.
+	p, err := Random(7, 8, Options{CrashRate: 1, StragglerRate: 1, CorruptRate: 1, Horizon: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Events()); got != 3*8 {
+		t.Errorf("expected 24 events at rate 1, got %d: %v", got, p.Events())
+	}
+	if p.MinLive(64) != 0 {
+		t.Errorf("all-crash plan should reach zero live processors, MinLive = %d", p.MinLive(64))
+	}
+}

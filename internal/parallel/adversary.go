@@ -1,6 +1,9 @@
 package parallel
 
-import "sort"
+import (
+	"math/rand"
+	"sort"
+)
 
 // Adversary implements the comparison-game argument behind Snir's
 // Ω((log n)/log p) lower bound for p-processor search, which the paper
@@ -93,6 +96,21 @@ func UniformStrategy(lo, hi, p int) []int {
 // midpoint — the p-oblivious strategy whose round count stays Θ(log n).
 func BinaryStrategy(lo, hi, _ int) []int {
 	return []int{(lo + hi) / 2}
+}
+
+// RandomStrategy returns a strategy probing p uniform random in-range
+// positions per round, drawn from the caller-supplied source so that any
+// game it plays is replayable from the seed that created rng.
+func RandomStrategy(rng *rand.Rand) Strategy {
+	return func(lo, hi, p int) []int {
+		var out []int
+		for i := 0; i < p; i++ {
+			if hi-1 >= lo {
+				out = append(out, lo+rng.Intn(hi-lo))
+			}
+		}
+		return out
+	}
 }
 
 // PlayGame drives a strategy against the adversary until the answer is

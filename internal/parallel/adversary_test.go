@@ -10,31 +10,29 @@ import (
 // This is the Snir optimality half of Theorem 1's "both time/processor
 // constraints are optimal".
 func TestAdversaryEnforcesLowerBound(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	randomStrategy := func(lo, hi, p int) []int {
-		var out []int
-		for i := 0; i < p; i++ {
-			if hi-1 >= lo {
-				out = append(out, lo+rng.Intn(hi-lo))
-			}
-		}
-		return out
-	}
+	// Each (n, p, strategy) case gets its own rng seeded from the case
+	// parameters, and strategies run in a fixed order, so a failure names
+	// the exact seed that reproduces it.
 	for _, n := range []int{1, 2, 7, 100, 1000, 1 << 16} {
 		for _, p := range []int{1, 2, 7, 64, 1024} {
 			bound := LowerBoundRounds(n, p)
-			for name, s := range map[string]Strategy{
-				"uniform": UniformStrategy,
-				"binary":  BinaryStrategy,
-				"random":  randomStrategy,
-			} {
-				rounds, converged := PlayGame(n, p, s, 10*n+64)
+			seed := int64(n)*1_000_003 + int64(p)
+			cases := []struct {
+				name string
+				s    Strategy
+			}{
+				{"uniform", UniformStrategy},
+				{"binary", BinaryStrategy},
+				{"random", RandomStrategy(rand.New(rand.NewSource(seed)))},
+			}
+			for _, cse := range cases {
+				rounds, converged := PlayGame(n, p, cse.s, 10*n+64)
 				if !converged {
-					t.Fatalf("n=%d p=%d: %s strategy did not converge", n, p, name)
+					t.Fatalf("n=%d p=%d seed=%d: %s strategy did not converge", n, p, seed, cse.name)
 				}
 				if rounds < bound {
-					t.Errorf("n=%d p=%d: %s strategy beat the lower bound: %d < %d",
-						n, p, name, rounds, bound)
+					t.Errorf("n=%d p=%d seed=%d: %s strategy beat the lower bound: %d < %d",
+						n, p, seed, cse.name, rounds, bound)
 				}
 			}
 		}

@@ -17,7 +17,7 @@ func TestNextPointersPRAMMatchesReference(t *testing.T) {
 				flags[i] = 1 + rng.Int63n(5)
 			}
 		}
-		m := pram.New(pram.CRCWArbitrary, n*n)
+		m := pram.MustNew(pram.CRCWArbitrary, n*n)
 		flagsBase := m.Alloc(n)
 		nextBase := m.Alloc(n)
 		for i, f := range flags {
@@ -41,7 +41,7 @@ func TestNextPointersPRAMMatchesReference(t *testing.T) {
 func TestNextPointersPRAMNeedsCRCW(t *testing.T) {
 	// Two set flags after index 0 force a write conflict on CREW.
 	flags := []int64{0, 1, 1}
-	m := pram.New(pram.CREW, 9)
+	m := pram.MustNew(pram.CREW, 9)
 	flagsBase := m.Alloc(3)
 	nextBase := m.Alloc(3)
 	for i, f := range flags {

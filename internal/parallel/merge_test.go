@@ -73,7 +73,7 @@ func TestMergePRAMMatchesReference(t *testing.T) {
 			}
 		}
 		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
-		m := pram.New(pram.CREW, na+nb+1)
+		m := pram.MustNew(pram.CREW, na+nb+1)
 		aBase := m.Alloc(na + 1)
 		bBase := m.Alloc(nb + 1)
 		outBase := m.Alloc(na + nb + 1)
@@ -100,7 +100,7 @@ func TestMergePRAMStepBound(t *testing.T) {
 	na, nb := 1000, 1000
 	a := sortedKeys(rng, na)
 	b := sortedKeys(rng, nb)
-	m := pram.New(pram.CREW, na+nb)
+	m := pram.MustNew(pram.CREW, na+nb)
 	aBase := m.Alloc(na)
 	bBase := m.Alloc(nb)
 	outBase := m.Alloc(na + nb)
@@ -142,7 +142,7 @@ func TestScanWorkOptimalPRAM(t *testing.T) {
 		if procs < 1 {
 			procs = 1
 		}
-		m := pram.New(pram.EREW, procs)
+		m := pram.MustNew(pram.EREW, procs)
 		base := m.Alloc(n)
 		scratch := m.Alloc(scratchSize)
 		for i, v := range src {

@@ -129,7 +129,7 @@ func TestCoopSearchPRAMMatches(t *testing.T) {
 		n := 1 + rng.Intn(200)
 		p := 1 + rng.Intn(16)
 		keys := sortedKeys(rng, n)
-		m := pram.New(pram.CREW, p)
+		m := pram.MustNew(pram.CREW, p)
 		keysBase := m.Alloc(n)
 		for i, k := range keys {
 			m.Store(keysBase+i, k)
@@ -151,7 +151,7 @@ func TestCoopSearchPRAMNeedsCREW(t *testing.T) {
 	// On an EREW machine the concurrent probe reads of shared state are a
 	// model violation: the algorithm is inherently CREW, as the paper notes.
 	keys := sortedKeys(rand.New(rand.NewSource(4)), 100)
-	m := pram.New(pram.EREW, 8)
+	m := pram.MustNew(pram.EREW, 8)
 	keysBase := m.Alloc(len(keys))
 	for i, k := range keys {
 		m.Store(keysBase+i, k)
@@ -167,7 +167,7 @@ func TestCoopSearchPRAMNeedsCREW(t *testing.T) {
 func TestCoopSearchPRAMStepCount(t *testing.T) {
 	n, p := 1<<12, 15
 	keys := sortedKeys(rand.New(rand.NewSource(5)), n)
-	m := pram.New(pram.CREW, p)
+	m := pram.MustNew(pram.CREW, p)
 	keysBase := m.Alloc(n)
 	for i, k := range keys {
 		m.Store(keysBase+i, k)
@@ -219,7 +219,7 @@ func TestScanExclusivePRAMMatchesPlain(t *testing.T) {
 		if size < 1 {
 			size = 1
 		}
-		m := pram.New(pram.EREW, size)
+		m := pram.MustNew(pram.EREW, size)
 		base := m.Alloc(size)
 		for i, v := range src {
 			m.Store(base+i, v)
@@ -238,7 +238,7 @@ func TestScanExclusivePRAMMatchesPlain(t *testing.T) {
 
 func TestScanExclusivePRAMStepCount(t *testing.T) {
 	n := 1 << 10
-	m := pram.New(pram.EREW, n)
+	m := pram.MustNew(pram.EREW, n)
 	base := m.Alloc(n)
 	for i := 0; i < n; i++ {
 		m.Store(base+i, 1)
@@ -262,7 +262,7 @@ func TestReduceMaxPRAM(t *testing.T) {
 				want = src[i]
 			}
 		}
-		m := pram.New(pram.EREW, n)
+		m := pram.MustNew(pram.EREW, n)
 		base := m.Alloc(n)
 		for i, v := range src {
 			m.Store(base+i, v)

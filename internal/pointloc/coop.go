@@ -1,6 +1,7 @@
 package pointloc
 
 import (
+	"context"
 	"fmt"
 
 	"fraccascade/internal/core"
@@ -34,18 +35,57 @@ const coopHopCostSteps = 6
 // "same region of S(U)" from the proof of Theorem 4) is evaluated and
 // checked for existence on every hop.
 func (l *Locator) LocateCoop(q geom.Point, p int) (int, core.Stats, error) {
-	if err := l.checkQuery(q); err != nil {
-		return 0, core.Stats{}, err
+	r, ds, err := l.locateCoopCtl(nil, q, p, nil)
+	return r, ds.Stats, err
+}
+
+// LocateCoopContext is LocateCoop honouring cancellation and deadlines:
+// the context is checked before the root search and between hops.
+func (l *Locator) LocateCoopContext(ctx context.Context, q geom.Point, p int) (int, core.Stats, error) {
+	r, ds, err := l.locateCoopCtl(ctx, q, p, nil)
+	return r, ds.Stats, err
+}
+
+// LocateCoopDegraded is LocateCoop under processor failures: the census is
+// consulted between hops and the substructure re-derived for the surviving
+// processor count (see core.SearchExplicitDegraded). The located region is
+// identical to the fault-free answer as long as one processor survives.
+func (l *Locator) LocateCoopDegraded(q geom.Point, p int, census core.Census) (int, core.DegradedStats, error) {
+	return l.locateCoopCtl(nil, q, p, census)
+}
+
+// locateCoopCtl is the control-aware body shared by the LocateCoop
+// variants; nil ctx and census give the fault-free behaviour exactly.
+func (l *Locator) locateCoopCtl(ctx context.Context, q geom.Point, p int, census core.Census) (int, core.DegradedStats, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, core.DegradedStats{}, fmt.Errorf("pointloc: locate cancelled: %w", err)
+		}
 	}
-	if l.f == 1 {
-		return 1, core.Stats{}, nil
+	if err := l.checkQuery(q); err != nil {
+		return 0, core.DegradedStats{}, err
 	}
 	if p < 1 {
 		p = 1
 	}
+	start := p
+	if census != nil {
+		live := census.LiveAt(0)
+		if live < 1 {
+			return 0, core.DegradedStats{StartP: start}, fmt.Errorf("pointloc: no live processors at step 0")
+		}
+		if live < p {
+			p = live
+		}
+	}
+	ds := core.DegradedStats{StartP: start, MinLiveP: p}
+	if l.f == 1 {
+		return 1, ds, nil
+	}
 	si := l.st.SelectSub(p)
 	sub := l.st.Substructure(si)
-	stats := core.Stats{Sub: si, P: p}
+	ds.Stats = core.Stats{Sub: si, P: start}
+	stats := &ds.Stats
 
 	lr := l.initLR()
 	v := l.t.Root()
@@ -55,30 +95,55 @@ func (l *Locator) LocateCoop(q geom.Point, p int) (int, core.Stats, error) {
 	stats.Steps += stats.RootRounds
 
 	for !l.t.IsLeaf(v) {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return 0, ds, fmt.Errorf("pointloc: locate cancelled after %d steps: %w", stats.Steps, err)
+			}
+		}
+		if census != nil {
+			live := census.LiveAt(stats.Steps)
+			if live < 1 {
+				return 0, ds, fmt.Errorf("pointloc: no live processors at step %d", stats.Steps)
+			}
+			if live < ds.MinLiveP {
+				ds.MinLiveP = live
+			}
+			if live != p {
+				if nsi := l.st.SelectSub(live); l.st.Substructure(nsi) != sub {
+					// Off a block boundary of the new T_i, BlockAt returns
+					// nil and the walk descends sequentially until it
+					// realigns — same recovery as the core search.
+					sub = l.st.Substructure(nsi)
+					stats.Sub = nsi
+					ds.Redrives++
+				}
+				p = live
+			}
+		}
 		block := sub.BlockAt(v)
 		if block == nil || l.t.Depth(v) >= sub.TruncDepth {
 			var err error
 			v, pos, err = l.seqStep(q, v, pos, &lr)
 			if err != nil {
-				return 0, stats, err
+				return 0, ds, err
 			}
 			stats.SeqLevels++
 			stats.Steps++
 			continue
 		}
 		var err error
-		v, pos, err = l.hop(sub, block, q, pos, &lr, &stats)
+		v, pos, err = l.hop(sub, block, q, pos, &lr, stats)
 		if err != nil {
-			return 0, stats, err
+			return 0, ds, err
 		}
 		stats.Hops++
 		stats.Steps += coopHopCostSteps
 	}
 	r := int(l.region[v])
 	if r > l.f {
-		return 0, stats, fmt.Errorf("pointloc: query landed in dummy region %d", r)
+		return 0, ds, fmt.Errorf("pointloc: query landed in dummy region %d", r)
 	}
-	return r, stats, nil
+	return r, ds, nil
 }
 
 // hop executes one parallel hop of Section 3.1 over block U.

@@ -6,7 +6,6 @@ import (
 
 	"fraccascade/internal/core"
 	"fraccascade/internal/geom"
-	"fraccascade/internal/subdivision"
 )
 
 // TestExtremeLateralQueries exercises points far left and far right of
@@ -16,7 +15,7 @@ func TestExtremeLateralQueries(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	for trial := 0; trial < 10; trial++ {
 		f := 2 + rng.Intn(40)
-		s := subdivision.Generate(f, 4+rng.Intn(12), rng)
+		s := mustGen(t, f, 4+rng.Intn(12), rng)
 		l, err := Build(s, core.Config{})
 		if err != nil {
 			t.Fatal(err)
@@ -44,7 +43,7 @@ func TestExtremeLateralQueries(t *testing.T) {
 // TestTwoRegions is the smallest non-trivial locator: one separator.
 func TestTwoRegions(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	s := subdivision.Generate(2, 3, rng)
+	s := mustGen(t, 2, 3, rng)
 	l, err := Build(s, core.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +62,7 @@ func TestTwoRegions(t *testing.T) {
 // the y values closest to catalog key boundaries.
 func TestQueriesNearChainVertices(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
-	s := subdivision.Generate(24, 12, rng)
+	s := mustGen(t, 24, 12, rng)
 	l, err := Build(s, core.Config{})
 	if err != nil {
 		t.Fatal(err)

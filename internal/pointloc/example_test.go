@@ -15,7 +15,10 @@ import (
 // both sequentially and cooperatively.
 func Example() {
 	rng := rand.New(rand.NewSource(42))
-	s := subdivision.Generate(16, 12, rng)
+	s, err := subdivision.Generate(16, 12, rng)
+	if err != nil {
+		panic(err)
+	}
 	loc, err := pointloc.Build(s, core.Config{})
 	if err != nil {
 		log.Fatal(err)
@@ -38,7 +41,10 @@ func Example() {
 // ExampleLocator_LocateSeq shows the query band requirement.
 func ExampleLocator_LocateSeq() {
 	rng := rand.New(rand.NewSource(1))
-	s := subdivision.Generate(4, 5, rng)
+	s, err := subdivision.Generate(4, 5, rng)
+	if err != nil {
+		panic(err)
+	}
 	loc, err := pointloc.Build(s, core.Config{})
 	if err != nil {
 		log.Fatal(err)

@@ -6,7 +6,6 @@ import (
 
 	"fraccascade/internal/core"
 	"fraccascade/internal/geom"
-	"fraccascade/internal/subdivision"
 )
 
 // TestFig6BranchConsistencyWithinBlock reproduces Figure 6: the branch
@@ -19,7 +18,7 @@ import (
 func TestFig6BranchConsistencyWithinBlock(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	for trial := 0; trial < 15; trial++ {
-		s := subdivision.Generate(64+rng.Intn(128), 10+rng.Intn(20), rng)
+		s := mustGen(t, 64+rng.Intn(128), 10+rng.Intn(20), rng)
 		l, err := Build(s, core.Config{
 			MaxSubs:      1,
 			NoTruncation: true,

@@ -12,7 +12,7 @@ import (
 func buildLocator(tb testing.TB, f, levels int, seed int64, cfg core.Config) (*Locator, *subdivision.Subdivision, *rand.Rand) {
 	tb.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	s := subdivision.Generate(f, levels, rng)
+	s := mustGen(tb, f, levels, rng)
 	if err := s.Validate(); err != nil {
 		tb.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestInconsistentBranchExists(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	foundViolation := false
 	for trial := 0; trial < 60 && !foundViolation; trial++ {
-		s := subdivision.Generate(12+rng.Intn(20), 8+rng.Intn(10), rng)
+		s := mustGen(t, 12+rng.Intn(20), 8+rng.Intn(10), rng)
 		l, err := Build(s, core.Config{})
 		if err != nil {
 			t.Fatal(err)
@@ -192,7 +192,7 @@ func TestStepsShrinkWithHopHeight(t *testing.T) {
 	// with log p), the hop count is height/h, so total steps must fall as
 	// h rises. Results stay correct throughout.
 	rng := rand.New(rand.NewSource(17))
-	s := subdivision.Generate(256, 60, rng)
+	s := mustGen(t, 256, 60, rng)
 	prev := 1 << 30
 	for _, h := range []int{1, 2, 4} {
 		l, err := Build(s, core.Config{
@@ -231,7 +231,7 @@ func TestLocateOnNestedSubdivisions(t *testing.T) {
 	rng := rand.New(rand.NewSource(29))
 	for trial := 0; trial < 15; trial++ {
 		f := 2 + rng.Intn(50)
-		s := subdivision.GenerateNested(f, 4+rng.Intn(20), rng)
+		s := mustGenNested(t, f, 4+rng.Intn(20), rng)
 		l, err := Build(s, core.Config{})
 		if err != nil {
 			t.Fatal(err)
@@ -257,7 +257,7 @@ func TestSpaceLinearInEdges(t *testing.T) {
 	// linear bound.
 	rng := rand.New(rand.NewSource(23))
 	for _, f := range []int{32, 128, 512} {
-		s := subdivision.Generate(f, 30, rng)
+		s := mustGen(t, f, 30, rng)
 		l, err := Build(s, core.Config{})
 		if err != nil {
 			t.Fatal(err)
@@ -281,7 +281,7 @@ func TestManySubdivisionShapes(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		f := 2 + rng.Intn(60)
 		levels := 2 + rng.Intn(25)
-		s := subdivision.Generate(f, levels, rng)
+		s := mustGen(t, f, levels, rng)
 		l, err := Build(s, core.Config{})
 		if err != nil {
 			t.Fatal(err)
@@ -299,4 +299,24 @@ func TestManySubdivisionShapes(t *testing.T) {
 			}
 		}
 	}
+}
+
+// mustGen and mustGenNested wrap the subdivision generators, failing the
+// test on the (impossible for valid parameters) error path.
+func mustGen(tb testing.TB, f, levels int, rng *rand.Rand) *subdivision.Subdivision {
+	tb.Helper()
+	s, err := subdivision.Generate(f, levels, rng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func mustGenNested(tb testing.TB, f, levels int, rng *rand.Rand) *subdivision.Subdivision {
+	tb.Helper()
+	s, err := subdivision.GenerateNested(f, levels, rng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
 }

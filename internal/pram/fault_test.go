@@ -1,0 +1,216 @@
+package pram
+
+import (
+	"errors"
+	"testing"
+
+	"fraccascade/internal/faults"
+)
+
+// TestFaultHookSkipsDeadProcessors: a crashed processor's step body never
+// runs, so its writes are lost and it stops being charged as work.
+func TestFaultHookSkipsDeadProcessors(t *testing.T) {
+	m := MustNew(EREW, 4)
+	base := m.Alloc(4)
+	plan, err := faults.NewPlan(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Crash(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.SetFaultHook(plan)
+	if !m.FaultHookInstalled() {
+		t.Fatal("hook should be installed")
+	}
+	for step := 0; step < 3; step++ {
+		err := m.Step(4, func(p *Proc) {
+			p.Write(base+p.ID, p.Read(base+p.ID)+1)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Processor 2 participated only in step 0.
+	want := []int64{3, 3, 1, 3}
+	for i, w := range want {
+		if got := m.Load(base + i); got != w {
+			t.Errorf("cell %d = %d, want %d", i, got, w)
+		}
+	}
+	if m.Skipped() != 2 {
+		t.Errorf("Skipped = %d, want 2 (proc 2 in steps 1 and 2)", m.Skipped())
+	}
+	if m.Work() != 10 {
+		t.Errorf("Work = %d, want 10 (4+3+3)", m.Work())
+	}
+	if m.PeakActive() != 4 {
+		t.Errorf("PeakActive = %d, want 4", m.PeakActive())
+	}
+}
+
+// TestFaultHookStalledProcessorResumes: a straggler misses its stall window
+// but participates on both sides of it.
+func TestFaultHookStalledProcessorResumes(t *testing.T) {
+	m := MustNew(EREW, 2)
+	base := m.Alloc(2)
+	plan, err := faults.NewPlan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Stall(1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	m.SetFaultHook(plan)
+	for step := 0; step < 4; step++ {
+		if err := m.Step(2, func(p *Proc) {
+			p.Write(base+p.ID, p.Read(base+p.ID)+1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Load(base + 1); got != 2 {
+		t.Errorf("stalled processor wrote %d times, want 2 (steps 0 and 3)", got)
+	}
+	if got := m.Load(base); got != 4 {
+		t.Errorf("healthy processor wrote %d times, want 4", got)
+	}
+}
+
+// TestCRCWCommonLegalSameValueWrites: concurrent writes of the same value
+// to one cell are legal on CRCW-Common, with and without a fault hook.
+func TestCRCWCommonLegalSameValueWrites(t *testing.T) {
+	for _, withHook := range []bool{false, true} {
+		m := MustNew(CRCWCommon, 8)
+		base := m.Alloc(2)
+		m.Store(base, 42)
+		if withHook {
+			plan, err := faults.NewPlan(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := plan.Crash(3, 0); err != nil {
+				t.Fatal(err)
+			}
+			m.SetFaultHook(plan)
+		}
+		// Every live processor reads the same source cell and writes the
+		// value it observed to a common destination: a legal common write.
+		err := m.Step(8, func(p *Proc) {
+			p.Write(base+1, p.Read(base))
+		})
+		if err != nil {
+			t.Fatalf("withHook=%v: legal common write rejected: %v", withHook, err)
+		}
+		if got := m.Load(base + 1); got != 42 {
+			t.Errorf("withHook=%v: destination = %d, want 42", withHook, got)
+		}
+	}
+}
+
+// TestCRCWCommonCorruptedReadBreaksCommonWrite: a transient read corruption
+// makes one writer disagree, and the Common-model conflict detector reports
+// it — the detection path the fault injector is designed to exercise.
+func TestCRCWCommonCorruptedReadBreaksCommonWrite(t *testing.T) {
+	m := MustNew(CRCWCommon, 8)
+	base := m.Alloc(2)
+	m.Store(base, 42)
+	plan, err := faults.NewPlan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.CorruptRead(5, 0, 0xff); err != nil {
+		t.Fatal(err)
+	}
+	m.SetFaultHook(plan)
+	err = m.Step(8, func(p *Proc) {
+		p.Write(base+1, p.Read(base))
+	})
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("corrupted common write should conflict, got %v", err)
+	}
+	if ce.Kind != "write" || ce.Addr != base+1 {
+		t.Errorf("conflict = %+v, want write conflict at %d", ce, base+1)
+	}
+	// The conflicting step must not have committed anything.
+	if got := m.Load(base + 1); got != 0 {
+		t.Errorf("destination = %d after conflict, want 0 (no commit)", got)
+	}
+}
+
+// TestCREWInjectedWriteConflict: same-cell writes by two processors violate
+// CREW even when the values agree, and the error names both processors.
+func TestCREWInjectedWriteConflict(t *testing.T) {
+	m := MustNew(CREW, 4)
+	base := m.Alloc(1)
+	err := m.Step(4, func(p *Proc) {
+		p.Write(base, 7)
+	})
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("CREW same-cell write should conflict, got %v", err)
+	}
+	if ce.Kind != "write" || ce.Model != CREW {
+		t.Errorf("conflict = %+v, want CREW write conflict", ce)
+	}
+	if ce.ProcA == ce.ProcB {
+		t.Errorf("conflict must involve two distinct processors, got %d and %d", ce.ProcA, ce.ProcB)
+	}
+}
+
+// TestCREWFaultHookCanMaskConflict: if all but one same-cell writer is dead,
+// the surviving write is exclusive and legal — dead processors must be
+// excluded from conflict detection.
+func TestCREWFaultHookCanMaskConflict(t *testing.T) {
+	m := MustNew(CREW, 4)
+	base := m.Alloc(1)
+	plan, err := faults.NewPlan(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for proc := 1; proc < 4; proc++ {
+		if err := plan.Crash(proc, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.SetFaultHook(plan)
+	if err := m.Step(4, func(p *Proc) {
+		p.Write(base, int64(p.ID)+100)
+	}); err != nil {
+		t.Fatalf("single surviving writer should be exclusive: %v", err)
+	}
+	if got := m.Load(base); got != 100 {
+		t.Errorf("cell = %d, want 100 (processor 0's write)", got)
+	}
+}
+
+// TestFaultHookConcurrentModeMatchesSequential: the goroutine execution
+// path must honour the hook identically to the in-order loop.
+func TestFaultHookConcurrentModeMatchesSequential(t *testing.T) {
+	run := func(concurrent bool) []int64 {
+		m := MustNew(CREW, 16)
+		base := m.Alloc(16)
+		plan, err := faults.Random(5, 16, faults.Options{CrashRate: 0.4, StragglerRate: 0.4, Horizon: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetFaultHook(plan)
+		m.SetConcurrent(concurrent)
+		for step := 0; step < 8; step++ {
+			if err := m.Step(16, func(p *Proc) {
+				p.Write(base+p.ID, p.Read(base+p.ID)+1)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.LoadSlice(base, 16)
+	}
+	seqMem := run(false)
+	conMem := run(true)
+	for i := range seqMem {
+		if seqMem[i] != conMem[i] {
+			t.Fatalf("cell %d: sequential %d != concurrent %d", i, seqMem[i], conMem[i])
+		}
+	}
+}

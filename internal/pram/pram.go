@@ -74,6 +74,25 @@ func (m Model) AllowsConcurrentRead() bool { return m != EREW }
 // write the same address in one step (subject to the variant's value rule).
 func (m Model) AllowsConcurrentWrite() bool { return m == CRCWCommon || m == CRCWArbitrary }
 
+// A FaultHook injects processor failures and read perturbations into a
+// Machine's execution. Hooks are consulted inside Step: a processor for
+// which ProcLive returns false skips the step entirely (its body does not
+// run, so its reads and buffered writes never happen — the behaviour of a
+// processor that died or stalled before the barrier), and every Read by a
+// live processor passes through PerturbRead.
+//
+// Implementations must be safe for concurrent calls: in Concurrent mode
+// the hook is invoked from multiple goroutines within one step. Plans that
+// are immutable during execution (such as faults.Plan) satisfy this
+// trivially.
+type FaultHook interface {
+	// ProcLive reports whether processor proc participates in step.
+	ProcLive(step, proc int) bool
+	// PerturbRead maps the true value v read from addr by proc at step to
+	// the value the processor observes.
+	PerturbRead(step, proc, addr int, v int64) int64
+}
+
 // A ConflictError reports a memory-access violation of the machine's model.
 type ConflictError struct {
 	Model Model  // model in force
@@ -99,6 +118,8 @@ type Machine struct {
 	work       int64
 	peakActive int
 	concurrent bool
+	faults     FaultHook
+	skipped    int64
 
 	// scratch reused across steps
 	writeBuf []writeOp
@@ -114,22 +135,50 @@ type writeOp struct {
 
 // New returns a Machine with the given model and processor budget.
 // The memory starts empty; use Alloc to reserve words.
-func New(model Model, procs int) *Machine {
+//
+// Invalid input (a non-positive processor count) is reported as an error,
+// never a panic: exported constructors across this repository return errors
+// for caller mistakes, reserving panics for internal invariant violations
+// that indicate a bug in this package itself (see Step's negative-active
+// check for the canonical example of the latter).
+func New(model Model, procs int) (*Machine, error) {
 	if procs < 1 {
-		panic("pram: processor count must be positive")
+		return nil, fmt.Errorf("pram: processor count must be positive, got %d", procs)
 	}
 	return &Machine{
 		model:    model,
 		procs:    procs,
 		readLog:  make(map[int]int32),
 		writeLog: make(map[int]int32),
+	}, nil
+}
+
+// MustNew is New that panics on error, a convenience for tests and
+// examples whose processor counts are compile-time constants.
+func MustNew(model Model, procs int) *Machine {
+	m, err := New(model, procs)
+	if err != nil {
+		panic(err)
 	}
+	return m
 }
 
 // SetConcurrent chooses whether Step executes processors on goroutines
 // (true) or in a deterministic in-order loop (false, the default). Results
 // are identical in both modes.
 func (m *Machine) SetConcurrent(c bool) { m.concurrent = c }
+
+// SetFaultHook installs (or, with nil, removes) a fault-injection hook.
+// Every subsequent Step consults it; see FaultHook. The machine never
+// mutates the hook, so one plan can drive many machines.
+func (m *Machine) SetFaultHook(h FaultHook) { m.faults = h }
+
+// FaultHookInstalled reports whether a fault hook is active.
+func (m *Machine) FaultHookInstalled() bool { return m.faults != nil }
+
+// Skipped returns the cumulative number of processor-steps lost to the
+// fault hook (processors scheduled in a step but reported dead or stalled).
+func (m *Machine) Skipped() int64 { return m.skipped }
 
 // Model returns the machine's memory-access model.
 func (m *Machine) Model() Model { return m.model }
@@ -199,10 +248,16 @@ type Proc struct {
 	halted bool
 }
 
-// Read returns the word at addr as of the start of the current step.
+// Read returns the word at addr as of the start of the current step. With
+// a fault hook installed, the observed value may be a transient corruption
+// of the stored one; the memory cell itself is never altered.
 func (p *Proc) Read(addr int) int64 {
 	p.reads = append(p.reads, addr)
-	return p.m.mem[addr]
+	v := p.m.mem[addr]
+	if h := p.m.faults; h != nil {
+		v = h.PerturbRead(p.m.steps, p.ID, addr, v)
+	}
+	return v
 }
 
 // Write buffers a write of v to addr; it becomes visible after the step.
@@ -213,6 +268,16 @@ func (p *Proc) Write(addr int, v int64) {
 // Step runs one synchronous step with `active` processors executing body.
 // It returns a *ConflictError if the access pattern violates the model.
 // On conflict, memory is left in the pre-step state.
+//
+// With a fault hook installed, processors the hook reports dead or stalled
+// for this step never execute body: their reads and writes simply do not
+// happen, and they are excluded from conflict detection and work charging.
+//
+// The negative-active panic below is an internal invariant check, not
+// input validation: active counts are computed by this module's callers
+// from validated structures, so a negative value means a bug in the
+// calling algorithm. Invalid *caller input* (a request exceeding the
+// processor budget) is an error, per the package-wide convention.
 func (m *Machine) Step(active int, body func(p *Proc)) error {
 	if active < 0 {
 		panic("pram: negative active processor count")
@@ -221,8 +286,13 @@ func (m *Machine) Step(active int, body func(p *Proc)) error {
 		return fmt.Errorf("pram: step requests %d processors but machine has %d", active, m.procs)
 	}
 	views := make([]Proc, active)
+	skippedNow := 0
 	for i := range views {
 		views[i] = Proc{ID: i, m: m}
+		if m.faults != nil && !m.faults.ProcLive(m.steps, i) {
+			views[i].halted = true
+			skippedNow++
+		}
 	}
 	if m.concurrent && active > 1 {
 		workers := runtime.GOMAXPROCS(0)
@@ -244,14 +314,18 @@ func (m *Machine) Step(active int, body func(p *Proc)) error {
 			go func(lo, hi int) {
 				defer wg.Done()
 				for i := lo; i < hi; i++ {
-					body(&views[i])
+					if !views[i].halted {
+						body(&views[i])
+					}
 				}
 			}(lo, hi)
 		}
 		wg.Wait()
 	} else {
 		for i := 0; i < active; i++ {
-			body(&views[i])
+			if !views[i].halted {
+				body(&views[i])
+			}
 		}
 	}
 
@@ -294,9 +368,11 @@ func (m *Machine) Step(active int, body func(p *Proc)) error {
 		m.mem[w.addr] = w.val
 	}
 	m.steps++
-	m.work += int64(active)
-	if active > m.peakActive {
-		m.peakActive = active
+	live := active - skippedNow
+	m.work += int64(live)
+	m.skipped += int64(skippedNow)
+	if live > m.peakActive {
+		m.peakActive = live
 	}
 	return nil
 }

@@ -36,7 +36,7 @@ func TestModelCapabilities(t *testing.T) {
 }
 
 func TestAllocAndHostAccess(t *testing.T) {
-	m := New(EREW, 4)
+	m := MustNew(EREW, 4)
 	a := m.Alloc(10)
 	b := m.Alloc(5)
 	if a != 0 || b != 10 {
@@ -57,7 +57,7 @@ func TestAllocAndHostAccess(t *testing.T) {
 }
 
 func TestStepBasicWriteVisibility(t *testing.T) {
-	m := New(EREW, 8)
+	m := MustNew(EREW, 8)
 	base := m.Alloc(8)
 	err := m.Step(8, func(p *Proc) {
 		p.Write(base+p.ID, int64(p.ID*p.ID))
@@ -78,7 +78,7 @@ func TestStepBasicWriteVisibility(t *testing.T) {
 func TestStepReadsSeePreStepState(t *testing.T) {
 	// Synchronous semantics: a rotation via simultaneous read+write must
 	// read the old values, not a partially updated array.
-	m := New(EREW, 8)
+	m := MustNew(EREW, 8)
 	base := m.Alloc(8)
 	for i := 0; i < 8; i++ {
 		m.Store(base+i, int64(i))
@@ -99,7 +99,7 @@ func TestStepReadsSeePreStepState(t *testing.T) {
 }
 
 func TestEREWReadConflictDetected(t *testing.T) {
-	m := New(EREW, 2)
+	m := MustNew(EREW, 2)
 	base := m.Alloc(1)
 	err := m.Step(2, func(p *Proc) {
 		p.Read(base)
@@ -114,7 +114,7 @@ func TestEREWReadConflictDetected(t *testing.T) {
 }
 
 func TestCREWAllowsConcurrentRead(t *testing.T) {
-	m := New(CREW, 16)
+	m := MustNew(CREW, 16)
 	base := m.Alloc(1)
 	m.Store(base, 7)
 	sum := m.Alloc(16)
@@ -128,7 +128,7 @@ func TestCREWAllowsConcurrentRead(t *testing.T) {
 }
 
 func TestCREWWriteConflictDetected(t *testing.T) {
-	m := New(CREW, 2)
+	m := MustNew(CREW, 2)
 	base := m.Alloc(1)
 	err := m.Step(2, func(p *Proc) {
 		p.Write(base, int64(p.ID))
@@ -143,7 +143,7 @@ func TestCREWWriteConflictDetected(t *testing.T) {
 }
 
 func TestConflictLeavesMemoryUnchanged(t *testing.T) {
-	m := New(CREW, 2)
+	m := MustNew(CREW, 2)
 	base := m.Alloc(2)
 	m.Store(base, 100)
 	m.Store(base+1, 200)
@@ -162,7 +162,7 @@ func TestConflictLeavesMemoryUnchanged(t *testing.T) {
 }
 
 func TestCRCWCommonSameValueOK(t *testing.T) {
-	m := New(CRCWCommon, 8)
+	m := MustNew(CRCWCommon, 8)
 	base := m.Alloc(1)
 	err := m.Step(8, func(p *Proc) {
 		p.Write(base, 5)
@@ -176,7 +176,7 @@ func TestCRCWCommonSameValueOK(t *testing.T) {
 }
 
 func TestCRCWCommonDifferentValuesConflict(t *testing.T) {
-	m := New(CRCWCommon, 2)
+	m := MustNew(CRCWCommon, 2)
 	base := m.Alloc(1)
 	err := m.Step(2, func(p *Proc) {
 		p.Write(base, int64(p.ID))
@@ -188,7 +188,7 @@ func TestCRCWCommonDifferentValuesConflict(t *testing.T) {
 }
 
 func TestCRCWArbitraryLowestWins(t *testing.T) {
-	m := New(CRCWArbitrary, 8)
+	m := MustNew(CRCWArbitrary, 8)
 	base := m.Alloc(1)
 	err := m.Step(8, func(p *Proc) {
 		p.Write(base, int64(10+p.ID))
@@ -202,7 +202,7 @@ func TestCRCWArbitraryLowestWins(t *testing.T) {
 }
 
 func TestStepOverBudget(t *testing.T) {
-	m := New(EREW, 4)
+	m := MustNew(EREW, 4)
 	if err := m.Step(5, func(p *Proc) {}); err == nil {
 		t.Error("expected error when exceeding processor budget")
 	}
@@ -210,7 +210,7 @@ func TestStepOverBudget(t *testing.T) {
 
 func TestConcurrentModeMatchesSequential(t *testing.T) {
 	run := func(concurrent bool) []int64 {
-		m := New(CRCWArbitrary, 64)
+		m := MustNew(CRCWArbitrary, 64)
 		m.SetConcurrent(concurrent)
 		base := m.Alloc(64)
 		acc := m.Alloc(1)
@@ -236,7 +236,7 @@ func TestConcurrentModeMatchesSequential(t *testing.T) {
 }
 
 func TestResetCost(t *testing.T) {
-	m := New(EREW, 2)
+	m := MustNew(EREW, 2)
 	m.Alloc(2)
 	if err := m.Step(2, func(p *Proc) { p.Write(p.ID, 1) }); err != nil {
 		t.Fatal(err)
@@ -251,7 +251,7 @@ func TestResetCost(t *testing.T) {
 }
 
 func TestRunPropagatesError(t *testing.T) {
-	m := New(EREW, 2)
+	m := MustNew(EREW, 2)
 	base := m.Alloc(1)
 	i := 0
 	err := m.Run(func() (bool, error) {
@@ -268,11 +268,31 @@ func TestRunPropagatesError(t *testing.T) {
 }
 
 func TestZeroActiveStep(t *testing.T) {
-	m := New(EREW, 4)
+	m := MustNew(EREW, 4)
 	if err := m.Step(0, func(p *Proc) { t.Error("body must not run") }); err != nil {
 		t.Fatalf("zero-active step: %v", err)
 	}
 	if m.Time() != 1 {
 		t.Errorf("zero-active step should still cost a time unit, Time = %d", m.Time())
 	}
+}
+
+func TestNewRejectsNonPositiveProcs(t *testing.T) {
+	for _, procs := range []int{0, -1, -100} {
+		if _, err := New(EREW, procs); err == nil {
+			t.Errorf("New(EREW, %d) should return an error", procs)
+		}
+	}
+	if m, err := New(CREW, 1); err != nil || m == nil {
+		t.Errorf("New(CREW, 1) = (%v, %v), want a machine", m, err)
+	}
+}
+
+func TestMustNewPanicsOnBadProcs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(EREW, 0) should panic")
+		}
+	}()
+	MustNew(EREW, 0)
 }

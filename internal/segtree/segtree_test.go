@@ -133,7 +133,7 @@ func TestQueryIndirectPRAMMatchesHost(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m := pram.New(pram.CRCWArbitrary, 4096)
+		m := pram.MustNew(pram.CRCWArbitrary, 4096)
 		pramRanges, linkSteps, err := it.QueryIndirectPRAM(m, hq, 256)
 		if err != nil {
 			t.Fatal(err)
@@ -151,7 +151,7 @@ func TestQueryIndirectPRAMMatchesHost(t *testing.T) {
 		}
 	}
 	// CREW machines must be rejected.
-	m := pram.New(pram.CREW, 4096)
+	m := pram.MustNew(pram.CREW, 4096)
 	if _, _, err := it.QueryIndirectPRAM(m, HQuery{Y: 1, X1: 0, X2: 10}, 8); err == nil {
 		t.Error("CREW machine should be rejected for concurrent-write linking")
 	}

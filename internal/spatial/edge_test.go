@@ -9,7 +9,7 @@ import (
 // and just below the top sentinel of every column's extreme cells.
 func TestQueriesNearColumnBoundaries(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	c := Generate(40, 5, rng)
+	c := mustGen(t, 40, 5, rng)
 	l, err := NewLocator(c)
 	if err != nil {
 		t.Fatal(err)
@@ -43,7 +43,7 @@ func TestQueriesNearColumnBoundaries(t *testing.T) {
 // to pure z-search.
 func TestSingleColumnManyCells(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
-	c := Generate(1, 40, rng)
+	c := mustGen(t, 1, 40, rng)
 	l, err := NewLocator(c)
 	if err != nil {
 		t.Fatal(err)
@@ -67,7 +67,7 @@ func TestSingleColumnManyCells(t *testing.T) {
 // structures heavily.
 func TestManyColumnsSingleCellEach(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
-	c := Generate(150, 1, rng)
+	c := mustGen(t, 150, 1, rng)
 	l, err := NewLocator(c)
 	if err != nil {
 		t.Fatal(err)

@@ -179,106 +179,14 @@ func (l *Locator) locate(x, y, z int64, p int) (int, Stats, error) {
 	if l.r == 1 {
 		return 1, stats, nil
 	}
-	// Hop height Θ(log p), capped so a hop's node count stays ≤ p.
-	h := 1
-	for (1<<(uint(h)+2))-1 <= p && h < l.height {
-		h++
-	}
+	h := l.hopHeight(p)
 	br := bracket{maxEL: 0, minER: int32(l.r)}
 	v := l.t.Root()
 	for !l.t.IsLeaf(v) {
-		if h == 1 || p == 1 {
-			goRight, rounds, err := l.discriminate(v, x, y, z, &br, p)
-			if err != nil {
-				return 0, stats, err
-			}
-			stats.DiscrimRounds += rounds
-			stats.Steps += rounds
-			stats.SeqLevels++
-			ci := 0
-			if goRight {
-				ci = 1
-			}
-			v = l.t.Children(v)[ci]
-			continue
-		}
-		// Hop: discriminate every internal node of the next h levels "in
-		// parallel" — the hop's time is the slowest discrimination with
-		// p/nodeCount processors each — then descend h levels along the
-		// resulting branches.
-		levels := h
-		if d := l.t.Depth(v); d+levels > l.height {
-			levels = l.height - d
-		}
-		// Collect subtree nodes BFS.
-		nodes := []tree.NodeID{v}
-		depth0 := l.t.Depth(v)
-		for qi := 0; qi < len(nodes); qi++ {
-			u := nodes[qi]
-			if l.t.Depth(u)-depth0 >= levels || l.t.IsLeaf(u) {
-				continue
-			}
-			nodes = append(nodes, l.t.Children(u)...)
-		}
-		pShare := p / len(nodes)
-		if pShare < 1 {
-			pShare = 1
-		}
-		goRight := make(map[tree.NodeID]bool, len(nodes))
-		maxRounds := 0
-		// First pass: facet hits update the bracket; second pass resolves
-		// gap nodes (ancestors of any gap node within range were either
-		// discriminated in this pass or earlier, so the bracket covers
-		// them — same argument as planar Step 5).
-		type gapNode struct{ u tree.NodeID }
-		var gaps []gapNode
-		for _, u := range nodes {
-			if l.t.IsLeaf(u) {
-				continue
-			}
-			id, rounds := l.locs[u].locate(l.c.Facets, x, y, pShare)
-			if rounds > maxRounds {
-				maxRounds = rounds
-			}
-			if id < 0 {
-				gaps = append(gaps, gapNode{u})
-				continue
-			}
-			f := l.c.Facets[id]
-			if z > f.Z {
-				goRight[u] = true
-				hi := f.Above - 1
-				if hi > int32(l.r-1) {
-					hi = int32(l.r - 1)
-				}
-				if hi > br.maxEL {
-					br.maxEL = hi
-				}
-			} else {
-				lo := f.Below
-				if lo < 1 {
-					lo = 1
-				}
-				if lo < br.minER {
-					br.minER = lo
-				}
-			}
-		}
-		if br.maxEL >= br.minER {
-			return 0, stats, fmt.Errorf("spatial: inconsistent bracket (%d, %d)", br.maxEL, br.minER)
-		}
-		for _, g := range gaps {
-			goRight[g.u] = l.sep[g.u] <= br.maxEL
-		}
-		stats.DiscrimRounds += maxRounds
-		stats.Steps += maxRounds + 2
-		stats.Hops++
-		for lvl := 0; lvl < levels && !l.t.IsLeaf(v); lvl++ {
-			ci := 0
-			if goRight[v] {
-				ci = 1
-			}
-			v = l.t.Children(v)[ci]
+		var err error
+		v, err = l.locateStep(v, x, y, z, p, h, &br, &stats)
+		if err != nil {
+			return 0, stats, err
 		}
 	}
 	cell := int(l.cell[v])
@@ -286,4 +194,112 @@ func (l *Locator) locate(x, y, z int64, p int) (int, Stats, error) {
 		return 0, stats, fmt.Errorf("spatial: query landed in dummy cell %d", cell)
 	}
 	return cell, stats, nil
+}
+
+// hopHeight returns the hop height Θ(log p), capped so a hop's node count
+// stays ≤ p and by the tree height.
+func (l *Locator) hopHeight(p int) int {
+	h := 1
+	for (1<<(uint(h)+2))-1 <= p && h < l.height {
+		h++
+	}
+	return h
+}
+
+// locateStep advances the search one iteration from v: a single sequential
+// discrimination when h == 1 or p == 1, otherwise one h-level hop.
+func (l *Locator) locateStep(v tree.NodeID, x, y, z int64, p, h int, br *bracket, stats *Stats) (tree.NodeID, error) {
+	if h == 1 || p == 1 {
+		goRight, rounds, err := l.discriminate(v, x, y, z, br, p)
+		if err != nil {
+			return v, err
+		}
+		stats.DiscrimRounds += rounds
+		stats.Steps += rounds
+		stats.SeqLevels++
+		ci := 0
+		if goRight {
+			ci = 1
+		}
+		return l.t.Children(v)[ci], nil
+	}
+	// Hop: discriminate every internal node of the next h levels "in
+	// parallel" — the hop's time is the slowest discrimination with
+	// p/nodeCount processors each — then descend h levels along the
+	// resulting branches.
+	levels := h
+	if d := l.t.Depth(v); d+levels > l.height {
+		levels = l.height - d
+	}
+	// Collect subtree nodes BFS.
+	nodes := []tree.NodeID{v}
+	depth0 := l.t.Depth(v)
+	for qi := 0; qi < len(nodes); qi++ {
+		u := nodes[qi]
+		if l.t.Depth(u)-depth0 >= levels || l.t.IsLeaf(u) {
+			continue
+		}
+		nodes = append(nodes, l.t.Children(u)...)
+	}
+	pShare := p / len(nodes)
+	if pShare < 1 {
+		pShare = 1
+	}
+	goRight := make(map[tree.NodeID]bool, len(nodes))
+	maxRounds := 0
+	// First pass: facet hits update the bracket; second pass resolves
+	// gap nodes (ancestors of any gap node within range were either
+	// discriminated in this pass or earlier, so the bracket covers
+	// them — same argument as planar Step 5).
+	type gapNode struct{ u tree.NodeID }
+	var gaps []gapNode
+	for _, u := range nodes {
+		if l.t.IsLeaf(u) {
+			continue
+		}
+		id, rounds := l.locs[u].locate(l.c.Facets, x, y, pShare)
+		if rounds > maxRounds {
+			maxRounds = rounds
+		}
+		if id < 0 {
+			gaps = append(gaps, gapNode{u})
+			continue
+		}
+		f := l.c.Facets[id]
+		if z > f.Z {
+			goRight[u] = true
+			hi := f.Above - 1
+			if hi > int32(l.r-1) {
+				hi = int32(l.r - 1)
+			}
+			if hi > br.maxEL {
+				br.maxEL = hi
+			}
+		} else {
+			lo := f.Below
+			if lo < 1 {
+				lo = 1
+			}
+			if lo < br.minER {
+				br.minER = lo
+			}
+		}
+	}
+	if br.maxEL >= br.minER {
+		return v, fmt.Errorf("spatial: inconsistent bracket (%d, %d)", br.maxEL, br.minER)
+	}
+	for _, g := range gaps {
+		goRight[g.u] = l.sep[g.u] <= br.maxEL
+	}
+	stats.DiscrimRounds += maxRounds
+	stats.Steps += maxRounds + 2
+	stats.Hops++
+	for lvl := 0; lvl < levels && !l.t.IsLeaf(v); lvl++ {
+		ci := 0
+		if goRight[v] {
+			ci = 1
+		}
+		v = l.t.Children(v)[ci]
+	}
+	return v, nil
 }

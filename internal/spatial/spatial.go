@@ -66,9 +66,10 @@ type Complex struct {
 
 // Generate builds a random complex: a guillotine tiling of the xy-square
 // into `tiles` rectangles, each carrying a stack of 1..maxStack boxes.
-func Generate(tiles, maxStack int, rng *rand.Rand) *Complex {
+// It returns an error for invalid parameters (tiles < 1 or maxStack < 1).
+func Generate(tiles, maxStack int, rng *rand.Rand) (*Complex, error) {
 	if tiles < 1 || maxStack < 1 {
-		panic(fmt.Sprintf("spatial: invalid parameters tiles=%d maxStack=%d", tiles, maxStack))
+		return nil, fmt.Errorf("spatial: invalid parameters tiles=%d maxStack=%d (both must be ≥ 1)", tiles, maxStack)
 	}
 	const span = int64(1 << 20) // even extent; queries use odd coordinates
 	type rect struct{ x1, x2, y1, y2 int64 }
@@ -169,7 +170,7 @@ func Generate(tiles, maxStack int, rng *rand.Rand) *Complex {
 		}
 		mk(c.ZMax, ids[len(ids)-1], r+1)
 	}
-	return c
+	return c, nil
 }
 
 // LocateBrute returns the 1-based index of the cell containing the query

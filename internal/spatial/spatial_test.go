@@ -8,7 +8,7 @@ import (
 func TestGenerateValidates(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 20; trial++ {
-		c := Generate(1+rng.Intn(30), 1+rng.Intn(6), rng)
+		c := mustGen(t, 1+rng.Intn(30), 1+rng.Intn(6), rng)
 		if err := c.Validate(); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -18,13 +18,14 @@ func TestGenerateValidates(t *testing.T) {
 	}
 }
 
-func TestGeneratePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Generate(0, 1) should panic")
+func TestGenerateRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct{ tiles, maxStack int }{{0, 1}, {-2, 3}, {4, 0}, {4, -1}}
+	for _, cse := range cases {
+		if _, err := Generate(cse.tiles, cse.maxStack, rng); err == nil {
+			t.Errorf("Generate(%d, %d) should return an error", cse.tiles, cse.maxStack)
 		}
-	}()
-	Generate(0, 1, rand.New(rand.NewSource(1)))
+	}
 }
 
 func TestSentinelFacetsComplete(t *testing.T) {
@@ -32,7 +33,7 @@ func TestSentinelFacetsComplete(t *testing.T) {
 	// boundaries, top sentinel), so every vertical line crosses every
 	// surface exactly once.
 	rng := rand.New(rand.NewSource(2))
-	c := Generate(10, 4, rng)
+	c := mustGen(t, 10, 4, rng)
 	bottoms, tops := 0, 0
 	for _, f := range c.Facets {
 		if f.Below == 0 {
@@ -52,7 +53,7 @@ func TestSentinelFacetsComplete(t *testing.T) {
 
 func TestLocateBruteFindsInterior(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	c := Generate(15, 4, rng)
+	c := mustGen(t, 15, 4, rng)
 	for q := 0; q < 100; q++ {
 		x, y, z, want := c.RandomInteriorPoint(rng)
 		got, err := c.LocateBrute(x, y, z)
@@ -64,7 +65,7 @@ func TestLocateBruteFindsInterior(t *testing.T) {
 
 func TestSingleCell(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	c := Generate(1, 1, rng)
+	c := mustGen(t, 1, 1, rng)
 	l, err := NewLocator(c)
 	if err != nil {
 		t.Fatal(err)
@@ -79,7 +80,7 @@ func TestSingleCell(t *testing.T) {
 func TestLocateSeqMatchesBrute(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for trial := 0; trial < 8; trial++ {
-		c := Generate(2+rng.Intn(40), 1+rng.Intn(5), rng)
+		c := mustGen(t, 2+rng.Intn(40), 1+rng.Intn(5), rng)
 		l, err := NewLocator(c)
 		if err != nil {
 			t.Fatal(err)
@@ -100,7 +101,7 @@ func TestLocateSeqMatchesBrute(t *testing.T) {
 func TestLocateCoopMatchesBrute(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	for trial := 0; trial < 5; trial++ {
-		c := Generate(2+rng.Intn(60), 1+rng.Intn(6), rng)
+		c := mustGen(t, 2+rng.Intn(60), 1+rng.Intn(6), rng)
 		l, err := NewLocator(c)
 		if err != nil {
 			t.Fatal(err)
@@ -126,7 +127,7 @@ func TestLocateCoopMatchesBrute(t *testing.T) {
 func TestCoopHopsReduceSteps(t *testing.T) {
 	// Theorem 5 shape: (log² n)/log² p — more processors, fewer steps.
 	rng := rand.New(rand.NewSource(7))
-	c := Generate(300, 6, rng)
+	c := mustGen(t, 300, 6, rng)
 	l, err := NewLocator(c)
 	if err != nil {
 		t.Fatal(err)
@@ -153,7 +154,7 @@ func TestCoopHopsReduceSteps(t *testing.T) {
 
 func TestOutOfBoundsQuery(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
-	c := Generate(4, 2, rng)
+	c := mustGen(t, 4, 2, rng)
 	l, err := NewLocator(c)
 	if err != nil {
 		t.Fatal(err)
@@ -170,7 +171,7 @@ func TestTopologicalOrderIsDominanceRespecting(t *testing.T) {
 	// For every interior facet, the cell below must precede the cell
 	// above in the order — the Corollary 1 precondition.
 	rng := rand.New(rand.NewSource(9))
-	c := Generate(25, 5, rng)
+	c := mustGen(t, 25, 5, rng)
 	for _, f := range c.Facets {
 		if f.Below >= 1 && int(f.Above) <= len(c.Cells) {
 			if f.Below >= f.Above {
@@ -178,4 +179,13 @@ func TestTopologicalOrderIsDominanceRespecting(t *testing.T) {
 			}
 		}
 	}
+}
+
+func mustGen(tb testing.TB, tiles, maxStack int, rng *rand.Rand) *Complex {
+	tb.Helper()
+	c, err := Generate(tiles, maxStack, rng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
 }

@@ -54,10 +54,11 @@ type Subdivision struct {
 }
 
 // Generate builds a random monotone subdivision with f regions over the
-// given number of y-levels (levels ≥ 2). It panics on invalid parameters.
-func Generate(f, levels int, rng *rand.Rand) *Subdivision {
+// given number of y-levels. It returns an error for invalid parameters
+// (f < 1 or levels < 2).
+func Generate(f, levels int, rng *rand.Rand) (*Subdivision, error) {
 	if f < 1 || levels < 2 {
-		panic(fmt.Sprintf("subdivision: invalid parameters f=%d levels=%d", f, levels))
+		return nil, fmt.Errorf("subdivision: invalid parameters f=%d levels=%d (need f ≥ 1, levels ≥ 2)", f, levels)
 	}
 	m := levels
 	levelY := make([]int64, m)
@@ -118,7 +119,7 @@ func Generate(f, levels int, rng *rand.Rand) *Subdivision {
 			c = run + 1
 		}
 	}
-	return s
+	return s, nil
 }
 
 // GenerateNested builds a monotone subdivision by hierarchical insertion:
@@ -126,10 +127,11 @@ func Generate(f, levels int, rng *rand.Rand) *Subdivision {
 // intervals, and is clamped below its right neighbour. Compared with
 // Generate, this yields regions nested to arbitrary depth, gaps bounded
 // on both sides, and possibly empty (pinched-away) regions — a stress
-// shape for the separator tree's inactive-node machinery.
-func GenerateNested(f, levels int, rng *rand.Rand) *Subdivision {
+// shape for the separator tree's inactive-node machinery. It returns an
+// error for invalid parameters (f < 1 or levels < 2).
+func GenerateNested(f, levels int, rng *rand.Rand) (*Subdivision, error) {
 	if f < 1 || levels < 2 {
-		panic(fmt.Sprintf("subdivision: invalid parameters f=%d levels=%d", f, levels))
+		return nil, fmt.Errorf("subdivision: invalid parameters f=%d levels=%d (need f ≥ 1, levels ≥ 2)", f, levels)
 	}
 	m := levels
 	levelY := make([]int64, m)
@@ -191,7 +193,7 @@ func GenerateNested(f, levels int, rng *rand.Rand) *Subdivision {
 			c = run + 1
 		}
 	}
-	return s
+	return s, nil
 }
 
 // Validate checks structural invariants; tests call it after Generate.

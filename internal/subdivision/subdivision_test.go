@@ -12,7 +12,7 @@ func TestGenerateValidates(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		f := 1 + rng.Intn(40)
 		levels := 2 + rng.Intn(30)
-		s := Generate(f, levels, rng)
+		s := mustGen(t, f, levels, rng)
 		if err := s.Validate(); err != nil {
 			t.Fatalf("f=%d levels=%d: %v", f, levels, err)
 		}
@@ -22,18 +22,22 @@ func TestGenerateValidates(t *testing.T) {
 	}
 }
 
-func TestGeneratePanicsOnBadInput(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Generate(0, 2) should panic")
+func TestGenerateRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct{ f, levels int }{{0, 2}, {-1, 5}, {3, 1}, {3, 0}}
+	for _, cse := range cases {
+		if _, err := Generate(cse.f, cse.levels, rng); err == nil {
+			t.Errorf("Generate(%d, %d) should return an error", cse.f, cse.levels)
 		}
-	}()
-	Generate(0, 2, rand.New(rand.NewSource(1)))
+		if _, err := GenerateNested(cse.f, cse.levels, rng); err == nil {
+			t.Errorf("GenerateNested(%d, %d) should return an error", cse.f, cse.levels)
+		}
+	}
 }
 
 func TestSingleRegion(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	s := Generate(1, 5, rng)
+	s := mustGen(t, 1, 5, rng)
 	if len(s.Edges) != 0 {
 		t.Errorf("single region should have no edges, got %d", len(s.Edges))
 	}
@@ -50,7 +54,7 @@ func TestSharedEdgesExist(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	shared := false
 	for trial := 0; trial < 20 && !shared; trial++ {
-		s := Generate(30, 20, rng)
+		s := mustGen(t, 30, 20, rng)
 		for _, e := range s.Edges {
 			if e.Right-e.Left >= 2 {
 				shared = true
@@ -65,7 +69,7 @@ func TestSharedEdgesExist(t *testing.T) {
 
 func TestLocateBruteRejectsOutOfBand(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	s := Generate(5, 10, rng)
+	s := mustGen(t, 5, 10, rng)
 	if _, err := s.LocateBrute(geom.Point{X: 0, Y: s.YMin}); err == nil {
 		t.Error("query at YMin should fail")
 	}
@@ -77,7 +81,7 @@ func TestLocateBruteRejectsOutOfBand(t *testing.T) {
 func TestRandomInteriorPointConsistent(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for trial := 0; trial < 10; trial++ {
-		s := Generate(2+rng.Intn(30), 2+rng.Intn(20), rng)
+		s := mustGen(t, 2+rng.Intn(30), 2+rng.Intn(20), rng)
 		for q := 0; q < 50; q++ {
 			pt, want := s.RandomInteriorPoint(rng)
 			if pt.X%2 == 0 || pt.Y%2 == 0 {
@@ -95,7 +99,7 @@ func TestRegionCoverage(t *testing.T) {
 	// Random interior points eventually hit every region: regions are all
 	// nonempty.
 	rng := rand.New(rand.NewSource(6))
-	s := Generate(8, 12, rng)
+	s := mustGen(t, 8, 12, rng)
 	seen := map[int]bool{}
 	for q := 0; q < 3000 && len(seen) < s.NumRegions; q++ {
 		_, r := s.RandomInteriorPoint(rng)
@@ -111,7 +115,7 @@ func TestRegionCoverage(t *testing.T) {
 
 func TestEdgeAt(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	s := Generate(10, 10, rng)
+	s := mustGen(t, 10, 10, rng)
 	for sep := 1; sep < s.NumRegions; sep++ {
 		for y := s.YMin + 1; y < s.YMax; y += 2 {
 			e, err := s.EdgeAt(sep, y)
@@ -133,7 +137,7 @@ func TestEdgeSideConsistency(t *testing.T) {
 	// (Right) region... more precisely in a region <= Left (>= Right)
 	// since other chains may coincide.
 	rng := rand.New(rand.NewSource(8))
-	s := Generate(12, 8, rng)
+	s := mustGen(t, 12, 8, rng)
 	for _, e := range s.Edges {
 		midY := (e.Seg.A.Y + e.Seg.B.Y) / 2
 		if midY%2 == 0 {
@@ -170,7 +174,7 @@ func TestGenerateNestedValidates(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		f := 1 + rng.Intn(40)
 		levels := 2 + rng.Intn(30)
-		s := GenerateNested(f, levels, rng)
+		s := mustGenNested(t, f, levels, rng)
 		if err := s.Validate(); err != nil {
 			t.Fatalf("f=%d levels=%d: %v", f, levels, err)
 		}
@@ -191,7 +195,7 @@ func TestGenerateNestedSharesBothSides(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
 	widest := int32(0)
 	for trial := 0; trial < 20; trial++ {
-		s := GenerateNested(24, 15, rng)
+		s := mustGenNested(t, 24, 15, rng)
 		for _, e := range s.Edges {
 			if w := e.Right - e.Left; w > widest {
 				widest = w
@@ -205,8 +209,26 @@ func TestGenerateNestedSharesBothSides(t *testing.T) {
 
 func TestTotalVertices(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	s := Generate(6, 11, rng)
+	s := mustGen(t, 6, 11, rng)
 	if s.TotalVertices() != 5*11 {
 		t.Errorf("TotalVertices = %d, want 55", s.TotalVertices())
 	}
+}
+
+func mustGen(tb testing.TB, f, levels int, rng *rand.Rand) *Subdivision {
+	tb.Helper()
+	s, err := Generate(f, levels, rng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func mustGenNested(tb testing.TB, f, levels int, rng *rand.Rand) *Subdivision {
+	tb.Helper()
+	s, err := GenerateNested(f, levels, rng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
 }
