@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet build test race bench chaos
+.PHONY: check vet build test test-engine race bench bench-check chaos
 
-check: vet build test race
+check: vet build test test-engine race bench-check
 
 vet:
 	$(GO) vet ./...
@@ -13,11 +13,23 @@ build:
 test:
 	$(GO) test ./...
 
+# Engine-specific gate: race-check the batched engine and smoke both fuzz
+# targets (oracle-differential batch replay and entry-cache invalidation).
+test-engine:
+	$(GO) test -race ./internal/engine/...
+	$(GO) test -run='^$$' -fuzz=FuzzBatchSearch -fuzztime=10s ./internal/engine
+	$(GO) test -run='^$$' -fuzz=FuzzEntryCache -fuzztime=10s ./internal/engine
+
 race:
-	$(GO) test -race ./internal/pram/... ./internal/parallel/...
+	$(GO) test -race ./internal/pram/... ./internal/parallel/... ./internal/engine/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Throughput regression guard: fails when batched execution at b=64 stops
+# beating the one-query-at-a-time baseline (see batchguard_test.go).
+bench-check:
+	$(GO) test -run='^TestBatchThroughputGuard$$' -v .
 
 chaos:
 	$(GO) run ./cmd/coopbench -chaos

@@ -495,6 +495,35 @@ func BenchmarkE16DynamicChurn(b *testing.B) {
 	b.ReportMetric(float64(d.Rebuilds()), "rebuilds")
 }
 
+// BenchmarkBatchedVsSequential measures the E20 engine claim as a
+// benchmark: queries/step for batched execution versus the
+// one-query-at-a-time baseline at the same total processor budget. The
+// simulated throughput is emitted as a custom metric; the hard floor
+// (batched > sequential at b=64) is enforced by TestBatchThroughputGuard
+// via `make bench-check`.
+func BenchmarkBatchedVsSequential(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	fx := buildEngineFixture(b, 4096, rng)
+	for _, bs := range []int{8, 64} {
+		b.Run(fmt.Sprintf("batched/b=%d", bs), func(b *testing.B) {
+			var qPerStep float64
+			for i := 0; i < b.N; i++ {
+				batched, _ := fx.measure(b, rng, bs, 2)
+				qPerStep = batched
+			}
+			b.ReportMetric(qPerStep, "q/step")
+		})
+		b.Run(fmt.Sprintf("sequential/b=%d", bs), func(b *testing.B) {
+			var qPerStep float64
+			for i := 0; i < b.N; i++ {
+				_, sequential := fx.measure(b, rng, bs, 2)
+				qPerStep = sequential
+			}
+			b.ReportMetric(qPerStep, "q/step")
+		})
+	}
+}
+
 // BenchmarkE14CoopBinarySearch measures the Step-1 primitive.
 func BenchmarkE14CoopBinarySearch(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))

@@ -1,4 +1,4 @@
-// Command coopbench runs the reproduction experiments E1–E19 (see
+// Command coopbench runs the reproduction experiments E1–E20 (see
 // DESIGN.md for the per-experiment index) and prints the tables recorded
 // in EXPERIMENTS.md. Each experiment regenerates one of the paper's
 // claims: a time/processor tradeoff, a space bound, or a structural lemma.
@@ -27,7 +27,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("experiment", "all", "experiment id (e1..e19, fig5, all)")
+	expFlag := flag.String("experiment", "all", "experiment id (e1..e20, fig5, all)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	chaos := flag.Bool("chaos", false, "run the chaos-mode fault sweep (alias for -experiment=e19)")
 	flag.Parse()
@@ -56,6 +56,7 @@ func main() {
 		{"e17", "E17: whole searches executed on the conflict-checked CREW simulator", runE17},
 		{"e18", "E18: Snir lower-bound adversary game (optimality)", runE18},
 		{"e19", "E19 (chaos mode): fault-injected degrading cooperative search", runE19},
+		{"e20", "E20 (extension): batched multi-query engine throughput", runE20},
 	}
 	want := strings.ToLower(*expFlag)
 	ran := 0

@@ -3,10 +3,16 @@
 // points — either a batch of random ones or coordinates supplied as
 // arguments.
 //
+// With -batch=b the random queries are instead pushed through the batched
+// engine (internal/engine): the processor budget p is split across each
+// batch of b concurrent queries and the tool reports queries/step against
+// the one-at-a-time baseline.
+//
 // Usage:
 //
 //	plquery -regions=64 -levels=30 -p=256 -queries=10
 //	plquery -regions=64 -levels=30 -p=256 101,51 33,77
+//	plquery -regions=64 -levels=30 -p=1024 -queries=256 -batch=32
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"strings"
 
 	"fraccascade/internal/core"
+	"fraccascade/internal/engine"
 	"fraccascade/internal/geom"
 	"fraccascade/internal/pointloc"
 	"fraccascade/internal/subdivision"
@@ -29,6 +36,7 @@ func main() {
 	levels := flag.Int("levels", 30, "number of y-levels")
 	p := flag.Int("p", 256, "processor budget for cooperative queries")
 	queries := flag.Int("queries", 10, "random queries to run when no coordinates are given")
+	batch := flag.Int("batch", 0, "run the random queries through the batched engine in batches of this size (0 = one at a time)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	flag.Parse()
 
@@ -80,8 +88,56 @@ func main() {
 		}
 		return
 	}
+	if *batch > 0 {
+		runBatched(s, loc, rng, *p, *queries, *batch)
+		return
+	}
 	for q := 0; q < *queries; q++ {
 		pt, _ := s.RandomInteriorPoint(rng)
 		locate(pt)
 	}
+}
+
+// runBatched pushes n random point-location queries through the batched
+// engine in batches of b, verifies every answer against the brute-force
+// oracle, and reports queries/step for batched vs one-at-a-time execution
+// under the same total processor budget p.
+func runBatched(s *subdivision.Subdivision, loc *pointloc.Locator, rng *rand.Rand, p, n, b int) {
+	e, err := engine.New(engine.Config{Procs: p, BatchSize: b}, nil, loc, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qs := make([]engine.Query, n)
+	for i := range qs {
+		pt, _ := s.RandomInteriorPoint(rng)
+		qs[i] = engine.PointQuery(pt)
+		e.Submit(qs[i])
+	}
+	answers, reports, err := e.Flush()
+	if err != nil {
+		log.Fatal(err)
+	}
+	batchSteps := 0
+	for _, rep := range reports {
+		batchSteps += rep.Steps
+	}
+	mismatches := 0
+	for i, a := range answers {
+		if a.Err != nil {
+			log.Fatalf("query %d: %v", i, a.Err)
+		}
+		if brute, _ := s.LocateBrute(qs[i].Point); brute != a.Region {
+			mismatches++
+			fmt.Printf("(%d,%d): MISMATCH engine r_%d, oracle r_%d\n",
+				qs[i].Point.X, qs[i].Point.Y, a.Region, brute)
+		}
+	}
+	_, seqSteps, err := e.ExecuteSequential(qs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batched: %d queries in %d batches of %d, p/query=%d, total %d steps (%.3f q/step)\n",
+		n, len(reports), b, reports[0].PShare, batchSteps, float64(n)/float64(batchSteps))
+	fmt.Printf("one-at-a-time baseline: %d steps (%.3f q/step) -> speedup %.1fx; mismatches: %d\n",
+		seqSteps, float64(n)/float64(seqSteps), float64(seqSteps)/float64(batchSteps), mismatches)
 }

@@ -25,6 +25,11 @@ type Key = int64
 // PlusInf is the terminal +∞ key present in every catalog.
 const PlusInf Key = math.MaxInt64
 
+// MinusInf is the −∞ sentinel used by callers to express "no lower bound"
+// (for example the left end of an entry-point cache interval). It is never
+// stored in a catalog.
+const MinusInf Key = math.MinInt64
+
 // NoPayload marks entries without caller data (dummy entries and the
 // terminal +∞).
 const NoPayload int32 = -1

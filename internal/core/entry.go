@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/tree"
+)
+
+// entryHitSteps is the parallel time charged when a search enters through a
+// cached entry position instead of the Step-1 cooperative binary search:
+// one synchronous round in which two processors probe the catalog entries
+// bounding the cached position to confirm it is still the successor of y.
+const entryHitSteps = 1
+
+// ValidEntry reports whether pos is exactly Aug(v).Succ(y): the catalog key
+// at pos is ≥ y and the key before it (if any) is < y. Because successor
+// positions are unique, a position that passes this O(1) check is the one
+// the Step-1 cooperative search would have produced, so seeding a search
+// with it can never change an answer — at worst a stale hint fails the
+// check and the caller falls back to the full entry search.
+func (st *Structure) ValidEntry(v tree.NodeID, pos int, y catalog.Key) bool {
+	cat := st.s.Aug(v)
+	if pos < 0 || pos >= cat.Len() {
+		return false
+	}
+	return cat.Key(pos) >= y && (pos == 0 || cat.Key(pos-1) < y)
+}
+
+// EntryInterval returns the half-open key interval (lo, hi] of query keys
+// whose Step-1 entry search at node v resolves to position pos; lo is the
+// catalog key before pos (or catalog.MinusInf for pos 0) and hi the key at
+// pos. Engines cache (pos, lo, hi] triples: any later query with lo < y ≤ hi
+// shares the entry position and may skip the cooperative binary search.
+func (st *Structure) EntryInterval(v tree.NodeID, pos int) (lo, hi catalog.Key, err error) {
+	cat := st.s.Aug(v)
+	if pos < 0 || pos >= cat.Len() {
+		return 0, 0, fmt.Errorf("core: entry position %d outside catalog of node %d (len %d)", pos, v, cat.Len())
+	}
+	lo = catalog.MinusInf
+	if pos > 0 {
+		lo = cat.Key(pos - 1)
+	}
+	return lo, cat.Key(pos), nil
+}
+
+// SearchExplicitWithEntry is SearchExplicit seeded with a previously
+// resolved entry position for the path head's augmented catalog (from an
+// entry-point cache). If entryPos passes the O(1) ValidEntry check the
+// Step-1 cooperative binary search is skipped and replaced by a single
+// verification step (used = true); otherwise the full entry search runs and
+// the answer is identical to SearchExplicit (used = false). Either way the
+// results match SearchExplicit exactly — the hint only ever changes the
+// charged entry cost, never the descent.
+func (st *Structure) SearchExplicitWithEntry(y catalog.Key, path []tree.NodeID, p, entryPos int) ([]cascade.Result, Stats, bool, error) {
+	if err := st.t.ValidatePath(path); err != nil {
+		return nil, Stats{}, false, err
+	}
+	if path[0] != st.t.Root() {
+		return nil, Stats{}, false, fmt.Errorf("core: path must start at the root")
+	}
+	if p < 1 {
+		p = 1
+	}
+	si := st.SelectSub(p)
+	sub := st.subs[si]
+	stats := Stats{Sub: si, P: p}
+	if !st.ValidEntry(path[0], entryPos, y) {
+		results, err := st.searchSegmentCtl(sub, y, path, p, &stats, nil)
+		return results, stats, false, err
+	}
+	stats.RootRounds += entryHitSteps
+	stats.Steps += entryHitSteps
+	results, err := st.descendFromCtl(sub, y, path, p, entryPos, &stats, nil)
+	return results, stats, true, err
+}

@@ -81,12 +81,20 @@ func (st *Structure) searchSegment(sub *Substructure, y catalog.Key, seg []tree.
 // between hops: context cancellation and census-driven substructure
 // re-derivation (see degraded.go). A nil ctl is the fault-free fast path.
 func (st *Structure) searchSegmentCtl(sub *Substructure, y catalog.Key, seg []tree.NodeID, p int, stats *Stats, ctl *searchControl) ([]cascade.Result, error) {
-	results := make([]cascade.Result, len(seg))
 	head := st.s.Aug(seg[0])
 	pos := head.Succ(y)
 	rounds := parallel.CoopSearchSteps(head.Len(), p)
 	stats.RootRounds += rounds
 	stats.Steps += rounds
+	return st.descendFromCtl(sub, y, seg, p, pos, stats, ctl)
+}
+
+// descendFromCtl runs the explicit search below the Step-1 entry: pos must
+// be Aug(seg[0]).Succ(y). Splitting it from the entry search lets callers
+// that already know the entry position (the engine's entry-point cache)
+// skip the cooperative binary search while reusing the hop machinery.
+func (st *Structure) descendFromCtl(sub *Substructure, y catalog.Key, seg []tree.NodeID, p, pos int, stats *Stats, ctl *searchControl) ([]cascade.Result, error) {
+	results := make([]cascade.Result, len(seg))
 	results[0] = st.s.ResultAt(seg[0], pos)
 
 	idx := 0 // index into seg of the node whose find position is `pos`

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"fraccascade/internal/cascade"
@@ -54,6 +55,13 @@ type Structure struct {
 	buffered int
 	capacity int
 	rebuilds int
+
+	// gen counts successful flushes. Every Flush replaces the static
+	// structure, so any externally cached artifact derived from it (entry
+	// positions, catalog offsets) is stale once gen changes. Readers
+	// snapshot Generation() when they cache and compare before reuse;
+	// gen is monotone, so a stale snapshot can never compare equal again.
+	gen atomic.Uint64
 
 	// rebuildHook, when set, runs before every rebuild attempt; an error
 	// aborts that attempt as if the build itself had failed. Tests use it
@@ -265,8 +273,16 @@ func (d *Structure) Flush() error {
 	d.buffered = 0
 	d.st = st
 	d.rebuilds++
+	d.gen.Add(1)
 	return nil
 }
+
+// Generation returns the flush generation: a counter incremented by every
+// successful Flush (including capacity-triggered ones). Cache the value
+// alongside anything derived from Static() and treat a changed generation
+// as invalidation; failed flush attempts leave the static structure — and
+// the generation — untouched.
+func (d *Structure) Generation() uint64 { return d.gen.Load() }
 
 // rebuildFrom builds a static structure over the given staged catalogs,
 // retrying failed attempts with capped exponential backoff. It never
@@ -355,6 +371,25 @@ func (d *Structure) SearchExplicit(y catalog.Key, path []tree.NodeID, p int) ([]
 		results[i] = d.correct(path[i], y, results[i])
 	}
 	return results, stats, nil
+}
+
+// SearchExplicitWithEntry is SearchExplicit seeded with a cached entry
+// position for the current static structure (see
+// core.SearchExplicitWithEntry); overlay corrections are applied to every
+// result exactly as in SearchExplicit. Entry positions refer to the static
+// structure, so a cached position is only meaningful while Generation() is
+// unchanged — a stale one simply fails the validity check and the full
+// entry search runs (used = false). Pending overlay mutations never affect
+// entry validity: they are corrections applied after the static descent.
+func (d *Structure) SearchExplicitWithEntry(y catalog.Key, path []tree.NodeID, p, entryPos int) ([]cascade.Result, core.Stats, bool, error) {
+	results, stats, used, err := d.st.SearchExplicitWithEntry(y, path, p, entryPos)
+	if err != nil {
+		return nil, stats, used, err
+	}
+	for i := range results {
+		results[i] = d.correct(path[i], y, results[i])
+	}
+	return results, stats, used, err
 }
 
 // SearchExplicitContext is SearchExplicit honouring cancellation and

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
+	"fraccascade/internal/dynamic"
+	"fraccascade/internal/tree"
+)
+
+// CatalogBackend is one shard of the catalog graph: an independently built
+// cooperative search structure (static or dynamic) serving the iterative
+// catalog-graph queries routed to it. Shards share nothing — no tree, no
+// catalogs, no cache — so the engine executes their batches concurrently on
+// the pool without any cross-shard coordination.
+type CatalogBackend interface {
+	// SearchExplicit is the Theorem 1 cooperative search along path with p
+	// processors.
+	SearchExplicit(y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, core.Stats, error)
+	// SearchExplicitWithEntry seeds the search with a cached entry
+	// position; used reports whether the hint validated and the Step-1
+	// cooperative search was skipped.
+	SearchExplicitWithEntry(y catalog.Key, path []tree.NodeID, p, entryPos int) ([]cascade.Result, core.Stats, bool, error)
+	// EntryProbe returns Aug(v).Succ(y): the entry position a Step-1
+	// search at node v resolves for key y. Host-side, used to fill the
+	// entry cache after a miss.
+	EntryProbe(v tree.NodeID, y catalog.Key) int
+	// EntryInterval returns the (lo, hi] key interval sharing entry
+	// position pos at node v (see core.EntryInterval).
+	EntryInterval(v tree.NodeID, pos int) (lo, hi catalog.Key, err error)
+	// Root returns the shard tree's root (every query path starts there).
+	Root() tree.NodeID
+	// Generation identifies the backend's current static structure; it
+	// changes whenever cached entry positions may have gone stale (for
+	// dynamic backends, on every successful Flush). Static backends
+	// return a constant.
+	Generation() uint64
+}
+
+// StaticShard adapts a static core.Structure as a CatalogBackend. The
+// structure is immutable, so the generation is constant and cached entry
+// positions never go stale.
+type StaticShard struct {
+	St *core.Structure
+}
+
+// SearchExplicit implements CatalogBackend.
+func (s StaticShard) SearchExplicit(y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, core.Stats, error) {
+	return s.St.SearchExplicit(y, path, p)
+}
+
+// SearchExplicitWithEntry implements CatalogBackend.
+func (s StaticShard) SearchExplicitWithEntry(y catalog.Key, path []tree.NodeID, p, entryPos int) ([]cascade.Result, core.Stats, bool, error) {
+	return s.St.SearchExplicitWithEntry(y, path, p, entryPos)
+}
+
+// EntryProbe implements CatalogBackend.
+func (s StaticShard) EntryProbe(v tree.NodeID, y catalog.Key) int {
+	return s.St.Cascade().Aug(v).Succ(y)
+}
+
+// EntryInterval implements CatalogBackend.
+func (s StaticShard) EntryInterval(v tree.NodeID, pos int) (lo, hi catalog.Key, err error) {
+	return s.St.EntryInterval(v, pos)
+}
+
+// Root implements CatalogBackend.
+func (s StaticShard) Root() tree.NodeID { return s.St.Tree().Root() }
+
+// Generation implements CatalogBackend: static structures never change.
+func (s StaticShard) Generation() uint64 { return 0 }
+
+// DynamicShard adapts a dynamic.Structure as a CatalogBackend. Entry
+// positions refer to the structure's current static build, so the
+// generation tracks dynamic.Generation(): every successful Flush purges the
+// shard's entry cache. Mutations (Insert/Delete/Flush) must not run
+// concurrently with engine batches — dynamic.Structure is single-writer,
+// like the underlying package.
+type DynamicShard struct {
+	D *dynamic.Structure
+}
+
+// SearchExplicit implements CatalogBackend.
+func (s DynamicShard) SearchExplicit(y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, core.Stats, error) {
+	return s.D.SearchExplicit(y, path, p)
+}
+
+// SearchExplicitWithEntry implements CatalogBackend.
+func (s DynamicShard) SearchExplicitWithEntry(y catalog.Key, path []tree.NodeID, p, entryPos int) ([]cascade.Result, core.Stats, bool, error) {
+	return s.D.SearchExplicitWithEntry(y, path, p, entryPos)
+}
+
+// EntryProbe implements CatalogBackend.
+func (s DynamicShard) EntryProbe(v tree.NodeID, y catalog.Key) int {
+	return s.D.Static().Cascade().Aug(v).Succ(y)
+}
+
+// EntryInterval implements CatalogBackend.
+func (s DynamicShard) EntryInterval(v tree.NodeID, pos int) (lo, hi catalog.Key, err error) {
+	return s.D.Static().EntryInterval(v, pos)
+}
+
+// Root implements CatalogBackend.
+func (s DynamicShard) Root() tree.NodeID { return s.D.Static().Tree().Root() }
+
+// Generation implements CatalogBackend.
+func (s DynamicShard) Generation() uint64 { return s.D.Generation() }

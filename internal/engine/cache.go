@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/tree"
+)
+
+// entryCache is one shard's LRU entry-point cache. Each cached slot records
+// that every query key in the half-open interval (lo, hi] enters the
+// cascade at position pos of the entry node's augmented catalog — hi is the
+// catalog key at pos and lo its predecessor, so the intervals of one node
+// are disjoint and a hit reproduces exactly what the Step-1 cooperative
+// binary search would compute. A hit therefore lets the search skip the
+// top-of-skeleton entry rounds and pay a single verification step.
+//
+// Slots are keyed by the query-path prefix (the entry node, i.e. path[0])
+// and looked up by key with a binary search over the node's interval list.
+// Eviction is least-recently-used across the whole shard. Every slot also
+// carries the backend generation observed when it was filled; a lookup
+// under a newer generation purges the cache wholesale (the backend's static
+// structure was replaced by dynamic.Flush, so every cached position is
+// potentially stale). Correctness never rests on this: the search
+// re-validates the hinted position against the live catalog in O(1) and
+// falls back to the full entry search if it fails — the generation check
+// exists so stale hits cost a purge, not a useless validation per query.
+type entryCache struct {
+	mu      sync.Mutex
+	cap     int
+	gen     uint64
+	clock   uint64
+	size    int
+	perNode map[tree.NodeID][]entrySlot
+
+	hits, misses, stale, evictions uint64
+}
+
+// entrySlot caches one resolved entry interval (lo, hi] → pos.
+type entrySlot struct {
+	lo, hi  catalog.Key
+	pos     int
+	lastUse uint64
+}
+
+// CacheStats is a point-in-time snapshot of one shard's cache counters.
+type CacheStats struct {
+	// Hits and Misses count lookups; Stale counts wholesale purges caused
+	// by a generation change; Evictions counts LRU evictions.
+	Hits, Misses, Stale, Evictions uint64
+	// Size is the current number of cached entry intervals.
+	Size int
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 with no lookups.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+func newEntryCache(capacity int) *entryCache {
+	return &entryCache{cap: capacity, perNode: make(map[tree.NodeID][]entrySlot)}
+}
+
+// syncGen purges everything if the backend generation moved. Callers hold mu.
+func (c *entryCache) syncGen(gen uint64) {
+	if gen == c.gen {
+		return
+	}
+	if c.size > 0 {
+		c.perNode = make(map[tree.NodeID][]entrySlot)
+		c.size = 0
+	}
+	c.stale++
+	c.gen = gen
+}
+
+// lookup returns the cached entry position for (node, y) under the given
+// backend generation.
+func (c *entryCache) lookup(node tree.NodeID, y catalog.Key, gen uint64) (int, bool) {
+	if c == nil || c.cap <= 0 {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncGen(gen)
+	slots := c.perNode[node]
+	i := sort.Search(len(slots), func(i int) bool { return slots[i].hi >= y })
+	if i < len(slots) && slots[i].lo < y {
+		c.clock++
+		slots[i].lastUse = c.clock
+		c.hits++
+		return slots[i].pos, true
+	}
+	c.misses++
+	return 0, false
+}
+
+// insert caches (lo, hi] → pos for node under the given generation,
+// evicting the least-recently-used slot of the shard on overflow.
+func (c *entryCache) insert(node tree.NodeID, lo, hi catalog.Key, pos int, gen uint64) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncGen(gen)
+	slots := c.perNode[node]
+	i := sort.Search(len(slots), func(i int) bool { return slots[i].hi >= hi })
+	c.clock++
+	if i < len(slots) && slots[i].hi == hi {
+		slots[i] = entrySlot{lo: lo, hi: hi, pos: pos, lastUse: c.clock}
+		return
+	}
+	slots = append(slots, entrySlot{})
+	copy(slots[i+1:], slots[i:])
+	slots[i] = entrySlot{lo: lo, hi: hi, pos: pos, lastUse: c.clock}
+	c.perNode[node] = slots
+	c.size++
+	if c.size > c.cap {
+		c.evictLRU()
+	}
+}
+
+// evictLRU removes the globally least-recently-used slot. Linear in the
+// cache size, which is bounded by the (small) capacity. Callers hold mu.
+func (c *entryCache) evictLRU() {
+	var victimNode tree.NodeID
+	victimIdx := -1
+	victimUse := c.clock + 1
+	for node, slots := range c.perNode {
+		for i := range slots {
+			if slots[i].lastUse < victimUse {
+				victimUse = slots[i].lastUse
+				victimNode, victimIdx = node, i
+			}
+		}
+	}
+	if victimIdx < 0 {
+		return
+	}
+	slots := c.perNode[victimNode]
+	slots = append(slots[:victimIdx], slots[victimIdx+1:]...)
+	if len(slots) == 0 {
+		delete(c.perNode, victimNode)
+	} else {
+		c.perNode[victimNode] = slots
+	}
+	c.size--
+	c.evictions++
+}
+
+// statsSnapshot returns the current counters.
+func (c *entryCache) statsSnapshot() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Stale: c.stale, Evictions: c.evictions, Size: c.size}
+}

@@ -1,0 +1,428 @@
+// Package engine is the batched multi-query layer over the cooperative
+// search structures: it accepts a stream of heterogeneous queries —
+// iterative catalog-graph searches (internal/core, internal/dynamic),
+// planar point location (internal/pointloc), and spatial point location
+// (internal/spatial) — groups them into batches, and executes each batch
+// over a shared work-stealing pool.
+//
+// The paper (Theorems 1–5) prices a *single* search with p processors.
+// Under concurrent traffic the p processors are the contended resource, so
+// the engine splits the budget per the same p-way cost model: a batch of b
+// queries runs each query on a disjoint group of p = max(1, P/b)
+// processors, concurrently, making the batch's parallel time the *maximum*
+// per-query step count instead of the sum. Because a cooperative search
+// takes O((log n)/log p) steps, shrinking p from P to P/b inflates a
+// query only by the ratio log P / log(P/b) while b queries now finish per
+// batch — throughput in queries/step grows almost linearly in b, which is
+// exactly what experiment E20 measures.
+//
+// Two locality mechanisms ride on top. A per-shard LRU entry-point cache
+// remembers recently resolved cascade entry positions keyed by query-path
+// prefix (the entry node) and key interval; batches with key locality skip
+// the top-of-skeleton entry rounds and pay one verification step. The
+// catalog graph may also be sharded into independent substructures
+// (CatalogBackend per shard), which the pool serves concurrently with no
+// shared state. Dynamic backends invalidate the cache across Flush via the
+// generation counter of internal/dynamic; hits additionally re-validate
+// the hinted position in O(1) against the live catalog, so a stale hit is
+// impossible even if a generation check were bypassed.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/geom"
+	"fraccascade/internal/pointloc"
+	"fraccascade/internal/spatial"
+	"fraccascade/internal/tree"
+)
+
+// Kind identifies a query's target structure.
+type Kind uint8
+
+const (
+	// KindCatalog is an iterative cooperative search on a catalog-graph
+	// shard (key + root path).
+	KindCatalog Kind = iota
+	// KindPoint is planar point location in the engine's subdivision.
+	KindPoint
+	// KindSpatial is spatial point location in the engine's cell complex.
+	KindSpatial
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCatalog:
+		return "catalog"
+	case KindPoint:
+		return "point"
+	case KindSpatial:
+		return "spatial"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Query is one search request. Only the fields of its Kind are read.
+type Query struct {
+	Kind Kind
+	// Shard routes a catalog query to a backend; 0 for unsharded engines.
+	Shard int
+	// Key and Path define a catalog query (Path starts at the shard root).
+	Key  catalog.Key
+	Path []tree.NodeID
+	// Point is the planar point-location query.
+	Point geom.Point
+	// SX, SY, SZ are the spatial point-location coordinates.
+	SX, SY, SZ int64
+}
+
+// CatalogQuery builds a catalog-graph query.
+func CatalogQuery(shard int, y catalog.Key, path []tree.NodeID) Query {
+	return Query{Kind: KindCatalog, Shard: shard, Key: y, Path: path}
+}
+
+// PointQuery builds a planar point-location query.
+func PointQuery(pt geom.Point) Query { return Query{Kind: KindPoint, Point: pt} }
+
+// SpatialQuery builds a spatial point-location query.
+func SpatialQuery(x, y, z int64) Query { return Query{Kind: KindSpatial, SX: x, SY: y, SZ: z} }
+
+// Answer is one query's result.
+type Answer struct {
+	// Query echoes the request.
+	Query Query
+	// P is the processor share the query ran with.
+	P int
+	// Steps is the simulated parallel time of this query.
+	Steps int
+	// CacheHit reports whether a catalog query entered through the
+	// entry-point cache.
+	CacheHit bool
+	// Results holds find(y, v) per path node for catalog queries.
+	Results []cascade.Result
+	// Region is the located region for point queries (1-based).
+	Region int
+	// Cell is the located cell for spatial queries (1-based).
+	Cell int
+	// Err is the per-query failure, nil on success.
+	Err error
+}
+
+// BatchReport summarises one executed batch.
+type BatchReport struct {
+	// B is the batch size and PTotal the engine's processor budget.
+	B, PTotal int
+	// PShare is the per-query processor group size max(1, PTotal/B).
+	PShare int
+	// Steps is the batch's parallel time: the maximum per-query step
+	// count (queries run concurrently on disjoint processor groups).
+	Steps int
+	// CacheHits and CacheMisses count catalog queries by entry outcome.
+	CacheHits, CacheMisses int
+	// Errors counts failed queries.
+	Errors int
+}
+
+// Throughput returns the batch's queries/step (0 for an empty batch).
+func (r BatchReport) Throughput() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return float64(r.B) / float64(r.Steps)
+}
+
+// Config parameterises an Engine.
+type Config struct {
+	// Procs is the total simulated processor budget P shared by each
+	// batch (required, ≥ 1).
+	Procs int
+	// BatchSize is the grouping size b used by Submit/Flush (default 16).
+	BatchSize int
+	// CacheSize is the per-shard entry-point cache capacity: 0 selects
+	// the default (256), negative disables caching.
+	CacheSize int
+	// Workers is the host pool size (default GOMAXPROCS).
+	Workers int
+}
+
+// defaultCacheSize is the per-shard entry cache capacity when unset.
+const defaultCacheSize = 256
+
+// defaultBatchSize is the Submit/Flush grouping size when unset.
+const defaultBatchSize = 16
+
+// Engine executes batched heterogeneous queries; construct with New. All
+// methods are safe for concurrent use, but mutations to dynamic backends
+// must be serialised with batch execution by the caller (the backends
+// themselves are single-writer structures).
+type Engine struct {
+	cfg    Config
+	shards []CatalogBackend
+	caches []*entryCache
+	pl     *pointloc.Locator
+	sp     *spatial.Locator
+	pool   *Pool
+
+	mu      sync.Mutex
+	pending []Query
+	queries uint64
+	batches uint64
+	errors  uint64
+	steps   uint64
+}
+
+// New builds an engine over the given shards and locators. Any backend may
+// be absent (nil locators, empty shard list); queries of an unserved kind
+// fail individually with a routing error.
+func New(cfg Config, shards []CatalogBackend, pl *pointloc.Locator, sp *spatial.Locator) (*Engine, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("engine: processor budget must be positive, got %d", cfg.Procs)
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = defaultBatchSize
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("engine: batch size must be positive, got %d", cfg.BatchSize)
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = defaultCacheSize
+	}
+	for i, s := range shards {
+		if s == nil {
+			return nil, fmt.Errorf("engine: shard %d is nil", i)
+		}
+	}
+	e := &Engine{
+		cfg:    cfg,
+		shards: shards,
+		caches: make([]*entryCache, len(shards)),
+		pl:     pl,
+		sp:     sp,
+		pool:   NewPool(cfg.Workers),
+	}
+	for i := range e.caches {
+		e.caches[i] = newEntryCache(cfg.CacheSize)
+	}
+	return e, nil
+}
+
+// NumShards returns the number of catalog shards.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// Pool exposes the engine's work-stealing pool (for metrics).
+func (e *Engine) Pool() *Pool { return e.pool }
+
+// ExecuteBatch runs the queries as one batch: each gets a disjoint group of
+// max(1, Procs/len(qs)) simulated processors and all run concurrently on
+// the pool. Per-query failures land in the answers; the error return is
+// reserved for empty batches.
+func (e *Engine) ExecuteBatch(qs []Query) ([]Answer, BatchReport, error) {
+	if len(qs) == 0 {
+		return nil, BatchReport{}, fmt.Errorf("engine: empty batch")
+	}
+	pShare := e.cfg.Procs / len(qs)
+	if pShare < 1 {
+		pShare = 1
+	}
+	answers := make([]Answer, len(qs))
+	tasks := make([]func(), len(qs))
+	for i := range qs {
+		i := i
+		tasks[i] = func() { answers[i] = e.runQuery(qs[i], pShare, true) }
+	}
+	e.pool.Run(tasks)
+	rep := BatchReport{B: len(qs), PTotal: e.cfg.Procs, PShare: pShare}
+	for i := range answers {
+		if answers[i].Steps > rep.Steps {
+			rep.Steps = answers[i].Steps
+		}
+		if answers[i].Err != nil {
+			rep.Errors++
+		} else if answers[i].Query.Kind == KindCatalog {
+			if answers[i].CacheHit {
+				rep.CacheHits++
+			} else {
+				rep.CacheMisses++
+			}
+		}
+	}
+	e.mu.Lock()
+	e.queries += uint64(len(qs))
+	e.batches++
+	e.errors += uint64(rep.Errors)
+	e.steps += uint64(rep.Steps)
+	e.mu.Unlock()
+	return answers, rep, nil
+}
+
+// ExecuteSequential runs the queries one at a time, each with the full
+// processor budget and no entry cache — the one-query-at-a-time baseline
+// batched execution is measured against. The returned total is the sum of
+// per-query steps (queries occupy the machine back to back).
+func (e *Engine) ExecuteSequential(qs []Query) ([]Answer, int, error) {
+	if len(qs) == 0 {
+		return nil, 0, fmt.Errorf("engine: empty query list")
+	}
+	answers := make([]Answer, len(qs))
+	total := 0
+	for i := range qs {
+		answers[i] = e.runQuery(qs[i], e.cfg.Procs, false)
+		total += answers[i].Steps
+	}
+	return answers, total, nil
+}
+
+// Submit enqueues a query for the next Flush.
+func (e *Engine) Submit(q Query) {
+	e.mu.Lock()
+	e.pending = append(e.pending, q)
+	e.mu.Unlock()
+}
+
+// Pending returns the number of queued queries.
+func (e *Engine) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending)
+}
+
+// Flush drains the submission queue in batches of Config.BatchSize,
+// returning all answers in submission order with one report per batch.
+func (e *Engine) Flush() ([]Answer, []BatchReport, error) {
+	e.mu.Lock()
+	qs := e.pending
+	e.pending = nil
+	e.mu.Unlock()
+	var answers []Answer
+	var reports []BatchReport
+	for lo := 0; lo < len(qs); lo += e.cfg.BatchSize {
+		hi := lo + e.cfg.BatchSize
+		if hi > len(qs) {
+			hi = len(qs)
+		}
+		ans, rep, err := e.ExecuteBatch(qs[lo:hi])
+		if err != nil {
+			return answers, reports, err
+		}
+		answers = append(answers, ans...)
+		reports = append(reports, rep)
+	}
+	return answers, reports, nil
+}
+
+// runQuery executes one query with processor share p. useCache gates the
+// entry-point cache (the sequential baseline runs without it).
+func (e *Engine) runQuery(q Query, p int, useCache bool) Answer {
+	a := Answer{Query: q, P: p}
+	switch q.Kind {
+	case KindCatalog:
+		e.runCatalog(&a, q, p, useCache)
+	case KindPoint:
+		if e.pl == nil {
+			a.Err = fmt.Errorf("engine: no point-location backend configured")
+			return a
+		}
+		region, stats, err := e.pl.LocateCoop(q.Point, p)
+		a.Region, a.Steps, a.Err = region, stats.Steps, err
+	case KindSpatial:
+		if e.sp == nil {
+			a.Err = fmt.Errorf("engine: no spatial backend configured")
+			return a
+		}
+		cell, stats, err := e.sp.LocateCoop(q.SX, q.SY, q.SZ, p)
+		a.Cell, a.Steps, a.Err = cell, stats.Steps, err
+	default:
+		a.Err = fmt.Errorf("engine: unknown query kind %d", q.Kind)
+	}
+	return a
+}
+
+// runCatalog executes a catalog query, consulting and filling the shard's
+// entry cache.
+func (e *Engine) runCatalog(a *Answer, q Query, p int, useCache bool) {
+	if q.Shard < 0 || q.Shard >= len(e.shards) {
+		a.Err = fmt.Errorf("engine: catalog shard %d out of range [0, %d)", q.Shard, len(e.shards))
+		return
+	}
+	if len(q.Path) == 0 {
+		a.Err = fmt.Errorf("engine: catalog query with empty path")
+		return
+	}
+	be := e.shards[q.Shard]
+	cache := e.caches[q.Shard]
+	if useCache {
+		gen := be.Generation()
+		if pos, ok := cache.lookup(q.Path[0], q.Key, gen); ok {
+			results, stats, used, err := be.SearchExplicitWithEntry(q.Key, q.Path, p, pos)
+			a.Results, a.Steps, a.Err = results, stats.Steps, err
+			if used {
+				a.CacheHit = true
+				return
+			}
+			// The hint failed validation (a flush raced between the
+			// generation read and the search): the full entry search
+			// already ran inside SearchExplicitWithEntry, so the answer
+			// stands; just refresh the cached slot below.
+			if err != nil {
+				return
+			}
+			e.fillEntry(be, cache, q)
+			return
+		}
+	}
+	results, stats, err := be.SearchExplicit(q.Key, q.Path, p)
+	a.Results, a.Steps, a.Err = results, stats.Steps, err
+	if err == nil && useCache {
+		e.fillEntry(be, cache, q)
+	}
+}
+
+// fillEntry caches the entry interval resolved for q. Host-side: it redoes
+// the O(log n) successor probe the search performed, which the PRAM cost
+// model already charged.
+func (e *Engine) fillEntry(be CatalogBackend, cache *entryCache, q Query) {
+	gen := be.Generation()
+	pos := be.EntryProbe(q.Path[0], q.Key)
+	lo, hi, err := be.EntryInterval(q.Path[0], pos)
+	if err != nil {
+		return
+	}
+	cache.insert(q.Path[0], lo, hi, pos, gen)
+}
+
+// Metrics is a point-in-time snapshot of engine counters.
+type Metrics struct {
+	// Queries, Batches, Errors count since construction; StepsTotal sums
+	// batch parallel times.
+	Queries, Batches, Errors, StepsTotal uint64
+	// Cache holds one snapshot per shard.
+	Cache []CacheStats
+	// Steals and Tasks are pool counters.
+	Steals, Tasks int64
+}
+
+// Metrics returns current counters.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	m := Metrics{Queries: e.queries, Batches: e.batches, Errors: e.errors, StepsTotal: e.steps}
+	e.mu.Unlock()
+	for _, c := range e.caches {
+		m.Cache = append(m.Cache, c.statsSnapshot())
+	}
+	m.Steals = e.pool.Steals()
+	m.Tasks = e.pool.Tasks()
+	return m
+}
+
+// CacheStatsFor returns shard i's cache snapshot.
+func (e *Engine) CacheStatsFor(i int) CacheStats {
+	if i < 0 || i >= len(e.caches) {
+		return CacheStats{}
+	}
+	return e.caches[i].statsSnapshot()
+}

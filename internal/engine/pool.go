@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the shared work-stealing executor behind batch execution. Tasks
+// are distributed round-robin across per-worker deques; each worker drains
+// its own deque LIFO and, when empty, steals FIFO from the other deques, so
+// a batch of heterogeneous queries (cheap cache hits next to deep spatial
+// locations) keeps every worker busy until the batch is done.
+//
+// The pool's workers are host goroutines multiplexing the *simulated* PRAM
+// processors: the paper-level resource is the processor budget P, which the
+// engine splits across the queries of a batch (p = P/b each, the p-way cost
+// model); the pool merely executes those per-query searches concurrently on
+// whatever host parallelism is available. Simulated cost (Stats.Steps) is
+// therefore independent of the worker count.
+type Pool struct {
+	workers int
+	deques  []wsDeque
+	steals  atomic.Int64
+	tasks   atomic.Int64
+}
+
+// wsDeque is one worker's task queue. A mutex per deque keeps the stealing
+// protocol trivially correct under -race; contention is negligible because
+// query execution dwarfs queue operations.
+type wsDeque struct {
+	mu    sync.Mutex
+	items []func()
+}
+
+func (d *wsDeque) push(t func()) {
+	d.mu.Lock()
+	d.items = append(d.items, t)
+	d.mu.Unlock()
+}
+
+// popBottom takes the most recently pushed task (owner side).
+func (d *wsDeque) popBottom() (func(), bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return nil, false
+	}
+	t := d.items[n-1]
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	return t, true
+}
+
+// stealTop takes the oldest task (thief side).
+func (d *wsDeque) stealTop() (func(), bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil, false
+	}
+	t := d.items[0]
+	d.items[0] = nil
+	d.items = d.items[1:]
+	return t, true
+}
+
+// NewPool returns a pool with the given worker count (≤ 0 selects
+// GOMAXPROCS).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, deques: make([]wsDeque, workers)}
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Steals returns the cumulative number of successful steals.
+func (p *Pool) Steals() int64 { return p.steals.Load() }
+
+// Tasks returns the cumulative number of tasks executed.
+func (p *Pool) Tasks() int64 { return p.tasks.Load() }
+
+// Run executes every task and blocks until all have finished. Tasks must
+// not add further tasks; that invariant is what makes the workers' empty
+// sweep a safe exit condition.
+//
+// Run may be called concurrently: the deques are shared, so a worker
+// spawned by one call can execute tasks pushed by another. Completion
+// tracking is therefore attached to each task, not to the worker that
+// happens to run it — a batch's Run returns exactly when its own tasks are
+// done, whoever ran them. Every Run pushes before spawning at least one
+// worker, and workers only exit on a sweep that finds all deques empty, so
+// each pushed task is claimed by some live worker.
+func (p *Pool) Run(tasks []func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for i, t := range tasks {
+		t := t
+		p.deques[i%p.workers].push(func() {
+			defer wg.Done()
+			t()
+		})
+	}
+	active := p.workers
+	if active > len(tasks) {
+		active = len(tasks)
+	}
+	for w := 0; w < active; w++ {
+		go func(w int) {
+			for {
+				t, ok := p.deques[w].popBottom()
+				if !ok {
+					t, ok = p.steal(w)
+					if !ok {
+						return
+					}
+				}
+				t()
+				p.tasks.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// steal scans the other deques once for a task.
+func (p *Pool) steal(self int) (func(), bool) {
+	for off := 1; off < p.workers; off++ {
+		victim := (self + off) % p.workers
+		if t, ok := p.deques[victim].stealTop(); ok {
+			p.steals.Add(1)
+			return t, true
+		}
+	}
+	return nil, false
+}
