@@ -1,11 +1,25 @@
 GO ?= go
+COVER_THRESHOLD ?= 80
 
-.PHONY: check vet build test test-engine race bench bench-check chaos
+.PHONY: check vet build lint test test-engine race cover bench bench-check metrics-smoke chaos
 
-check: vet build test test-engine race bench-check
+check: vet build lint test test-engine race cover bench-check metrics-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Lint with whatever is installed, in preference order: golangci-lint
+# (the CI linter, config in .golangci.yml), then staticcheck, then plain
+# go vet so the target never silently passes on a bare toolchain.
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	elif command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: golangci-lint/staticcheck not installed, falling back to go vet"; \
+		$(GO) vet ./...; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -23,6 +37,15 @@ test-engine:
 race:
 	$(GO) test -race ./internal/pram/... ./internal/parallel/... ./internal/engine/...
 
+# Coverage floor on the paper-critical packages: the core cascaded
+# structure and the batch engine. Override with COVER_THRESHOLD=NN.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/core ./internal/engine
+	@$(GO) tool cover -func=cover.out | awk -v min=$(COVER_THRESHOLD) \
+		'/^total:/ { sub(/%/, "", $$3); \
+		  if ($$3+0 < min) { printf "cover: total %.1f%% below threshold %d%%\n", $$3, min; exit 1 } \
+		  else { printf "cover: total %.1f%% (threshold %d%%)\n", $$3, min } }'
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
@@ -30,6 +53,14 @@ bench:
 # beating the one-query-at-a-time baseline (see batchguard_test.go).
 bench-check:
 	$(GO) test -run='^TestBatchThroughputGuard$$' -v .
+
+# Observability smoke: the -metrics surfaces must run end to end and
+# print the counters the dashboards key on (engine batch counters from
+# E20, machine step counters from E17).
+metrics-smoke:
+	$(GO) run ./cmd/coopbench -experiment=e20 -metrics | grep '^engine\.batches ' >/dev/null
+	$(GO) run ./cmd/coopbench -experiment=e17 -metrics | grep '^pram\.steps ' >/dev/null
+	@echo "metrics-smoke: ok"
 
 chaos:
 	$(GO) run ./cmd/coopbench -chaos

@@ -7,6 +7,8 @@ package fraccascade
 
 import (
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 
 	"fraccascade/internal/catalog"
@@ -118,14 +120,32 @@ func (fx *engineFixture) measure(tb testing.TB, rng *rand.Rand, b, rounds int) (
 // TestBatchThroughputGuard fails when batched execution at b=64 stops
 // beating the sequential baseline at equal processor budget — the E20
 // acceptance bar, kept as a cheap deterministic test.
+//
+// The bar is environment-tunable so constrained or shared runners can
+// relax (or tighten) it without editing the test:
+//
+//	FRACCASCADE_GUARD=skip          skip the guard entirely
+//	FRACCASCADE_GUARD_MARGIN=1.5    require batched ≥ 1.5× sequential
+//	                                (default 1.0: strictly above baseline)
 func TestBatchThroughputGuard(t *testing.T) {
+	if os.Getenv("FRACCASCADE_GUARD") == "skip" {
+		t.Skip("throughput guard skipped via FRACCASCADE_GUARD=skip")
+	}
+	margin := 1.0
+	if s := os.Getenv("FRACCASCADE_GUARD_MARGIN"); s != "" {
+		m, err := strconv.ParseFloat(s, 64)
+		if err != nil || m <= 0 {
+			t.Fatalf("bad FRACCASCADE_GUARD_MARGIN %q: want a positive float", s)
+		}
+		margin = m
+	}
 	rng := rand.New(rand.NewSource(20))
 	fx := buildEngineFixture(t, 4096, rng)
 	batched, sequential := fx.measure(t, rng, 64, 6)
-	t.Logf("b=64: batched %.3f q/step, sequential %.3f q/step (%.1fx)",
-		batched, sequential, batched/sequential)
-	if batched <= sequential {
-		t.Fatalf("batched throughput regressed: %.3f q/step is not above the sequential baseline %.3f q/step",
-			batched, sequential)
+	t.Logf("b=64: batched %.3f q/step, sequential %.3f q/step (%.1fx, margin %.2f)",
+		batched, sequential, batched/sequential, margin)
+	if batched <= sequential*margin {
+		t.Fatalf("batched throughput regressed: %.3f q/step is not above the sequential baseline %.3f q/step × margin %.2f",
+			batched, sequential, margin)
 	}
 }

@@ -54,6 +54,7 @@ func runE17(seed int64) {
 		const reps = 10
 		for r := 0; r < reps; r++ {
 			m := pram.MustNew(pram.CREW, 1<<21)
+			m.SetMetrics(obsRegistry)
 			y := catalog.Key(rng.Intn(48000))
 			_, rep, err := st.SearchExplicitPRAM(m, y, path, p)
 			if err != nil {

@@ -10,15 +10,28 @@
 //	coopbench -experiment=fig5      # the Fig. 5 branch-function table
 //	coopbench -seed=7               # change workload seed
 //	coopbench -chaos                # shorthand for -experiment=e19
+//	coopbench -experiment=e20 -metrics          # dump the obs snapshot after the run
+//	coopbench -experiment=e20 -cpuprofile=cpu.pb.gz -memprofile=mem.pb.gz
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+
+	"fraccascade/internal/obs"
 )
+
+// obsRegistry is non-nil when -metrics is set; instrumented experiments
+// (E17's PRAM machines, E20's batch engine) attach to it. Everywhere else
+// the nil registry hands out nil handles, so the flag costs nothing when
+// off.
+var obsRegistry *obs.Registry
 
 type experiment struct {
 	name  string
@@ -30,9 +43,25 @@ func main() {
 	expFlag := flag.String("experiment", "all", "experiment id (e1..e20, fig5, all)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	chaos := flag.Bool("chaos", false, "run the chaos-mode fault sweep (alias for -experiment=e19)")
+	metrics := flag.Bool("metrics", false, "collect obs metrics during the run and print a text snapshot at the end")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 	if *chaos {
 		*expFlag = "e19"
+	}
+	if *metrics {
+		obsRegistry = obs.NewRegistry()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	experiments := []experiment{
@@ -76,5 +105,22 @@ func main() {
 		sort.Strings(names)
 		fmt.Fprintf(os.Stderr, "available: all %s\n", strings.Join(names, " "))
 		os.Exit(2)
+	}
+	if *metrics {
+		fmt.Println("\n=== metrics snapshot ===")
+		if err := obsRegistry.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

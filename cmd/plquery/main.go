@@ -13,6 +13,7 @@
 //	plquery -regions=64 -levels=30 -p=256 -queries=10
 //	plquery -regions=64 -levels=30 -p=256 101,51 33,77
 //	plquery -regions=64 -levels=30 -p=1024 -queries=256 -batch=32
+//	plquery -queries=256 -batch=32 -trace=spans.jsonl -metrics
 package main
 
 import (
@@ -21,12 +22,15 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"fraccascade/internal/core"
 	"fraccascade/internal/engine"
 	"fraccascade/internal/geom"
+	"fraccascade/internal/obs"
 	"fraccascade/internal/pointloc"
 	"fraccascade/internal/subdivision"
 )
@@ -38,7 +42,35 @@ func main() {
 	queries := flag.Int("queries", 10, "random queries to run when no coordinates are given")
 	batch := flag.Int("batch", 0, "run the random queries through the batched engine in batches of this size (0 = one at a time)")
 	seed := flag.Int64("seed", 1, "generator seed")
+	trace := flag.String("trace", "", "with -batch: write one JSONL span per query to this file (- for stdout)")
+	metrics := flag.Bool("metrics", false, "with -batch: print an obs metrics snapshot after the run")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	s, err := subdivision.Generate(*regions, *levels, rng)
@@ -89,8 +121,28 @@ func main() {
 		return
 	}
 	if *batch > 0 {
-		runBatched(s, loc, rng, *p, *queries, *batch)
+		var reg *obs.Registry
+		if *metrics {
+			reg = obs.NewRegistry()
+		}
+		var tracer *obs.JSONL
+		if *trace != "" {
+			w := os.Stdout
+			if *trace != "-" {
+				f, err := os.Create(*trace)
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer f.Close()
+				w = f
+			}
+			tracer = obs.NewJSONL(w)
+		}
+		runBatched(s, loc, rng, *p, *queries, *batch, reg, tracer)
 		return
+	}
+	if *metrics || *trace != "" {
+		fmt.Fprintln(os.Stderr, "note: -metrics and -trace instrument the batched engine; add -batch=b to use them")
 	}
 	for q := 0; q < *queries; q++ {
 		pt, _ := s.RandomInteriorPoint(rng)
@@ -102,8 +154,12 @@ func main() {
 // engine in batches of b, verifies every answer against the brute-force
 // oracle, and reports queries/step for batched vs one-at-a-time execution
 // under the same total processor budget p.
-func runBatched(s *subdivision.Subdivision, loc *pointloc.Locator, rng *rand.Rand, p, n, b int) {
-	e, err := engine.New(engine.Config{Procs: p, BatchSize: b}, nil, loc, nil)
+func runBatched(s *subdivision.Subdivision, loc *pointloc.Locator, rng *rand.Rand, p, n, b int, reg *obs.Registry, tracer *obs.JSONL) {
+	cfg := engine.Config{Procs: p, BatchSize: b, Obs: reg}
+	if tracer != nil {
+		cfg.Tracer = tracer
+	}
+	e, err := engine.New(cfg, nil, loc, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -140,4 +196,15 @@ func runBatched(s *subdivision.Subdivision, loc *pointloc.Locator, rng *rand.Ran
 		n, len(reports), b, reports[0].PShare, batchSteps, float64(n)/float64(batchSteps))
 	fmt.Printf("one-at-a-time baseline: %d steps (%.3f q/step) -> speedup %.1fx; mismatches: %d\n",
 		seqSteps, float64(n)/float64(seqSteps), float64(seqSteps)/float64(batchSteps), mismatches)
+	if tracer != nil {
+		if err := tracer.Err(); err != nil {
+			log.Fatalf("trace sink: %v", err)
+		}
+	}
+	if reg != nil {
+		fmt.Println("\n=== metrics snapshot ===")
+		if err := reg.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

@@ -26,6 +26,7 @@ import (
 	"fraccascade/internal/cascade"
 	"fraccascade/internal/catalog"
 	"fraccascade/internal/core"
+	"fraccascade/internal/obs"
 	"fraccascade/internal/tree"
 )
 
@@ -71,6 +72,13 @@ type Structure struct {
 	// injectable so tests need not wait out real backoff.
 	maxAttempts int
 	sleep       func(time.Duration)
+
+	// Observability handles (nil-safe no-ops without SetMetrics).
+	obsFlushes     *obs.Counter
+	obsAttempts    *obs.Counter
+	obsAttemptFail *obs.Counter
+	obsFlushFail   *obs.Counter
+	obsFlushNs     *obs.Histogram
 }
 
 // Rebuild retry parameters: up to defaultRebuildAttempts tries with
@@ -117,6 +125,37 @@ func New(t *tree.Tree, native []catalog.Catalog, cfg core.Config, capacity int) 
 	}
 	d.rebuilds = 0 // the initial build is not an amortized rebuild
 	return d, nil
+}
+
+// SetMetrics attaches (or, with nil, detaches) an observability registry.
+// Flush activity is mirrored into it:
+//
+//	dynamic.flushes              successful flushes (== generation churn)
+//	dynamic.flush_failures       flushes that exhausted every attempt
+//	dynamic.rebuild.attempts     individual rebuild attempts
+//	dynamic.rebuild.failures     failed individual attempts (then retried)
+//	dynamic.flush_ns             wall time of successful flushes (histogram)
+//	dynamic.generation           current flush generation (pull gauge)
+//	dynamic.buffered             pending mutations (pull gauge)
+//	dynamic.capacity             rebuild threshold (pull gauge)
+//
+// The pull gauges read this structure's accessors at snapshot time, which
+// is safe under the package's single-writer discipline (snapshots and
+// mutations must not race, same as queries). With no registry every
+// mirror write is a nil-handle no-op and Flush takes no timestamps.
+func (d *Structure) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		d.obsFlushes, d.obsAttempts, d.obsAttemptFail, d.obsFlushFail, d.obsFlushNs = nil, nil, nil, nil, nil
+		return
+	}
+	d.obsFlushes = r.Counter("dynamic.flushes")
+	d.obsFlushFail = r.Counter("dynamic.flush_failures")
+	d.obsAttempts = r.Counter("dynamic.rebuild.attempts")
+	d.obsAttemptFail = r.Counter("dynamic.rebuild.failures")
+	d.obsFlushNs = r.Histogram("dynamic.flush_ns")
+	r.RegisterFunc("dynamic.generation", func() int64 { return int64(d.Generation()) })
+	r.RegisterFunc("dynamic.buffered", func() int64 { return int64(d.Buffered()) })
+	r.RegisterFunc("dynamic.capacity", func() int64 { return int64(d.Capacity()) })
 }
 
 // Rebuilds reports how many amortized rebuilds have occurred.
@@ -237,6 +276,10 @@ func (d *Structure) SetRebuildHook(hook func(attempt int) error) { d.rebuildHook
 // pending mutations stay buffered and queries keep answering from the old
 // static structure corrected by the overlays.
 func (d *Structure) Flush() error {
+	var flushStart time.Time
+	if d.obsFlushNs != nil {
+		flushStart = time.Now()
+	}
 	newKeys := make([][]catalog.Key, len(d.curKeys))
 	newPayloads := make([][]int32, len(d.curPayloads))
 	copy(newKeys, d.curKeys)
@@ -266,6 +309,7 @@ func (d *Structure) Flush() error {
 	}
 	st, err := d.rebuildFrom(newKeys, newPayloads)
 	if err != nil {
+		d.obsFlushFail.Inc()
 		return err
 	}
 	d.curKeys, d.curPayloads = newKeys, newPayloads
@@ -274,6 +318,10 @@ func (d *Structure) Flush() error {
 	d.st = st
 	d.rebuilds++
 	d.gen.Add(1)
+	d.obsFlushes.Inc()
+	if d.obsFlushNs != nil {
+		d.obsFlushNs.Observe(time.Since(flushStart).Nanoseconds())
+	}
 	return nil
 }
 
@@ -298,10 +346,12 @@ func (d *Structure) rebuildFrom(keys [][]catalog.Key, payloads [][]int32) (*core
 				backoff = rebuildBackoffCap
 			}
 		}
+		d.obsAttempts.Inc()
 		st, err := d.buildOnce(attempt, keys, payloads)
 		if err == nil {
 			return st, nil
 		}
+		d.obsAttemptFail.Inc()
 		lastErr = err
 	}
 	return nil, fmt.Errorf("dynamic: rebuild failed after %d attempts: %w", d.maxAttempts, lastErr)

@@ -1,0 +1,100 @@
+package dynamic
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/obs"
+	"fraccascade/internal/tree"
+)
+
+// TestFlushMetricsMatchGroundTruth churns an instrumented structure
+// through capacity-triggered and explicit flushes and checks every mirror
+// against the structure's own accessors.
+func TestFlushMetricsMatchGroundTruth(t *testing.T) {
+	d, _, bt, rng := setup(t, 1<<4, 400, 5, 8)
+	r := obs.NewRegistry()
+	d.SetMetrics(r)
+
+	genBefore := d.Generation()
+	inserted := 0
+	for inserted < 30 {
+		v := tree.NodeID(rng.Intn(bt.N()))
+		k := catalog.Key(rng.Intn(1 << 20))
+		if err := d.Insert(v, k, int32(inserted)); err != nil {
+			continue // duplicate key; try again
+		}
+		inserted++
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := r.Snapshot()
+	flushes := int64(d.Generation() - genBefore)
+	if flushes == 0 {
+		t.Fatal("no flush happened; test is vacuous")
+	}
+	if got := snap.Counters["dynamic.flushes"]; got != flushes {
+		t.Fatalf("dynamic.flushes = %d, generation advanced by %d", got, flushes)
+	}
+	if got := snap.Funcs["dynamic.generation"]; got != int64(d.Generation()) {
+		t.Fatalf("dynamic.generation gauge = %d, Generation() = %d", got, d.Generation())
+	}
+	if got := snap.Funcs["dynamic.buffered"]; got != int64(d.Buffered()) {
+		t.Fatalf("dynamic.buffered gauge = %d, Buffered() = %d", got, d.Buffered())
+	}
+	if got := snap.Funcs["dynamic.capacity"]; got != int64(d.Capacity()) {
+		t.Fatalf("dynamic.capacity gauge = %d, Capacity() = %d", got, d.Capacity())
+	}
+	// Every successful flush ran at least one rebuild attempt and timed it.
+	if snap.Counters["dynamic.rebuild.attempts"] < flushes {
+		t.Fatalf("rebuild attempts %d < flushes %d", snap.Counters["dynamic.rebuild.attempts"], flushes)
+	}
+	h := snap.Histograms["dynamic.flush_ns"]
+	if h.Count != flushes || h.Sum <= 0 {
+		t.Fatalf("dynamic.flush_ns: count=%d sum=%d, want count=%d with positive sum", h.Count, h.Sum, flushes)
+	}
+}
+
+// TestFlushFailureMetrics injects a permanently failing rebuild hook and
+// checks the failure counters move while the success ones do not.
+func TestFlushFailureMetrics(t *testing.T) {
+	d, _, _, _ := setup(t, 1<<4, 400, 6, 1<<20)
+	r := obs.NewRegistry()
+	d.SetMetrics(r)
+	d.sleep = func(time.Duration) {} // no real backoff in tests
+
+	boom := errors.New("injected rebuild failure")
+	d.SetRebuildHook(func(attempt int) error { return boom })
+	if err := d.Insert(0, catalog.Key(42), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err == nil {
+		t.Fatal("flush should have failed under the failing hook")
+	}
+	snap := r.Snapshot()
+	if snap.Counters["dynamic.flushes"] != 0 {
+		t.Fatal("failed flush must not count as a flush")
+	}
+	if snap.Counters["dynamic.flush_failures"] != 1 {
+		t.Fatalf("dynamic.flush_failures = %d, want 1", snap.Counters["dynamic.flush_failures"])
+	}
+	if got := snap.Counters["dynamic.rebuild.failures"]; got != int64(d.maxAttempts) {
+		t.Fatalf("dynamic.rebuild.failures = %d, want %d (every attempt failed)", got, d.maxAttempts)
+	}
+	if snap.Histograms["dynamic.flush_ns"].Count != 0 {
+		t.Fatal("failed flush must not record a duration")
+	}
+
+	// Recovery: clear the hook, flush, and the success counters move.
+	d.SetRebuildHook(nil)
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Snapshot().Counters["dynamic.flushes"]; got != 1 {
+		t.Fatalf("dynamic.flushes after recovery = %d, want 1", got)
+	}
+}

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
 	"fraccascade/internal/catalog"
+	"fraccascade/internal/obs"
 	"fraccascade/internal/tree"
 )
 
@@ -35,6 +37,11 @@ type entryCache struct {
 	perNode map[tree.NodeID][]entrySlot
 
 	hits, misses, stale, evictions uint64
+
+	// obs mirrors (nil-safe no-ops when no registry is attached): the
+	// struct counters above stay the CacheStats ground truth; these export
+	// the same increments under engine.shard.<i>.cache.* names.
+	obsHits, obsMisses, obsStale, obsEvictions *obs.Counter
 }
 
 // entrySlot caches one resolved entry interval (lo, hi] → pos.
@@ -62,8 +69,19 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-func newEntryCache(capacity int) *entryCache {
-	return &entryCache{cap: capacity, perNode: make(map[tree.NodeID][]entrySlot)}
+// newEntryCache builds shard's cache. With a non-nil registry the counters
+// are mirrored as metrics and the live size exported as a func gauge.
+func newEntryCache(capacity int, r *obs.Registry, shard int) *entryCache {
+	c := &entryCache{cap: capacity, perNode: make(map[tree.NodeID][]entrySlot)}
+	if r != nil {
+		prefix := fmt.Sprintf("engine.shard.%d.cache.", shard)
+		c.obsHits = r.Counter(prefix + "hits")
+		c.obsMisses = r.Counter(prefix + "misses")
+		c.obsStale = r.Counter(prefix + "stale_purges")
+		c.obsEvictions = r.Counter(prefix + "evictions")
+		r.RegisterFunc(prefix+"size", func() int64 { return int64(c.statsSnapshot().Size) })
+	}
+	return c
 }
 
 // syncGen purges everything if the backend generation moved. Callers hold mu.
@@ -76,6 +94,7 @@ func (c *entryCache) syncGen(gen uint64) {
 		c.size = 0
 	}
 	c.stale++
+	c.obsStale.Inc()
 	c.gen = gen
 }
 
@@ -94,9 +113,11 @@ func (c *entryCache) lookup(node tree.NodeID, y catalog.Key, gen uint64) (int, b
 		c.clock++
 		slots[i].lastUse = c.clock
 		c.hits++
+		c.obsHits.Inc()
 		return slots[i].pos, true
 	}
 	c.misses++
+	c.obsMisses.Inc()
 	return 0, false
 }
 
@@ -152,6 +173,7 @@ func (c *entryCache) evictLRU() {
 	}
 	c.size--
 	c.evictions++
+	c.obsEvictions.Inc()
 }
 
 // statsSnapshot returns the current counters.

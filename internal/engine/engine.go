@@ -31,10 +31,13 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fraccascade/internal/cascade"
 	"fraccascade/internal/catalog"
 	"fraccascade/internal/geom"
+	"fraccascade/internal/obs"
 	"fraccascade/internal/pointloc"
 	"fraccascade/internal/spatial"
 	"fraccascade/internal/tree"
@@ -103,6 +106,10 @@ type Answer struct {
 	// CacheHit reports whether a catalog query entered through the
 	// entry-point cache.
 	CacheHit bool
+	// Rounds is the query's cooperative root-search round count (catalog
+	// and planar queries: Stats.RootRounds; spatial: the summed per-node
+	// discrimination rounds) — the quantity the entry cache absorbs.
+	Rounds int
 	// Results holds find(y, v) per path node for catalog queries.
 	Results []cascade.Result
 	// Region is the located region for point queries (1-based).
@@ -148,6 +155,14 @@ type Config struct {
 	CacheSize int
 	// Workers is the host pool size (default GOMAXPROCS).
 	Workers int
+	// Obs, when non-nil, mirrors engine, pool, and cache counters into
+	// the registry (see Metrics for the authoritative per-engine view and
+	// internal/obs for the metric-name inventory). Nil disables metrics
+	// with zero hot-path cost.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives one obs.Span per executed query
+	// (batched path only). It must be safe for concurrent Emit calls.
+	Tracer obs.Tracer
 }
 
 // defaultCacheSize is the per-shard entry cache capacity when unset.
@@ -174,6 +189,19 @@ type Engine struct {
 	batches uint64
 	errors  uint64
 	steps   uint64
+
+	// Observability (all handles nil-safe; see Config.Obs / Config.Tracer).
+	tracer    obs.Tracer
+	qid       atomic.Uint64 // engine-unique query ids for spans
+	bid       atomic.Uint64 // engine-unique batch ids for spans
+	obsBatch  *obs.Counter
+	obsQuery  *obs.Counter
+	obsErr    *obs.Counter
+	obsKind   [3]*obs.Counter // indexed by Kind
+	obsShardQ []*obs.Counter  // per-shard catalog query counts
+	obsSteps  *obs.Histogram  // batch parallel time
+	obsSize   *obs.Histogram  // batch size
+	obsWall   *obs.Histogram  // host wall time per batch, ns
 }
 
 // New builds an engine over the given shards and locators. Any backend may
@@ -204,9 +232,33 @@ func New(cfg Config, shards []CatalogBackend, pl *pointloc.Locator, sp *spatial.
 		pl:     pl,
 		sp:     sp,
 		pool:   NewPool(cfg.Workers),
+		tracer: cfg.Tracer,
 	}
 	for i := range e.caches {
-		e.caches[i] = newEntryCache(cfg.CacheSize)
+		e.caches[i] = newEntryCache(cfg.CacheSize, cfg.Obs, i)
+	}
+	if r := cfg.Obs; r != nil {
+		e.obsBatch = r.Counter("engine.batches")
+		e.obsQuery = r.Counter("engine.queries")
+		e.obsErr = r.Counter("engine.errors")
+		for k := KindCatalog; k <= KindSpatial; k++ {
+			e.obsKind[k] = r.Counter("engine.queries." + k.String())
+		}
+		e.obsShardQ = make([]*obs.Counter, len(shards))
+		for i := range shards {
+			e.obsShardQ[i] = r.Counter(fmt.Sprintf("engine.shard.%d.queries", i))
+		}
+		e.obsSteps = r.Histogram("engine.batch.steps")
+		e.obsSize = r.Histogram("engine.batch.size")
+		e.obsWall = r.Histogram("engine.batch.wall_ns")
+		// Pool and queue depths are pulled at snapshot time rather than
+		// mirrored per event — the pool's own atomics stay the ground
+		// truth and the batch hot path is untouched.
+		r.RegisterFunc("engine.pool.workers", func() int64 { return int64(e.pool.Workers()) })
+		r.RegisterFunc("engine.pool.tasks", e.pool.Tasks)
+		r.RegisterFunc("engine.pool.steals", e.pool.Steals)
+		r.RegisterFunc("engine.pool.idle", e.pool.Idle)
+		r.RegisterFunc("engine.pending", func() int64 { return int64(e.Pending()) })
 	}
 	return e, nil
 }
@@ -224,6 +276,10 @@ func (e *Engine) Pool() *Pool { return e.pool }
 func (e *Engine) ExecuteBatch(qs []Query) ([]Answer, BatchReport, error) {
 	if len(qs) == 0 {
 		return nil, BatchReport{}, fmt.Errorf("engine: empty batch")
+	}
+	var wallStart time.Time
+	if e.obsWall != nil {
+		wallStart = time.Now()
 	}
 	pShare := e.cfg.Procs / len(qs)
 	if pShare < 1 {
@@ -252,12 +308,64 @@ func (e *Engine) ExecuteBatch(qs []Query) ([]Answer, BatchReport, error) {
 		}
 	}
 	e.mu.Lock()
+	stepBase := e.steps
 	e.queries += uint64(len(qs))
 	e.batches++
 	e.errors += uint64(rep.Errors)
 	e.steps += uint64(rep.Steps)
 	e.mu.Unlock()
+	e.observeBatch(answers, rep, stepBase, wallStart)
 	return answers, rep, nil
+}
+
+// observeBatch mirrors a finished batch into the metrics registry and
+// emits one span per query. Every handle is a nil-safe no-op, so with
+// observability disabled this is a handful of nil checks.
+func (e *Engine) observeBatch(answers []Answer, rep BatchReport, stepBase uint64, wallStart time.Time) {
+	e.obsBatch.Inc()
+	e.obsQuery.Add(int64(rep.B))
+	e.obsErr.Add(int64(rep.Errors))
+	e.obsSteps.Observe(int64(rep.Steps))
+	e.obsSize.Observe(int64(rep.B))
+	if e.obsWall != nil {
+		e.obsWall.Observe(time.Since(wallStart).Nanoseconds())
+	}
+	for i := range answers {
+		q := answers[i].Query
+		if q.Kind <= KindSpatial {
+			e.obsKind[q.Kind].Inc()
+		}
+		if q.Kind == KindCatalog && e.obsShardQ != nil && q.Shard >= 0 && q.Shard < len(e.obsShardQ) {
+			e.obsShardQ[q.Shard].Inc()
+		}
+	}
+	if e.tracer == nil {
+		return
+	}
+	// Spans of one batch share the batch id and overlap on the engine's
+	// cumulative step clock: each query occupied [stepBase, stepBase+Steps)
+	// of the batch's [stepBase, stepBase+rep.Steps) window, concurrently on
+	// its own processor group.
+	bid := e.bid.Add(1)
+	for i := range answers {
+		a := &answers[i]
+		s := obs.Span{
+			ID:       e.qid.Add(1),
+			Batch:    bid,
+			Kind:     a.Query.Kind.String(),
+			Shard:    a.Query.Shard,
+			P:        a.P,
+			Rounds:   a.Rounds,
+			Steps:    a.Steps,
+			StepLo:   stepBase,
+			StepHi:   stepBase + uint64(a.Steps),
+			CacheHit: a.CacheHit,
+		}
+		if a.Err != nil {
+			s.Err = a.Err.Error()
+		}
+		e.tracer.Emit(s)
+	}
 }
 
 // ExecuteSequential runs the queries one at a time, each with the full
@@ -328,14 +436,14 @@ func (e *Engine) runQuery(q Query, p int, useCache bool) Answer {
 			return a
 		}
 		region, stats, err := e.pl.LocateCoop(q.Point, p)
-		a.Region, a.Steps, a.Err = region, stats.Steps, err
+		a.Region, a.Steps, a.Rounds, a.Err = region, stats.Steps, stats.RootRounds, err
 	case KindSpatial:
 		if e.sp == nil {
 			a.Err = fmt.Errorf("engine: no spatial backend configured")
 			return a
 		}
 		cell, stats, err := e.sp.LocateCoop(q.SX, q.SY, q.SZ, p)
-		a.Cell, a.Steps, a.Err = cell, stats.Steps, err
+		a.Cell, a.Steps, a.Rounds, a.Err = cell, stats.Steps, stats.DiscrimRounds, err
 	default:
 		a.Err = fmt.Errorf("engine: unknown query kind %d", q.Kind)
 	}
@@ -359,7 +467,7 @@ func (e *Engine) runCatalog(a *Answer, q Query, p int, useCache bool) {
 		gen := be.Generation()
 		if pos, ok := cache.lookup(q.Path[0], q.Key, gen); ok {
 			results, stats, used, err := be.SearchExplicitWithEntry(q.Key, q.Path, p, pos)
-			a.Results, a.Steps, a.Err = results, stats.Steps, err
+			a.Results, a.Steps, a.Rounds, a.Err = results, stats.Steps, stats.RootRounds, err
 			if used {
 				a.CacheHit = true
 				return
@@ -376,7 +484,7 @@ func (e *Engine) runCatalog(a *Answer, q Query, p int, useCache bool) {
 		}
 	}
 	results, stats, err := be.SearchExplicit(q.Key, q.Path, p)
-	a.Results, a.Steps, a.Err = results, stats.Steps, err
+	a.Results, a.Steps, a.Rounds, a.Err = results, stats.Steps, stats.RootRounds, err
 	if err == nil && useCache {
 		e.fillEntry(be, cache, q)
 	}
@@ -402,8 +510,8 @@ type Metrics struct {
 	Queries, Batches, Errors, StepsTotal uint64
 	// Cache holds one snapshot per shard.
 	Cache []CacheStats
-	// Steals and Tasks are pool counters.
-	Steals, Tasks int64
+	// Steals, Tasks, and Idle are pool counters.
+	Steals, Tasks, Idle int64
 }
 
 // Metrics returns current counters.
@@ -416,6 +524,7 @@ func (e *Engine) Metrics() Metrics {
 	}
 	m.Steals = e.pool.Steals()
 	m.Tasks = e.pool.Tasks()
+	m.Idle = e.pool.Idle()
 	return m
 }
 

@@ -234,7 +234,7 @@ func TestPoolStealsUnderSkew(t *testing.T) {
 }
 
 func TestEntryCacheBasics(t *testing.T) {
-	c := newEntryCache(3)
+	c := newEntryCache(3, nil, 0)
 	node := tree.NodeID(0)
 	c.insert(node, 10, 20, 4, 0)
 	if pos, ok := c.lookup(node, 15, 0); !ok || pos != 4 {
@@ -273,7 +273,7 @@ func TestEntryCacheBasics(t *testing.T) {
 }
 
 func TestEntryCacheMinKey(t *testing.T) {
-	c := newEntryCache(4)
+	c := newEntryCache(4, nil, 0)
 	c.insert(0, catalog.MinusInf, 100, 0, 0)
 	if pos, ok := c.lookup(0, 5, 0); !ok || pos != 0 {
 		t.Fatalf("lookup below first key = (%d, %v), want (0, true)", pos, ok)

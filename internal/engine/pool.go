@@ -23,6 +23,7 @@ type Pool struct {
 	deques  []wsDeque
 	steals  atomic.Int64
 	tasks   atomic.Int64
+	idle    atomic.Int64
 }
 
 // wsDeque is one worker's task queue. A mutex per deque keeps the stealing
@@ -84,6 +85,12 @@ func (p *Pool) Steals() int64 { return p.steals.Load() }
 // Tasks returns the cumulative number of tasks executed.
 func (p *Pool) Tasks() int64 { return p.tasks.Load() }
 
+// Idle returns the cumulative number of empty steal sweeps: a worker found
+// its own deque and every victim empty and went idle. The ratio
+// idle/tasks indicates how starved the pool runs (high when batches are
+// smaller than the worker count).
+func (p *Pool) Idle() int64 { return p.idle.Load() }
+
 // Run executes every task and blocks until all have finished. Tasks must
 // not add further tasks; that invariant is what makes the workers' empty
 // sweep a safe exit condition.
@@ -139,5 +146,6 @@ func (p *Pool) steal(self int) (func(), bool) {
 			return t, true
 		}
 	}
+	p.idle.Add(1)
 	return nil, false
 }

@@ -1,0 +1,59 @@
+package faults
+
+import "fraccascade/internal/obs"
+
+// Hook is the fault-injection surface this package instruments — the same
+// method set as pram.FaultHook, declared consumer-side so faults does not
+// import pram (mirroring how Census is declared by its consumers).
+type Hook interface {
+	ProcLive(step, proc int) bool
+	PerturbRead(step, proc, addr int, v int64) int64
+}
+
+// ObservedHook wraps a fault hook and counts the fault events it actually
+// delivers — the machine-facing view of a chaos run, complementing the
+// plan's declared schedule (a crash declared at step 5 produces one skip
+// event per subsequent step the processor was scheduled, and a corruption
+// only counts if the read actually happened):
+//
+//	faults.skips             processor-steps suppressed (crashes + stalls)
+//	faults.corrupted_reads   reads whose observed value was perturbed
+//
+// The wrapper is stateless beyond the atomic counters, so it is safe for
+// the concurrent per-step calls pram.Machine makes, and one wrapped plan
+// can drive many machines. A nil registry yields nil counters, making the
+// wrapper transparent (the usual obs disabled-path contract).
+type ObservedHook struct {
+	inner    Hook
+	skips    *obs.Counter
+	corrupts *obs.Counter
+}
+
+// Observe wraps h with event counters registered in r. h must be non-nil.
+func Observe(h Hook, r *obs.Registry) *ObservedHook {
+	return &ObservedHook{
+		inner:    h,
+		skips:    r.Counter("faults.skips"),
+		corrupts: r.Counter("faults.corrupted_reads"),
+	}
+}
+
+// ProcLive implements the hook interface, counting suppressed
+// processor-steps.
+func (o *ObservedHook) ProcLive(step, proc int) bool {
+	live := o.inner.ProcLive(step, proc)
+	if !live {
+		o.skips.Inc()
+	}
+	return live
+}
+
+// PerturbRead implements the hook interface, counting reads whose value
+// was changed.
+func (o *ObservedHook) PerturbRead(step, proc, addr int, v int64) int64 {
+	w := o.inner.PerturbRead(step, proc, addr, v)
+	if w != v {
+		o.corrupts.Inc()
+	}
+	return w
+}

@@ -1,0 +1,63 @@
+package faults
+
+import (
+	"testing"
+
+	"fraccascade/internal/obs"
+)
+
+// TestObservedHookCountsDeliveredEvents wraps a plan and checks the
+// counters track events actually delivered, not merely declared: a crash
+// counts once per suppressed step, a corruption only when the read fires.
+func TestObservedHookCountsDeliveredEvents(t *testing.T) {
+	plan, err := NewPlan(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Crash(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.CorruptRead(2, 3, 0xFF); err != nil { // proc 2, step 3
+		t.Fatal(err)
+	}
+	r := obs.NewRegistry()
+	h := Observe(plan, r)
+
+	// Drive the hook as a machine would across 5 steps × 4 processors.
+	for step := 0; step < 5; step++ {
+		for proc := 0; proc < 4; proc++ {
+			if !h.ProcLive(step, proc) {
+				continue
+			}
+			h.PerturbRead(step, proc, 7, 100)
+		}
+	}
+	snap := r.Snapshot()
+	// Processor 1 dies at step 2 → suppressed at steps 2, 3, 4.
+	if got := snap.Counters["faults.skips"]; got != 3 {
+		t.Fatalf("faults.skips = %d, want 3", got)
+	}
+	// The corruption fires exactly once (processor 2's read at step 3).
+	if got := snap.Counters["faults.corrupted_reads"]; got != 1 {
+		t.Fatalf("faults.corrupted_reads = %d, want 1", got)
+	}
+}
+
+// TestObservedHookDisabled: with a nil registry the wrapper is transparent
+// and never panics (nil-handle contract).
+func TestObservedHookDisabled(t *testing.T) {
+	plan, err := NewPlan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Crash(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	h := Observe(plan, nil)
+	if h.ProcLive(0, 0) {
+		t.Fatal("wrapper changed ProcLive semantics")
+	}
+	if got := h.PerturbRead(0, 1, 0, 5); got != 5 {
+		t.Fatalf("wrapper changed PerturbRead semantics: %d", got)
+	}
+}

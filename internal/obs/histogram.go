@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count: bucket 0 holds values ≤ 0, bucket
+// i ≥ 1 holds values v with 2^(i-1) ≤ v < 2^i, and the last bucket absorbs
+// everything beyond. 63 value buckets cover the whole non-negative int64
+// range, so no observation is ever dropped.
+const histBuckets = 64
+
+// Histogram is a lock-free log₂-bucketed histogram of int64 observations
+// (step counts, latencies in nanoseconds, batch sizes). A nil *Histogram
+// is a valid disabled histogram: all methods are no-ops.
+//
+// Observe is a handful of atomic adds and a CAS loop for the max — no
+// locks, no allocations — so it is safe on the engine's batch path and
+// under concurrent batches. Quantiles are approximate (bucket upper
+// bounds), which is the right fidelity for power-of-two shaped quantities
+// like PRAM step counts.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) // 2^(b-1) ≤ v < 2^b
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value (no-op on nil).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram.
+type HistogramSnapshot struct {
+	// Count and Sum aggregate all observations; Max is the largest.
+	Count, Sum, Max int64
+	// P50, P90, and P99 are approximate quantiles: the upper bound of the
+	// log₂ bucket containing the quantile rank.
+	P50, P90, P99 int64
+	// Buckets holds the per-bucket counts (index per bucketOf).
+	Buckets [histBuckets]int64
+}
+
+// Mean returns Sum/Count, or 0 with no observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// bucketUpper returns the inclusive upper value bound of bucket i.
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(1)<<62 - 1 + int64(1)<<62 // MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// quantile returns the approximate q-quantile (0 < q ≤ 1) of the bucket
+// distribution: the upper bound of the first bucket whose cumulative count
+// reaches rank ⌈q·Count⌉.
+func (s HistogramSnapshot) quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			if upper := bucketUpper(i); upper < s.Max {
+				return upper
+			}
+			return s.Max
+		}
+	}
+	return s.Max
+}
+
+// Snapshot returns the current summary (zero value on nil). The snapshot
+// is not atomic across fields under concurrent Observe calls, but each
+// field is individually consistent — fine for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.P50 = s.quantile(0.50)
+	s.P90 = s.quantile(0.90)
+	s.P99 = s.quantile(0.99)
+	return s
+}

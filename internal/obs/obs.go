@@ -1,0 +1,202 @@
+// Package obs is the repository's observability layer: a low-overhead
+// metrics registry (atomic counters, gauges, log₂-bucketed histograms,
+// pull-style func gauges) and a pluggable per-search tracer, threaded
+// through the PRAM simulator (internal/pram), the batched query engine
+// (internal/engine), and the dynamic structure (internal/dynamic).
+//
+// The paper's claims are all *measured* quantities — synchronous step
+// counts, processor usage, conflict legality — so the instrumented values
+// must never perturb what they measure. The design rule is therefore:
+//
+//   - Disabled is free. Every handle type (Counter, Gauge, Histogram) and
+//     the Registry itself are nil-safe: a nil receiver makes every method a
+//     no-op, so instrumented code holds possibly-nil handles and calls them
+//     unconditionally. The disabled path is a nil check — zero allocations,
+//     verified by TestDisabledPathAllocs and BenchmarkDisabled*.
+//   - Enabled is cheap. All mutation is a single atomic op (histograms: a
+//     handful); no locks and no allocations on the hot path. Registration
+//     (name → handle) takes a mutex, but callers register once and cache
+//     the handle.
+//   - Values are pulled, not pushed. Snapshot() assembles a point-in-time
+//     view (expvar-style: a flat name → value map, exportable as text or
+//     JSON), including func gauges that read live state (pool counters,
+//     cache sizes, flush generations) only when asked.
+//
+// Metric names are dot-separated lowercase paths, e.g. "engine.batch.steps"
+// or "pram.conflicts.CREW.write". Handles with the same name share state:
+// two machines registering "pram.steps" aggregate into one counter.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter is
+// a valid disabled counter: all methods are no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one (no-op on nil).
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value gauge. A nil *Gauge is a valid disabled
+// gauge: all methods are no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v (no-op on nil).
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Max raises the gauge to v if v is larger (no-op on nil).
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a named collection of metrics. The zero value is not usable;
+// construct with NewRegistry. A nil *Registry is the canonical *disabled*
+// registry: every lookup returns a nil handle, whose methods are no-ops —
+// components accept a possibly-nil registry and instrument unconditionally.
+//
+// Lookups are get-or-create: the first request for a name allocates the
+// metric, later requests (from any goroutine, any component) return the
+// same handle, so identically named metrics aggregate. A name must keep a
+// single type; requesting an existing name as a different metric type
+// panics, as that is a programming error akin to a duplicate expvar.
+type Registry struct {
+	mu    sync.Mutex
+	types map[string]byte // 'c', 'g', 'h', 'f'
+
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() int64
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		types:    make(map[string]byte),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+func (r *Registry) claim(name string, kind byte) {
+	if t, ok := r.types[name]; ok && t != kind {
+		panic("obs: metric " + name + " re-registered with a different type")
+	}
+	r.types[name] = kind
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use. Returns nil (a disabled counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, 'c')
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+// Returns nil (a disabled gauge) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, 'g')
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it on
+// first use. Returns nil (a disabled histogram) on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, 'h')
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterFunc installs a pull-style gauge: f is invoked at snapshot time
+// and its result exported under name. Use it for values that already live
+// elsewhere (pool atomics, cache sizes, flush generations) so the hot path
+// needs no mirroring writes. Re-registering a name replaces the function.
+// No-op on a nil registry. f must be safe to call from any goroutine.
+func (r *Registry) RegisterFunc(name string, f func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, 'f')
+	r.funcs[name] = f
+}

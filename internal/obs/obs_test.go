@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrentSum checks that counters aggregate exactly under
+// concurrent writers — the property the engine relies on when concurrent
+// batches share one registry.
+func TestCounterConcurrentSum(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("test.hits") // get-or-create from every goroutine
+			h := r.Histogram("test.lat")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(i % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("test.hits").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("test.lat").Snapshot().Count; got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestDisabledPathAllocs pins the tentpole invariant: with observability
+// disabled (nil registry → nil handles), every hot-path operation is
+// allocation-free, so instrumentation cannot perturb the E1–E20 cost
+// measurements.
+func TestDisabledPathAllocs(t *testing.T) {
+	var r *Registry // disabled
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(7)
+		g.Set(3)
+		g.Max(9)
+		h.Observe(42)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %.1f bytes-worth of objects per run, want 0", allocs)
+	}
+}
+
+// TestEnabledPathAllocs: the enabled path must also be allocation-free
+// (pure atomics) once handles exist.
+func TestEnabledPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(42)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled path allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestNilRegistryIsDisabled(t *testing.T) {
+	var r *Registry
+	if r.Counter("a") != nil || r.Gauge("b") != nil || r.Histogram("c") != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	r.RegisterFunc("d", func() int64 { return 1 })
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Funcs)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestGetOrCreateSharesHandles(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("same") != r.Counter("same") {
+		t.Fatal("same name must return the same counter")
+	}
+	r.Counter("same").Add(2)
+	r.Counter("same").Add(3)
+	if got := r.Snapshot().Counters["same"]; got != 5 {
+		t.Fatalf("aggregated counter = %d, want 5", got)
+	}
+}
+
+func TestTypeCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("name")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic re-registering a counter as a gauge")
+		}
+	}()
+	r.Gauge("name")
+}
+
+func TestGaugeMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("peak")
+	g.Max(5)
+	g.Max(3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("Max kept %d, want 5", got)
+	}
+	g.Max(11)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("Max kept %d, want 11", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Sum != 1000*1001/2 || s.Max != 1000 {
+		t.Fatalf("count/sum/max = %d/%d/%d", s.Count, s.Sum, s.Max)
+	}
+	// Quantiles are log₂-bucket upper bounds: p50 of 1..1000 is 500, whose
+	// bucket is [512,1023] → reported 511..1023 range; assert bracketing.
+	if s.P50 < 500/2 || s.P50 > 1000 {
+		t.Fatalf("p50 = %d out of plausible range", s.P50)
+	}
+	if s.P99 < s.P50 || s.P99 > s.Max {
+		t.Fatalf("p99 = %d not in [p50=%d, max=%d]", s.P99, s.P50, s.Max)
+	}
+	// Zero and huge observations stay in range.
+	h.Observe(0)
+	h.Observe(1 << 62)
+	s = h.Snapshot()
+	if s.Buckets[0] != 1 || s.Max != 1<<62 {
+		t.Fatalf("edge buckets: zero-bucket=%d max=%d", s.Buckets[0], s.Max)
+	}
+}
+
+func TestSnapshotExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.hits").Add(3)
+	r.Gauge("a.depth").Set(7)
+	r.Histogram("a.lat").Observe(100)
+	r.RegisterFunc("a.live", func() int64 { return 42 })
+
+	var txt bytes.Buffer
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"a.hits 3", "a.depth 7", "a.live 42", "a.lat count=1"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Fatalf("text export missing %q:\n%s", want, txt.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(js.Bytes(), &s); err != nil {
+		t.Fatalf("JSON export not parseable: %v", err)
+	}
+	if s.Counters["a.hits"] != 3 || s.Funcs["a.live"] != 42 || s.Histograms["a.lat"].Count != 1 {
+		t.Fatalf("JSON round-trip lost values: %+v", s)
+	}
+}
+
+func BenchmarkDisabledCounter(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkDisabledHistogram(b *testing.B) {
+	var r *Registry
+	h := r.Histogram("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkEnabledCounter(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkEnabledHistogram(b *testing.B) {
+	h := NewRegistry().Histogram("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot is a point-in-time view of every metric in a registry,
+// expvar-style: flat name → value maps, stable to marshal and diff.
+type Snapshot struct {
+	// Counters and Gauges map metric names to current values; Funcs holds
+	// the pull-gauge results sampled at snapshot time.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	Funcs    map[string]int64 `json:"funcs,omitempty"`
+	// Histograms maps names to bucket summaries.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot assembles the current values of every registered metric,
+// invoking func gauges. Returns an empty snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Funcs:      map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for n, f := range r.funcs {
+		funcs[n] = f
+	}
+	r.mu.Unlock()
+
+	// Func gauges run outside the registry lock: they read live component
+	// state (pool atomics, cache sizes) and may take component locks of
+	// their own.
+	for n, c := range counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range hists {
+		s.Histograms[n] = h.Snapshot()
+	}
+	for n, f := range funcs {
+		s.Funcs[n] = f()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as a single indented JSON object — the
+// expvar-style machine-readable export.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText writes the snapshot as sorted "name value" lines, histograms
+// as one summary line each — the human-readable export behind
+// `coopbench -metrics`.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	scalar := make(map[string]int64, len(s.Counters)+len(s.Gauges)+len(s.Funcs))
+	for n, v := range s.Counters {
+		scalar[n] = v
+	}
+	for n, v := range s.Gauges {
+		scalar[n] = v
+	}
+	for n, v := range s.Funcs {
+		scalar[n] = v
+	}
+	names := make([]string, 0, len(scalar)+len(s.Histograms))
+	for n := range scalar {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		var err error
+		if h, ok := s.Histograms[n]; ok {
+			_, err = fmt.Fprintf(w, "%s count=%d sum=%d mean=%.1f p50=%d p90=%d p99=%d max=%d\n",
+				n, h.Count, h.Sum, h.Mean(), h.P50, h.P90, h.P99, h.Max)
+		} else {
+			_, err = fmt.Fprintf(w, "%s %d\n", n, scalar[n])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

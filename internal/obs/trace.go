@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Span is one search's trace record, emitted by the engine after the query
+// completes: the query identity, the processor share it ran with, its
+// Step-1 root rounds, and its position on the engine's cumulative step
+// clock — [StepLo, StepHi) is the simulated step range the query occupied
+// within its batch's window, so spans of one batch overlap (the queries
+// run concurrently on disjoint processor groups) while batches abut.
+type Span struct {
+	// ID is the engine-unique query id; Batch the id of the batch that
+	// executed it.
+	ID    uint64 `json:"id"`
+	Batch uint64 `json:"batch"`
+	// Kind is the query kind ("catalog", "point", "spatial"); Shard the
+	// catalog shard (0 otherwise).
+	Kind  string `json:"kind"`
+	Shard int    `json:"shard"`
+	// P is the processor share; Rounds the Step-1 cooperative root-search
+	// rounds (catalog queries); Steps the query's simulated parallel time.
+	P      int `json:"p"`
+	Rounds int `json:"rounds"`
+	Steps  int `json:"steps"`
+	// StepLo/StepHi locate the query on the engine's cumulative batch step
+	// clock: StepHi - StepLo == Steps.
+	StepLo uint64 `json:"step_lo"`
+	StepHi uint64 `json:"step_hi"`
+	// CacheHit reports an entry-cache hit; Err the failure message, "" on
+	// success.
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// Tracer receives completed search spans. Implementations must be safe for
+// concurrent Emit calls (batches may execute concurrently). A nil Tracer
+// means tracing is disabled; callers guard with a nil check so the
+// disabled path does not even build the Span.
+type Tracer interface {
+	Emit(Span)
+}
+
+// Ring is an in-memory ring-buffer Tracer holding the most recent spans —
+// the always-on flight recorder: cheap enough to leave attached, inspected
+// after the fact by tests and the -trace CLI surfaces.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	total uint64
+}
+
+// NewRing returns a ring tracer retaining the last n spans (n ≥ 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Span, 0, n)}
+}
+
+// Emit implements Tracer.
+func (r *Ring) Emit(s Span) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.next] = s
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns the number of spans ever emitted (retained or not).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Spans returns the retained spans, oldest first.
+func (r *Ring) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// JSONL is a Tracer writing one JSON object per span per line to an
+// io.Writer — the durable sink behind `plquery -trace=<file>`. Writes are
+// serialised by a mutex; errors are sticky and reported by Err.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a JSONL tracer over w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Tracer.
+func (j *JSONL) Emit(s Span) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = j.enc.Encode(s)
+	}
+	j.mu.Unlock()
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Fanout returns a Tracer duplicating every span to each of the given
+// tracers (nils skipped); nil if none remain.
+func Fanout(ts ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range ts {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return fanout(live)
+	}
+}
+
+type fanout []Tracer
+
+// Emit implements Tracer.
+func (f fanout) Emit(s Span) {
+	for _, t := range f {
+		t.Emit(s)
+	}
+}

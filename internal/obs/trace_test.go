@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingWrapsOldestFirst(t *testing.T) {
+	r := NewRing(3)
+	for i := uint64(1); i <= 5; i++ {
+		r.Emit(Span{ID: i})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+	got := r.Spans()
+	if len(got) != 3 || got[0].ID != 3 || got[1].ID != 4 || got[2].ID != 5 {
+		t.Fatalf("retained spans = %+v, want IDs 3,4,5 oldest-first", got)
+	}
+}
+
+func TestRingConcurrentEmit(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Emit(Span{ID: uint64(w*1000 + i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Total() != 8*500 {
+		t.Fatalf("total = %d, want %d", r.Total(), 8*500)
+	}
+	if len(r.Spans()) != 64 {
+		t.Fatalf("retained = %d, want capacity 64", len(r.Spans()))
+	}
+}
+
+func TestJSONLEmitsParseableLines(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Emit(Span{ID: 1, Kind: "catalog", Shard: 2, P: 64, Rounds: 3, Steps: 9, StepLo: 10, StepHi: 19, CacheHit: true})
+	j.Emit(Span{ID: 2, Kind: "point", Steps: 4, Err: "boom"})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var s Span
+	if err := json.Unmarshal([]byte(lines[0]), &s); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if s.ID != 1 || s.Kind != "catalog" || !s.CacheHit || s.StepHi-s.StepLo != uint64(s.Steps) {
+		t.Fatalf("round-trip mismatch: %+v", s)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &s); err != nil || s.Err != "boom" {
+		t.Fatalf("line 2 bad: %v %+v", err, s)
+	}
+}
+
+func TestFanout(t *testing.T) {
+	a, b := NewRing(4), NewRing(4)
+	tr := Fanout(nil, a, nil, b)
+	tr.Emit(Span{ID: 7})
+	if a.Total() != 1 || b.Total() != 1 {
+		t.Fatalf("fanout missed a sink: %d %d", a.Total(), b.Total())
+	}
+	if Fanout(nil, nil) != nil {
+		t.Fatal("Fanout of nils must be nil")
+	}
+	if Fanout(a) != Tracer(a) {
+		t.Fatal("Fanout of one tracer must return it unchanged")
+	}
+}

@@ -1,0 +1,154 @@
+package pram
+
+import (
+	"errors"
+	"testing"
+
+	"fraccascade/internal/obs"
+)
+
+// stallHook skips one processor at every step (a permanently stalled
+// processor) — minimal FaultHook for metric tests.
+type stallHook struct{ dead int }
+
+func (h stallHook) ProcLive(step, proc int) bool                    { return proc != h.dead }
+func (h stallHook) PerturbRead(step, proc, addr int, v int64) int64 { return v }
+
+// TestMetricsMatchMachineGroundTruth pins the acceptance criterion that
+// obs counters agree with the Machine's own cost accounting: after any run
+// the registry's pram.steps/work/fault.skipped equal Time/Work/Skipped.
+func TestMetricsMatchMachineGroundTruth(t *testing.T) {
+	r := obs.NewRegistry()
+	m := MustNew(CREW, 8)
+	m.SetMetrics(r)
+	m.SetFaultHook(stallHook{dead: 3})
+	base := m.Alloc(16)
+	for s := 0; s < 10; s++ {
+		active := 2 + s%7
+		err := m.Step(active, func(p *Proc) {
+			v := p.Read(base)
+			p.Write(base+1+p.ID, v+int64(p.ID))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := r.Snapshot()
+	if got, want := snap.Counters["pram.steps"], int64(m.Time()); got != want {
+		t.Fatalf("pram.steps = %d, machine Time = %d", got, want)
+	}
+	if got, want := snap.Counters["pram.work"], m.Work(); got != want {
+		t.Fatalf("pram.work = %d, machine Work = %d", got, want)
+	}
+	if got, want := snap.Counters["pram.fault.skipped"], m.Skipped(); got != want {
+		t.Fatalf("pram.fault.skipped = %d, machine Skipped = %d", got, want)
+	}
+	if m.Skipped() == 0 {
+		t.Fatal("fault hook never fired; test is vacuous")
+	}
+	if got, want := snap.Gauges["pram.peak_active"], int64(m.PeakActive()); got != want {
+		t.Fatalf("pram.peak_active = %d, machine PeakActive = %d", got, want)
+	}
+}
+
+// TestMetricsAggregateAcrossMachines: two machines sharing one registry
+// sum into the same counters (the fleet view), while per-machine accessors
+// stay exact.
+func TestMetricsAggregateAcrossMachines(t *testing.T) {
+	r := obs.NewRegistry()
+	m1, m2 := MustNew(CREW, 4), MustNew(CREW, 4)
+	m1.SetMetrics(r)
+	m2.SetMetrics(r)
+	b1, b2 := m1.Alloc(4), m2.Alloc(4)
+	for s := 0; s < 3; s++ {
+		if err := m1.Step(4, func(p *Proc) { p.Write(b1+p.ID, 1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < 5; s++ {
+		if err := m2.Step(2, func(p *Proc) { p.Write(b2+p.ID, 1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := r.Snapshot()
+	if got, want := snap.Counters["pram.steps"], int64(m1.Time()+m2.Time()); got != want {
+		t.Fatalf("aggregated pram.steps = %d, want %d", got, want)
+	}
+	if got, want := snap.Counters["pram.work"], m1.Work()+m2.Work(); got != want {
+		t.Fatalf("aggregated pram.work = %d, want %d", got, want)
+	}
+}
+
+// TestConflictCountersPerModel: detected conflicts land in the per-model
+// counters, split by read/write.
+func TestConflictCountersPerModel(t *testing.T) {
+	r := obs.NewRegistry()
+
+	erew := MustNew(EREW, 2)
+	erew.SetMetrics(r)
+	addr := erew.Alloc(1)
+	var cerr *ConflictError
+	err := erew.Step(2, func(p *Proc) { p.Read(addr) })
+	if !errors.As(err, &cerr) || cerr.Kind != "read" {
+		t.Fatalf("expected EREW read conflict, got %v", err)
+	}
+
+	crew := MustNew(CREW, 2)
+	crew.SetMetrics(r)
+	waddr := crew.Alloc(1)
+	err = crew.Step(2, func(p *Proc) { p.Write(waddr, int64(p.ID)) })
+	if !errors.As(err, &cerr) || cerr.Kind != "write" {
+		t.Fatalf("expected CREW write conflict, got %v", err)
+	}
+
+	snap := r.Snapshot()
+	if snap.Counters["pram.conflicts.EREW.read"] != 1 {
+		t.Fatalf("EREW read conflicts = %d, want 1", snap.Counters["pram.conflicts.EREW.read"])
+	}
+	if snap.Counters["pram.conflicts.CREW.write"] != 1 {
+		t.Fatalf("CREW write conflicts = %d, want 1", snap.Counters["pram.conflicts.CREW.write"])
+	}
+	// The failed steps must not have been charged.
+	if snap.Counters["pram.steps"] != 0 {
+		t.Fatalf("conflicted steps were charged: pram.steps = %d", snap.Counters["pram.steps"])
+	}
+}
+
+// TestMetricsDetachAndDeterminism: detaching restores the uninstrumented
+// machine, and instrumentation never changes simulated results — two
+// machines running the same program, one observed and one not, produce
+// identical Time/Work/memory.
+func TestMetricsDetachAndDeterminism(t *testing.T) {
+	run := func(m *Machine) {
+		base := m.Alloc(8)
+		for s := 0; s < 6; s++ {
+			if err := m.Step(4, func(p *Proc) {
+				v := p.Read(base + p.ID)
+				p.Write(base+4+p.ID%4, v+1)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	plain := MustNew(CREW, 4)
+	run(plain)
+
+	observed := MustNew(CREW, 4)
+	observed.SetMetrics(obs.NewRegistry())
+	run(observed)
+
+	if plain.Time() != observed.Time() || plain.Work() != observed.Work() {
+		t.Fatalf("instrumentation changed cost: %d/%d vs %d/%d",
+			plain.Time(), plain.Work(), observed.Time(), observed.Work())
+	}
+	for a := 0; a < plain.MemWords(); a++ {
+		if plain.Load(a) != observed.Load(a) {
+			t.Fatalf("instrumentation changed memory at %d", a)
+		}
+	}
+
+	observed.SetMetrics(nil)
+	if observed.obsSteps != nil || observed.obsWriteConf != nil {
+		t.Fatal("SetMetrics(nil) must clear every handle")
+	}
+}

@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"fraccascade/internal/obs"
 )
 
 // Model selects the memory-access discipline enforced by a Machine.
@@ -121,6 +123,16 @@ type Machine struct {
 	faults     FaultHook
 	skipped    int64
 
+	// Observability handles (nil when no registry is attached; every use
+	// is nil-safe, so the disabled hot path is a nil check — see
+	// SetMetrics and internal/obs).
+	obsSteps      *obs.Counter
+	obsWork       *obs.Counter
+	obsSkipped    *obs.Counter
+	obsPeakActive *obs.Gauge
+	obsReadConf   *obs.Counter
+	obsWriteConf  *obs.Counter
+
 	// scratch reused across steps
 	writeBuf []writeOp
 	readLog  map[int]int32 // addr -> first reader (EREW checking)
@@ -175,6 +187,36 @@ func (m *Machine) SetFaultHook(h FaultHook) { m.faults = h }
 
 // FaultHookInstalled reports whether a fault hook is active.
 func (m *Machine) FaultHookInstalled() bool { return m.faults != nil }
+
+// SetMetrics attaches (or, with nil, detaches) an observability registry.
+// Subsequent Steps mirror the machine's cost accounting into it:
+//
+//	pram.steps                      synchronous steps executed
+//	pram.work                       processor-steps charged
+//	pram.fault.skipped              processor-steps lost to the fault hook
+//	pram.peak_active                largest per-step live processor count
+//	pram.conflicts.<model>.read     detected read conflicts, per model
+//	pram.conflicts.<model>.write    detected write conflicts, per model
+//
+// Names are registry-global, so machines sharing a registry aggregate —
+// the view a metrics snapshot wants — while Machine's own Time/Work/
+// Skipped accessors remain the per-machine ground truth. With no registry
+// attached every mirror write is a nil-handle no-op: the hot path stays
+// allocation-free and the simulated step counts are bit-identical
+// (verified by obs_test.go and the engine's invariance test).
+func (m *Machine) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		m.obsSteps, m.obsWork, m.obsSkipped = nil, nil, nil
+		m.obsPeakActive, m.obsReadConf, m.obsWriteConf = nil, nil, nil
+		return
+	}
+	m.obsSteps = r.Counter("pram.steps")
+	m.obsWork = r.Counter("pram.work")
+	m.obsSkipped = r.Counter("pram.fault.skipped")
+	m.obsPeakActive = r.Gauge("pram.peak_active")
+	m.obsReadConf = r.Counter("pram.conflicts." + m.model.String() + ".read")
+	m.obsWriteConf = r.Counter("pram.conflicts." + m.model.String() + ".write")
+}
 
 // Skipped returns the cumulative number of processor-steps lost to the
 // fault hook (processors scheduled in a step but reported dead or stalled).
@@ -336,6 +378,7 @@ func (m *Machine) Step(active int, body func(p *Proc)) error {
 		for i := range views {
 			for _, a := range views[i].reads {
 				if prev, ok := m.readLog[a]; ok && prev != int32(i) {
+					m.obsReadConf.Inc()
 					return &ConflictError{Model: m.model, Kind: "read", Addr: a, Step: m.steps, ProcA: int(prev), ProcB: i}
 				}
 				m.readLog[a] = int32(i)
@@ -350,12 +393,14 @@ func (m *Machine) Step(active int, body func(p *Proc)) error {
 				switch m.model {
 				case CRCWCommon:
 					if firstVal[w.addr] != w.val {
+						m.obsWriteConf.Inc()
 						return &ConflictError{Model: m.model, Kind: "write", Addr: w.addr, Step: m.steps, ProcA: int(prev), ProcB: i}
 					}
 					continue // same value: drop duplicate
 				case CRCWArbitrary:
 					continue // lowest processor already recorded wins
 				default:
+					m.obsWriteConf.Inc()
 					return &ConflictError{Model: m.model, Kind: "write", Addr: w.addr, Step: m.steps, ProcA: int(prev), ProcB: i}
 				}
 			}
@@ -374,6 +419,12 @@ func (m *Machine) Step(active int, body func(p *Proc)) error {
 	if live > m.peakActive {
 		m.peakActive = live
 	}
+	m.obsSteps.Inc()
+	m.obsWork.Add(int64(live))
+	if skippedNow > 0 {
+		m.obsSkipped.Add(int64(skippedNow))
+	}
+	m.obsPeakActive.Max(int64(live))
 	return nil
 }
 
