@@ -1,9 +1,9 @@
 GO ?= go
 COVER_THRESHOLD ?= 80
 
-.PHONY: check vet build lint test test-engine race cover bench bench-check metrics-smoke chaos
+.PHONY: check vet build lint test test-engine race cover bench bench-check bench-json bench-smoke metrics-smoke chaos
 
-check: vet build lint test test-engine race cover bench-check metrics-smoke
+check: vet build lint test test-engine race cover bench-check bench-smoke metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -53,6 +53,19 @@ bench:
 # beating the one-query-at-a-time baseline (see batchguard_test.go).
 bench-check:
 	$(GO) test -run='^TestBatchThroughputGuard$$' -v .
+
+# Machine-readable benchmark tables: run every experiment and write one
+# BENCH_<EXP>.json per experiment (wall time plus instrumented rows).
+bench-json:
+	$(GO) run ./cmd/coopbench -experiment=all -json
+
+# Executor differential gate: the harnesses asserting that the barrier and
+# virtual executors produce identical results, step counts, work, conflict
+# verdicts, and fault skip counts — plus one short BenchmarkE17 run
+# comparing their wall clocks on the same end-to-end search program.
+bench-smoke:
+	$(GO) test -run='Executor' ./internal/pram ./internal/parallel ./internal/core
+	$(GO) test -run='^$$' -bench='^BenchmarkE17SearchPRAM$$' -benchtime=3x .
 
 # Observability smoke: the -metrics surfaces must run end to end and
 # print the counters the dashboards key on (engine batch counters from

@@ -16,6 +16,7 @@ import (
 	"fraccascade/internal/dynamic"
 	"fraccascade/internal/parallel"
 	"fraccascade/internal/pointloc"
+	"fraccascade/internal/pram"
 	"fraccascade/internal/rangetree"
 	"fraccascade/internal/segtree"
 	"fraccascade/internal/spatial"
@@ -524,7 +525,9 @@ func BenchmarkBatchedVsSequential(b *testing.B) {
 	}
 }
 
-// BenchmarkE14CoopBinarySearch measures the Step-1 primitive.
+// BenchmarkE14CoopBinarySearch measures the Step-1 primitive. The key
+// array is staged into machine memory once per processor count (as a
+// resident structure would be); each iteration measures one search.
 func BenchmarkE14CoopBinarySearch(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	const n = 1 << 20
@@ -536,13 +539,44 @@ func BenchmarkE14CoopBinarySearch(b *testing.B) {
 	}
 	for _, p := range []int{1, 15, 255, 65535} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			s := parallel.NewCoopSearcher(keys, p)
+			b.ResetTimer()
 			var rounds int64
 			for i := 0; i < b.N; i++ {
 				y := rng.Int63n(keys[n-1] + 2)
-				_, r := parallel.CoopSearch(keys, y, p)
+				_, r := s.Search(y)
 				rounds += int64(r)
 			}
 			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+		})
+	}
+}
+
+// BenchmarkE17SearchPRAM runs the E17 experiment body — a complete
+// explicit search executed as a machine program — on both tracing
+// executors at the seed parameters, so `-bench E17` compares the
+// goroutine-barrier machine against the sequential virtual machine
+// directly. The executor differential tests pin their step counts, work,
+// and conflict verdicts to be identical; this benchmark shows the
+// wall-clock gap that makes virtual the default.
+func BenchmarkE17SearchPRAM(b *testing.B) {
+	st, bt, rng := buildBenchStructure(b, 1<<6, 6000, core.Config{})
+	path := bt.RootPath(tree.NodeID(bt.N() - 1))
+	for _, kind := range []pram.ExecutorKind{pram.KindBarrier, pram.KindVirtual} {
+		b.Run(fmt.Sprintf("executor=%s", kind), func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				for _, p := range []int{1, 4, 16, 256, 65536} {
+					m := pram.MustNewExecutor(kind, pram.CREW, 1<<21)
+					y := catalog.Key(rng.Intn(48000))
+					_, rep, err := st.SearchExplicitPRAM(m, y, path, p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					steps += int64(rep.MachineSteps)
+				}
+			}
+			b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
 		})
 	}
 }

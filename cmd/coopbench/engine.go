@@ -107,6 +107,11 @@ func runE20(seed int64) {
 		}
 		fmt.Printf("%6d %8d %10d %12.3f %12.3f %9.1fx %9.1f%%\n",
 			b, max(1, procs/b), batchSteps/rounds, batched, sequential, batched/sequential, 100*hitRate)
+		record(map[string]any{
+			"batch": b, "procs_per_query": max(1, procs/b),
+			"queries_per_step": batched, "sequential_queries_per_step": sequential,
+			"cache_hit_rate": hitRate,
+		})
 	}
 	m := e.Metrics()
 	fmt.Printf("pool: %d workers, %d tasks, %d steals; shards: %d\n",

@@ -89,6 +89,7 @@ func runE1(seed int64) {
 			fmt.Printf("%10d %8d %5d(%d) %6d %6d %6d %6d %10.1f\n",
 				total, p, agg.Sub, st.Substructure(agg.Sub).H,
 				agg.Steps/reps, agg.RootRounds/reps, agg.Hops/reps, agg.SeqLevels/reps, pred)
+			record(map[string]any{"n": total, "p": p, "steps": agg.Steps / reps, "predicted": pred})
 		}
 	}
 	fmt.Println("\n-- large n (~1M entries): the default constants reach h=3 and beat sequential --")
@@ -617,15 +618,19 @@ func runE14(seed int64) {
 			keys[i] = v
 		}
 		for _, p := range []int{1, 3, 15, 255, 65535} {
+			// Stage the array once per (n, p) and reuse the machine for
+			// every query, as a resident structure would.
+			s := parallel.NewCoopSearcher(keys, p)
 			worst := 0
 			for q := 0; q < 50; q++ {
 				y := rng.Int63n(keys[n-1] + 2)
-				_, rounds := parallel.CoopSearch(keys, y, p)
+				_, rounds := s.Search(y)
 				if rounds > worst {
 					worst = rounds
 				}
 			}
 			fmt.Printf("%10d %8d %10d %10d\n", n, p, worst, parallel.CoopSearchSteps(n, p))
+			record(map[string]any{"n": n, "p": p, "worst_rounds": worst, "predicted": parallel.CoopSearchSteps(n, p)})
 		}
 	}
 }

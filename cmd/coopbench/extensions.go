@@ -42,34 +42,50 @@ func runE15(seed int64) {
 }
 
 // runE17 executes complete explicit searches as programs on the CREW PRAM
-// simulator: real conflict-checked machine steps, not the cost model.
+// simulator: real conflict-checked machine steps, not the cost model. The
+// -executor flag picks the machine (virtual by default); the executor
+// differential tests guarantee the numbers are identical either way.
 func runE17(seed int64) {
 	rng := rand.New(rand.NewSource(seed))
-	fmt.Println("machine-measured Theorem 1: whole searches executed on the CREW simulator")
-	st, bt := buildTree(1<<6, 6000, rng, core.Config{})
-	path := bt.RootPath(tree.NodeID(bt.N() - 1))
-	fmt.Printf("%8s %12s %6s %6s %6s %10s\n", "p", "machineSteps", "root", "hop", "seq", "peakProcs")
-	for _, p := range []int{1, 4, 16, 256, 65536} {
-		var agg core.PRAMSearchReport
-		const reps = 10
-		for r := 0; r < reps; r++ {
-			m := pram.MustNew(pram.CREW, 1<<21)
-			m.SetMetrics(obsRegistry)
-			y := catalog.Key(rng.Intn(48000))
-			_, rep, err := st.SearchExplicitPRAM(m, y, path, p)
-			if err != nil {
-				panic(err)
-			}
-			agg.MachineSteps += rep.MachineSteps
-			agg.RootSteps += rep.RootSteps
-			agg.HopSteps += rep.HopSteps
-			agg.SeqSteps += rep.SeqSteps
-			if rep.PeakProcs > agg.PeakProcs {
-				agg.PeakProcs = rep.PeakProcs
-			}
+	fmt.Printf("machine-measured Theorem 1: whole searches executed on the CREW simulator (%s executor)\n", execKind)
+	fmt.Printf("%10s %8s %12s %6s %6s %6s %10s\n", "n", "p", "machineSteps", "root", "hop", "seq", "peakProcs")
+	for _, leaves := range []int{1 << 6, 1 << 9} {
+		total := leaves * 94
+		if leaves == 1<<6 {
+			total = 6000 // the seed configuration, pinned for the benchmarks
 		}
-		fmt.Printf("%8d %12d %6d %6d %6d %10d\n",
-			p, agg.MachineSteps/reps, agg.RootSteps/reps, agg.HopSteps/reps, agg.SeqSteps/reps, agg.PeakProcs)
+		st, bt := buildTree(leaves, total, rng, core.Config{})
+		path := bt.RootPath(tree.NodeID(bt.N() - 1))
+		for _, p := range []int{1, 4, 16, 256, 65536, 1 << 18} {
+			var agg core.PRAMSearchReport
+			const reps = 10
+			for r := 0; r < reps; r++ {
+				m := newPRAM(pram.CREW, 1<<21)
+				m.SetMetrics(obsRegistry)
+				y := catalog.Key(rng.Intn(total * 8))
+				_, rep, err := st.SearchExplicitPRAM(m, y, path, p)
+				if err != nil {
+					panic(err)
+				}
+				agg.MachineSteps += rep.MachineSteps
+				agg.RootSteps += rep.RootSteps
+				agg.HopSteps += rep.HopSteps
+				agg.SeqSteps += rep.SeqSteps
+				if rep.PeakProcs > agg.PeakProcs {
+					agg.PeakProcs = rep.PeakProcs
+				}
+			}
+			fmt.Printf("%10d %8d %12d %6d %6d %6d %10d\n",
+				total, p, agg.MachineSteps/reps, agg.RootSteps/reps, agg.HopSteps/reps, agg.SeqSteps/reps, agg.PeakProcs)
+			record(map[string]any{
+				"n": total, "p": p,
+				"machine_steps": agg.MachineSteps / reps,
+				"root_steps":    agg.RootSteps / reps,
+				"hop_steps":     agg.HopSteps / reps,
+				"seq_steps":     agg.SeqSteps / reps,
+				"peak_procs":    agg.PeakProcs,
+			})
+		}
 	}
 }
 
@@ -80,11 +96,13 @@ func runE18(seed int64) {
 	_ = seed
 	fmt.Println("optimality (Snir bound): adversary game rounds, lower bound vs strategies")
 	fmt.Printf("%10s %8s %12s %10s %10s\n", "n", "p", "lower bound", "uniform", "binary")
-	for _, n := range []int{1 << 10, 1 << 16, 1 << 20} {
-		for _, p := range []int{3, 63, 1023} {
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 20, 1 << 24} {
+		for _, p := range []int{3, 63, 1023, 16383} {
 			uni, _ := parallel.PlayGame(n, p, parallel.UniformStrategy, 10000)
 			bin, _ := parallel.PlayGame(n, p, parallel.BinaryStrategy, 10000)
-			fmt.Printf("%10d %8d %12d %10d %10d\n", n, p, parallel.LowerBoundRounds(n, p), uni, bin)
+			lb := parallel.LowerBoundRounds(n, p)
+			fmt.Printf("%10d %8d %12d %10d %10d\n", n, p, lb, uni, bin)
+			record(map[string]any{"n": n, "p": p, "lower_bound": lb, "uniform": uni, "binary": bin})
 		}
 	}
 	fmt.Println("uniform (the CoopSearch split) meets the bound; the p-oblivious binary split stays at log n.")

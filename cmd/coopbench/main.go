@@ -10,6 +10,8 @@
 //	coopbench -experiment=fig5      # the Fig. 5 branch-function table
 //	coopbench -seed=7               # change workload seed
 //	coopbench -chaos                # shorthand for -experiment=e19
+//	coopbench -experiment=e17 -executor=barrier # run PRAM programs on the goroutine machine
+//	coopbench -experiment=all -json             # write BENCH_<EXP>.json next to the tables
 //	coopbench -experiment=e20 -metrics          # dump the obs snapshot after the run
 //	coopbench -experiment=e20 -cpuprofile=cpu.pb.gz -memprofile=mem.pb.gz
 package main
@@ -23,8 +25,10 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	"fraccascade/internal/obs"
+	"fraccascade/internal/pram"
 )
 
 // obsRegistry is non-nil when -metrics is set; instrumented experiments
@@ -32,6 +36,18 @@ import (
 // the nil registry hands out nil handles, so the flag costs nothing when
 // off.
 var obsRegistry *obs.Registry
+
+// execKind selects the pram.Executor used by machine-executing experiments
+// (E17 and any PRAM verification passes). The virtual executor is the
+// default: it produces step counts, work, and conflict verdicts identical
+// to the barrier machine (asserted by the executor differential tests) at
+// a fraction of the wall-clock cost.
+var execKind = pram.KindVirtual
+
+// newPRAM builds a fresh executor of the selected kind.
+func newPRAM(model pram.Model, procs int) pram.Executor {
+	return pram.MustNewExecutor(execKind, model, procs)
+}
 
 type experiment struct {
 	name  string
@@ -43,6 +59,8 @@ func main() {
 	expFlag := flag.String("experiment", "all", "experiment id (e1..e20, fig5, all)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	chaos := flag.Bool("chaos", false, "run the chaos-mode fault sweep (alias for -experiment=e19)")
+	executor := flag.String("executor", "virtual", "PRAM executor for machine-executing experiments: barrier or virtual")
+	jsonOut := flag.Bool("json", false, "write BENCH_<EXP>.json (wall time plus instrumented rows) for each experiment run")
 	metrics := flag.Bool("metrics", false, "collect obs metrics during the run and print a text snapshot at the end")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -50,6 +68,14 @@ func main() {
 	if *chaos {
 		*expFlag = "e19"
 	}
+	kind, err := pram.ParseExecutorKind(*executor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if kind == pram.KindUncosted {
+		log.Fatal("coopbench: the uncosted executor skips cost tracing; experiments need barrier or virtual")
+	}
+	execKind = kind
 	if *metrics {
 		obsRegistry = obs.NewRegistry()
 	}
@@ -92,7 +118,17 @@ func main() {
 	for _, e := range experiments {
 		if want == "all" || want == e.name {
 			fmt.Printf("\n=== %s ===\n", e.title)
+			if *jsonOut {
+				benchOut = newBenchRecorder(e.name, *seed, execKind.String())
+			}
+			start := time.Now()
 			e.run(*seed)
+			if benchOut != nil {
+				if err := benchOut.flush(time.Since(start)); err != nil {
+					log.Fatal(err)
+				}
+				benchOut = nil
+			}
 			ran++
 		}
 	}

@@ -14,6 +14,7 @@
 //	plquery -regions=64 -levels=30 -p=256 101,51 33,77
 //	plquery -regions=64 -levels=30 -p=1024 -queries=256 -batch=32
 //	plquery -queries=256 -batch=32 -trace=spans.jsonl -metrics
+//	plquery -pramcheck=20 -executor=virtual   # machine-executed searches vs the oracle
 package main
 
 import (
@@ -27,12 +28,15 @@ import (
 	"strconv"
 	"strings"
 
+	"fraccascade/internal/catalog"
 	"fraccascade/internal/core"
 	"fraccascade/internal/engine"
 	"fraccascade/internal/geom"
 	"fraccascade/internal/obs"
 	"fraccascade/internal/pointloc"
+	"fraccascade/internal/pram"
 	"fraccascade/internal/subdivision"
+	"fraccascade/internal/tree"
 )
 
 func main() {
@@ -42,6 +46,8 @@ func main() {
 	queries := flag.Int("queries", 10, "random queries to run when no coordinates are given")
 	batch := flag.Int("batch", 0, "run the random queries through the batched engine in batches of this size (0 = one at a time)")
 	seed := flag.Int64("seed", 1, "generator seed")
+	executor := flag.String("executor", "virtual", "PRAM executor for -pramcheck: barrier, virtual, or uncosted")
+	pramcheck := flag.Int("pramcheck", 0, "run this many machine-executed catalog searches on the separator structure and verify them against the cascade oracle")
 	trace := flag.String("trace", "", "with -batch: write one JSONL span per query to this file (- for stdout)")
 	metrics := flag.Bool("metrics", false, "with -batch: print an obs metrics snapshot after the run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -87,6 +93,15 @@ func main() {
 	}
 	fmt.Printf("subdivision: %d regions, %d edges; queries must have %d < y < %d\n",
 		s.NumRegions, len(s.Edges), s.YMin, s.YMax)
+
+	if *pramcheck > 0 {
+		kind, err := pram.ParseExecutorKind(*executor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pramVerify(loc.Structure(), rng, kind, *p, *pramcheck)
+		return
+	}
 
 	locate := func(pt geom.Point) {
 		region, stats, err := loc.LocateCoop(pt, *p)
@@ -148,6 +163,47 @@ func main() {
 		pt, _ := s.RandomInteriorPoint(rng)
 		locate(pt)
 	}
+}
+
+// pramVerify runs n complete catalog searches over the point-location
+// separator structure as programs on the selected PRAM executor and checks
+// every per-node answer against the fractional cascading oracle. This is
+// the same single-source program the experiments measure, so it exercises
+// the real machine path — conflict checking included on the costed
+// executors — against live point-location data rather than a synthetic
+// catalog tree.
+func pramVerify(st *core.Structure, rng *rand.Rand, kind pram.ExecutorKind, p, n int) {
+	tr := st.Tree()
+	oracle := st.Cascade()
+	var leaves []tree.NodeID
+	for v := tree.NodeID(0); int(v) < tr.N(); v++ {
+		if tr.IsLeaf(v) {
+			leaves = append(leaves, v)
+		}
+	}
+	totalSteps := 0
+	for q := 0; q < n; q++ {
+		path := tr.RootPath(leaves[rng.Intn(len(leaves))])
+		y := catalog.Key(rng.Int63n(1 << 20))
+		m := pram.MustNewExecutor(kind, pram.CREW, max(4*p, 1<<16))
+		got, rep, err := st.SearchExplicitPRAM(m, y, path, p)
+		if err != nil {
+			log.Fatalf("pram-verify query %d: %v", q, err)
+		}
+		want, err := oracle.SearchPath(y, path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				log.Fatalf("pram-verify query %d: node %d: machine %+v, oracle %+v",
+					q, path[i], got[i], want[i])
+			}
+		}
+		totalSteps += rep.MachineSteps
+	}
+	fmt.Printf("pram-verify: %d machine searches on the %s executor (p=%d) all match the cascade oracle; avg %d machine steps\n",
+		n, kind, p, totalSteps/n)
 }
 
 // runBatched pushes n random point-location queries through the batched

@@ -59,7 +59,7 @@ func (st *Structure) HopWindows(sub *Substructure, block *Block, pathInBlock []t
 //
 // The kernel is CREW: all processors read the shared y cell concurrently;
 // adjacent processors read overlapping catalog cells.
-func (st *Structure) RunHopKernelPRAM(m *pram.Machine, y catalog.Key, windows []WindowAssignment) ([]int, error) {
+func (st *Structure) RunHopKernelPRAM(m pram.Executor, y catalog.Key, windows []WindowAssignment) ([]int, error) {
 	if !m.Model().AllowsConcurrentRead() {
 		return nil, fmt.Errorf("core: hop kernel requires concurrent reads (CREW); machine is %s", m.Model())
 	}

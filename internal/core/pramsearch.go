@@ -34,7 +34,7 @@ type PRAMSearchReport struct {
 // Host-side work between steps is limited to uniform control flow
 // (choosing the next hop's windows from positions read out of shared
 // memory), per the standard PRAM convention.
-func (st *Structure) SearchExplicitPRAM(m *pram.Machine, y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, PRAMSearchReport, error) {
+func (st *Structure) SearchExplicitPRAM(m pram.Executor, y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, PRAMSearchReport, error) {
 	var rep PRAMSearchReport
 	if !m.Model().AllowsConcurrentRead() {
 		return nil, rep, fmt.Errorf("core: the cooperative search is CREW; machine is %s", m.Model())

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
 	"fraccascade/internal/catalog"
@@ -20,7 +19,7 @@ import (
 // not already have — each query's program stays conflict-free, and its
 // memory state and step count are identical to a solo (unpooled) run.
 func TestSharedPoolIntroducesNoConflicts(t *testing.T) {
-	rng := rand.New(rand.NewSource(61))
+	rng := seededRNG(t, 61)
 	bt, err := tree.NewBalancedBinary(32)
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +100,7 @@ func TestSharedPoolIntroducesNoConflicts(t *testing.T) {
 // model error before any step executes, never converted into a concurrent
 // access on a weaker machine.
 func TestPoolPreservesModelRejection(t *testing.T) {
-	rng := rand.New(rand.NewSource(62))
+	rng := seededRNG(t, 62)
 	bt, err := tree.NewBalancedBinary(16)
 	if err != nil {
 		t.Fatal(err)

@@ -41,6 +41,14 @@ func randomCatalogs(t *tree.Tree, total int, keyBound int64, rng *rand.Rand) []c
 	return cats
 }
 
+// seededRNG returns a deterministic rng for the given seed and logs the
+// seed, so a randomized-test failure names the exact standalone replay
+// (the seed-audit convention for every randomized test in this repo).
+func seededRNG(tb testing.TB, seed int64) *rand.Rand {
+	tb.Logf("seed %d", seed)
+	return rand.New(rand.NewSource(seed))
+}
+
 // fixture bundles one of every backend kind: a static catalog shard, a
 // dynamic catalog shard, a planar locator, and a spatial locator.
 type fixture struct {
@@ -286,7 +294,7 @@ func TestEntryCacheMinKey(t *testing.T) {
 func TestBatchAnswersMatchOracles(t *testing.T) {
 	fx := buildFixture(t, 7, 32, 1200)
 	e := fx.newEngine(t, Config{Procs: 1024, BatchSize: 16})
-	rng := rand.New(rand.NewSource(99))
+	rng := seededRNG(t, 99)
 	for batch := 0; batch < 30; batch++ {
 		qs := make([]Query, 1+rng.Intn(24))
 		for i := range qs {
@@ -339,7 +347,7 @@ func TestCacheHitSkipsEntryRounds(t *testing.T) {
 func TestFlushInvalidatesEntryCache(t *testing.T) {
 	fx := buildFixture(t, 11, 32, 1500)
 	e := fx.newEngine(t, Config{Procs: 256})
-	rng := rand.New(rand.NewSource(5))
+	rng := seededRNG(t, 5)
 	path := fx.trees[1].RootPath(tree.NodeID(fx.trees[1].N() - 1))
 	y := catalog.Key(4000)
 	q := CatalogQuery(1, y, path)
@@ -384,7 +392,7 @@ func TestFlushInvalidatesEntryCache(t *testing.T) {
 func TestBatchedThroughputBeatsSequential(t *testing.T) {
 	fx := buildFixture(t, 21, 64, 4000)
 	e := fx.newEngine(t, Config{Procs: 4096})
-	rng := rand.New(rand.NewSource(17))
+	rng := seededRNG(t, 17)
 	for _, b := range []int{8, 32, 64} {
 		qs := make([]Query, b)
 		for i := range qs {
@@ -409,7 +417,7 @@ func TestBatchedThroughputBeatsSequential(t *testing.T) {
 func TestSubmitFlushGroupsIntoBatches(t *testing.T) {
 	fx := buildFixture(t, 31, 16, 600)
 	e := fx.newEngine(t, Config{Procs: 128, BatchSize: 8})
-	rng := rand.New(rand.NewSource(2))
+	rng := seededRNG(t, 2)
 	qs := make([]Query, 21)
 	for i := range qs {
 		qs[i] = fx.randomQuery(rng)
@@ -476,7 +484,7 @@ func TestConcurrentBatchesOnSharedEngine(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			rng := seededRNG(t, int64(1000+g))
 			for round := 0; round < 10; round++ {
 				qs := make([]Query, 1+rng.Intn(12))
 				for i := range qs {

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"testing"
 
@@ -27,7 +26,7 @@ func TestObsCountersMatchEngineGroundTruth(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			rng := seededRNG(t, int64(1000+g))
 			for b := 0; b < batchesPer; b++ {
 				qs := make([]Query, batchSize)
 				for i := range qs {
@@ -126,7 +125,7 @@ func TestObsDisabledStepInvariance(t *testing.T) {
 	observed := fx.newEngine(t, Config{Procs: 2048, Workers: 1,
 		Obs: obs.NewRegistry(), Tracer: obs.NewRing(1024)})
 
-	rng := rand.New(rand.NewSource(7))
+	rng := seededRNG(t, 7)
 	for round := 0; round < 8; round++ {
 		qs := make([]Query, 24)
 		for i := range qs {
@@ -160,7 +159,7 @@ func TestSpanStepClockAbutsAcrossBatches(t *testing.T) {
 	ring := obs.NewRing(1024)
 	e := fx.newEngine(t, Config{Procs: 512, Obs: obs.NewRegistry(), Tracer: ring})
 
-	rng := rand.New(rand.NewSource(3))
+	rng := seededRNG(t, 3)
 	var clock uint64
 	for round := 0; round < 5; round++ {
 		qs := make([]Query, 8)

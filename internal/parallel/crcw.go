@@ -12,7 +12,7 @@ import "fraccascade/internal/pram"
 // catalog ranges of an indirect retrieval chain into a linked list without
 // a prefix computation, provided p = Ω(log² n) (n here is the path
 // length, so n² = log² of the structure size).
-func NextPointersPRAM(m *pram.Machine, flagsBase, n, nextBase int) error {
+func NextPointersPRAM(m pram.Executor, flagsBase, n, nextBase int) error {
 	if n == 0 {
 		return nil
 	}
@@ -35,18 +35,4 @@ func NextPointersPRAM(m *pram.Machine, flagsBase, n, nextBase int) error {
 			p.Write(nextBase+i, int64(j))
 		}
 	})
-}
-
-// NextPointersSeq is the host reference implementation.
-func NextPointersSeq(flags []int64) []int {
-	n := len(flags)
-	next := make([]int, n)
-	nxt := n
-	for i := n - 1; i >= 0; i-- {
-		next[i] = nxt
-		if flags[i] != 0 {
-			nxt = i
-		}
-	}
-	return next
 }

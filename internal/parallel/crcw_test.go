@@ -7,6 +7,23 @@ import (
 	"fraccascade/internal/pram"
 )
 
+// nextPointersRef is the sequential reference for NextPointersPRAM: the
+// smallest j > i with flags[j] != 0, or n if none. It lives in the test so
+// the PRAM program is checked against an independent implementation, not
+// against a wrapper over itself.
+func nextPointersRef(flags []int64) []int {
+	n := len(flags)
+	next := make([]int, n)
+	nxt := n
+	for i := n - 1; i >= 0; i-- {
+		next[i] = nxt
+		if flags[i] != 0 {
+			nxt = i
+		}
+	}
+	return next
+}
+
 func TestNextPointersPRAMMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 100; trial++ {
@@ -26,7 +43,7 @@ func TestNextPointersPRAMMatchesReference(t *testing.T) {
 		if err := NextPointersPRAM(m, flagsBase, n, nextBase); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		want := NextPointersSeq(flags)
+		want := nextPointersRef(flags)
 		for i := 0; i < n; i++ {
 			if got := int(m.Load(nextBase + i)); got != want[i] {
 				t.Fatalf("trial %d: next[%d] = %d, want %d (flags %v)", trial, i, got, want[i], flags)
@@ -52,18 +69,37 @@ func TestNextPointersPRAMNeedsCRCW(t *testing.T) {
 	}
 }
 
-func TestNextPointersSeqEdges(t *testing.T) {
-	if got := NextPointersSeq(nil); len(got) != 0 {
+func TestNextPointersPRAMEdges(t *testing.T) {
+	run := func(flags []int64) []int {
+		n := len(flags)
+		procs := n * n
+		if procs < 1 {
+			procs = 1
+		}
+		m := pram.MustNew(pram.CRCWArbitrary, procs)
+		flagsBase := m.Alloc(n)
+		nextBase := m.Alloc(n)
+		for i, f := range flags {
+			m.Store(flagsBase+i, f)
+		}
+		if err := NextPointersPRAM(m, flagsBase, n, nextBase); err != nil {
+			t.Fatalf("flags %v: %v", flags, err)
+		}
+		out := make([]int, n)
+		for i := range out {
+			out[i] = int(m.Load(nextBase + i))
+		}
+		return out
+	}
+	if got := run(nil); len(got) != 0 {
 		t.Error("empty input")
 	}
-	got := NextPointersSeq([]int64{0, 0, 0})
-	for i, v := range got {
+	for i, v := range run([]int64{0, 0, 0}) {
 		if v != 3 {
 			t.Errorf("next[%d] = %d, want 3 (none)", i, v)
 		}
 	}
-	got = NextPointersSeq([]int64{1, 0, 2})
-	if got[0] != 2 || got[1] != 2 || got[2] != 3 {
+	if got := run([]int64{1, 0, 2}); got[0] != 2 || got[1] != 2 || got[2] != 3 {
 		t.Errorf("got %v", got)
 	}
 }

@@ -1,0 +1,329 @@
+package parallel
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fraccascade/internal/faults"
+	"fraccascade/internal/pram"
+)
+
+// primitiveRun describes one primitive invocation on a fresh executor:
+// setup stages inputs and returns the program to run. The harness replays
+// it on the goroutine-barrier Machine, the sequential Machine, and the
+// VirtualMachine and requires identical memory, cost counters, skip
+// counts, and conflict verdicts.
+type primitiveRun struct {
+	name  string
+	model pram.Model
+	procs int
+	hook  pram.FaultHook
+	run   func(x pram.Executor) error
+}
+
+type diffResult struct {
+	err        error
+	mem        []int64
+	time       int
+	work       int64
+	skipped    int64
+	peakActive int
+}
+
+func runPrimitive(t *testing.T, pr primitiveRun, x pram.Executor) diffResult {
+	t.Helper()
+	if pr.hook != nil {
+		x.SetFaultHook(pr.hook)
+	}
+	err := pr.run(x)
+	return diffResult{
+		err:        err,
+		mem:        x.LoadSlice(0, x.MemWords()),
+		time:       x.Time(),
+		work:       x.Work(),
+		skipped:    x.Skipped(),
+		peakActive: x.PeakActive(),
+	}
+}
+
+func comparePrimitive(t *testing.T, name string, want, got diffResult) {
+	t.Helper()
+	if (want.err == nil) != (got.err == nil) {
+		t.Fatalf("%s: error mismatch: %v vs %v", name, want.err, got.err)
+	}
+	if want.err != nil {
+		var ca, cb *pram.ConflictError
+		if errors.As(want.err, &ca) && errors.As(got.err, &cb) && *ca != *cb {
+			t.Fatalf("%s: conflict verdicts differ: %+v vs %+v", name, *ca, *cb)
+		}
+	}
+	if want.time != got.time || want.work != got.work || want.skipped != got.skipped || want.peakActive != got.peakActive {
+		t.Fatalf("%s: cost mismatch: time %d/%d work %d/%d skipped %d/%d peak %d/%d",
+			name, want.time, got.time, want.work, got.work, want.skipped, got.skipped, want.peakActive, got.peakActive)
+	}
+	if len(want.mem) != len(got.mem) {
+		t.Fatalf("%s: memory size %d vs %d", name, len(want.mem), len(got.mem))
+	}
+	for i := range want.mem {
+		if want.mem[i] != got.mem[i] {
+			t.Fatalf("%s: memory differs at %d: %d vs %d", name, i, want.mem[i], got.mem[i])
+		}
+	}
+}
+
+func assertExecutorInvariant(t *testing.T, pr primitiveRun) {
+	t.Helper()
+	seq := runPrimitive(t, pr, pram.MustNew(pr.model, pr.procs))
+	barrier := pram.MustNew(pr.model, pr.procs)
+	barrier.SetConcurrent(true)
+	conc := runPrimitive(t, pr, barrier)
+	virt := runPrimitive(t, pr, pram.MustNewVirtual(pr.model, pr.procs))
+	comparePrimitive(t, pr.name+"/seq-vs-barrier", seq, conc)
+	comparePrimitive(t, pr.name+"/seq-vs-virtual", seq, virt)
+}
+
+// TestPrimitivesExecutorDifferential replays every PRAM primitive in this
+// package — cooperative search, both scans, max reduction, cross-ranking
+// merge, and CRCW next-pointer linking — on all three tracing executor
+// configurations across seeded sweeps, asserting identical results, step
+// counts, work, and peak processor counts. This is the per-primitive half
+// of the harness that makes the executors interchangeable in experiments.
+func TestPrimitivesExecutorDifferential(t *testing.T) {
+	const seeds = 12
+	for seed := int64(1); seed <= seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		t.Logf("seed %d", seed)
+
+		// Cooperative p-ary search.
+		n := 1 + rng.Intn(300)
+		p := 1 + rng.Intn(32)
+		keys := sortedKeys(rng, n)
+		y := rng.Int63n(keys[n-1] + 5)
+		assertExecutorInvariant(t, primitiveRun{
+			name:  "coopsearch",
+			model: pram.CREW,
+			procs: p,
+			run: func(x pram.Executor) error {
+				keysBase := x.Alloc(n)
+				x.StoreSlice(keysBase, keys)
+				scratch := x.Alloc(p + 2)
+				result := x.Alloc(1)
+				return CoopSearchPRAM(x, keysBase, n, y, p, scratch, result)
+			},
+		})
+
+		// Blelloch scan (EREW).
+		sn := 1 + rng.Intn(120)
+		src := make([]int64, sn)
+		for i := range src {
+			src[i] = rng.Int63n(100)
+		}
+		size := 1 << CeilLog2(sn)
+		scanProcs := size / 2
+		if scanProcs < 1 {
+			scanProcs = 1
+		}
+		assertExecutorInvariant(t, primitiveRun{
+			name:  "scan",
+			model: pram.EREW,
+			procs: scanProcs,
+			run: func(x pram.Executor) error {
+				base := x.Alloc(size)
+				x.StoreSlice(base, src)
+				return ScanExclusivePRAM(x, base, sn)
+			},
+		})
+
+		// Work-optimal blocked scan (EREW).
+		blockSize := CeilLog2(sn)
+		if blockSize < 1 {
+			blockSize = 1
+		}
+		blocks := (sn + blockSize - 1) / blockSize
+		scratchSize := 1 << CeilLog2(blocks)
+		woProcs := blocks
+		if scratchSize > woProcs {
+			woProcs = scratchSize
+		}
+		assertExecutorInvariant(t, primitiveRun{
+			name:  "scan-workopt",
+			model: pram.EREW,
+			procs: woProcs,
+			run: func(x pram.Executor) error {
+				base := x.Alloc(sn)
+				scratch := x.Alloc(scratchSize)
+				x.StoreSlice(base, src)
+				return ScanWorkOptimalPRAM(x, base, sn, scratch)
+			},
+		})
+
+		// Max reduction (EREW).
+		assertExecutorInvariant(t, primitiveRun{
+			name:  "reducemax",
+			model: pram.EREW,
+			procs: sn,
+			run: func(x pram.Executor) error {
+				base := x.Alloc(sn)
+				x.StoreSlice(base, src)
+				res := x.Alloc(1)
+				return ReduceMaxPRAM(x, base, sn, res)
+			},
+		})
+
+		// Cross-ranking merge (CREW).
+		na, nb := rng.Intn(60), 1+rng.Intn(60)
+		a := sortedKeys(rng, na)
+		b := sortedKeys(rng, nb)
+		assertExecutorInvariant(t, primitiveRun{
+			name:  "merge",
+			model: pram.CREW,
+			procs: na + nb,
+			run: func(x pram.Executor) error {
+				aBase := x.Alloc(na)
+				x.StoreSlice(aBase, a)
+				bBase := x.Alloc(nb)
+				x.StoreSlice(bBase, b)
+				outBase := x.Alloc(na + nb)
+				return MergePRAM(x, aBase, na, bBase, nb, outBase)
+			},
+		})
+
+		// Next-pointer linking (priority CRCW, n^2 processors).
+		ln := 1 + rng.Intn(20)
+		flags := make([]int64, ln)
+		for i := range flags {
+			if rng.Intn(3) == 0 {
+				flags[i] = 1 + rng.Int63n(5)
+			}
+		}
+		assertExecutorInvariant(t, primitiveRun{
+			name:  "nextpointers",
+			model: pram.CRCWArbitrary,
+			procs: ln * ln,
+			run: func(x pram.Executor) error {
+				flagsBase := x.Alloc(ln)
+				x.StoreSlice(flagsBase, flags)
+				nextBase := x.Alloc(ln)
+				return NextPointersPRAM(x, flagsBase, ln, nextBase)
+			},
+		})
+	}
+}
+
+// TestPrimitivesFaultExecutorDifferential replays fault plans on the same
+// primitives across executors: the hook must fire identically, so skip
+// counts, memory, and cost counters must all match. Data-oblivious
+// programs (scans, reduction, merge, linking) run under full
+// crash/stall/corrupt plans; the cooperative search — whose probe
+// addresses depend on values read back from shared memory — runs under
+// stall-only plans, which keep every address in range and guarantee
+// termination once the stall horizon passes.
+func TestPrimitivesFaultExecutorDifferential(t *testing.T) {
+	const seeds = 10
+	for seed := int64(1); seed <= seeds; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		t.Logf("seed %d", seed)
+
+		// Stall-only plan for the data-dependent search.
+		n := 16 + rng.Intn(200)
+		p := 2 + rng.Intn(12)
+		keys := sortedKeys(rng, n)
+		y := rng.Int63n(keys[n-1] + 5)
+		stallPlan, err := faults.Random(seed, p, faults.Options{
+			StragglerRate: 0.4,
+			MaxStall:      3,
+			Horizon:       12,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExecutorInvariant(t, primitiveRun{
+			name:  "coopsearch-stall",
+			model: pram.CREW,
+			procs: p,
+			hook:  stallPlan,
+			run: func(x pram.Executor) error {
+				keysBase := x.Alloc(n)
+				x.StoreSlice(keysBase, keys)
+				scratch := x.Alloc(p + 2)
+				result := x.Alloc(1)
+				return CoopSearchPRAM(x, keysBase, n, y, p, scratch, result)
+			},
+		})
+
+		// Full crash/stall/corrupt plan for the oblivious primitives.
+		sn := 8 + rng.Intn(100)
+		src := make([]int64, sn)
+		for i := range src {
+			src[i] = rng.Int63n(100)
+		}
+		size := 1 << CeilLog2(sn)
+		scanProcs := size / 2
+		chaosPlan, err := faults.Random(seed, scanProcs, faults.Options{
+			CrashRate:     0.1,
+			StragglerRate: 0.2,
+			MaxStall:      4,
+			CorruptRate:   0.15,
+			Horizon:       24,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExecutorInvariant(t, primitiveRun{
+			name:  "scan-chaos",
+			model: pram.EREW,
+			procs: scanProcs,
+			hook:  chaosPlan,
+			run: func(x pram.Executor) error {
+				base := x.Alloc(size)
+				x.StoreSlice(base, src)
+				return ScanExclusivePRAM(x, base, sn)
+			},
+		})
+
+		na, nb := 4+rng.Intn(40), 4+rng.Intn(40)
+		a := sortedKeys(rng, na)
+		b := sortedKeys(rng, nb)
+		mergePlan, err := faults.Random(seed, na+nb, faults.Options{
+			CrashRate:     0.1,
+			StragglerRate: 0.2,
+			MaxStall:      3,
+			CorruptRate:   0.1,
+			Horizon:       24,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExecutorInvariant(t, primitiveRun{
+			name:  "merge-chaos",
+			model: pram.CREW,
+			procs: na + nb,
+			hook:  mergePlan,
+			run: func(x pram.Executor) error {
+				aBase := x.Alloc(na)
+				x.StoreSlice(aBase, a)
+				bBase := x.Alloc(nb)
+				x.StoreSlice(bBase, b)
+				outBase := x.Alloc(na + nb)
+				return MergePRAM(x, aBase, na, bBase, nb, outBase)
+			},
+		})
+	}
+}
+
+// TestCoopSearcherReuse pins the staged-searcher adapter: repeated queries
+// against one staged array match fresh CoopSearch calls.
+func TestCoopSearcherReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	keys := sortedKeys(rng, 500)
+	s := NewCoopSearcher(keys, 16)
+	for q := 0; q < 100; q++ {
+		y := rng.Int63n(keys[len(keys)-1] + 10)
+		gotIdx, gotRounds := s.Search(y)
+		wantIdx, wantRounds := CoopSearch(keys, y, 16)
+		if gotIdx != wantIdx || gotRounds != wantRounds {
+			t.Fatalf("y=%d: searcher (%d,%d) != one-shot (%d,%d)", y, gotIdx, gotRounds, wantIdx, wantRounds)
+		}
+	}
+}

@@ -1,37 +1,38 @@
 package parallel
 
-import (
-	"sort"
-
-	"fraccascade/internal/pram"
-)
+import "fraccascade/internal/pram"
 
 // MergeByRanking merges two sorted slices by cross-ranking: element i of a
 // goes to position i + rank(a[i], b). With one processor per element this
 // is an O(log n)-time CREW merge — the elementary round of cascading
 // divide-and-conquer [Atallah–Cole–Goodrich], which the paper's Step 1
-// preprocessing invokes. Ties rank a before b. It returns the merged
+// preprocessing invokes. Ties rank a before b. It stages the inputs on an
+// uncosted executor and runs the MergePRAM program, returning the merged
 // slice and the per-element round count (the binary-search depth).
 func MergeByRanking(a, b []int64) (out []int64, rounds int) {
-	out = make([]int64, len(a)+len(b))
 	rounds = CeilLog2(len(b)+1) + CeilLog2(len(a)+1)
-	for i, v := range a {
-		r := sort.Search(len(b), func(j int) bool { return b[j] >= v })
-		out[i+r] = v
+	n := len(a) + len(b)
+	if n == 0 {
+		return []int64{}, rounds
 	}
-	for j, v := range b {
-		r := sort.Search(len(a), func(i int) bool { return a[i] > v })
-		out[j+r] = v
+	x := pram.MustNewUncosted(pram.CREW, n)
+	aBase := x.Alloc(len(a))
+	x.StoreSlice(aBase, a)
+	bBase := x.Alloc(len(b))
+	x.StoreSlice(bBase, b)
+	outBase := x.Alloc(n)
+	if err := MergePRAM(x, aBase, len(a), bBase, len(b), outBase); err != nil {
+		panic("parallel: merge failed on uncosted executor: " + err.Error())
 	}
-	return out, rounds
+	return x.LoadSlice(outBase, n), rounds
 }
 
 // MergePRAM merges sorted memory blocks a[0..na) and b[0..nb) into
-// out[0..na+nb) on a CREW machine with one processor per element: each
+// out[0..na+nb) with a CREW program using one processor per element: each
 // processor binary-searches the opposite array (log rounds, one probe per
 // round) and writes its element to its final position (exclusive write).
 // Equal keys are stable (a's copy precedes b's).
-func MergePRAM(m *pram.Machine, aBase, na, bBase, nb, outBase int) error {
+func MergePRAM(m pram.Executor, aBase, na, bBase, nb, outBase int) error {
 	if na+nb == 0 {
 		return nil
 	}
@@ -108,7 +109,7 @@ func MergePRAM(m *pram.Machine, aBase, na, bBase, nb, outBase int) error {
 // scan over the block sums; each processor serially redistributes.
 // The caller must provide scratch capacity: scratch must have room for
 // the next power of two of the block count, zero-initialised.
-func ScanWorkOptimalPRAM(m *pram.Machine, base, n, scratch int) error {
+func ScanWorkOptimalPRAM(m pram.Executor, base, n, scratch int) error {
 	if n <= 1 {
 		if n == 1 {
 			m.Store(base, 0)

@@ -3,12 +3,16 @@
 // cooperative p-ary search of a sorted array (the Step-1 primitive of the
 // explicit cooperative search, optimal by Snir's lower bound).
 //
-// Each primitive comes in two forms that share their control structure:
-//
-//   - a step-exact form running on a pram.Machine, used by tests to verify
-//     step counts and memory-model legality for small inputs; and
-//   - a plain form operating on Go slices that returns the same step count
-//     analytically, used by the large-scale benchmarks.
+// Each primitive is written exactly once, as a program against the
+// pram.Executor interface. The executor chosen at the call site decides
+// the cost model: the goroutine-barrier pram.Machine and the sequential
+// pram.VirtualMachine trace every access for step counts and memory-model
+// legality (and are differentially tested to agree bit-for-bit), while
+// pram.Uncosted runs the same program without tracing for pure-result
+// uses. The plain slice-in/slice-out convenience functions (CoopSearch,
+// ScanExclusive, MergeByRanking) are thin adapters that stage their input
+// on an Uncosted executor and run the single program — there is no second
+// implementation to drift from.
 package parallel
 
 import (
@@ -56,81 +60,68 @@ func CoopSearchSteps(n, p int) int {
 	return r
 }
 
-// CoopSearch finds the smallest index i in the sorted slice keys with
-// keys[i] >= y, simulating a p-processor cooperative search. It returns
-// len(keys) if no such index exists, together with the number of
-// synchronous rounds the search used.
-//
-// Each round narrows the candidate interval by a factor p+1 using p
-// simultaneous probes, exactly as in the CREW search of Section 2.2 Step 1.
-func CoopSearch(keys []int64, y int64, p int) (idx, rounds int) {
+// A CoopSearcher stages a sorted key array on an executor once and answers
+// repeated successor queries with the cooperative p-ary search program.
+// Use it instead of CoopSearch when querying the same array many times:
+// the keys are copied into PRAM memory only at construction.
+type CoopSearcher struct {
+	x        pram.Executor
+	n, p     int
+	keysBase int
+	scratch  int
+	result   int
+}
+
+// NewCoopSearcher stages keys for p-processor cooperative searches on an
+// uncosted executor. A non-positive p is clamped to 1, matching the
+// clamping of CoopSearch.
+func NewCoopSearcher(keys []int64, p int) *CoopSearcher {
 	if p < 1 {
 		p = 1
 	}
-	// Invariant: answer lies in [lo, hi] where hi==len(keys) encodes "none".
-	lo, hi := 0, len(keys)
-	for lo < hi {
-		// p probes split [lo, hi) into p+1 chunks.
-		span := hi - lo
-		newLo, newHi := lo, hi
-		// Probe positions are lo + ceil(span*(i+1)/(p+1)) - 1 for i in [0,p).
-		prevPos := lo - 1
-		decided := false
-		for i := 0; i < p && !decided; i++ {
-			pos := lo + (span*(i+1))/(p+1)
-			if pos >= hi {
-				pos = hi - 1
-			}
-			if pos <= prevPos {
-				pos = prevPos + 1
-				if pos >= hi {
-					break
-				}
-			}
-			if keys[pos] >= y {
-				// First probe that is >= y: answer in (prevPos, pos].
-				newLo, newHi = prevPos+1, pos
-				decided = true
-			}
-			prevPos = pos
-		}
-		if !decided {
-			// All probes < y: answer in (prevPos, hi].
-			newLo, newHi = prevPos+1, hi
-		}
-		rounds++
-		if newLo == lo && newHi == hi {
-			// Guard against non-progress on degenerate splits.
-			if keys[lo] >= y {
-				return lo, rounds
-			}
-			lo++
-			continue
-		}
-		lo, hi = newLo, newHi
-		if lo == hi {
-			return lo, rounds
-		}
-		if hi-lo == 1 && hi < len(keys) {
-			// One candidate left: a final comparison resolves it.
-			// (Counted inside the same round's comparison budget.)
-			if keys[lo] >= y {
-				return lo, rounds
-			}
-			return hi, rounds
-		}
-	}
-	return lo, rounds
+	x := pram.MustNewUncosted(pram.CREW, p)
+	s := &CoopSearcher{x: x, n: len(keys), p: p}
+	s.keysBase = x.Alloc(len(keys))
+	x.StoreSlice(s.keysBase, keys)
+	s.scratch = x.Alloc(p + 2)
+	s.result = x.Alloc(1)
+	return s
 }
 
-// CoopSearchPRAM runs the p-processor cooperative search on a pram.Machine.
+// Search returns the smallest index i with keys[i] >= y (len(keys) if
+// none) and the number of synchronous narrowing rounds used (each round
+// is two executor steps: probe, then narrow).
+func (s *CoopSearcher) Search(y int64) (idx, rounds int) {
+	s.x.ResetCost()
+	if err := CoopSearchPRAM(s.x, s.keysBase, s.n, y, s.p, s.scratch, s.result); err != nil {
+		// The uncosted executor reports no conflicts and the budget is
+		// sized at construction, so an error here is a package bug.
+		panic("parallel: cooperative search failed on uncosted executor: " + err.Error())
+	}
+	return int(s.x.Load(s.result)), s.x.Time() / 2
+}
+
+// CoopSearch finds the smallest index i in the sorted slice keys with
+// keys[i] >= y, running the p-processor cooperative search program on an
+// uncosted executor. It returns len(keys) if no such index exists,
+// together with the number of synchronous rounds the search used.
+//
+// Each round narrows the candidate interval by a factor p+1 using p
+// simultaneous probes, exactly as in the CREW search of Section 2.2 Step 1.
+// The call stages the keys in PRAM memory; callers issuing many queries
+// against one array should hold a CoopSearcher instead.
+func CoopSearch(keys []int64, y int64, p int) (idx, rounds int) {
+	return NewCoopSearcher(keys, p).Search(y)
+}
+
+// CoopSearchPRAM runs the p-processor cooperative search on an executor.
 // The sorted keys occupy memory [keysBase, keysBase+n); the result index is
-// written to resultAddr. It requires a CREW (or stronger) machine because
+// written to resultAddr. It requires a CREW (or stronger) model because
 // every processor reads the shared interval bounds each round.
 //
-// Layout of scratch (allocated by the caller via machine.Alloc(p + 2)):
+// Layout of scratch (allocated by the caller via Alloc(p + 2)):
 // scratch[0] = lo, scratch[1] = hi, scratch[2..2+p) = probe flags.
-func CoopSearchPRAM(m *pram.Machine, keysBase, n int, y int64, p, scratch, resultAddr int) error {
+func CoopSearchPRAM(m pram.Executor, keysBase, n int, y int64, p, scratch, resultAddr int) error {
 	if p < 1 {
 		p = 1
 	}
@@ -213,24 +204,35 @@ func CoopSearchPRAM(m *pram.Machine, keysBase, n int, y int64, p, scratch, resul
 }
 
 // ScanExclusive computes the exclusive prefix sums of src into a new slice:
-// out[i] = src[0] + ... + src[i-1]. It also returns the total and the EREW
-// step count of the corresponding Blelloch scan (2·⌈log₂ n⌉ rounds).
+// out[i] = src[0] + ... + src[i-1], by running the Blelloch scan program on
+// an uncosted executor. It also returns the total and the EREW step count
+// of the scan (2·⌈log₂ n⌉ rounds).
 func ScanExclusive(src []int64) (out []int64, total int64, steps int) {
-	out = make([]int64, len(src))
-	var run int64
-	for i, v := range src {
-		out[i] = run
-		run += v
+	n := len(src)
+	if n == 0 {
+		return []int64{}, 0, 0
 	}
-	return out, run, 2 * CeilLog2(len(src))
+	size := 1 << CeilLog2(n)
+	procs := size / 2
+	if procs < 1 {
+		procs = 1
+	}
+	x := pram.MustNewUncosted(pram.EREW, procs)
+	base := x.Alloc(size) // padding words beyond n stay zero
+	x.StoreSlice(base, src)
+	if err := ScanExclusivePRAM(x, base, n); err != nil {
+		panic("parallel: scan failed on uncosted executor: " + err.Error())
+	}
+	out = x.LoadSlice(base, n)
+	return out, out[n-1] + src[n-1], x.Time()
 }
 
 // ScanExclusivePRAM computes exclusive prefix sums in place over the memory
 // block [base, base+n) using the Blelloch up-sweep/down-sweep algorithm on
-// an EREW machine. n is padded internally to a power of two by the caller's
-// allocation contract: the block must have capacity for the next power of
-// two of n, with the padding words zeroed.
-func ScanExclusivePRAM(m *pram.Machine, base, n int) error {
+// an EREW-legal program. n is padded internally to a power of two by the
+// caller's allocation contract: the block must have capacity for the next
+// power of two of n, with the padding words zeroed.
+func ScanExclusivePRAM(m pram.Executor, base, n int) error {
 	if n <= 1 {
 		if n == 1 {
 			m.Store(base, 0)
@@ -273,9 +275,10 @@ func ScanExclusivePRAM(m *pram.Machine, base, n int) error {
 	return nil
 }
 
-// ReduceMaxPRAM computes the maximum of memory block [base, base+n) on an
-// EREW machine, writing it to resultAddr. The block is consumed as scratch.
-func ReduceMaxPRAM(m *pram.Machine, base, n, resultAddr int) error {
+// ReduceMaxPRAM computes the maximum of memory block [base, base+n) with an
+// EREW-legal program, writing it to resultAddr. The block is consumed as
+// scratch.
+func ReduceMaxPRAM(m pram.Executor, base, n, resultAddr int) error {
 	for span := n; span > 1; {
 		half := (span + 1) / 2
 		err := m.Step(span/2, func(p *pram.Proc) {

@@ -1,0 +1,129 @@
+package pram
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Machine is the goroutine-barrier executor: a synchronous PRAM with a
+// fixed processor budget and a shared memory whose processors can run as
+// real goroutines within each step (SetConcurrent) or in a deterministic
+// in-order loop. Both modes — and the other executors — produce identical
+// memory states and cost counters. The zero value is not usable; construct
+// with New.
+type Machine struct {
+	base
+	concurrent bool
+}
+
+// Machine implements Executor.
+var _ Executor = (*Machine)(nil)
+
+// New returns a Machine with the given model and processor budget.
+// The memory starts empty; use Alloc to reserve words.
+//
+// Invalid input (a non-positive processor count) is reported as an error,
+// never a panic: exported constructors across this repository return errors
+// for caller mistakes, reserving panics for internal invariant violations
+// that indicate a bug in this package itself (see checkActive's
+// negative-active check for the canonical example of the latter).
+func New(model Model, procs int) (*Machine, error) {
+	b, err := newBase(model, procs)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{base: b}, nil
+}
+
+// MustNew is New that panics on error, a convenience for tests and
+// examples whose processor counts are compile-time constants.
+func MustNew(model Model, procs int) *Machine {
+	m, err := New(model, procs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// SetConcurrent chooses whether Step executes processors on goroutines
+// (true) or in a deterministic in-order loop (false, the default). Results
+// are identical in both modes.
+func (m *Machine) SetConcurrent(c bool) { m.concurrent = c }
+
+// Step runs one synchronous step with `active` processors executing body.
+// It returns a *ConflictError if the access pattern violates the model.
+// On conflict, memory is left in the pre-step state and the step is not
+// charged.
+//
+// With a fault hook installed, processors the hook reports dead or stalled
+// for this step never execute body: their reads and writes simply do not
+// happen, and they are excluded from conflict detection and work charging.
+func (m *Machine) Step(active int, body func(p *Proc)) error {
+	if err := m.checkActive(active); err != nil {
+		return err
+	}
+	trace := !m.model.AllowsConcurrentRead()
+	views := make([]Proc, active)
+	skippedNow := 0
+	for i := range views {
+		views[i] = Proc{ID: i, b: &m.base, traceReads: trace}
+		if m.faults != nil && !m.faults.ProcLive(m.steps, i) {
+			views[i].halted = true
+			skippedNow++
+		}
+	}
+	if m.concurrent && active > 1 {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > active {
+			workers = active
+		}
+		var wg sync.WaitGroup
+		chunk := (active + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > active {
+				hi = active
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					if !views[i].halted {
+						body(&views[i])
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < active; i++ {
+			if !views[i].halted {
+				body(&views[i])
+			}
+		}
+	}
+
+	// Conflict detection and commit, in deterministic processor order:
+	// all reads are validated before any writes, so a step that violates
+	// both rules always reports the read conflict.
+	m.beginStep()
+	if trace {
+		for i := range views {
+			if err := m.checkReads(i, views[i].reads); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range views {
+		if err := m.admitWrites(views[i].writes); err != nil {
+			return err
+		}
+	}
+	m.commitWrites(m.writeBuf)
+	m.chargeStep(active, skippedNow)
+	return nil
+}

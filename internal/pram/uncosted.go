@@ -1,0 +1,91 @@
+package pram
+
+// Uncosted is the result-only executor: processors run sequentially in ID
+// order like VirtualMachine, but no access tracing is performed and no
+// conflict errors are ever reported — Step always succeeds for in-budget
+// requests. It exists for pure-computation uses (the plain-function
+// adapters in internal/parallel) where only the final memory state
+// matters.
+//
+// Result semantics still match the tracing executors on any program that
+// is legal under the declared model: reads observe pre-step state, writes
+// commit at the barrier, and concurrent writes resolve first-writer-wins
+// per address (which is the CRCW-Arbitrary lowest-processor rule, and is
+// value-identical under CRCW-Common's all-equal requirement), while a
+// processor overwriting its own earlier write in the same step keeps the
+// last value, as on Machine. Time, Work, Skipped, and the fault hook are
+// honoured so loop-shaped kernels that read the step counter behave
+// identically; what is skipped is the per-access bookkeeping that makes
+// the tracing executors able to *reject* illegal programs.
+//
+// Like VirtualMachine, an Uncosted executor is not safe for concurrent
+// use. The zero value is not usable; construct with NewUncosted.
+type Uncosted struct {
+	base
+	view    Proc
+	pending []writeOp // step-wide write buffer, reused across steps
+}
+
+// Uncosted implements Executor.
+var _ Executor = (*Uncosted)(nil)
+
+// NewUncosted returns an Uncosted executor with the given model and
+// processor budget. The memory starts empty; use Alloc to reserve words.
+func NewUncosted(model Model, procs int) (*Uncosted, error) {
+	b, err := newBase(model, procs)
+	if err != nil {
+		return nil, err
+	}
+	return &Uncosted{base: b}, nil
+}
+
+// MustNewUncosted is NewUncosted that panics on error.
+func MustNewUncosted(model Model, procs int) *Uncosted {
+	u, err := NewUncosted(model, procs)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Step runs one synchronous step with `active` processors executing body,
+// sequentially in ascending ID order, without access tracing. The only
+// error it can return is an over-budget request.
+func (u *Uncosted) Step(active int, body func(p *Proc)) error {
+	if err := u.checkActive(active); err != nil {
+		return err
+	}
+	u.beginStep()
+	u.pending = u.pending[:0]
+	if cap(u.pending) < active {
+		u.pending = make([]writeOp, 0, active)
+	}
+	skippedNow := 0
+	hook := u.faults
+	p := &u.view
+	p.b = &u.base
+	p.traceReads = false
+	p.halted = false
+	p.writes = u.pending
+	for i := 0; i < active; i++ {
+		if hook != nil && !hook.ProcLive(u.steps, i) {
+			skippedNow++
+			continue
+		}
+		p.ID = i
+		body(p)
+	}
+	u.pending = p.writes
+	// Commit with the shared resolution rule but no error paths: the
+	// first writer of an address wins against other processors (CRCW
+	// semantics), while repeat writes by the same processor overwrite.
+	for _, w := range u.pending {
+		if e := u.wlog[w.addr]; uint32(e) == u.epoch && int32(e>>32) != w.proc {
+			continue
+		}
+		u.wlog[w.addr] = u.logEntry(w.proc)
+		u.mem[w.addr] = w.val
+	}
+	u.chargeStep(active, skippedNow)
+	return nil
+}

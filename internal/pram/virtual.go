@@ -1,0 +1,123 @@
+package pram
+
+import "sync/atomic"
+
+// VirtualMachine is the virtual-time executor: it replays processors in a
+// deterministic sequential loop per step — processor 0 first, then 1, and
+// so on — with conflict detection, cost accounting, and fault-hook
+// semantics identical to Machine. No goroutines are launched and the
+// per-step scratch is reused, so on a single-CPU host it runs the same
+// program an order of magnitude faster than the goroutine barrier while
+// measuring exactly the same step counts (the paper's quantities are
+// model-level, not host-level).
+//
+// Semantics match Machine exactly on every observable: final memory,
+// Time/Work/Skipped/PeakActive, metric values, and conflict verdicts
+// (reads are traced in processor order and validated before any write is
+// admitted, so the reported conflict pair is the same one Machine finds).
+// The one deliberate difference is unobservable at the PRAM level: a step
+// that ends in a read conflict aborts before later processors' bodies run,
+// so host-side closure state touched by those bodies may differ from the
+// barrier executor — on a conflict the whole computation errors out, and
+// PRAM memory is left untouched either way.
+//
+// A VirtualMachine is not safe for concurrent use; Step panics if invoked
+// while another Step is in flight (see the -race covered guard test).
+// The zero value is not usable; construct with NewVirtual.
+type VirtualMachine struct {
+	base
+	inStep  atomic.Bool
+	view    Proc
+	pending []writeOp // step-wide write buffer, reused across steps
+}
+
+// VirtualMachine implements Executor.
+var _ Executor = (*VirtualMachine)(nil)
+
+// NewVirtual returns a VirtualMachine with the given model and processor
+// budget. The memory starts empty; use Alloc to reserve words.
+func NewVirtual(model Model, procs int) (*VirtualMachine, error) {
+	b, err := newBase(model, procs)
+	if err != nil {
+		return nil, err
+	}
+	return &VirtualMachine{base: b}, nil
+}
+
+// MustNewVirtual is NewVirtual that panics on error.
+func MustNewVirtual(model Model, procs int) *VirtualMachine {
+	vm, err := NewVirtual(model, procs)
+	if err != nil {
+		panic(err)
+	}
+	return vm
+}
+
+// Step runs one synchronous step with `active` processors executing body,
+// sequentially in ascending ID order. It returns a *ConflictError if the
+// access pattern violates the model; on conflict, memory is left in the
+// pre-step state and the step is not charged.
+//
+// With a fault hook installed, processors the hook reports dead or stalled
+// for this step never execute body, exactly as on Machine.
+func (vm *VirtualMachine) Step(active int, body func(p *Proc)) error {
+	if err := vm.checkActive(active); err != nil {
+		return err
+	}
+	if !vm.inStep.CompareAndSwap(false, true) {
+		panic("pram: VirtualMachine is not safe for concurrent use (Step called during Step)")
+	}
+	defer vm.inStep.Store(false)
+
+	vm.beginStep()
+	vm.pending = vm.pending[:0]
+	if cap(vm.pending) < active {
+		// Most kernels write about one word per processor per step; a single
+		// up-front reservation sized to the step avoids copy-doubling growth
+		// inside the processor loop.
+		vm.pending = make([]writeOp, 0, active)
+	}
+	trace := !vm.model.AllowsConcurrentRead()
+	skippedNow := 0
+	hook := vm.faults
+	p := &vm.view
+	p.b = &vm.base
+	p.traceReads = trace
+	p.halted = false
+	// One shared write buffer serves every processor; the header is synced
+	// back only after the loop (appends that stay within capacity mutate the
+	// backing array in place, so per-processor header copies would be pure
+	// write-barrier traffic).
+	p.writes = vm.pending
+	for i := 0; i < active; i++ {
+		if hook != nil && !hook.ProcLive(vm.steps, i) {
+			skippedNow++
+			continue
+		}
+		p.ID = i
+		if trace {
+			p.reads = p.reads[:0]
+			body(p)
+			// Reads can be validated as soon as the processor retires —
+			// processor order here equals the order Machine's read pass
+			// uses, so the first conflict found is the same pair.
+			if err := vm.checkReads(i, p.reads); err != nil {
+				vm.pending = p.writes
+				return err
+			}
+		} else {
+			body(p)
+		}
+	}
+	vm.pending = p.writes
+	// Write admission is deferred until every processor has run, mirroring
+	// Machine's all-reads-before-any-writes pass so a step violating both
+	// rules reports the read conflict on both executors.
+	winners, err := vm.admitWritesInPlace(vm.pending)
+	if err != nil {
+		return err
+	}
+	vm.commitWrites(winners)
+	vm.chargeStep(active, skippedNow)
+	return nil
+}

@@ -332,7 +332,7 @@ func (it *Intersector) Expand(ranges []Range) []int32 { return it.expand(ranges)
 // write to do this in O(1) time". It returns the linked non-empty ranges
 // in list order and the machine's step count for the linking (always 2:
 // initialise + priority write).
-func (it *Intersector) QueryIndirectPRAM(m *pram.Machine, q HQuery, p int) ([]Range, int, error) {
+func (it *Intersector) QueryIndirectPRAM(m pram.Executor, q HQuery, p int) ([]Range, int, error) {
 	if !m.Model().AllowsConcurrentWrite() {
 		return nil, 0, fmt.Errorf("segtree: indirect linking requires concurrent writes; machine is %s", m.Model())
 	}
