@@ -1,7 +1,7 @@
 GO ?= go
 COVER_THRESHOLD ?= 80
 
-.PHONY: check vet build lint test test-engine race cover bench bench-check bench-json bench-smoke metrics-smoke chaos
+.PHONY: check vet build lint test test-engine race cover bench bench-check bench-json bench-diff bench-smoke metrics-smoke chaos
 
 check: vet build lint test test-engine race cover bench-check bench-smoke metrics-smoke
 
@@ -35,12 +35,14 @@ test-engine:
 	$(GO) test -run='^$$' -fuzz=FuzzEntryCache -fuzztime=10s ./internal/engine
 
 race:
-	$(GO) test -race ./internal/pram/... ./internal/parallel/... ./internal/engine/...
+	$(GO) test -race ./internal/pram/... ./internal/parallel/... ./internal/engine/... ./internal/obs/...
 
 # Coverage floor on the paper-critical packages: the core cascaded
-# structure and the batch engine. Override with COVER_THRESHOLD=NN.
+# structure, the batch engine, and the instrumentation they publish
+# through (the PRAM simulator/profiler and the obs layer). Override with
+# COVER_THRESHOLD=NN.
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/core ./internal/engine
+	$(GO) test -coverprofile=cover.out ./internal/core ./internal/engine ./internal/obs ./internal/pram
 	@$(GO) tool cover -func=cover.out | awk -v min=$(COVER_THRESHOLD) \
 		'/^total:/ { sub(/%/, "", $$3); \
 		  if ($$3+0 < min) { printf "cover: total %.1f%% below threshold %d%%\n", $$3, min; exit 1 } \
@@ -59,6 +61,23 @@ bench-check:
 bench-json:
 	$(GO) run ./cmd/coopbench -experiment=all -json
 
+# Benchmark regression gate: regenerate the gated experiments' JSON into
+# bench/out and diff against the committed baselines in bench/baselines.
+# Step metrics (E17 machine/phase steps, E18 adversary rounds) are
+# deterministic and diff exact by default; E20 throughput gets generous
+# slack for scheduling noise. Tune with BENCH_STEP_TOL / BENCH_THR_TOL;
+# refresh baselines by copying bench/out/*.json into bench/baselines.
+BENCH_STEP_TOL ?= 0
+BENCH_THR_TOL ?= 0.35
+bench-diff:
+	@mkdir -p bench/out
+	$(GO) build -o bench/out/coopbench ./cmd/coopbench
+	cd bench/out && ./coopbench -experiment=e17 -json >/dev/null \
+		&& ./coopbench -experiment=e18 -json >/dev/null \
+		&& ./coopbench -experiment=e20 -json >/dev/null
+	$(GO) run ./cmd/benchdiff -baseline bench/baselines -candidate bench/out \
+		-step-tol $(BENCH_STEP_TOL) -throughput-tol $(BENCH_THR_TOL)
+
 # Executor differential gate: the harnesses asserting that the barrier and
 # virtual executors produce identical results, step counts, work, conflict
 # verdicts, and fault skip counts — plus one short BenchmarkE17 run
@@ -73,6 +92,9 @@ bench-smoke:
 metrics-smoke:
 	$(GO) run ./cmd/coopbench -experiment=e20 -metrics | grep '^engine\.batches ' >/dev/null
 	$(GO) run ./cmd/coopbench -experiment=e17 -metrics | grep '^pram\.steps ' >/dev/null
+	$(GO) run ./cmd/coopbench -experiment=e17 -metrics -stepsprofile=steps-smoke.pb.gz \
+		| grep '^pram\.phase\.root-coop\.steps ' >/dev/null
+	@test -s steps-smoke.pb.gz && rm -f steps-smoke.pb.gz
 	@echo "metrics-smoke: ok"
 
 chaos:

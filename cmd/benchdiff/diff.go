@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// benchFile mirrors coopbench's BENCH_<EXP>.json recorder output.
+type benchFile struct {
+	Experiment string           `json:"experiment"`
+	Seed       int64            `json:"seed"`
+	Executor   string           `json:"executor"`
+	WallMS     float64          `json:"wall_ms"`
+	Rows       []map[string]any `json:"rows"`
+}
+
+func loadBench(path string) (benchFile, error) {
+	var b benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// tolerance holds the relative slack per metric class. Step counts come
+// from the deterministic simulator (seeded workloads, executor-independent
+// by the differential tests), so their tolerance defaults to exact;
+// throughput rates depend on concurrent cache-fill order and get generous
+// slack.
+type tolerance struct {
+	Steps      float64
+	Throughput float64
+}
+
+// Metric classification. Step-class fields regress upward (more simulated
+// steps/procs is worse); throughput-class fields regress downward
+// (fewer queries per step, lower hit rate is worse). Exact fields may not
+// drift in either direction — they are statements (the Snir lower bound),
+// not measurements. Identity fields key the row: a mismatch means the
+// benchmark's shape changed and the baseline must be regenerated, not
+// tolerated.
+var (
+	stepFields = map[string]bool{
+		"machine_steps": true, "root_steps": true, "hop_steps": true,
+		"seq_steps": true, "peak_procs": true, "uniform": true, "binary": true,
+	}
+	throughputFields = map[string]bool{
+		"queries_per_step": true, "sequential_queries_per_step": true,
+		"cache_hit_rate": true,
+	}
+	exactFields    = map[string]bool{"lower_bound": true}
+	identityFields = map[string]bool{"n": true, "p": true, "batch": true, "procs_per_query": true}
+)
+
+// compare returns one message per regression of cand against base (empty
+// means the candidate is no worse than the baseline within tolerance).
+// Improvements are not reported: they pass, and the baseline is refreshed
+// by re-running `make bench-json` into bench/baselines.
+func compare(base, cand benchFile, tol tolerance) []string {
+	var regs []string
+	fail := func(format string, args ...any) {
+		regs = append(regs, fmt.Sprintf("%s: ", base.Experiment)+fmt.Sprintf(format, args...))
+	}
+	if base.Seed != cand.Seed {
+		fail("seed mismatch: baseline %d, candidate %d (not comparable)", base.Seed, cand.Seed)
+		return regs
+	}
+	if len(base.Rows) != len(cand.Rows) {
+		fail("row count changed: baseline %d, candidate %d", len(base.Rows), len(cand.Rows))
+		return regs
+	}
+	for i, br := range base.Rows {
+		cr := cand.Rows[i]
+		// The rows are emitted in deterministic program order; identity
+		// fields double-check the alignment.
+		for f := range identityFields {
+			bv, bok := num(br[f])
+			cv, cok := num(cr[f])
+			if bok != cok || (bok && bv != cv) {
+				fail("row %d: identity field %s changed (%v -> %v); regenerate the baseline", i, f, br[f], cr[f])
+				return regs
+			}
+		}
+		for _, f := range sortedKeys(br) {
+			bv, ok := num(br[f])
+			if !ok {
+				continue
+			}
+			cv, ok := num(cr[f])
+			if !ok {
+				fail("row %d: field %s missing from candidate", i, f)
+				continue
+			}
+			switch {
+			case stepFields[f]:
+				if cv > bv*(1+tol.Steps)+1e-9 {
+					fail("row %d (%s): %s regressed %v -> %v (tol %.0f%%)",
+						i, rowKey(br), f, bv, cv, 100*tol.Steps)
+				}
+			case throughputFields[f]:
+				if cv < bv*(1-tol.Throughput)-1e-9 {
+					fail("row %d (%s): %s regressed %.4f -> %.4f (tol %.0f%%)",
+						i, rowKey(br), f, bv, cv, 100*tol.Throughput)
+				}
+			case exactFields[f]:
+				if cv != bv {
+					fail("row %d (%s): %s drifted %v -> %v (must be exact)",
+						i, rowKey(br), f, bv, cv)
+				}
+			}
+		}
+	}
+	return regs
+}
+
+// num coerces a decoded JSON value to float64.
+func num(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case json.Number:
+		f, err := x.Float64()
+		return f, err == nil
+	}
+	return 0, false
+}
+
+// rowKey renders the identity fields present in a row for messages.
+func rowKey(row map[string]any) string {
+	s := ""
+	for _, f := range []string{"n", "p", "batch", "procs_per_query"} {
+		if v, ok := row[f]; ok {
+			if s != "" {
+				s += " "
+			}
+			s += fmt.Sprintf("%s=%v", f, v)
+		}
+	}
+	return s
+}
+
+func sortedKeys(m map[string]any) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

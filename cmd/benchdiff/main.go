@@ -1,0 +1,78 @@
+// Command benchdiff gates benchmark regressions: it compares candidate
+// BENCH_<EXP>.json files (written by `coopbench -json`) against committed
+// baselines and exits non-zero when a metric regressed beyond tolerance.
+//
+// Step-class metrics (simulated machine steps, phase step counts, peak
+// processors) are deterministic for a fixed seed, so their tolerance
+// defaults to exact; throughput-class metrics (queries/step, cache hit
+// rate) depend on concurrent cache-fill order and get generous slack.
+//
+// Usage:
+//
+//	benchdiff -baseline bench/baselines -candidate bench/out
+//	benchdiff -baseline bench/baselines -candidate bench/out e17 e20
+//	benchdiff -step-tol 0.02 -throughput-tol 0.5 ...
+//
+// `make bench-diff` regenerates the candidate files and runs this.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	baseDir := flag.String("baseline", "bench/baselines", "directory holding baseline BENCH_<EXP>.json files")
+	candDir := flag.String("candidate", ".", "directory holding freshly generated BENCH_<EXP>.json files")
+	stepTol := flag.Float64("step-tol", 0, "relative tolerance for deterministic step metrics (0 = exact)")
+	thrTol := flag.Float64("throughput-tol", 0.35, "relative tolerance for throughput metrics")
+	flag.Parse()
+
+	names := flag.Args() // e.g. "e17" — empty means every baseline present
+	var files []string
+	if len(names) == 0 {
+		matches, err := filepath.Glob(filepath.Join(*baseDir, "BENCH_*.json"))
+		if err != nil || len(matches) == 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: no baselines in %s\n", *baseDir)
+			os.Exit(2)
+		}
+		files = matches
+	} else {
+		for _, n := range names {
+			files = append(files, filepath.Join(*baseDir, "BENCH_"+strings.ToUpper(n)+".json"))
+		}
+	}
+
+	tol := tolerance{Steps: *stepTol, Throughput: *thrTol}
+	failed := false
+	for _, bf := range files {
+		base, err := loadBench(bf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		cf := filepath.Join(*candDir, filepath.Base(bf))
+		cand, err := loadBench(cf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: candidate for %s: %v\n", base.Experiment, err)
+			failed = true
+			continue
+		}
+		regs := compare(base, cand, tol)
+		if len(regs) == 0 {
+			fmt.Printf("benchdiff: %s ok (%d rows, step tol %.0f%%, throughput tol %.0f%%)\n",
+				base.Experiment, len(base.Rows), 100*tol.Steps, 100*tol.Throughput)
+			continue
+		}
+		failed = true
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "benchdiff: REGRESSION "+r)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -44,9 +44,19 @@ var obsRegistry *obs.Registry
 // a fraction of the wall-clock cost.
 var execKind = pram.KindVirtual
 
+// stepsProfile is non-nil when -stepsprofile is set: every PRAM machine
+// built by newPRAM attaches to it, so phase-attributed step counts
+// accumulate across machines into one aggregate profile written as a
+// gzipped pprof profile.proto at exit.
+var stepsProfile *pram.Profile
+
 // newPRAM builds a fresh executor of the selected kind.
 func newPRAM(model pram.Model, procs int) pram.Executor {
-	return pram.MustNewExecutor(execKind, model, procs)
+	x := pram.MustNewExecutor(execKind, model, procs)
+	if stepsProfile != nil {
+		x.SetProfile(stepsProfile)
+	}
+	return x
 }
 
 type experiment struct {
@@ -64,6 +74,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "collect obs metrics during the run and print a text snapshot at the end")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	stepsprofile := flag.String("stepsprofile", "", "write a pprof profile of simulated parallel time (phase-attributed PRAM steps) to this file")
 	flag.Parse()
 	if *chaos {
 		*expFlag = "e19"
@@ -78,6 +89,9 @@ func main() {
 	execKind = kind
 	if *metrics {
 		obsRegistry = obs.NewRegistry()
+	}
+	if *stepsprofile != "" {
+		stepsProfile = pram.NewProfile()
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -141,6 +155,25 @@ func main() {
 		sort.Strings(names)
 		fmt.Fprintf(os.Stderr, "available: all %s\n", strings.Join(names, " "))
 		os.Exit(2)
+	}
+	if stepsProfile != nil {
+		// Publish the aggregated phase profile as pram.phase.* metrics (so
+		// -metrics snapshots include it) and write the pprof file.
+		if obsRegistry != nil {
+			stepsProfile.PublishTo(obsRegistry)
+		}
+		f, err := os.Create(*stepsprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := stepsProfile.WritePprof(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d phases, %d simulated steps)\n",
+			*stepsprofile, len(stepsProfile.Phases()), stepsProfile.TotalSteps())
 	}
 	if *metrics {
 		fmt.Println("\n=== metrics snapshot ===")

@@ -1,0 +1,52 @@
+// Command coopserve is a long-running HTTP daemon serving cooperative
+// searches from the batched engine, with live observability:
+//
+//	POST /query               batched catalog/point/spatial queries (JSON)
+//	GET  /metrics             Prometheus text exposition of the obs registry
+//	GET  /healthz             liveness (always 200 once serving)
+//	GET  /readyz              readiness (503 until structures are built)
+//	GET  /spans?limit=N       JSONL span stream (replay=1 prepends history)
+//	GET  /debug/pprof/        host CPU/heap/goroutine profiles
+//	GET  /debug/pprof/steps   simulated-parallel-time profile (phase stacks);
+//	                          loadable with `go tool pprof steps.pb.gz`
+//
+// Usage:
+//
+//	coopserve -addr=:8080 -procs=4096 -batch=32 -seed=1
+//	curl -d '{"queries":[{"kind":"point","x":101,"y":51}]}' localhost:8080/query
+//	go tool pprof -top http://localhost:8080/debug/pprof/steps
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"fraccascade/internal/geom"
+)
+
+// geomPoint builds the planar query point.
+func geomPoint(x, y int64) geom.Point { return geom.Point{X: x, Y: y} }
+
+func main() {
+	cfg := defaultServerConfig()
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "structure generator seed")
+	flag.IntVar(&cfg.Procs, "procs", cfg.Procs, "total simulated processor budget per batch")
+	flag.IntVar(&cfg.BatchSize, "batch", cfg.BatchSize, "queries per engine batch")
+	flag.IntVar(&cfg.Leaves, "leaves", cfg.Leaves, "catalog-tree leaves per shard")
+	flag.IntVar(&cfg.Entries, "entries", cfg.Entries, "approximate catalog entries per shard")
+	flag.IntVar(&cfg.Shards, "shards", cfg.Shards, "catalog shards")
+	flag.IntVar(&cfg.Regions, "regions", cfg.Regions, "planar subdivision regions")
+	flag.IntVar(&cfg.Tiles, "tiles", cfg.Tiles, "spatial complex tiles")
+	flag.IntVar(&cfg.RingSize, "ring", cfg.RingSize, "span flight-recorder capacity")
+	flag.Parse()
+
+	srv, err := newServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("coopserve: %d shards, %d-leaf trees, P=%d, batch=%d; listening on %s",
+		cfg.Shards, cfg.Leaves, cfg.Procs, cfg.BatchSize, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+}

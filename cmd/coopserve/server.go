@@ -1,0 +1,436 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
+	"fraccascade/internal/engine"
+	"fraccascade/internal/obs"
+	"fraccascade/internal/pointloc"
+	"fraccascade/internal/spatial"
+	"fraccascade/internal/subdivision"
+	"fraccascade/internal/tree"
+)
+
+// serverConfig sizes the served structures and the engine.
+type serverConfig struct {
+	Seed      int64
+	Procs     int
+	BatchSize int
+	Leaves    int // catalog-tree leaves per shard
+	Entries   int // approximate catalog entries per shard
+	Shards    int
+	Regions   int // planar subdivision regions
+	Tiles     int // spatial complex tiles
+	RingSize  int // span flight-recorder capacity
+}
+
+func defaultServerConfig() serverConfig {
+	return serverConfig{
+		Seed:      1,
+		Procs:     4096,
+		BatchSize: 32,
+		Leaves:    1 << 7,
+		Entries:   8000,
+		Shards:    2,
+		Regions:   64,
+		Tiles:     60,
+		RingSize:  4096,
+	}
+}
+
+// server wires the batched engine and its observability surfaces behind
+// HTTP: POST /query, Prometheus /metrics, health/readiness, pprof (host
+// CPU/heap plus the simulated-steps profile), and JSONL span streaming.
+type server struct {
+	cfg    serverConfig
+	eng    *engine.Engine
+	reg    *obs.Registry
+	ring   *obs.Ring
+	stream *spanStream
+	trees  []*tree.Tree
+	sub    *subdivision.Subdivision
+	cx     *spatial.Complex
+	ready  atomic.Bool
+}
+
+// newServer builds the served structures (seeded, so a restart serves the
+// same data) and the engine.
+func newServer(cfg serverConfig) (*server, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &server{
+		cfg:    cfg,
+		reg:    obs.NewRegistry(),
+		ring:   obs.NewRing(cfg.RingSize),
+		stream: newSpanStream(),
+	}
+	var shards []engine.CatalogBackend
+	for i := 0; i < cfg.Shards; i++ {
+		bt, err := tree.NewBalancedBinary(cfg.Leaves)
+		if err != nil {
+			return nil, err
+		}
+		st, err := core.Build(bt, randomCatalogs(bt, cfg.Entries, rng), core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, engine.StaticShard{St: st})
+		s.trees = append(s.trees, bt)
+	}
+	sub, err := subdivision.Generate(cfg.Regions, 24, rng)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := pointloc.Build(sub, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	s.sub = sub
+	cx, err := spatial.Generate(cfg.Tiles, 4, rng)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := spatial.NewLocator(cx)
+	if err != nil {
+		return nil, err
+	}
+	s.cx = cx
+	s.eng, err = engine.New(engine.Config{
+		Procs:     cfg.Procs,
+		BatchSize: cfg.BatchSize,
+		Obs:       s.reg,
+		Tracer:    obs.Fanout(s.ring, s.stream),
+	}, shards, pl, sp)
+	if err != nil {
+		return nil, err
+	}
+	s.ready.Store(true)
+	return s, nil
+}
+
+// randomCatalogs builds one random catalog per node totalling roughly
+// `total` entries, with skewed per-node sizes (the same workload shape the
+// benchmarks use).
+func randomCatalogs(t *tree.Tree, total int, rng *rand.Rand) []catalog.Catalog {
+	cats := make([]catalog.Catalog, t.N())
+	for v := range cats {
+		var size int
+		switch rng.Intn(3) {
+		case 0:
+			size = rng.Intn(4)
+		case 1:
+			size = rng.Intn(2*total/(t.N()+1) + 1)
+		default:
+			size = rng.Intn(4 * total / (t.N() + 1))
+		}
+		seen := map[catalog.Key]bool{}
+		keys := make([]catalog.Key, 0, size)
+		for len(keys) < size {
+			k := catalog.Key(rng.Intn(total * 8))
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		cats[v] = catalog.MustFromKeys(keys, nil)
+	}
+	return cats
+}
+
+// routes builds the HTTP mux.
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/spans", s.handleSpans)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/pprof/steps", s.handleStepsProfile)
+	return mux
+}
+
+// wireQuery is the POST /query request item. Kind selects the fields read:
+// "catalog" uses shard/key/leaf (the server resolves the root path to the
+// leaf), "point" uses x/y, "spatial" uses x/y/z.
+type wireQuery struct {
+	Kind  string `json:"kind"`
+	Shard int    `json:"shard"`
+	Key   int64  `json:"key"`
+	Leaf  int64  `json:"leaf"`
+	X     int64  `json:"x"`
+	Y     int64  `json:"y"`
+	Z     int64  `json:"z"`
+}
+
+// wireResult is one per-node catalog answer.
+type wireResult struct {
+	Node    int64 `json:"node"`
+	Key     int64 `json:"key"`
+	Payload int64 `json:"payload"`
+}
+
+// wireAnswer is one query's response entry.
+type wireAnswer struct {
+	Kind       string         `json:"kind"`
+	P          int            `json:"p"`
+	Steps      int            `json:"steps"`
+	Rounds     int            `json:"rounds"`
+	Cache      string         `json:"cache,omitempty"`
+	PhaseSteps map[string]int `json:"phase_steps,omitempty"`
+	Results    []wireResult   `json:"results,omitempty"`
+	Region     int            `json:"region,omitempty"`
+	Cell       int            `json:"cell,omitempty"`
+	Err        string         `json:"err,omitempty"`
+}
+
+// wireBatchReport mirrors engine.BatchReport plus throughput.
+type wireBatchReport struct {
+	B           int     `json:"b"`
+	PShare      int     `json:"p_share"`
+	Steps       int     `json:"steps"`
+	CacheHits   int     `json:"cache_hits"`
+	CacheMisses int     `json:"cache_misses"`
+	Errors      int     `json:"errors"`
+	Throughput  float64 `json:"queries_per_step"`
+}
+
+type queryRequest struct {
+	Queries []wireQuery `json:"queries"`
+}
+
+type queryResponse struct {
+	Batches []wireBatchReport `json:"batches"`
+	Answers []wireAnswer      `json:"answers"`
+}
+
+// handleQuery executes a batch of queries. The request body is a
+// queryRequest; queries are executed through the engine's batched path in
+// groups of the configured batch size.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) == 0 {
+		http.Error(w, "empty query list", http.StatusBadRequest)
+		return
+	}
+	qs := make([]engine.Query, 0, len(req.Queries))
+	for i, wq := range req.Queries {
+		q, err := s.toEngineQuery(wq)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("query %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		qs = append(qs, q)
+	}
+	var resp queryResponse
+	for lo := 0; lo < len(qs); lo += s.cfg.BatchSize {
+		hi := min(lo+s.cfg.BatchSize, len(qs))
+		answers, rep, err := s.eng.ExecuteBatch(qs[lo:hi])
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp.Batches = append(resp.Batches, wireBatchReport{
+			B: rep.B, PShare: rep.PShare, Steps: rep.Steps,
+			CacheHits: rep.CacheHits, CacheMisses: rep.CacheMisses,
+			Errors: rep.Errors, Throughput: rep.Throughput(),
+		})
+		for i := range answers {
+			resp.Answers = append(resp.Answers, toWireAnswer(&answers[i]))
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// Too late for an error status; the client sees the broken body.
+		return
+	}
+}
+
+// toEngineQuery validates and converts one wire query.
+func (s *server) toEngineQuery(wq wireQuery) (engine.Query, error) {
+	switch wq.Kind {
+	case "catalog":
+		if wq.Shard < 0 || wq.Shard >= len(s.trees) {
+			return engine.Query{}, fmt.Errorf("shard %d out of range [0, %d)", wq.Shard, len(s.trees))
+		}
+		t := s.trees[wq.Shard]
+		if wq.Leaf < 0 || wq.Leaf >= int64(t.N()) {
+			return engine.Query{}, fmt.Errorf("leaf %d out of range [0, %d)", wq.Leaf, t.N())
+		}
+		return engine.CatalogQuery(wq.Shard, catalog.Key(wq.Key), t.RootPath(tree.NodeID(wq.Leaf))), nil
+	case "point":
+		return engine.PointQuery(geomPoint(wq.X, wq.Y)), nil
+	case "spatial":
+		return engine.SpatialQuery(wq.X, wq.Y, wq.Z), nil
+	default:
+		return engine.Query{}, fmt.Errorf("unknown kind %q (want catalog, point, or spatial)", wq.Kind)
+	}
+}
+
+func toWireAnswer(a *engine.Answer) wireAnswer {
+	wa := wireAnswer{
+		Kind:       a.Query.Kind.String(),
+		P:          a.P,
+		Steps:      a.Steps,
+		Rounds:     a.Rounds,
+		PhaseSteps: a.PhaseSteps,
+		Region:     a.Region,
+		Cell:       a.Cell,
+	}
+	if a.Query.Kind == engine.KindCatalog && a.Err == nil {
+		switch {
+		case a.CacheHit:
+			wa.Cache = "hit"
+		case a.CacheStale:
+			wa.Cache = "stale"
+		default:
+			wa.Cache = "miss"
+		}
+	}
+	for _, r := range a.Results {
+		wa.Results = append(wa.Results, wireResult{Node: int64(r.Node), Key: int64(r.Key), Payload: int64(r.Payload)})
+	}
+	if a.Err != nil {
+		wa.Err = a.Err.Error()
+	}
+	return wa
+}
+
+// handleMetrics serves the registry snapshot in the Prometheus text
+// exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WriteProm(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		http.Error(w, "structures not built", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleStepsProfile serves a pprof profile of *simulated parallel time*:
+// one sample per engine phase, value = cumulative engine.phase.<label>.steps
+// from the registry, stack = the phase path. `go tool pprof -top` (and
+// flamegraph UIs) then break simulated steps down by phase exactly like
+// host CPU profiles break down nanoseconds.
+func (s *server) handleStepsProfile(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	var samples []obs.ProfileSample
+	var labels []string
+	steps := map[string]int64{}
+	for name, v := range snap.Counters {
+		label, ok := strings.CutPrefix(name, "engine.phase.")
+		if !ok {
+			continue
+		}
+		label, ok = strings.CutSuffix(label, ".steps")
+		if !ok || v == 0 {
+			continue
+		}
+		steps[label] = v
+		labels = append(labels, label)
+	}
+	// Sorted for deterministic output.
+	for i := 0; i < len(labels); i++ {
+		for j := i + 1; j < len(labels); j++ {
+			if labels[j] < labels[i] {
+				labels[i], labels[j] = labels[j], labels[i]
+			}
+		}
+	}
+	for _, label := range labels {
+		samples = append(samples, obs.ProfileSample{
+			Stack:  strings.Split(label, "/"),
+			Values: []int64{steps[label]},
+		})
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="steps.pb.gz"`)
+	if err := obs.WriteProfile(w, [][2]string{{"steps", "count"}}, samples); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleSpans streams spans as JSONL (one span per line). Query params:
+// replay=1 first dumps the ring buffer's retained history and closes
+// (add follow=1 to keep tailing live spans afterwards); limit=N closes
+// the stream after N spans (0 = no cap).
+func (s *server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	emit := func(sp obs.Span) bool {
+		if err := enc.Encode(sp); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		sent++
+		return limit == 0 || sent < limit
+	}
+	replay := r.URL.Query().Get("replay") == "1"
+	if replay {
+		for _, sp := range s.ring.Spans() {
+			if !emit(sp) {
+				return
+			}
+		}
+		// A pure replay closes here; tailing past history is opt-in so
+		// curl and tests terminate without killing the connection.
+		if r.URL.Query().Get("follow") != "1" {
+			return
+		}
+	}
+	ch := s.stream.subscribe()
+	defer s.stream.unsubscribe(ch)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case sp := <-ch:
+			if !emit(sp) {
+				return
+			}
+		}
+	}
+}

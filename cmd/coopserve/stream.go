@@ -1,0 +1,48 @@
+package main
+
+import (
+	"sync"
+
+	"fraccascade/internal/obs"
+)
+
+// spanStream is an obs.Tracer broadcasting every span to the currently
+// connected /spans subscribers. Emit never blocks the engine: a subscriber
+// whose buffer is full drops spans (the endpoint is a live tail, not a
+// durable log — the ring tracer holds replayable history).
+type spanStream struct {
+	mu   sync.Mutex
+	subs map[chan obs.Span]struct{}
+}
+
+func newSpanStream() *spanStream {
+	return &spanStream{subs: make(map[chan obs.Span]struct{})}
+}
+
+// Emit implements obs.Tracer.
+func (s *spanStream) Emit(sp obs.Span) {
+	s.mu.Lock()
+	for ch := range s.subs {
+		select {
+		case ch <- sp:
+		default: // slow client: drop rather than stall the engine
+		}
+	}
+	s.mu.Unlock()
+}
+
+// subscribe registers a new live-tail channel.
+func (s *spanStream) subscribe() chan obs.Span {
+	ch := make(chan obs.Span, 256)
+	s.mu.Lock()
+	s.subs[ch] = struct{}{}
+	s.mu.Unlock()
+	return ch
+}
+
+// unsubscribe removes ch; pending spans in its buffer are discarded.
+func (s *spanStream) unsubscribe(ch chan obs.Span) {
+	s.mu.Lock()
+	delete(s.subs, ch)
+	s.mu.Unlock()
+}

@@ -24,12 +24,16 @@ type pramOutcome struct {
 	work    int64
 	skipped int64
 	peak    int
+	profile string
+	phases  map[string]pram.PhaseStats
 }
 
 func runSearchPRAM(st *Structure, x pram.Executor, hook pram.FaultHook, y catalog.Key, path []tree.NodeID, p int) (out pramOutcome) {
 	if hook != nil {
 		x.SetFaultHook(hook)
 	}
+	prof := pram.NewProfile()
+	x.SetProfile(prof)
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -50,6 +54,11 @@ func runSearchPRAM(st *Structure, x pram.Executor, hook pram.FaultHook, y catalo
 	out.work = x.Work()
 	out.skipped = x.Skipped()
 	out.peak = x.PeakActive()
+	out.profile = prof.String()
+	out.phases = make(map[string]pram.PhaseStats)
+	for _, pr := range prof.Phases() {
+		out.phases[pr.Label] = pr.PhaseStats
+	}
 	return out
 }
 
@@ -72,6 +81,32 @@ func compareOutcomes(t *testing.T, label string, a, b pramOutcome) {
 		if a.results[i] != b.results[i] {
 			t.Fatalf("%s: result %d differs: %s vs %s", label, i, a.results[i], b.results[i])
 		}
+	}
+	if a.profile != b.profile {
+		t.Fatalf("%s: phase profiles differ:\n%s\nvs\n%s", label, a.profile, b.profile)
+	}
+}
+
+// checkPhaseDecomposition ties the profiler to the search's own step
+// report: the sum of phase steps is exactly the machine's Time(), and each
+// phase equals the corresponding report component.
+func checkPhaseDecomposition(t *testing.T, label string, o pramOutcome) {
+	t.Helper()
+	sum := 0
+	for _, ps := range o.phases {
+		sum += ps.Steps
+	}
+	if sum != o.time {
+		t.Fatalf("%s: phase steps sum to %d, Time is %d:\n%s", label, sum, o.time, o.profile)
+	}
+	if got := o.phases["root-coop"].Steps; got != o.report.RootSteps {
+		t.Fatalf("%s: root-coop phase %d != RootSteps %d", label, got, o.report.RootSteps)
+	}
+	if got := o.phases["hop-descent"].Steps; got != o.report.HopSteps {
+		t.Fatalf("%s: hop-descent phase %d != HopSteps %d", label, got, o.report.HopSteps)
+	}
+	if got := o.phases["seq-tail"].Steps; got != o.report.SeqSteps {
+		t.Fatalf("%s: seq-tail phase %d != SeqSteps %d", label, got, o.report.SeqSteps)
 	}
 }
 
@@ -104,6 +139,7 @@ func TestSearchExplicitPRAMExecutorDifferential(t *testing.T) {
 			if seq.err != "" || seq.panicMsg != "" {
 				t.Fatalf("%s: fault-free search failed: err=%q panic=%q", label, seq.err, seq.panicMsg)
 			}
+			checkPhaseDecomposition(t, label, seq)
 			// And the shared answer must be the true one.
 			want, err := oracle.SearchPath(y, path)
 			if err != nil {

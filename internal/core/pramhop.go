@@ -90,6 +90,7 @@ func (st *Structure) RunHopKernelPRAM(m pram.Executor, y catalog.Key, windows []
 	if len(slots) > m.Procs() {
 		return nil, fmt.Errorf("core: hop needs %d processors, machine has %d", len(slots), m.Procs())
 	}
+	m.Phase("hop-descent")
 	err := m.Step(len(slots), func(p *pram.Proc) {
 		s := slots[p.ID]
 		yv := p.Read(yAddr)

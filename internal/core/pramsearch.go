@@ -86,6 +86,7 @@ func (st *Structure) SearchExplicitPRAM(m pram.Executor, y catalog.Key, path []t
 			}
 			outAddr := m.Alloc(1)
 			before = m.Time()
+			m.Phase("seq-tail")
 			err := m.Step(1, func(proc *pram.Proc) {
 				j := bridge
 				for j > 0 && proc.Read(cBase+j-1) >= y {

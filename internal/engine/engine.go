@@ -36,6 +36,7 @@ import (
 
 	"fraccascade/internal/cascade"
 	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
 	"fraccascade/internal/geom"
 	"fraccascade/internal/obs"
 	"fraccascade/internal/pointloc"
@@ -106,6 +107,17 @@ type Answer struct {
 	// CacheHit reports whether a catalog query entered through the
 	// entry-point cache.
 	CacheHit bool
+	// CacheStale reports a cache lookup that hit but whose hinted position
+	// failed O(1) revalidation (a flush raced the lookup); the query fell
+	// back to the full entry search, so CacheHit is false.
+	CacheStale bool
+	// PhaseSteps decomposes Steps by algorithm phase per the Stats cost
+	// model — catalog and planar queries: "root-coop" (Step-1 cooperative
+	// rounds), "hop-descent" (block-jump steps), "seq-tail" (sequential
+	// levels); spatial queries: "discrim" (per-node discrimination rounds)
+	// and "descent" (the rest). Values sum to Steps; zero phases are
+	// omitted. Nil on error.
+	PhaseSteps map[string]int
 	// Rounds is the query's cooperative root-search round count (catalog
 	// and planar queries: Stats.RootRounds; spatial: the summed per-node
 	// discrimination rounds) — the quantity the entry cache absorbs.
@@ -202,7 +214,13 @@ type Engine struct {
 	obsSteps  *obs.Histogram  // batch parallel time
 	obsSize   *obs.Histogram  // batch size
 	obsWall   *obs.Histogram  // host wall time per batch, ns
+	obsPhase  map[string]*obs.Counter
 }
+
+// phaseOrder fixes the emission order of per-phase child spans and the
+// counter set created in New: first the catalog/planar decomposition, then
+// the spatial one.
+var phaseOrder = [...]string{"root-coop", "hop-descent", "seq-tail", "discrim", "descent"}
 
 // New builds an engine over the given shards and locators. Any backend may
 // be absent (nil locators, empty shard list); queries of an unserved kind
@@ -251,6 +269,10 @@ func New(cfg Config, shards []CatalogBackend, pl *pointloc.Locator, sp *spatial.
 		e.obsSteps = r.Histogram("engine.batch.steps")
 		e.obsSize = r.Histogram("engine.batch.size")
 		e.obsWall = r.Histogram("engine.batch.wall_ns")
+		e.obsPhase = make(map[string]*obs.Counter, len(phaseOrder))
+		for _, label := range phaseOrder {
+			e.obsPhase[label] = r.Counter("engine.phase." + label + ".steps")
+		}
 		// Pool and queue depths are pulled at snapshot time rather than
 		// mirrored per event — the pool's own atomics stay the ground
 		// truth and the batch hot path is untouched.
@@ -338,6 +360,11 @@ func (e *Engine) observeBatch(answers []Answer, rep BatchReport, stepBase uint64
 		if q.Kind == KindCatalog && e.obsShardQ != nil && q.Shard >= 0 && q.Shard < len(e.obsShardQ) {
 			e.obsShardQ[q.Shard].Inc()
 		}
+		if e.obsPhase != nil {
+			for label, n := range answers[i].PhaseSteps {
+				e.obsPhase[label].Add(int64(n))
+			}
+		}
 	}
 	if e.tracer == nil {
 		return
@@ -361,10 +388,42 @@ func (e *Engine) observeBatch(answers []Answer, rep BatchReport, stepBase uint64
 			StepHi:   stepBase + uint64(a.Steps),
 			CacheHit: a.CacheHit,
 		}
+		if a.Query.Kind == KindCatalog && a.Err == nil {
+			switch {
+			case a.CacheHit:
+				s.Cache = "hit"
+			case a.CacheStale:
+				s.Cache = "stale"
+			default:
+				s.Cache = "miss"
+			}
+		}
 		if a.Err != nil {
 			s.Err = a.Err.Error()
 		}
 		e.tracer.Emit(s)
+		// Per-phase child spans partition the parent's window in the fixed
+		// phase order, each carrying the parent's id.
+		off := s.StepLo
+		for _, label := range phaseOrder {
+			n := a.PhaseSteps[label]
+			if n == 0 {
+				continue
+			}
+			e.tracer.Emit(obs.Span{
+				ID:     e.qid.Add(1),
+				Batch:  bid,
+				Parent: s.ID,
+				Kind:   s.Kind,
+				Shard:  s.Shard,
+				Phase:  label,
+				P:      a.P,
+				Steps:  n,
+				StepLo: off,
+				StepHi: off + uint64(n),
+			})
+			off += uint64(n)
+		}
 	}
 }
 
@@ -423,6 +482,45 @@ func (e *Engine) Flush() ([]Answer, []BatchReport, error) {
 	return answers, reports, nil
 }
 
+// catalogPhases decomposes a catalog/planar search's step count by the
+// Stats identity Steps = RootRounds + hop steps + SeqLevels (checked by
+// the cost-model tests); zero phases are omitted so empty components don't
+// clutter spans.
+func catalogPhases(s core.Stats) map[string]int {
+	hop := s.Steps - s.RootRounds - s.SeqLevels
+	if hop < 0 {
+		hop = 0
+	}
+	m := make(map[string]int, 3)
+	if s.RootRounds > 0 {
+		m["root-coop"] = s.RootRounds
+	}
+	if hop > 0 {
+		m["hop-descent"] = hop
+	}
+	if s.SeqLevels > 0 {
+		m["seq-tail"] = s.SeqLevels
+	}
+	return m
+}
+
+// spatialPhases decomposes a spatial location into the per-node planar
+// discrimination rounds and the remaining descent steps.
+func spatialPhases(s spatial.Stats) map[string]int {
+	discrim := s.DiscrimRounds
+	if discrim > s.Steps {
+		discrim = s.Steps
+	}
+	m := make(map[string]int, 2)
+	if discrim > 0 {
+		m["discrim"] = discrim
+	}
+	if rest := s.Steps - discrim; rest > 0 {
+		m["descent"] = rest
+	}
+	return m
+}
+
 // runQuery executes one query with processor share p. useCache gates the
 // entry-point cache (the sequential baseline runs without it).
 func (e *Engine) runQuery(q Query, p int, useCache bool) Answer {
@@ -437,6 +535,9 @@ func (e *Engine) runQuery(q Query, p int, useCache bool) Answer {
 		}
 		region, stats, err := e.pl.LocateCoop(q.Point, p)
 		a.Region, a.Steps, a.Rounds, a.Err = region, stats.Steps, stats.RootRounds, err
+		if err == nil {
+			a.PhaseSteps = catalogPhases(stats)
+		}
 	case KindSpatial:
 		if e.sp == nil {
 			a.Err = fmt.Errorf("engine: no spatial backend configured")
@@ -444,6 +545,9 @@ func (e *Engine) runQuery(q Query, p int, useCache bool) Answer {
 		}
 		cell, stats, err := e.sp.LocateCoop(q.SX, q.SY, q.SZ, p)
 		a.Cell, a.Steps, a.Rounds, a.Err = cell, stats.Steps, stats.DiscrimRounds, err
+		if err == nil {
+			a.PhaseSteps = spatialPhases(stats)
+		}
 	default:
 		a.Err = fmt.Errorf("engine: unknown query kind %d", q.Kind)
 	}
@@ -468,10 +572,14 @@ func (e *Engine) runCatalog(a *Answer, q Query, p int, useCache bool) {
 		if pos, ok := cache.lookup(q.Path[0], q.Key, gen); ok {
 			results, stats, used, err := be.SearchExplicitWithEntry(q.Key, q.Path, p, pos)
 			a.Results, a.Steps, a.Rounds, a.Err = results, stats.Steps, stats.RootRounds, err
+			if err == nil {
+				a.PhaseSteps = catalogPhases(stats)
+			}
 			if used {
 				a.CacheHit = true
 				return
 			}
+			a.CacheStale = true
 			// The hint failed validation (a flush raced between the
 			// generation read and the search): the full entry search
 			// already ran inside SearchExplicitWithEntry, so the answer
@@ -485,8 +593,11 @@ func (e *Engine) runCatalog(a *Answer, q Query, p int, useCache bool) {
 	}
 	results, stats, err := be.SearchExplicit(q.Key, q.Path, p)
 	a.Results, a.Steps, a.Rounds, a.Err = results, stats.Steps, stats.RootRounds, err
-	if err == nil && useCache {
-		e.fillEntry(be, cache, q)
+	if err == nil {
+		a.PhaseSteps = catalogPhases(stats)
+		if useCache {
+			e.fillEntry(be, cache, q)
+		}
 	}
 }
 

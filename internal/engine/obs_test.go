@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -101,17 +102,41 @@ func TestObsCountersMatchEngineGroundTruth(t *testing.T) {
 		t.Fatalf("engine.pool.steals = %d, want %d", got, m.Steals)
 	}
 
-	// One span per query; step ranges are internally consistent.
-	if ring.Total() != wantQueries {
-		t.Fatalf("spans emitted = %d, want %d", ring.Total(), wantQueries)
-	}
+	// One query span (Parent == 0) per query, plus per-phase children; all
+	// step ranges are internally consistent.
+	var querySpans int64
 	for _, s := range ring.Spans() {
+		if s.Parent == 0 {
+			querySpans++
+		} else if s.Phase == "" {
+			t.Fatalf("child span %d lacks a phase label: %+v", s.ID, s)
+		}
 		if s.StepHi-s.StepLo != uint64(s.Steps) {
 			t.Fatalf("span %d: step range [%d,%d) inconsistent with Steps=%d", s.ID, s.StepLo, s.StepHi, s.Steps)
 		}
 		if s.Kind == "" || s.P < 1 {
 			t.Fatalf("span %d: missing kind/p: %+v", s.ID, s)
 		}
+	}
+	if querySpans != int64(wantQueries) {
+		t.Fatalf("query spans emitted = %d, want %d", querySpans, wantQueries)
+	}
+
+	// Per-phase step counters partition the summed per-query step counts
+	// (each query's phase decomposition sums to its Steps).
+	var phaseSum, answerSteps int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "engine.phase.") && strings.HasSuffix(name, ".steps") {
+			phaseSum += v
+		}
+	}
+	for _, s := range ring.Spans() {
+		if s.Parent == 0 && s.Err == "" {
+			answerSteps += int64(s.Steps)
+		}
+	}
+	if phaseSum != answerSteps {
+		t.Fatalf("engine.phase.*.steps sum to %d, successful query steps sum to %d", phaseSum, answerSteps)
 	}
 }
 
@@ -170,8 +195,15 @@ func TestSpanStepClockAbutsAcrossBatches(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		spans := ring.Spans()
-		batchSpans := spans[len(spans)-len(qs):]
+		var batchSpans, children []obs.Span
+		for _, s := range ring.Spans() {
+			if s.Parent == 0 {
+				batchSpans = append(batchSpans, s)
+			} else {
+				children = append(children, s)
+			}
+		}
+		batchSpans = batchSpans[len(batchSpans)-len(qs):]
 		var maxHi uint64
 		for _, s := range batchSpans {
 			if s.StepLo != clock {
@@ -179,6 +211,25 @@ func TestSpanStepClockAbutsAcrossBatches(t *testing.T) {
 			}
 			if s.StepHi > maxHi {
 				maxHi = s.StepHi
+			}
+			// Phase children partition the parent's window exactly.
+			off := s.StepLo
+			var phased int
+			for _, c := range children {
+				if c.Parent != s.ID {
+					continue
+				}
+				if c.StepLo != off {
+					t.Fatalf("round %d: child %q StepLo = %d, want %d", round, c.Phase, c.StepLo, off)
+				}
+				if c.Phase == "" {
+					t.Fatalf("round %d: child of span %d has empty phase", round, s.ID)
+				}
+				off = c.StepHi
+				phased += c.Steps
+			}
+			if s.Err == "" && phased != s.Steps {
+				t.Fatalf("round %d: phase children sum to %d steps, parent has %d", round, phased, s.Steps)
 			}
 		}
 		if maxHi != clock+uint64(rep.Steps) {

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestHistogramP95 pins the new p95 estimate: like the other quantiles it
+// is the containing bucket's upper bound, capped at the observed max.
+func TestHistogramP95(t *testing.T) {
+	h := &Histogram{}
+	// 100 observations: 94 land in bucket (16,32], 6 in (1024,2048].
+	for i := 0; i < 94; i++ {
+		h.Observe(20)
+	}
+	for i := 0; i < 6; i++ {
+		h.Observe(1500)
+	}
+	s := h.Snapshot()
+	if s.P50 != 31 {
+		t.Fatalf("P50 = %d, want 31 (bucket upper bound)", s.P50)
+	}
+	// Rank ⌈0.95·100⌉ = 95 falls in the high bucket, capped at max 1500.
+	if s.P95 != 1500 {
+		t.Fatalf("P95 = %d, want 1500", s.P95)
+	}
+	if s.P99 != 1500 {
+		t.Fatalf("P99 = %d, want 1500", s.P99)
+	}
+}
+
+// TestWriteTextInterleavesDeterministically exercises the merged-name
+// ordering: func gauges and histograms sort into one sequence, each name
+// appearing exactly once, p95 included on histogram lines.
+func TestWriteTextInterleavesDeterministically(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("m.b.hist").Observe(7)
+	r.RegisterFunc("m.a.func", func() int64 { return 3 })
+	r.RegisterFunc("m.c.func", func() int64 { return 4 })
+	r.Counter("m.d.count").Add(9)
+
+	var first string
+	for i := 0; i < 5; i++ {
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = buf.String()
+			continue
+		}
+		if buf.String() != first {
+			t.Fatalf("snapshot text changed between renders:\n%s\nvs\n%s", first, buf.String())
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(first), "\n")
+	wantOrder := []string{"m.a.func 3", "m.b.hist count=1", "m.c.func 4", "m.d.count 9"}
+	if len(lines) != len(wantOrder) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(wantOrder), first)
+	}
+	for i, prefix := range wantOrder {
+		if !strings.HasPrefix(lines[i], prefix) {
+			t.Fatalf("line %d = %q, want prefix %q", i, lines[i], prefix)
+		}
+	}
+	if !strings.Contains(lines[1], "p95=") {
+		t.Fatalf("histogram line lacks p95: %q", lines[1])
+	}
+}
+
+// TestWritePromFormat checks the Prometheus exposition against the text
+// format's grammar: TYPE lines precede their family, counters end in
+// _total, histograms expose cumulative buckets with a +Inf terminator, and
+// all names are in the legal charset.
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.queries").Add(12)
+	r.Gauge("pram.peak_active").Set(64)
+	r.RegisterFunc("engine.pool.workers", func() int64 { return 8 })
+	h := r.Histogram("engine.batch.steps")
+	h.Observe(3)
+	h.Observe(17)
+	h.Observe(17)
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if errs := LintProm(out); len(errs) > 0 {
+		t.Fatalf("prom lint failed: %v\noutput:\n%s", errs, out)
+	}
+	for _, want := range []string{
+		"# TYPE engine_queries_total counter",
+		"engine_queries_total 12",
+		"# TYPE pram_peak_active gauge",
+		"engine_pool_workers 8",
+		"# TYPE engine_batch_steps histogram",
+		`engine_batch_steps_bucket{le="+Inf"} 3`,
+		"engine_batch_steps_sum 37",
+		"engine_batch_steps_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: le="3" covers the 3 observation, le="31"
+	// all three.
+	if !strings.Contains(out, `engine_batch_steps_bucket{le="3"} 1`) {
+		t.Fatalf("non-cumulative low bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `engine_batch_steps_bucket{le="31"} 3`) {
+		t.Fatalf("non-cumulative high bucket:\n%s", out)
+	}
+}
+
+// TestWriteProfilePprofParseable decodes the gzipped profile.proto output
+// with a minimal reader: it must gunzip, and the string table must contain
+// the sample type and every phase frame.
+func TestWriteProfilePprofParseable(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteStepsProfile(&buf,
+		map[string]int64{"search/root-coop": 11, "search/hop-descent": 4, "seq-tail": 2},
+		map[string]int64{"search/root-coop": 44, "search/hop-descent": 16, "seq-tail": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("profile is not gzipped: %v", err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frame := range []string{"steps", "work", "count", "search", "root-coop", "hop-descent", "seq-tail"} {
+		if !bytes.Contains(raw, []byte(frame)) {
+			t.Fatalf("decoded profile lacks string %q", frame)
+		}
+	}
+}
+
+// TestSplitPhasePath pins the path-to-stack rules, including the
+// degenerate inputs.
+func TestSplitPhasePath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"root-coop", []string{"root-coop"}},
+		{"search/root-coop", []string{"search", "root-coop"}},
+		{"a/b/c", []string{"a", "b", "c"}},
+		{"", []string{"unlabeled"}},
+		{"//", []string{"unlabeled"}},
+		{"/x/", []string{"x"}},
+	}
+	for _, c := range cases {
+		got := splitPhasePath(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("splitPhasePath(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("splitPhasePath(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}

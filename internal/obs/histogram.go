@@ -59,9 +59,9 @@ func (h *Histogram) Observe(v int64) {
 type HistogramSnapshot struct {
 	// Count and Sum aggregate all observations; Max is the largest.
 	Count, Sum, Max int64
-	// P50, P90, and P99 are approximate quantiles: the upper bound of the
-	// log₂ bucket containing the quantile rank.
-	P50, P90, P99 int64
+	// P50, P90, P95, and P99 are approximate quantiles: the upper bound of
+	// the log₂ bucket containing the quantile rank (capped at Max).
+	P50, P90, P95, P99 int64
 	// Buckets holds the per-bucket counts (index per bucketOf).
 	Buckets [histBuckets]int64
 }
@@ -125,6 +125,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	s.P50 = s.quantile(0.50)
 	s.P90 = s.quantile(0.90)
+	s.P95 = s.quantile(0.95)
 	s.P99 = s.quantile(0.99)
 	return s
 }

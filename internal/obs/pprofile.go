@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is a minimal, dependency-free encoder for the pprof
+// profile.proto wire format (github.com/google/pprof/proto/profile.proto),
+// used to export *simulated* cost profiles — PRAM steps attributed to
+// algorithm phases — in a shape `go tool pprof` understands: sample values
+// are phase step/work totals and the call stack is the phase path, so
+// -top, -tree, and flamegraph views work on simulated parallel time the
+// same way they work on CPU seconds.
+//
+// Only the message fields pprof requires are emitted: sample types,
+// samples, locations (one synthetic location per distinct phase-path
+// frame), functions, and the string table. The output is gzipped, which is
+// the framing every pprof consumer accepts.
+
+// ProfileSample is one weighted stack for BuildProfile: Stack is the phase
+// path ordered root-first (e.g. ["search", "root-coop"]), Values holds one
+// value per sample type passed to BuildProfile.
+type ProfileSample struct {
+	Stack  []string
+	Values []int64
+}
+
+// protoBuf is a tiny protobuf writer: varints and length-delimited fields
+// appended to a byte slice.
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// tag writes a field key; wire type 0 = varint, 2 = length-delimited.
+func (p *protoBuf) tag(field int, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (p *protoBuf) uint64Field(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(v)
+}
+
+func (p *protoBuf) int64Field(field int, v int64) { p.uint64Field(field, uint64(v)) }
+
+func (p *protoBuf) bytesField(field int, data []byte) {
+	p.tag(field, 2)
+	p.varint(uint64(len(data)))
+	p.b = append(p.b, data...)
+}
+
+func (p *protoBuf) stringField(field int, s string) { p.bytesField(field, []byte(s)) }
+
+// WriteProfile encodes samples as a gzipped pprof profile with the given
+// sample types (name/unit pairs, e.g. {"steps","count"}). Every sample must
+// carry exactly len(sampleTypes) values and a non-empty stack. Output is
+// deterministic for a given input order.
+func WriteProfile(w io.Writer, sampleTypes [][2]string, samples []ProfileSample) error {
+	if len(sampleTypes) == 0 {
+		return fmt.Errorf("obs: profile needs at least one sample type")
+	}
+	// String table: index 0 must be the empty string.
+	strIdx := map[string]int{"": 0}
+	strTab := []string{""}
+	intern := func(s string) int {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		strIdx[s] = len(strTab)
+		strTab = append(strTab, s)
+		return len(strTab) - 1
+	}
+
+	// One synthetic function+location per distinct frame name, ids dense
+	// from 1 in first-use order so encoding is deterministic.
+	locIdx := map[string]uint64{}
+	var locNames []string
+	locOf := func(frame string) uint64 {
+		if id, ok := locIdx[frame]; ok {
+			return id
+		}
+		id := uint64(len(locNames) + 1)
+		locIdx[frame] = id
+		locNames = append(locNames, frame)
+		return id
+	}
+
+	var body protoBuf
+	// Field 1: sample_type (ValueType{type=1, unit=2}).
+	for _, st := range sampleTypes {
+		var vt protoBuf
+		vt.int64Field(1, int64(intern(st[0])))
+		vt.int64Field(2, int64(intern(st[1])))
+		body.bytesField(1, vt.b)
+	}
+	// Field 2: sample (Sample{location_id=1 repeated, value=2 repeated}).
+	for _, s := range samples {
+		if len(s.Stack) == 0 {
+			return fmt.Errorf("obs: profile sample with empty stack")
+		}
+		if len(s.Values) != len(sampleTypes) {
+			return fmt.Errorf("obs: profile sample has %d values, want %d", len(s.Values), len(sampleTypes))
+		}
+		var sm protoBuf
+		// Locations are leaf-first in the wire format; Stack is root-first.
+		for i := len(s.Stack) - 1; i >= 0; i-- {
+			sm.uint64Field(1, locOf(s.Stack[i]))
+		}
+		var vals protoBuf
+		for _, v := range s.Values {
+			vals.varint(uint64(v))
+		}
+		sm.bytesField(2, vals.b) // packed int64s
+		body.bytesField(2, sm.b)
+	}
+	// Field 4: location (Location{id=1, line=4 Line{function_id=1}}), and
+	// field 5: function (Function{id=1, name=2, system_name=3}).
+	for i, name := range locNames {
+		id := uint64(i + 1)
+		var line protoBuf
+		line.uint64Field(1, id)
+		var loc protoBuf
+		loc.uint64Field(1, id)
+		loc.bytesField(4, line.b)
+		body.bytesField(4, loc.b)
+
+		var fn protoBuf
+		fn.uint64Field(1, id)
+		fn.int64Field(2, int64(intern(name)))
+		fn.int64Field(3, int64(intern(name)))
+		body.bytesField(5, fn.b)
+	}
+	// Field 6: string_table.
+	for _, s := range strTab {
+		body.stringField(6, s)
+	}
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(body.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// WriteStepsProfile renders a flat label → (steps, work) profile — the
+// shape the PRAM phase profiler and the engine's phase counters produce —
+// as a pprof profile. Labels may embed "/" to express a phase path
+// ("search/root-coop" becomes a two-frame stack). Samples are emitted in
+// sorted label order so the output is reproducible. Steps is the LAST
+// sample type because pprof defaults to the last one: `go tool pprof -top`
+// shows simulated parallel time out of the box, with work reachable via
+// -sample_index=work (the cpu-profile samples/cpu convention).
+func WriteStepsProfile(w io.Writer, steps map[string]int64, work map[string]int64) error {
+	labels := make([]string, 0, len(steps))
+	for l := range steps {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	samples := make([]ProfileSample, 0, len(labels))
+	for _, l := range labels {
+		samples = append(samples, ProfileSample{
+			Stack:  splitPhasePath(l),
+			Values: []int64{work[l], steps[l]},
+		})
+	}
+	return WriteProfile(w, [][2]string{{"work", "count"}, {"steps", "count"}}, samples)
+}
+
+// splitPhasePath splits a phase label on "/" into a root-first stack,
+// treating empty segments and an empty label as the "unlabeled" frame.
+func splitPhasePath(label string) []string {
+	if label == "" {
+		return []string{"unlabeled"}
+	}
+	var out []string
+	start := 0
+	for i := 0; i <= len(label); i++ {
+		if i == len(label) || label[i] == '/' {
+			if i > start {
+				out = append(out, label[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if len(out) == 0 {
+		return []string{"unlabeled"}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteProm renders a point-in-time snapshot of the registry in the
+// Prometheus text exposition format (version 0.0.4) — the surface behind
+// coopserve's GET /metrics:
+//
+//   - counters export as "<name>_total" with "# TYPE ... counter";
+//   - gauges and func gauges export as gauges;
+//   - log₂ histograms export as native Prometheus histograms with
+//     cumulative "_bucket{le=...}" series (bucket upper bounds from the
+//     log₂ boundaries), "_sum", and "_count".
+//
+// Metric names are sanitised to the Prometheus charset (dots and any other
+// illegal runes become underscores) and families are emitted in sorted
+// order, so the output is deterministic for a fixed snapshot.
+func (r *Registry) WriteProm(w io.Writer) error {
+	s := r.Snapshot()
+	type family struct {
+		kind  string // "counter", "gauge", "histogram"
+		value int64
+		hist  HistogramSnapshot
+	}
+	fams := map[string]family{}
+	for n, v := range s.Counters {
+		fams[promName(n)+"_total"] = family{kind: "counter", value: v}
+	}
+	for n, v := range s.Gauges {
+		fams[promName(n)] = family{kind: "gauge", value: v}
+	}
+	for n, v := range s.Funcs {
+		fams[promName(n)] = family{kind: "gauge", value: v}
+	}
+	for n, h := range s.Histograms {
+		fams[promName(n)] = family{kind: "histogram", hist: h}
+	}
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, f.kind); err != nil {
+			return err
+		}
+		switch f.kind {
+		case "histogram":
+			if err := writePromHistogram(w, n, f.hist); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %d\n", n, f.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits the cumulative bucket series for one histogram.
+// Only buckets up to the highest non-empty one are listed (plus +Inf),
+// keeping the exposition compact while staying cumulative-correct.
+func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
+	highest := -1
+	for i, c := range h.Buckets {
+		if c > 0 {
+			highest = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= highest; i++ {
+		cum += h.Buckets[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bucketUpper(i), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	return err
+}
+
+// LintProm validates text against the Prometheus text exposition grammar
+// this package emits, returning one message per violation (empty when
+// clean). It checks that every line is a well-formed comment or sample,
+// that sample names are legal and preceded by a TYPE declaration, that no
+// family declares TYPE twice, and that histogram families carry the
+// mandatory +Inf bucket, _sum, and _count series. Tests use it to lint
+// /metrics responses without a prometheus dependency.
+func LintProm(text string) []string {
+	var errs []string
+	types := map[string]string{}
+	seen := map[string]bool{}
+	histSeries := map[string]map[string]bool{} // family -> {"inf","sum","count"}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && (fields[1] == "TYPE" || fields[1] == "HELP") {
+				if fields[1] == "TYPE" {
+					if len(fields) != 4 {
+						errs = append(errs, fmt.Sprintf("line %d: malformed TYPE comment %q", lineNo, line))
+						continue
+					}
+					name, kind := fields[2], fields[3]
+					switch kind {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						errs = append(errs, fmt.Sprintf("line %d: unknown metric type %q", lineNo, kind))
+					}
+					if _, dup := types[name]; dup {
+						errs = append(errs, fmt.Sprintf("line %d: duplicate TYPE for %s", lineNo, name))
+					}
+					if seen[name] {
+						errs = append(errs, fmt.Sprintf("line %d: TYPE for %s after its samples", lineNo, name))
+					}
+					types[name] = kind
+					if kind == "counter" && !strings.HasSuffix(name, "_total") {
+						errs = append(errs, fmt.Sprintf("line %d: counter %s should end in _total", lineNo, name))
+					}
+				}
+				continue
+			}
+			continue // free-form comment
+		}
+		// Sample line: name[{labels}] value.
+		rest := line
+		labels := ""
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			j := strings.IndexByte(rest, '}')
+			if j < i {
+				errs = append(errs, fmt.Sprintf("line %d: unbalanced braces in %q", lineNo, line))
+				continue
+			}
+			labels = rest[i+1 : j]
+			rest = rest[:i] + rest[j+1:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 2 || len(fields) > 3 {
+			errs = append(errs, fmt.Sprintf("line %d: malformed sample %q", lineNo, line))
+			continue
+		}
+		name := fields[0]
+		if promName(name) != name {
+			errs = append(errs, fmt.Sprintf("line %d: illegal metric name %q", lineNo, name))
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name && types[trimmed] == "histogram" {
+				family = trimmed
+				if histSeries[family] == nil {
+					histSeries[family] = map[string]bool{}
+				}
+				switch suffix {
+				case "_sum":
+					histSeries[family]["sum"] = true
+				case "_count":
+					histSeries[family]["count"] = true
+				case "_bucket":
+					if strings.Contains(labels, `le="+Inf"`) {
+						histSeries[family]["inf"] = true
+					}
+				}
+				break
+			}
+		}
+		seen[family] = true
+		if _, ok := types[family]; !ok {
+			errs = append(errs, fmt.Sprintf("line %d: sample %s without TYPE declaration", lineNo, family))
+		}
+	}
+	for fam, kind := range types {
+		if !seen[fam] {
+			errs = append(errs, fmt.Sprintf("TYPE %s declared but no samples emitted", fam))
+		}
+		if kind == "histogram" {
+			for _, part := range []string{"inf", "sum", "count"} {
+				if !histSeries[fam][part] {
+					errs = append(errs, fmt.Sprintf("histogram %s missing %s series", fam, part))
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// promName maps a dot-separated metric name onto the Prometheus name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}

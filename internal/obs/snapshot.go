@@ -91,23 +91,31 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for n, v := range s.Funcs {
 		scalar[n] = v
 	}
+	// Merge the two name spaces with dedup: a histogram and a scalar (for
+	// example a func gauge) may legitimately share a name across registries
+	// over time, and the old concatenation emitted such a name twice —
+	// making the interleaved ordering of func gauges and histograms depend
+	// on map iteration. One sorted pass over unique names is deterministic.
 	names := make([]string, 0, len(scalar)+len(s.Histograms))
 	for n := range scalar {
 		names = append(names, n)
 	}
 	for n := range s.Histograms {
-		names = append(names, n)
+		if _, dup := scalar[n]; !dup {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		var err error
 		if h, ok := s.Histograms[n]; ok {
-			_, err = fmt.Fprintf(w, "%s count=%d sum=%d mean=%.1f p50=%d p90=%d p99=%d max=%d\n",
-				n, h.Count, h.Sum, h.Mean(), h.P50, h.P90, h.P99, h.Max)
-		} else {
-			_, err = fmt.Fprintf(w, "%s %d\n", n, scalar[n])
+			_, err := fmt.Fprintf(w, "%s count=%d sum=%d mean=%.1f p50=%d p90=%d p95=%d p99=%d max=%d\n",
+				n, h.Count, h.Sum, h.Mean(), h.P50, h.P90, h.P95, h.P99, h.Max)
+			if err != nil {
+				return err
+			}
+			continue
 		}
-		if err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, scalar[n]); err != nil {
 			return err
 		}
 	}

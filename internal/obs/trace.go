@@ -12,15 +12,24 @@ import (
 // clock — [StepLo, StepHi) is the simulated step range the query occupied
 // within its batch's window, so spans of one batch overlap (the queries
 // run concurrently on disjoint processor groups) while batches abut.
+//
+// A query span may be followed by per-phase child spans: Parent carries
+// the query span's ID, Phase the phase label ("root-coop", "hop-descent",
+// "seq-tail", ...), and [StepLo, StepHi) the phase's sub-range of the
+// parent's window. Phase steps of one parent partition the parent's Steps.
 type Span struct {
 	// ID is the engine-unique query id; Batch the id of the batch that
-	// executed it.
-	ID    uint64 `json:"id"`
-	Batch uint64 `json:"batch"`
+	// executed it. Parent is 0 for query spans and the parent query span's
+	// ID for per-phase child spans.
+	ID     uint64 `json:"id"`
+	Batch  uint64 `json:"batch"`
+	Parent uint64 `json:"parent,omitempty"`
 	// Kind is the query kind ("catalog", "point", "spatial"); Shard the
-	// catalog shard (0 otherwise).
+	// catalog shard (0 otherwise). Phase is empty on query spans and the
+	// phase label on child spans.
 	Kind  string `json:"kind"`
 	Shard int    `json:"shard"`
+	Phase string `json:"phase,omitempty"`
 	// P is the processor share; Rounds the Step-1 cooperative root-search
 	// rounds (catalog queries); Steps the query's simulated parallel time.
 	P      int `json:"p"`
@@ -30,10 +39,15 @@ type Span struct {
 	// clock: StepHi - StepLo == Steps.
 	StepLo uint64 `json:"step_lo"`
 	StepHi uint64 `json:"step_hi"`
-	// CacheHit reports an entry-cache hit; Err the failure message, "" on
-	// success.
+	// Cache is the entry-cache outcome of a catalog query: "hit", "miss",
+	// or "stale" (a hit whose hinted position failed O(1) revalidation
+	// because a flush raced the lookup; the query fell back to the full
+	// entry search). Empty for non-catalog queries, phase children, and
+	// uncached execution. CacheHit mirrors Cache == "hit".
+	Cache    string `json:"cache,omitempty"`
 	CacheHit bool   `json:"cache_hit,omitempty"`
-	Err      string `json:"err,omitempty"`
+	// Err is the failure message, "" on success.
+	Err string `json:"err,omitempty"`
 }
 
 // Tracer receives completed search spans. Implementations must be safe for

@@ -16,6 +16,7 @@ func NextPointersPRAM(m pram.Executor, flagsBase, n, nextBase int) error {
 	if n == 0 {
 		return nil
 	}
+	m.Phase("link")
 	// Initialise next[i] = n.
 	err := m.Step(n, func(p *pram.Proc) {
 		p.Write(nextBase+p.ID, int64(n))

@@ -29,6 +29,7 @@ type diffResult struct {
 	work       int64
 	skipped    int64
 	peakActive int
+	profile    string
 }
 
 func runPrimitive(t *testing.T, pr primitiveRun, x pram.Executor) diffResult {
@@ -36,7 +37,12 @@ func runPrimitive(t *testing.T, pr primitiveRun, x pram.Executor) diffResult {
 	if pr.hook != nil {
 		x.SetFaultHook(pr.hook)
 	}
+	prof := pram.NewProfile()
+	x.SetProfile(prof)
 	err := pr.run(x)
+	if prof.TotalSteps() != x.Time() {
+		t.Fatalf("%s: phase steps %d do not sum to Time %d", pr.name, prof.TotalSteps(), x.Time())
+	}
 	return diffResult{
 		err:        err,
 		mem:        x.LoadSlice(0, x.MemWords()),
@@ -44,6 +50,7 @@ func runPrimitive(t *testing.T, pr primitiveRun, x pram.Executor) diffResult {
 		work:       x.Work(),
 		skipped:    x.Skipped(),
 		peakActive: x.PeakActive(),
+		profile:    prof.String(),
 	}
 }
 
@@ -69,6 +76,9 @@ func comparePrimitive(t *testing.T, name string, want, got diffResult) {
 		if want.mem[i] != got.mem[i] {
 			t.Fatalf("%s: memory differs at %d: %d vs %d", name, i, want.mem[i], got.mem[i])
 		}
+	}
+	if want.profile != got.profile {
+		t.Fatalf("%s: phase profiles differ:\n%s\nvs\n%s", name, want.profile, got.profile)
 	}
 }
 

@@ -36,6 +36,7 @@ func MergePRAM(m pram.Executor, aBase, na, bBase, nb, outBase int) error {
 	if na+nb == 0 {
 		return nil
 	}
+	m.Phase("merge")
 	// scratch: per-processor [lo, hi) interval state.
 	lo := make([]int, na+nb)
 	hi := make([]int, na+nb)
@@ -122,6 +123,7 @@ func ScanWorkOptimalPRAM(m pram.Executor, base, n, scratch int) error {
 	}
 	blocks := (n + blockSize - 1) / blockSize
 	// Phase 1: serial block sums (blockSize steps with `blocks` procs).
+	m.Phase("scan-blocks")
 	for k := 0; k < blockSize; k++ {
 		err := m.Step(blocks, func(p *pram.Proc) {
 			i := p.ID*blockSize + k
@@ -146,6 +148,7 @@ func ScanWorkOptimalPRAM(m pram.Executor, base, n, scratch int) error {
 	// Phase 3: serial redistribution. Each processor walks its block,
 	// carrying the running prefix; element i is replaced by the prefix
 	// before it.
+	m.Phase("scan-spread")
 	carry := make([]int64, blocks)
 	for k := 0; k < blockSize; k++ {
 		err := m.Step(blocks, func(p *pram.Proc) {

@@ -125,6 +125,7 @@ func CoopSearchPRAM(m pram.Executor, keysBase, n int, y int64, p, scratch, resul
 	if p < 1 {
 		p = 1
 	}
+	m.Phase("root-coop")
 	loA, hiA, flags := scratch, scratch+1, scratch+2
 	m.Store(loA, 0)
 	m.Store(hiA, int64(n))
@@ -240,6 +241,7 @@ func ScanExclusivePRAM(m pram.Executor, base, n int) error {
 		return nil
 	}
 	size := 1 << CeilLog2(n)
+	m.Phase("scan")
 	// Up-sweep.
 	for d := 1; d < size; d <<= 1 {
 		pairs := size / (2 * d)
@@ -279,6 +281,7 @@ func ScanExclusivePRAM(m pram.Executor, base, n int) error {
 // EREW-legal program, writing it to resultAddr. The block is consumed as
 // scratch.
 func ReduceMaxPRAM(m pram.Executor, base, n, resultAddr int) error {
+	m.Phase("reduce")
 	for span := n; span > 1; {
 		half := (span + 1) / 2
 		err := m.Step(span/2, func(p *pram.Proc) {

@@ -54,13 +54,15 @@ func genProgram(rng *rand.Rand, procs, words, steps, maxOps int) randProgram {
 }
 
 // run executes the program on x until completion or first error, returning
-// the error (nil on success).
+// the error (nil on success). Steps are labelled in blocks of three so the
+// phase profiler sees multiple phases and phase switches on every program.
 func (prog randProgram) run(x Executor) error {
 	base := x.Alloc(prog.words)
 	for i := 0; i < prog.words; i++ {
 		x.Store(base+i, int64(7*i+1))
 	}
 	for s := range prog.steps {
+		x.Phase("phase-" + itoa(int64(s/3)))
 		ops := prog.steps[s]
 		err := x.Step(prog.procs, func(p *Proc) {
 			op := ops[p.ID]
@@ -88,6 +90,7 @@ type execState struct {
 	skipped    int64
 	peakActive int
 	metrics    string
+	profile    string
 }
 
 func snapshot(x Executor, err error, reg *obs.Registry) execState {
@@ -101,6 +104,12 @@ func snapshot(x Executor, err error, reg *obs.Registry) execState {
 	}
 	if reg != nil {
 		st.metrics = metricsText(reg)
+	}
+	if p := x.Profile(); p != nil {
+		st.profile = p.String()
+		if err == nil && p.TotalSteps() != x.Time() {
+			panic("profile steps do not sum to Time on a legal run")
+		}
 	}
 	return st
 }
@@ -154,6 +163,9 @@ func diffStates(t *testing.T, label string, a, b execState) {
 	if a.metrics != b.metrics {
 		t.Fatalf("%s: metrics snapshots differ:\n%s\nvs\n%s", label, a.metrics, b.metrics)
 	}
+	if a.profile != b.profile {
+		t.Fatalf("%s: phase profiles differ:\n%s\nvs\n%s", label, a.profile, b.profile)
+	}
 }
 
 // TestExecutorDifferentialRandomPrograms replays seeded random step
@@ -192,6 +204,7 @@ func TestExecutorDifferentialRandomPrograms(t *testing.T) {
 			run := func(x Executor) execState {
 				reg := obs.NewRegistry()
 				x.SetMetrics(reg)
+				x.SetProfile(NewProfile())
 				if plan != nil {
 					x.SetFaultHook(plan)
 				}

@@ -161,6 +161,16 @@ type Executor interface {
 	FaultHookInstalled() bool
 	// SetMetrics attaches (or, with nil, detaches) an obs registry.
 	SetMetrics(r *obs.Registry)
+	// SetProfile attaches (or, with nil, detaches) a phase-attributed
+	// cost profile; see Profile.
+	SetProfile(p *Profile)
+	// Profile returns the attached profile (nil when none).
+	Profile() *Profile
+	// Phase marks the start of an algorithm phase: every subsequently
+	// charged step is attributed to label in the attached profile. With no
+	// profile attached Phase is a free no-op (zero allocations), so
+	// programs label phases unconditionally.
+	Phase(label string)
 	// Step runs one synchronous step with active processors executing body.
 	Step(active int, body func(p *Proc)) error
 	// Run executes body repeatedly until it returns false, propagating any
@@ -189,6 +199,7 @@ type base struct {
 	peakActive int
 	faults     FaultHook
 	skipped    int64
+	profile    *Profile
 
 	// Observability handles (nil when no registry is attached; every use
 	// is nil-safe, so the disabled hot path is a nil check — see
@@ -263,6 +274,23 @@ func (b *base) SetMetrics(r *obs.Registry) {
 	b.obsPeakActive = r.Gauge("pram.peak_active")
 	b.obsReadConf = r.Counter("pram.conflicts." + b.model.String() + ".read")
 	b.obsWriteConf = r.Counter("pram.conflicts." + b.model.String() + ".write")
+}
+
+// SetProfile attaches (or, with nil, detaches) a phase-attributed cost
+// profile. Attribution happens in the shared charge/conflict passes, so
+// the resulting profile is executor-independent; the whole-machine
+// accessors (Time, Work, ...) are unaffected. ResetCost does not touch
+// the profile — detach or Reset it explicitly.
+func (b *base) SetProfile(p *Profile) { b.profile = p }
+
+// Profile returns the attached profile (nil when none).
+func (b *base) Profile() *Profile { return b.profile }
+
+// Phase marks the start of an algorithm phase; see Executor.Phase.
+func (b *base) Phase(label string) {
+	if b.profile != nil {
+		b.profile.enter(label)
+	}
 }
 
 // Skipped returns the cumulative number of processor-steps lost to the
@@ -369,6 +397,9 @@ func (b *base) checkReads(proc int, reads []int) error {
 	for _, a := range reads {
 		if e := b.rlog[a]; uint32(e) == b.epoch && int32(e>>32) != int32(proc) {
 			b.obsReadConf.Inc()
+			if p := b.profile; p != nil {
+				p.current().ReadConflicts++
+			}
 			return &ConflictError{Model: b.model, Kind: "read", Addr: a, Step: b.steps, ProcA: int(int32(e >> 32)), ProcB: proc}
 		}
 		b.rlog[a] = b.logEntry(int32(proc))
@@ -390,6 +421,9 @@ func (b *base) admitOne(w writeOp) (bool, error) {
 		case CRCWCommon:
 			if b.firstVal[w.addr] != w.val {
 				b.obsWriteConf.Inc()
+				if p := b.profile; p != nil {
+					p.current().WriteConflicts++
+				}
 				return false, &ConflictError{Model: b.model, Kind: "write", Addr: w.addr, Step: b.steps, ProcA: int(int32(e >> 32)), ProcB: int(w.proc)}
 			}
 			return false, nil // same value: drop duplicate
@@ -397,6 +431,9 @@ func (b *base) admitOne(w writeOp) (bool, error) {
 			return false, nil // lowest processor already recorded wins
 		default:
 			b.obsWriteConf.Inc()
+			if p := b.profile; p != nil {
+				p.current().WriteConflicts++
+			}
 			return false, &ConflictError{Model: b.model, Kind: "write", Addr: w.addr, Step: b.steps, ProcA: int(int32(e >> 32)), ProcB: int(w.proc)}
 		}
 	}
@@ -466,6 +503,9 @@ func (b *base) chargeStep(active, skippedNow int) {
 		b.obsSkipped.Add(int64(skippedNow))
 	}
 	b.obsPeakActive.Max(int64(live))
+	if p := b.profile; p != nil {
+		p.current().add(live, skippedNow)
+	}
 }
 
 // checkActive validates a Step's processor request against the budget.

@@ -1,0 +1,242 @@
+package pram
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fraccascade/internal/obs"
+)
+
+// PhaseStats accumulates the cost of all steps attributed to one phase
+// label: the same quantities the executor's whole-machine accessors report,
+// broken down by where in the algorithm they were spent.
+type PhaseStats struct {
+	// Steps counts charged synchronous steps; Work the processor-steps.
+	Steps int
+	Work  int64
+	// Skipped counts processor-steps lost to the fault hook.
+	Skipped int64
+	// PeakActive is the largest per-step live processor count.
+	PeakActive int
+	// ReadConflicts and WriteConflicts count model violations detected
+	// during this phase (the violating step itself is never charged, so a
+	// phase can have conflicts with zero steps).
+	ReadConflicts, WriteConflicts int64
+}
+
+// add folds one charged step into the phase.
+func (ps *PhaseStats) add(live, skippedNow int) {
+	ps.Steps++
+	ps.Work += int64(live)
+	ps.Skipped += int64(skippedNow)
+	if live > ps.PeakActive {
+		ps.PeakActive = live
+	}
+}
+
+// PhaseReport is one labelled entry of a Profile listing.
+type PhaseReport struct {
+	Label string
+	PhaseStats
+}
+
+// Profile is a phase-attributed cost accumulator. Attach one to an
+// executor with SetProfile; programs then mark algorithm phases with
+// Executor.Phase(label), and every subsequently charged step — its work,
+// peak processor count, fault skips, and any detected conflicts — is
+// attributed to the current label. Steps charged before the first Phase
+// call land under "unlabeled".
+//
+// Because attribution happens inside the shared conflict core (the same
+// chargeStep/checkReads/admitOne passes every executor runs), profiles are
+// bit-identical across the barrier, virtual, and uncosted executors for
+// any legal program — asserted by the executor differential harnesses.
+//
+// A Profile is not safe for concurrent use by multiple executors running
+// simultaneously; like the sequential executors it assumes one host
+// control thread. The zero value is not usable; construct with NewProfile.
+// A nil *Profile disables profiling (the attached-executor hot path is a
+// nil check, and Phase() on an unprofiled executor performs no work and no
+// allocations).
+type Profile struct {
+	phases map[string]*PhaseStats
+	order  []string
+	cur    *PhaseStats
+	label  string
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{phases: make(map[string]*PhaseStats)}
+}
+
+// enter makes label the current phase, creating its stats on first use.
+func (p *Profile) enter(label string) {
+	if p == nil || label == p.label && p.cur != nil {
+		return
+	}
+	ps := p.phases[label]
+	if ps == nil {
+		ps = &PhaseStats{}
+		p.phases[label] = ps
+		p.order = append(p.order, label)
+	}
+	p.cur = ps
+	p.label = label
+}
+
+// current returns the stats of the phase in force, lazily (re)creating the
+// entry — "unlabeled" if no Phase call has happened yet, the retained
+// label after a Reset. Laziness keeps never-charged phases out of
+// listings.
+func (p *Profile) current() *PhaseStats {
+	if p.cur == nil {
+		label := p.label
+		if label == "" {
+			label = "unlabeled"
+		}
+		p.enter(label)
+	}
+	return p.cur
+}
+
+// Label returns the label of the phase currently in force ("" before the
+// first step or Phase call).
+func (p *Profile) Label() string {
+	if p == nil {
+		return ""
+	}
+	return p.label
+}
+
+// Get returns the accumulated stats for label (zero value if the label
+// never ran).
+func (p *Profile) Get(label string) PhaseStats {
+	if p == nil {
+		return PhaseStats{}
+	}
+	if ps := p.phases[label]; ps != nil {
+		return *ps
+	}
+	return PhaseStats{}
+}
+
+// Phases lists every phase in first-use order.
+func (p *Profile) Phases() []PhaseReport {
+	if p == nil {
+		return nil
+	}
+	out := make([]PhaseReport, 0, len(p.order))
+	for _, label := range p.order {
+		out = append(out, PhaseReport{Label: label, PhaseStats: *p.phases[label]})
+	}
+	return out
+}
+
+// TotalSteps sums charged steps over all phases. With a profile attached
+// for an executor's whole run this equals the executor's Time() — every
+// charged step is attributed to exactly one phase.
+func (p *Profile) TotalSteps() int {
+	if p == nil {
+		return 0
+	}
+	total := 0
+	for _, ps := range p.phases {
+		total += ps.Steps
+	}
+	return total
+}
+
+// TotalWork sums processor-steps over all phases (equals Work()).
+func (p *Profile) TotalWork() int64 {
+	if p == nil {
+		return 0
+	}
+	var total int64
+	for _, ps := range p.phases {
+		total += ps.Work
+	}
+	return total
+}
+
+// Reset clears all accumulated phases (the attached executor keeps
+// attributing to the label in force).
+func (p *Profile) Reset() {
+	if p == nil {
+		return
+	}
+	clear(p.phases)
+	p.order = p.order[:0]
+	p.cur = nil
+}
+
+// Equal reports whether two profiles hold identical phases with identical
+// stats in identical first-use order — the relation the executor
+// differential harnesses assert.
+func (p *Profile) Equal(q *Profile) bool {
+	po, qo := p.Phases(), q.Phases()
+	if len(po) != len(qo) {
+		return false
+	}
+	for i := range po {
+		if po[i] != qo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the profile as one "label: stats" line per phase in
+// first-use order, for test diffs and CLI output.
+func (p *Profile) String() string {
+	var sb strings.Builder
+	for _, pr := range p.Phases() {
+		fmt.Fprintf(&sb, "%s: steps=%d work=%d skipped=%d peak=%d rconf=%d wconf=%d\n",
+			pr.Label, pr.Steps, pr.Work, pr.Skipped, pr.PeakActive, pr.ReadConflicts, pr.WriteConflicts)
+	}
+	return sb.String()
+}
+
+// PublishTo mirrors the profile's current totals into an obs registry
+// under the per-phase names
+//
+//	pram.phase.<label>.steps
+//	pram.phase.<label>.work
+//	pram.phase.<label>.skipped
+//	pram.phase.<label>.conflicts      (read + write)
+//	pram.phase.<label>.peak_active    (gauge, raised not overwritten)
+//
+// Counters are incremented by the profile's totals, so publishing distinct
+// profiles (or fresh runs) into one registry aggregates, matching the
+// registry-global semantics of the executor's own pram.* metrics. Publish
+// each profile at most once per accumulation; no-op on a nil registry or
+// nil profile.
+func (p *Profile) PublishTo(r *obs.Registry) {
+	if p == nil || r == nil {
+		return
+	}
+	for _, pr := range p.Phases() {
+		prefix := "pram.phase." + pr.Label + "."
+		r.Counter(prefix + "steps").Add(int64(pr.Steps))
+		r.Counter(prefix + "work").Add(pr.Work)
+		r.Counter(prefix + "skipped").Add(pr.Skipped)
+		r.Counter(prefix + "conflicts").Add(pr.ReadConflicts + pr.WriteConflicts)
+		r.Gauge(prefix + "peak_active").Max(int64(pr.PeakActive))
+	}
+}
+
+// WritePprof exports the profile as a gzipped pprof profile.proto with
+// sample types steps/count and work/count; each phase becomes one sample
+// whose stack is the phase path (labels split on "/", so "search/root-coop"
+// renders as a two-frame stack). The output loads in `go tool pprof` —
+// -top, -tree, and flamegraphs work on simulated parallel time.
+func (p *Profile) WritePprof(w io.Writer) error {
+	steps := make(map[string]int64)
+	work := make(map[string]int64)
+	for _, pr := range p.Phases() {
+		steps[pr.Label] += int64(pr.Steps)
+		work[pr.Label] += pr.Work
+	}
+	return obs.WriteStepsProfile(w, steps, work)
+}

@@ -1,0 +1,216 @@
+package pram
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+
+	"fraccascade/internal/obs"
+)
+
+// TestProfileGroundTruth runs a small phased program and checks the
+// attribution against hand-computed per-phase costs, plus the invariant
+// that phase totals equal the machine's whole-run accessors.
+func TestProfileGroundTruth(t *testing.T) {
+	m, err := New(CREW, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := NewProfile()
+	m.SetProfile(prof)
+	buf := m.Alloc(8)
+
+	m.Phase("fill")
+	for r := 0; r < 3; r++ {
+		if err := m.Step(8, func(p *Proc) { p.Write(buf+p.ID, int64(p.ID+r)) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Phase("tail")
+	if err := m.Step(2, func(p *Proc) { p.Write(buf+p.ID, p.Read(buf+p.ID)+1) }); err != nil {
+		t.Fatal(err)
+	}
+
+	fill := prof.Get("fill")
+	if fill != (PhaseStats{Steps: 3, Work: 24, PeakActive: 8}) {
+		t.Fatalf("fill stats = %+v", fill)
+	}
+	tail := prof.Get("tail")
+	if tail != (PhaseStats{Steps: 1, Work: 2, PeakActive: 2}) {
+		t.Fatalf("tail stats = %+v", tail)
+	}
+	if got := prof.TotalSteps(); got != m.Time() {
+		t.Fatalf("TotalSteps = %d, Time = %d", got, m.Time())
+	}
+	if got := prof.TotalWork(); got != m.Work() {
+		t.Fatalf("TotalWork = %d, Work = %d", got, m.Work())
+	}
+	if labels := prof.Phases(); len(labels) != 2 || labels[0].Label != "fill" || labels[1].Label != "tail" {
+		t.Fatalf("phase order = %v", labels)
+	}
+}
+
+// TestProfileUnlabeledAndConflicts checks that steps before any Phase call
+// land under "unlabeled" and that a detected conflict is attributed to the
+// phase in force even though the violating step is never charged.
+func TestProfileUnlabeledAndConflicts(t *testing.T) {
+	m, err := New(EREW, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := NewProfile()
+	m.SetProfile(prof)
+	addr := m.Alloc(4)
+
+	if err := m.Step(4, func(p *Proc) { p.Write(addr+p.ID, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := prof.Get("unlabeled"); got.Steps != 1 || got.Work != 4 {
+		t.Fatalf("unlabeled = %+v", got)
+	}
+
+	m.Phase("clash")
+	if err := m.Step(2, func(p *Proc) { p.Read(addr) }); err == nil {
+		t.Fatal("want EREW read conflict")
+	}
+	clash := prof.Get("clash")
+	if clash.ReadConflicts != 1 || clash.Steps != 0 {
+		t.Fatalf("clash = %+v, want 1 read conflict and 0 charged steps", clash)
+	}
+	if prof.TotalSteps() != m.Time() {
+		t.Fatalf("TotalSteps %d != Time %d after conflict", prof.TotalSteps(), m.Time())
+	}
+}
+
+// TestProfileFaultSkips checks skipped processor-steps are attributed to
+// the current phase.
+func TestProfileFaultSkips(t *testing.T) {
+	m, err := New(CREW, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := NewProfile()
+	m.SetProfile(prof)
+	m.SetFaultHook(stallHook{dead: 2})
+	buf := m.Alloc(4)
+
+	m.Phase("lossy")
+	if err := m.Step(4, func(p *Proc) { p.Write(buf+p.ID, 7) }); err != nil {
+		t.Fatal(err)
+	}
+	got := prof.Get("lossy")
+	if got != (PhaseStats{Steps: 1, Work: 3, Skipped: 1, PeakActive: 3}) {
+		t.Fatalf("lossy = %+v", got)
+	}
+	if got.Skipped != m.Skipped() {
+		t.Fatalf("phase skipped %d != machine skipped %d", got.Skipped, m.Skipped())
+	}
+}
+
+// TestPhaseDisabledZeroAlloc is the ISSUE's 0-alloc guard: Phase on an
+// executor without a profile — the production default — must not allocate,
+// and neither must re-entering the current phase with a profile attached.
+func TestPhaseDisabledZeroAlloc(t *testing.T) {
+	for _, kind := range []ExecutorKind{KindBarrier, KindVirtual, KindUncosted} {
+		e := MustNewExecutor(kind, CREW, 4)
+		if n := testing.AllocsPerRun(100, func() {
+			e.Phase("root-coop")
+			e.Phase("hop-descent")
+		}); n != 0 {
+			t.Errorf("%v: Phase with no profile allocates %.1f/op", kind, n)
+		}
+		e.SetProfile(NewProfile())
+		e.Phase("steady")
+		if n := testing.AllocsPerRun(100, func() { e.Phase("steady") }); n != 0 {
+			t.Errorf("%v: re-entering current phase allocates %.1f/op", kind, n)
+		}
+	}
+}
+
+// TestProfileEqualAndReset covers the comparison used by the differential
+// harnesses and Reset's keep-current-label contract.
+func TestProfileEqualAndReset(t *testing.T) {
+	a, b := NewProfile(), NewProfile()
+	a.enter("x")
+	a.current().add(4, 1)
+	b.enter("x")
+	b.current().add(4, 1)
+	if !a.Equal(b) {
+		t.Fatalf("equal profiles compare unequal:\n%s\nvs\n%s", a, b)
+	}
+	b.current().add(2, 0)
+	if a.Equal(b) {
+		t.Fatal("diverged profiles compare equal")
+	}
+	b.enter("y")
+	b.Reset()
+	if len(b.Phases()) != 0 || b.TotalSteps() != 0 {
+		t.Fatalf("Reset left data: %v", b.Phases())
+	}
+	if b.Label() != "y" {
+		t.Fatalf("Reset dropped current label: %q", b.Label())
+	}
+	b.current().add(1, 0)
+	if b.Get("y").Steps != 1 {
+		t.Fatal("attribution after Reset did not land in retained label")
+	}
+}
+
+// TestProfilePublishTo checks the obs metric names and values.
+func TestProfilePublishTo(t *testing.T) {
+	m := MustNewExecutor(KindVirtual, CREW, 4)
+	prof := NewProfile()
+	m.SetProfile(prof)
+	buf := m.Alloc(4)
+	m.Phase("root-coop")
+	for r := 0; r < 2; r++ {
+		if err := m.Step(4, func(p *Proc) { p.Write(buf+p.ID, int64(r)) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := obs.NewRegistry()
+	prof.PublishTo(reg)
+	s := reg.Snapshot()
+	if got := s.Counters["pram.phase.root-coop.steps"]; got != 2 {
+		t.Fatalf("steps counter = %d", got)
+	}
+	if got := s.Counters["pram.phase.root-coop.work"]; got != 8 {
+		t.Fatalf("work counter = %d", got)
+	}
+	if got := s.Gauges["pram.phase.root-coop.peak_active"]; got != 4 {
+		t.Fatalf("peak gauge = %d", got)
+	}
+	if got := s.Counters["pram.phase.root-coop.conflicts"]; got != 0 {
+		t.Fatalf("conflicts counter = %d", got)
+	}
+}
+
+// TestProfileWritePprof checks the pprof export gunzips and carries the
+// phase frames.
+func TestProfileWritePprof(t *testing.T) {
+	prof := NewProfile()
+	prof.enter("search/root-coop")
+	prof.current().add(8, 0)
+	prof.enter("seq-tail")
+	prof.current().add(1, 0)
+
+	var buf bytes.Buffer
+	if err := prof.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("not gzipped: %v", err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"steps", "work", "root-coop", "seq-tail"} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("profile lacks %q", want)
+		}
+	}
+}
