@@ -1,9 +1,9 @@
 GO ?= go
 COVER_THRESHOLD ?= 80
 
-.PHONY: check vet build lint test test-engine race cover bench bench-check bench-json bench-diff bench-smoke metrics-smoke chaos
+.PHONY: check vet build lint test test-engine test-snapshot race cover bench bench-check bench-json bench-diff bench-smoke metrics-smoke chaos chaos-smoke
 
-check: vet build lint test test-engine race cover bench-check bench-smoke metrics-smoke
+check: vet build lint test test-engine test-snapshot race cover bench-check bench-smoke metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +33,14 @@ test-engine:
 	$(GO) test -race ./internal/engine/...
 	$(GO) test -run='^$$' -fuzz=FuzzBatchSearch -fuzztime=10s ./internal/engine
 	$(GO) test -run='^$$' -fuzz=FuzzEntryCache -fuzztime=10s ./internal/engine
+
+# Persistence gate: the snapshot round-trip/corruption suite and the disk
+# fault injector's own tests, plus a short fuzz smoke of the snapshot
+# decoder (arbitrary bytes must yield a typed error or a valid store,
+# never a panic).
+test-snapshot:
+	$(GO) test ./internal/snapshot ./internal/faults
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/snapshot
 
 race:
 	$(GO) test -race ./internal/pram/... ./internal/parallel/... ./internal/engine/... ./internal/obs/...
@@ -99,3 +107,8 @@ metrics-smoke:
 
 chaos:
 	$(GO) run ./cmd/coopbench -chaos
+
+# Deterministic robustness smoke: the E21 kill/restart/corrupt loop plus a
+# real coopserve SIGTERM drain / restore-from-snapshot round trip.
+chaos-smoke:
+	./scripts/chaos_smoke.sh

@@ -1,4 +1,4 @@
-// Command coopbench runs the reproduction experiments E1–E20 (see
+// Command coopbench runs the reproduction experiments E1–E21 (see
 // DESIGN.md for the per-experiment index) and prints the tables recorded
 // in EXPERIMENTS.md. Each experiment regenerates one of the paper's
 // claims: a time/processor tradeoff, a space bound, or a structural lemma.
@@ -66,7 +66,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("experiment", "all", "experiment id (e1..e20, fig5, all)")
+	expFlag := flag.String("experiment", "all", "experiment id (e1..e21, fig5, all)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	chaos := flag.Bool("chaos", false, "run the chaos-mode fault sweep (alias for -experiment=e19)")
 	executor := flag.String("executor", "virtual", "PRAM executor for machine-executing experiments: barrier or virtual")
@@ -126,6 +126,7 @@ func main() {
 		{"e18", "E18: Snir lower-bound adversary game (optimality)", runE18},
 		{"e19", "E19 (chaos mode): fault-injected degrading cooperative search", runE19},
 		{"e20", "E20 (extension): batched multi-query engine throughput", runE20},
+		{"e21", "E21 (robustness): crash-safe snapshot persistence under disk faults", runE21},
 	}
 	want := strings.ToLower(*expFlag)
 	ran := 0

@@ -23,6 +23,7 @@ func TestExperimentsSmoke(t *testing.T) {
 		{"e16", runE16},
 		{"e17", runE17},
 		{"e19", runE19},
+		{"e21", runE21},
 		{"fig5", runFig5},
 	} {
 		e := e

@@ -1,0 +1,324 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"fraccascade/internal/snapshot"
+)
+
+// lifecycleConfig is the small-structure config the lifecycle suite uses.
+func lifecycleConfig() serverConfig {
+	return serverConfig{
+		Seed: 7, Procs: 512, BatchSize: 8,
+		Leaves: 1 << 4, Entries: 800, Shards: 2,
+		Regions: 24, Tiles: 20, RingSize: 1024,
+	}
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, strings.TrimSpace(string(body))
+}
+
+// counterValue reads one counter from the registry snapshot.
+func counterValue(t *testing.T, s *server, name string) int64 {
+	t.Helper()
+	return s.reg.Snapshot().Counters[name]
+}
+
+// TestReadyzNamesLifecycleStates: /readyz distinguishes building, ready,
+// draining, and overloaded, and POST /query honours the same gates.
+func TestReadyzNamesLifecycleStates(t *testing.T) {
+	cfg := lifecycleConfig()
+	cfg.MaxInflight = 2
+	s := newServerShell(cfg)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	if code, body := getStatus(t, ts, "/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "building") {
+		t.Fatalf("building: /readyz = %d %q", code, body)
+	}
+	req := queryRequest{Queries: []wireQuery{{Kind: "point", X: 1, Y: 2}}}
+	if resp, _ := postQuery(t, ts, req); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST /query while building = %d, want 503", resp.StatusCode)
+	}
+
+	if err := s.build(); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := getStatus(t, ts, "/readyz"); code != http.StatusOK || body != "ready" {
+		t.Fatalf("ready: /readyz = %d %q", code, body)
+	}
+
+	// Overload is ready + saturated inflight.
+	s.inflight.Add(int64(cfg.MaxInflight))
+	if code, body := getStatus(t, ts, "/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "overloaded") {
+		t.Fatalf("overloaded: /readyz = %d %q", code, body)
+	}
+	s.inflight.Add(-int64(cfg.MaxInflight))
+
+	s.beginDrain()
+	if code, body := getStatus(t, ts, "/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("draining: /readyz = %d %q", code, body)
+	}
+	if resp, _ := postQuery(t, ts, req); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST /query while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestAdmissionControlShedsAndRecovers: past the inflight cap, /query sheds
+// with 503 + Retry-After and a counter; once load clears, it serves again.
+func TestAdmissionControlShedsAndRecovers(t *testing.T) {
+	cfg := lifecycleConfig()
+	cfg.MaxInflight = 1
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// Saturate the gauge as a stand-in for a stuck request.
+	s.inflight.Add(1)
+	body, _ := json.Marshal(queryRequest{Queries: []wireQuery{{Kind: "point", X: 3, Y: 4}}})
+	resp, err := ts.Client().Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded POST /query = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatalf("shed response missing Retry-After")
+	}
+	if n := counterValue(t, s, "serve.shed"); n != 1 {
+		t.Fatalf("serve.shed = %d, want 1", n)
+	}
+
+	// Load clears; the same request now succeeds and nothing leaked.
+	s.inflight.Add(-1)
+	if resp, out := postQuery(t, ts, queryRequest{Queries: []wireQuery{{Kind: "point", X: 3, Y: 4}}}); resp.StatusCode != http.StatusOK || len(out.Answers) != 1 {
+		t.Fatalf("post-overload POST /query = %d (%d answers)", resp.StatusCode, len(out.Answers))
+	}
+	if n := s.inflight.Load(); n != 0 {
+		t.Fatalf("inflight leaked: %d", n)
+	}
+}
+
+// TestRequestDeadline: an unmeetable per-request deadline turns into 504
+// and the timeout counter, not a hang.
+func TestRequestDeadline(t *testing.T) {
+	cfg := lifecycleConfig()
+	cfg.RequestTimeout = time.Nanosecond
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, _ := postQuery(t, ts, queryRequest{Queries: []wireQuery{{Kind: "point", X: 1, Y: 1}}})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("POST /query with 1ns deadline = %d, want 504", resp.StatusCode)
+	}
+	if n := counterValue(t, s, "serve.timeouts"); n != 1 {
+		t.Fatalf("serve.timeouts = %d, want 1", n)
+	}
+}
+
+// TestClientDisconnect: a canceled request context (the client hung up)
+// stops the work and is counted, without fabricating a response.
+func TestClientDisconnect(t *testing.T) {
+	s, err := newServer(lifecycleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	body, _ := json.Marshal(queryRequest{Queries: []wireQuery{{Kind: "point", X: 5, Y: 6}}})
+	req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.handler().ServeHTTP(rec, req)
+	if n := counterValue(t, s, "serve.canceled"); n != 1 {
+		t.Fatalf("serve.canceled = %d, want 1", n)
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("disconnected client got a body: %q", rec.Body.String())
+	}
+}
+
+// TestPanicRecovery: a panicking handler yields 500 plus the panic counter;
+// the server keeps serving.
+func TestPanicRecovery(t *testing.T) {
+	s := newServerShell(lifecycleConfig())
+	h := s.withRecovery(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	for i := 1; i <= 2; i++ {
+		resp, err := ts.Client().Get(ts.URL + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panic request %d = %d, want 500", i, resp.StatusCode)
+		}
+		if n := counterValue(t, s, "serve.panics"); n != int64(i) {
+			t.Fatalf("serve.panics = %d, want %d", n, i)
+		}
+	}
+}
+
+// TestSnapshotLifecycle is the full drain/restart loop for both shard
+// kinds: build writes a snapshot, a drain writes the final one, and a new
+// server restores from it — skipping the rebuild — with identical answers.
+func TestSnapshotLifecycle(t *testing.T) {
+	for _, dynamic := range []bool{false, true} {
+		cfg := lifecycleConfig()
+		cfg.Dynamic = dynamic
+		cfg.SnapshotPath = filepath.Join(t.TempDir(), "shards.snap")
+		cfg.DrainTimeout = 2 * time.Second
+
+		first, err := newServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.loadedSnapshot {
+			t.Fatalf("dynamic=%v: first boot claims a snapshot load", dynamic)
+		}
+		if n := counterValue(t, first, "serve.snapshot.saves"); n != 1 {
+			t.Fatalf("dynamic=%v: save-on-build counter = %d, want 1", dynamic, n)
+		}
+		ts := httptest.NewServer(first.handler())
+		var req queryRequest
+		for i := 0; i < 8; i++ {
+			req.Queries = append(req.Queries, wireQuery{Kind: "catalog", Shard: i % 2, Key: int64(97 * i), Leaf: int64(i)})
+		}
+		resp, want := postQuery(t, ts, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("dynamic=%v: seed query = %d", dynamic, resp.StatusCode)
+		}
+
+		// SIGTERM path minus the signal: drain, final snapshot, stop.
+		first.beginDrain()
+		if !first.awaitDrain(cfg.DrainTimeout) {
+			t.Fatalf("dynamic=%v: drain timed out", dynamic)
+		}
+		if err := first.saveSnapshot(); err != nil {
+			t.Fatalf("dynamic=%v: final snapshot: %v", dynamic, err)
+		}
+		ts.Close()
+		if _, err := snapshot.Load(cfg.SnapshotPath); err != nil {
+			t.Fatalf("dynamic=%v: final snapshot unreadable: %v", dynamic, err)
+		}
+
+		second, err := newServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !second.loadedSnapshot {
+			t.Fatalf("dynamic=%v: restart rebuilt instead of restoring", dynamic)
+		}
+		if n := counterValue(t, second, "serve.snapshot.loads"); n != 1 {
+			t.Fatalf("dynamic=%v: snapshot load counter = %d, want 1", dynamic, n)
+		}
+		ts2 := httptest.NewServer(second.handler())
+		resp2, got := postQuery(t, ts2, req)
+		ts2.Close()
+		if resp2.StatusCode != http.StatusOK {
+			t.Fatalf("dynamic=%v: restored query = %d", dynamic, resp2.StatusCode)
+		}
+		if !reflect.DeepEqual(want.Answers, got.Answers) {
+			t.Fatalf("dynamic=%v: restored server answers diverge", dynamic)
+		}
+	}
+}
+
+// TestSnapshotFallbackOnCorruption: a damaged snapshot file logs and falls
+// back to rebuild-from-source — startup never fails on bad bytes.
+func TestSnapshotFallbackOnCorruption(t *testing.T) {
+	cfg := lifecycleConfig()
+	cfg.SnapshotPath = filepath.Join(t.TempDir(), "shards.snap")
+	first, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = first
+	// Flip one byte mid-file.
+	data, err := os.ReadFile(cfg.SnapshotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(cfg.SnapshotPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	second, err := newServer(cfg)
+	if err != nil {
+		t.Fatalf("corrupt snapshot aborted startup: %v", err)
+	}
+	if second.loadedSnapshot {
+		t.Fatalf("corrupt snapshot was served")
+	}
+	// The rebuild refreshed the snapshot; a third boot restores cleanly.
+	third, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.loadedSnapshot {
+		t.Fatalf("refreshed snapshot not restored")
+	}
+}
+
+// TestSnapshotShapeMismatchRebuilds: a snapshot whose shard count or kind
+// disagrees with the flags is ignored, not served.
+func TestSnapshotShapeMismatchRebuilds(t *testing.T) {
+	cfg := lifecycleConfig()
+	cfg.SnapshotPath = filepath.Join(t.TempDir(), "shards.snap")
+	if _, err := newServer(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Same file, dynamic flags: the kinds no longer match.
+	cfg.Dynamic = true
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.loadedSnapshot {
+		t.Fatalf("static snapshot served as dynamic shards")
+	}
+	// Same file (now dynamic), different shard count.
+	cfg.Shards = 3
+	s, err = newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.loadedSnapshot {
+		t.Fatalf("2-shard snapshot served for 3-shard flags")
+	}
+}

@@ -1,26 +1,39 @@
 // Command coopserve is a long-running HTTP daemon serving cooperative
-// searches from the batched engine, with live observability:
+// searches from the batched engine, with live observability and a hardened
+// lifecycle:
 //
 //	POST /query               batched catalog/point/spatial queries (JSON)
 //	GET  /metrics             Prometheus text exposition of the obs registry
 //	GET  /healthz             liveness (always 200 once serving)
-//	GET  /readyz              readiness (503 until structures are built)
+//	GET  /readyz              readiness (503 building/draining/overloaded)
 //	GET  /spans?limit=N       JSONL span stream (replay=1 prepends history)
 //	GET  /debug/pprof/        host CPU/heap/goroutine profiles
 //	GET  /debug/pprof/steps   simulated-parallel-time profile (phase stacks);
 //	                          loadable with `go tool pprof steps.pb.gz`
 //
+// With -snapshot the daemon restores its catalog shards from a crash-safe
+// snapshot on start (falling back to rebuild on any corruption), saves one
+// after building, and writes a final snapshot on SIGTERM after draining
+// in-flight queries. Requests run under -request-timeout and are shed with
+// 503 + Retry-After past -max-inflight.
+//
 // Usage:
 //
-//	coopserve -addr=:8080 -procs=4096 -batch=32 -seed=1
+//	coopserve -addr=:8080 -procs=4096 -batch=32 -seed=1 -snapshot=/var/lib/coopserve/shards.snap
 //	curl -d '{"queries":[{"kind":"point","x":101,"y":51}]}' localhost:8080/query
 //	go tool pprof -top http://localhost:8080/debug/pprof/steps
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"fraccascade/internal/geom"
 )
@@ -40,13 +53,64 @@ func main() {
 	flag.IntVar(&cfg.Regions, "regions", cfg.Regions, "planar subdivision regions")
 	flag.IntVar(&cfg.Tiles, "tiles", cfg.Tiles, "spatial complex tiles")
 	flag.IntVar(&cfg.RingSize, "ring", cfg.RingSize, "span flight-recorder capacity")
+	flag.BoolVar(&cfg.Dynamic, "dynamic", cfg.Dynamic, "serve dynamic (updatable) catalog shards")
+	flag.StringVar(&cfg.SnapshotPath, "snapshot", cfg.SnapshotPath, "snapshot path: load on start, save after build and on drain (empty = disabled)")
+	flag.DurationVar(&cfg.RequestTimeout, "request-timeout", cfg.RequestTimeout, "per-request deadline on POST /query (0 = none)")
+	flag.IntVar(&cfg.MaxInflight, "max-inflight", cfg.MaxInflight, "concurrent /query cap before shedding with 503 (0 = unlimited)")
+	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", cfg.DrainTimeout, "how long SIGTERM waits for in-flight queries")
 	flag.Parse()
 
-	srv, err := newServer(cfg)
-	if err != nil {
-		log.Fatal(err)
+	srv := newServerShell(cfg)
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.handler(),
+		// Slowloris and stuck-peer guards: a hostile or wedged client can
+		// hold a connection only this long at each phase.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
-	log.Printf("coopserve: %d shards, %d-leaf trees, P=%d, batch=%d; listening on %s",
-		cfg.Shards, cfg.Leaves, cfg.Procs, cfg.BatchSize, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+
+	// Serve immediately — /healthz answers and /readyz reports "building"
+	// while the structures come up in the background.
+	go func() {
+		start := time.Now()
+		if err := srv.build(); err != nil {
+			log.Fatalf("coopserve: build: %v", err)
+		}
+		src := "built"
+		if srv.loadedSnapshot {
+			src = "restored from " + cfg.SnapshotPath
+		}
+		log.Printf("coopserve: ready in %v (%s): %d shards, %d-leaf trees, P=%d, batch=%d",
+			time.Since(start).Round(time.Millisecond), src, cfg.Shards, cfg.Leaves, cfg.Procs, cfg.BatchSize)
+	}()
+	log.Printf("coopserve: listening on %s", *addr)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case got := <-sig:
+		log.Printf("coopserve: %v: draining (%d in flight)", got, srv.inflight.Load())
+		srv.beginDrain()
+		if !srv.awaitDrain(cfg.DrainTimeout) {
+			log.Printf("coopserve: drain timeout with %d still in flight", srv.inflight.Load())
+		}
+		if err := srv.saveSnapshot(); err != nil {
+			log.Printf("coopserve: final snapshot: %v", err)
+		} else if cfg.SnapshotPath != "" {
+			log.Printf("coopserve: final snapshot written to %s", cfg.SnapshotPath)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("coopserve: shutdown: %v", err)
+		}
+		log.Printf("coopserve: drained, exiting")
+	}
 }

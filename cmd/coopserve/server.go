@@ -1,26 +1,34 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"fraccascade/internal/catalog"
 	"fraccascade/internal/core"
+	"fraccascade/internal/dynamic"
 	"fraccascade/internal/engine"
 	"fraccascade/internal/obs"
 	"fraccascade/internal/pointloc"
+	"fraccascade/internal/snapshot"
 	"fraccascade/internal/spatial"
 	"fraccascade/internal/subdivision"
 	"fraccascade/internal/tree"
 )
 
-// serverConfig sizes the served structures and the engine.
+// serverConfig sizes the served structures and the engine, and configures
+// the hardened request lifecycle. The zero values of the lifecycle knobs
+// disable them (no snapshot, no per-request deadline, unlimited inflight).
 type serverConfig struct {
 	Seed      int64
 	Procs     int
@@ -31,89 +39,293 @@ type serverConfig struct {
 	Regions   int // planar subdivision regions
 	Tiles     int // spatial complex tiles
 	RingSize  int // span flight-recorder capacity
+
+	Dynamic        bool          // serve dynamic (updatable) catalog shards
+	SnapshotPath   string        // load-on-start / save-on-build / save-on-drain path
+	RequestTimeout time.Duration // per-request deadline on POST /query (0 = none)
+	MaxInflight    int           // admission-control cap on concurrent queries (0 = unlimited)
+	DrainTimeout   time.Duration // how long SIGTERM waits for in-flight queries
 }
 
 func defaultServerConfig() serverConfig {
 	return serverConfig{
-		Seed:      1,
-		Procs:     4096,
-		BatchSize: 32,
-		Leaves:    1 << 7,
-		Entries:   8000,
-		Shards:    2,
-		Regions:   64,
-		Tiles:     60,
-		RingSize:  4096,
+		Seed:           1,
+		Procs:          4096,
+		BatchSize:      32,
+		Leaves:         1 << 7,
+		Entries:        8000,
+		Shards:         2,
+		Regions:        64,
+		Tiles:          60,
+		RingSize:       4096,
+		RequestTimeout: 10 * time.Second,
+		MaxInflight:    256,
+		DrainTimeout:   10 * time.Second,
 	}
 }
+
+// Lifecycle states: the server starts building, flips to ready when the
+// structures are live, and moves to draining on SIGTERM, never back.
+// Overload is not a state — it is ready plus a saturated inflight gauge.
+const (
+	stateBuilding int32 = iota
+	stateReady
+	stateDraining
+)
 
 // server wires the batched engine and its observability surfaces behind
 // HTTP: POST /query, Prometheus /metrics, health/readiness, pprof (host
 // CPU/heap plus the simulated-steps profile), and JSONL span streaming.
+// Requests pass a lifecycle gate (building/draining → 503), an admission
+// gate (inflight cap → 503 + Retry-After), and run under a per-request
+// deadline threaded into the engine's context-aware search path.
 type server struct {
 	cfg    serverConfig
 	eng    *engine.Engine
 	reg    *obs.Registry
 	ring   *obs.Ring
 	stream *spanStream
+	shards []engine.CatalogBackend
 	trees  []*tree.Tree
 	sub    *subdivision.Subdivision
 	cx     *spatial.Complex
-	ready  atomic.Bool
+
+	state    atomic.Int32
+	inflight atomic.Int64
+	// loadedSnapshot reports whether build restored the catalog shards from
+	// cfg.SnapshotPath instead of rebuilding them from the seed.
+	loadedSnapshot bool
+
+	obsShed     *obs.Counter // admission-control 503s
+	obsPanics   *obs.Counter // handler panics recovered to 500s
+	obsTimeouts *obs.Counter // per-request deadlines fired
+	obsCanceled *obs.Counter // client disconnects observed mid-query
+	obsSnapSave *obs.Counter // snapshots written
+	obsSnapLoad *obs.Counter // snapshots restored on start
 }
 
-// newServer builds the served structures (seeded, so a restart serves the
-// same data) and the engine.
-func newServer(cfg serverConfig) (*server, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+// newServerShell creates the server with its observability plumbing but no
+// structures: handlers are servable immediately (reporting "building") while
+// build runs, typically in a goroutine.
+func newServerShell(cfg serverConfig) *server {
 	s := &server{
 		cfg:    cfg,
 		reg:    obs.NewRegistry(),
 		ring:   obs.NewRing(cfg.RingSize),
 		stream: newSpanStream(),
 	}
-	var shards []engine.CatalogBackend
-	for i := 0; i < cfg.Shards; i++ {
-		bt, err := tree.NewBalancedBinary(cfg.Leaves)
-		if err != nil {
-			return nil, err
-		}
-		st, err := core.Build(bt, randomCatalogs(bt, cfg.Entries, rng), core.Config{})
-		if err != nil {
-			return nil, err
-		}
-		shards = append(shards, engine.StaticShard{St: st})
-		s.trees = append(s.trees, bt)
-	}
-	sub, err := subdivision.Generate(cfg.Regions, 24, rng)
-	if err != nil {
+	s.state.Store(stateBuilding)
+	s.obsShed = s.reg.Counter("serve.shed")
+	s.obsPanics = s.reg.Counter("serve.panics")
+	s.obsTimeouts = s.reg.Counter("serve.timeouts")
+	s.obsCanceled = s.reg.Counter("serve.canceled")
+	s.obsSnapSave = s.reg.Counter("serve.snapshot.saves")
+	s.obsSnapLoad = s.reg.Counter("serve.snapshot.loads")
+	return s
+}
+
+// newServer builds the served structures (seeded, so a restart serves the
+// same data) and the engine, synchronously.
+func newServer(cfg serverConfig) (*server, error) {
+	s := newServerShell(cfg)
+	if err := s.build(); err != nil {
 		return nil, err
+	}
+	return s, nil
+}
+
+// build constructs or restores the catalog shards, builds the geometric
+// locators, wires the engine, and flips the server to ready. The catalog
+// shards and the geometry draw from independently seeded streams so a
+// snapshot restore (which skips shard generation) serves the exact same
+// subdivision and complex as a from-scratch build.
+func (s *server) build() error {
+	shards, trees, loaded := s.restoreShards()
+	if !loaded {
+		var err error
+		shards, trees, err = buildShards(s.cfg)
+		if err != nil {
+			return err
+		}
+	}
+	s.shards, s.trees = shards, trees
+
+	geomRNG := rand.New(rand.NewSource(s.cfg.Seed ^ 0x67656f6d)) // "geom"
+	sub, err := subdivision.Generate(s.cfg.Regions, 24, geomRNG)
+	if err != nil {
+		return err
 	}
 	pl, err := pointloc.Build(sub, core.Config{})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	s.sub = sub
-	cx, err := spatial.Generate(cfg.Tiles, 4, rng)
+	cx, err := spatial.Generate(s.cfg.Tiles, 4, geomRNG)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	sp, err := spatial.NewLocator(cx)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	s.cx = cx
 	s.eng, err = engine.New(engine.Config{
-		Procs:     cfg.Procs,
-		BatchSize: cfg.BatchSize,
+		Procs:     s.cfg.Procs,
+		BatchSize: s.cfg.BatchSize,
 		Obs:       s.reg,
 		Tracer:    obs.Fanout(s.ring, s.stream),
 	}, shards, pl, sp)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	s.ready.Store(true)
-	return s, nil
+	if !loaded {
+		// Save-on-build: the next restart skips the shard rebuild entirely.
+		if err := s.saveSnapshot(); err != nil {
+			log.Printf("coopserve: snapshot save failed (serving anyway): %v", err)
+		}
+	}
+	s.state.Store(stateReady)
+	return nil
+}
+
+// buildShards generates the catalog shards from the seed.
+func buildShards(cfg serverConfig) ([]engine.CatalogBackend, []*tree.Tree, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var shards []engine.CatalogBackend
+	var trees []*tree.Tree
+	for i := 0; i < cfg.Shards; i++ {
+		bt, err := tree.NewBalancedBinary(cfg.Leaves)
+		if err != nil {
+			return nil, nil, err
+		}
+		cats := randomCatalogs(bt, cfg.Entries, rng)
+		if cfg.Dynamic {
+			d, err := dynamic.New(bt, cats, core.Config{}, 0)
+			if err != nil {
+				return nil, nil, err
+			}
+			shards = append(shards, engine.DynamicShard{D: d})
+		} else {
+			st, err := core.Build(bt, cats, core.Config{})
+			if err != nil {
+				return nil, nil, err
+			}
+			shards = append(shards, engine.StaticShard{St: st})
+		}
+		trees = append(trees, bt)
+	}
+	return shards, trees, nil
+}
+
+// restoreShards attempts to load the catalog shards from the configured
+// snapshot. Any failure — missing file, corruption, or a shape that does
+// not match the flags — logs and falls back to rebuild-from-source; it
+// never aborts startup.
+func (s *server) restoreShards() ([]engine.CatalogBackend, []*tree.Tree, bool) {
+	if s.cfg.SnapshotPath == "" {
+		return nil, nil, false
+	}
+	store, err := snapshot.Load(s.cfg.SnapshotPath)
+	if err != nil {
+		log.Printf("coopserve: snapshot %s unusable, rebuilding: %v", s.cfg.SnapshotPath, err)
+		return nil, nil, false
+	}
+	if len(store.Shards) != s.cfg.Shards {
+		log.Printf("coopserve: snapshot has %d shards, flags want %d; rebuilding", len(store.Shards), s.cfg.Shards)
+		return nil, nil, false
+	}
+	wantKind := snapshot.KindStatic
+	if s.cfg.Dynamic {
+		wantKind = snapshot.KindDynamic
+	}
+	for i, sh := range store.Shards {
+		if sh.Kind != wantKind {
+			log.Printf("coopserve: snapshot shard %d has kind %d, flags want %d; rebuilding", i, sh.Kind, wantKind)
+			return nil, nil, false
+		}
+	}
+	backends, err := engine.BackendsFromStore(store)
+	if err != nil {
+		log.Printf("coopserve: snapshot %s unusable, rebuilding: %v", s.cfg.SnapshotPath, err)
+		return nil, nil, false
+	}
+	trees := make([]*tree.Tree, len(backends))
+	for i, be := range backends {
+		trees[i] = shardTree(be)
+	}
+	s.loadedSnapshot = true
+	s.obsSnapLoad.Inc()
+	return backends, trees, true
+}
+
+// shardTree returns the catalog tree behind a snapshotable backend.
+func shardTree(be engine.CatalogBackend) *tree.Tree {
+	switch b := be.(type) {
+	case engine.StaticShard:
+		return b.St.Tree()
+	case engine.DynamicShard:
+		return b.D.Static().Tree()
+	default:
+		panic(fmt.Sprintf("coopserve: unsnapshotable backend %T", be))
+	}
+}
+
+// snapshotStore assembles the persistable view of the catalog shards. The
+// store generation sums the dynamic shard generations, so it advances with
+// every flush and a freshly loaded snapshot is distinguishable from stale
+// ones.
+func (s *server) snapshotStore() (*snapshot.Store, error) {
+	st := &snapshot.Store{}
+	for i, be := range s.shards {
+		switch b := be.(type) {
+		case engine.StaticShard:
+			st.Shards = append(st.Shards, snapshot.Shard{Kind: snapshot.KindStatic, Static: b.St})
+		case engine.DynamicShard:
+			st.Shards = append(st.Shards, snapshot.Shard{Kind: snapshot.KindDynamic, Dynamic: b.D})
+			st.Generation += b.D.Generation()
+		default:
+			return nil, fmt.Errorf("coopserve: shard %d: unsnapshotable backend %T", i, be)
+		}
+	}
+	return st, nil
+}
+
+// saveSnapshot writes the current shard state crash-safely to the
+// configured path; a no-op without one (or before the shards exist).
+func (s *server) saveSnapshot() error {
+	if s.cfg.SnapshotPath == "" || s.shards == nil {
+		return nil
+	}
+	st, err := s.snapshotStore()
+	if err != nil {
+		return err
+	}
+	if err := snapshot.Save(s.cfg.SnapshotPath, st); err != nil {
+		return err
+	}
+	s.obsSnapSave.Inc()
+	return nil
+}
+
+// beginDrain moves the server to draining: new queries are refused with
+// 503 while in-flight ones run to completion.
+func (s *server) beginDrain() { s.state.Store(stateDraining) }
+
+// awaitDrain polls until no queries are in flight or the timeout lapses,
+// reporting whether the server drained fully. (http.Server.Shutdown
+// provides the connection-level guarantee; this bounds the wait and lets
+// the final snapshot observe a quiesced engine.)
+func (s *server) awaitDrain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.inflight.Load() == 0 {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // randomCatalogs builds one random catalog per node totalling roughly
@@ -143,6 +355,31 @@ func randomCatalogs(t *tree.Tree, total int, rng *rand.Rand) []catalog.Catalog {
 		cats[v] = catalog.MustFromKeys(keys, nil)
 	}
 	return cats
+}
+
+// handler is the servable root: the mux wrapped in panic recovery.
+func (s *server) handler() http.Handler { return s.withRecovery(s.routes()) }
+
+// withRecovery converts a handler panic into a 500 and a counter instead of
+// tearing down the connection (and, under some servers, the process).
+func (s *server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.obsPanics.Inc()
+				log.Printf("coopserve: panic serving %s %s: %v", r.Method, r.URL.Path, v)
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// unavailable writes the load-shedding 503: the reason in the body and a
+// Retry-After so well-behaved clients back off instead of hammering.
+func unavailable(w http.ResponseWriter, reason string) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, reason, http.StatusServiceUnavailable)
 }
 
 // routes builds the HTTP mux.
@@ -224,6 +461,23 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	switch s.state.Load() {
+	case stateBuilding:
+		unavailable(w, "building")
+		return
+	case stateDraining:
+		unavailable(w, "draining")
+		return
+	}
+	// Admission control: count the request in flight for the drain path and
+	// shed it if the cap is already saturated.
+	n := s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if max := s.cfg.MaxInflight; max > 0 && n > int64(max) {
+		s.obsShed.Inc()
+		unavailable(w, "overloaded")
+		return
+	}
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
@@ -242,12 +496,31 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		qs = append(qs, q)
 	}
+	// The request context carries the client disconnect; the configured
+	// per-request deadline stacks on top. Both propagate into the engine's
+	// context-aware search path.
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
 	var resp queryResponse
 	for lo := 0; lo < len(qs); lo += s.cfg.BatchSize {
 		hi := min(lo+s.cfg.BatchSize, len(qs))
-		answers, rep, err := s.eng.ExecuteBatch(qs[lo:hi])
+		answers, rep, err := s.eng.ExecuteBatchContext(ctx, qs[lo:hi])
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.obsTimeouts.Inc()
+				http.Error(w, "request deadline exceeded", http.StatusGatewayTimeout)
+			} else {
+				// Client gone: nobody is listening for a status.
+				s.obsCanceled.Inc()
+			}
 			return
 		}
 		resp.Batches = append(resp.Batches, wireBatchReport{
@@ -329,12 +602,21 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// handleReadyz names the lifecycle state distinctly so probes (and the
+// drain script) can tell building, draining, and overload apart.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if !s.ready.Load() {
-		http.Error(w, "structures not built", http.StatusServiceUnavailable)
-		return
+	switch s.state.Load() {
+	case stateBuilding:
+		unavailable(w, "building")
+	case stateDraining:
+		unavailable(w, "draining")
+	default:
+		if max := s.cfg.MaxInflight; max > 0 && s.inflight.Load() >= int64(max) {
+			unavailable(w, "overloaded")
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	}
-	fmt.Fprintln(w, "ready")
 }
 
 // handleStepsProfile serves a pprof profile of *simulated parallel time*:

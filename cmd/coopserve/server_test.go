@@ -202,14 +202,14 @@ func TestHealthEndpoints(t *testing.T) {
 		}
 	}
 
-	s.ready.Store(false)
+	s.state.Store(stateBuilding)
 	resp, err := ts.Client().Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("GET /readyz while not ready = %d, want 503", resp.StatusCode)
+		t.Fatalf("GET /readyz while building = %d, want 503", resp.StatusCode)
 	}
 }
 

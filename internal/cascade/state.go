@@ -1,0 +1,116 @@
+package cascade
+
+import (
+	"fmt"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/tree"
+)
+
+// Parts is the complete built state of a Structure, exposed for
+// serialization (see internal/snapshot). The slices alias the structure's
+// own backing arrays; callers must treat them as read-only. BuildStats are
+// deliberately absent: FromParts recomputes them, so they cannot drift from
+// the catalogs they describe.
+type Parts struct {
+	// Stride is the sampling stride the structure was built with.
+	Stride int
+	// Bidirectional reports whether the top-down merge pass ran.
+	Bidirectional bool
+	// Native[v] is node v's native catalog.
+	Native []catalog.Catalog
+	// Aug[v] is node v's augmented catalog.
+	Aug []catalog.Catalog
+	// Bridges[v][ci][j] is the position in child ci's augmented catalog of
+	// the smallest entry with key >= Aug[v].Key(j); nil at leaves.
+	Bridges [][][]int32
+}
+
+// ExportParts returns the structure's built state for serialization.
+func (s *Structure) ExportParts() Parts {
+	return Parts{
+		Stride:        s.stride,
+		Bidirectional: s.bidir,
+		Native:        s.native,
+		Aug:           s.aug,
+		Bridges:       s.bridges,
+	}
+}
+
+// FromParts reassembles a Structure over tree t from previously exported
+// parts, without re-running the cascade merge. Every invariant a search
+// relies on is validated — catalog terminals, bridge array shapes, bridge
+// monotonicity (property 3), and bridge range — so corrupted or mismatched
+// parts are reported as an error, never as a later panic or a silently
+// wrong answer. Build statistics are recomputed from the catalogs.
+func FromParts(t *tree.Tree, p Parts) (*Structure, error) {
+	if t == nil {
+		return nil, fmt.Errorf("cascade: nil tree")
+	}
+	n := t.N()
+	if len(p.Native) != n || len(p.Aug) != n || len(p.Bridges) != n {
+		return nil, fmt.Errorf("cascade: parts for %d/%d/%d nodes, tree has %d",
+			len(p.Native), len(p.Aug), len(p.Bridges), n)
+	}
+	if p.Stride < 2 {
+		return nil, fmt.Errorf("cascade: stride %d < 2", p.Stride)
+	}
+	s := &Structure{
+		t:       t,
+		native:  p.Native,
+		aug:     p.Aug,
+		bridges: p.Bridges,
+		b:       p.Stride - 1,
+		stride:  p.Stride,
+		bidir:   p.Bidirectional,
+	}
+	for v := 0; v < n; v++ {
+		for _, c := range []catalog.Catalog{p.Native[v], p.Aug[v]} {
+			if c.Len() == 0 {
+				return nil, fmt.Errorf("cascade: node %d: empty catalog", v)
+			}
+			if last := c.At(c.Len() - 1); last.Key != catalog.PlusInf || !last.Native {
+				return nil, fmt.Errorf("cascade: node %d: catalog missing native +inf terminal", v)
+			}
+		}
+		ch := t.Children(tree.NodeID(v))
+		if len(ch) == 0 {
+			if len(p.Bridges[v]) != 0 {
+				return nil, fmt.Errorf("cascade: leaf %d has %d bridge arrays", v, len(p.Bridges[v]))
+			}
+			continue
+		}
+		if len(p.Bridges[v]) != len(ch) {
+			return nil, fmt.Errorf("cascade: node %d: %d bridge arrays for %d children", v, len(p.Bridges[v]), len(ch))
+		}
+		avLen := p.Aug[v].Len()
+		for ci, c := range ch {
+			br := p.Bridges[v][ci]
+			if len(br) != avLen {
+				return nil, fmt.Errorf("cascade: node %d child %d: %d bridges for %d entries", v, ci, len(br), avLen)
+			}
+			limit := int32(p.Aug[c].Len())
+			prev := int32(0)
+			for j, b := range br {
+				if b < prev || b >= limit {
+					return nil, fmt.Errorf("cascade: node %d child %d pos %d: bridge %d outside [%d, %d)", v, ci, j, b, prev, limit)
+				}
+				prev = b
+			}
+		}
+	}
+	// Recompute statistics; Rounds mirrors the Build schedule (height+1
+	// bottom-up rounds, height top-down rounds when bidirectional, one
+	// bridge round).
+	s.stats.Rounds = t.Height() + 2
+	if s.bidir {
+		s.stats.Rounds += t.Height()
+	}
+	for v := 0; v < n; v++ {
+		s.stats.NativeEntries += int64(p.Native[v].Len())
+		a := int64(p.Aug[v].Len())
+		s.stats.AugEntries += a
+		s.stats.Work += a
+	}
+	return s, nil
+}

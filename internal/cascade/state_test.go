@@ -1,0 +1,135 @@
+package cascade
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/tree"
+)
+
+func buildForState(t *testing.T) (*Structure, *tree.Tree) {
+	t.Helper()
+	tr, err := tree.NewBalancedBinary(8)
+	if err != nil {
+		t.Fatalf("tree: %v", err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	native := make([]catalog.Catalog, tr.N())
+	for v := range native {
+		keys := make([]catalog.Key, 12)
+		for i := range keys {
+			keys[i] = catalog.Key(v*1000 + i*7 + rng.Intn(3))
+		}
+		c, err := catalog.FromKeys(dedup(keys), nil)
+		if err != nil {
+			t.Fatalf("catalog: %v", err)
+		}
+		native[v] = c
+	}
+	s, err := Build(tr, native, Options{Bidirectional: true})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return s, tr
+}
+
+func dedup(keys []catalog.Key) []catalog.Key {
+	seen := make(map[catalog.Key]bool)
+	out := keys[:0]
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestPartsRoundTrip(t *testing.T) {
+	s, tr := buildForState(t)
+	got, err := FromParts(tr, s.ExportParts())
+	if err != nil {
+		t.Fatalf("FromParts: %v", err)
+	}
+	if got.Stride() != s.Stride() || got.B() != s.B() || got.Bidirectional() != s.Bidirectional() {
+		t.Fatalf("constants diverge")
+	}
+	if got.Stats() != s.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", got.Stats(), s.Stats())
+	}
+	var leaf tree.NodeID
+	for v := 0; v < tr.N(); v++ {
+		if tr.IsLeaf(tree.NodeID(v)) {
+			leaf = tree.NodeID(v)
+			break
+		}
+	}
+	path := tr.RootPath(leaf)
+	for y := catalog.Key(0); y < 8000; y += 311 {
+		want, err1 := s.SearchPath(y, path)
+		gotRes, err2 := got.SearchPath(y, path)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("search: %v / %v", err1, err2)
+		}
+		if !reflect.DeepEqual(want, gotRes) {
+			t.Fatalf("y=%d: results diverge", y)
+		}
+	}
+	if err := got.CheckProperties([]catalog.Key{0, 100, 5000}); err != nil {
+		t.Fatalf("properties: %v", err)
+	}
+}
+
+func TestFromPartsRejectsDamage(t *testing.T) {
+	s, tr := buildForState(t)
+	base := s.ExportParts()
+	cases := []struct {
+		name   string
+		mutate func(p *Parts)
+	}{
+		{"nil tree is separate", nil},
+		{"bad stride", func(p *Parts) { p.Stride = 1 }},
+		{"missing node", func(p *Parts) { p.Aug = p.Aug[:len(p.Aug)-1] }},
+		{"short bridge array", func(p *Parts) {
+			brs := cloneBridges(p.Bridges)
+			brs[tr.Root()][0] = brs[tr.Root()][0][:1]
+			p.Bridges = brs
+		}},
+		{"bridge out of range", func(p *Parts) {
+			brs := cloneBridges(p.Bridges)
+			arr := append([]int32{}, brs[tr.Root()][0]...)
+			arr[len(arr)-1] = int32(1 << 28)
+			brs[tr.Root()][0] = arr
+			p.Bridges = brs
+		}},
+		{"bridges cross", func(p *Parts) {
+			brs := cloneBridges(p.Bridges)
+			arr := append([]int32{}, brs[tr.Root()][0]...)
+			if len(arr) > 2 {
+				arr[1], arr[len(arr)-1] = arr[len(arr)-1], 0
+			}
+			brs[tr.Root()][0] = arr
+			p.Bridges = brs
+		}},
+	}
+	if _, err := FromParts(nil, base); err == nil {
+		t.Fatalf("nil tree accepted")
+	}
+	for _, tc := range cases[1:] {
+		p := base
+		tc.mutate(&p)
+		if _, err := FromParts(tr, p); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func cloneBridges(b [][][]int32) [][][]int32 {
+	out := make([][][]int32, len(b))
+	for v := range b {
+		out[v] = append([][]int32{}, b[v]...)
+	}
+	return out
+}

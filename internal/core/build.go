@@ -147,19 +147,7 @@ func BuildFromCascade(s *cascade.Structure, cfg Config) (*Structure, error) {
 // buildSubstructure partitions the truncated tree into height-h blocks
 // rooted at depths 0, h, 2h, … and builds each block's skeleton forest.
 func (st *Structure) buildSubstructure(sub *Substructure) {
-	t := st.t
-	// Collect block roots: nodes at depth ≡ 0 (mod h), strictly above the
-	// truncation boundary.
-	var roots []tree.NodeID
-	for _, v := range t.LevelOrder() {
-		d := t.Depth(v)
-		if d >= sub.TruncDepth {
-			continue
-		}
-		if d%sub.H == 0 && !t.IsLeaf(v) {
-			roots = append(roots, v)
-		}
-	}
+	roots := st.blockRoots(sub)
 	sub.blocks = make([]Block, len(roots))
 	grain := 4
 	if st.cfg.Sequential {
@@ -176,9 +164,28 @@ func (st *Structure) buildSubstructure(sub *Substructure) {
 	}
 }
 
-// buildBlock builds one block rooted at u with height min(h, trunc −
-// depth(u)) and its skeleton forest with stride s.
-func (st *Structure) buildBlock(u tree.NodeID, h, trunc, s int) Block {
+// blockRoots collects the block roots of a substructure: nodes at depth
+// ≡ 0 (mod h), strictly above the truncation boundary, in level order.
+func (st *Structure) blockRoots(sub *Substructure) []tree.NodeID {
+	t := st.t
+	var roots []tree.NodeID
+	for _, v := range t.LevelOrder() {
+		d := t.Depth(v)
+		if d >= sub.TruncDepth {
+			continue
+		}
+		if d%sub.H == 0 && !t.IsLeaf(v) {
+			roots = append(roots, v)
+		}
+	}
+	return roots
+}
+
+// blockTopology collects by BFS the block rooted at u with height
+// min(h, trunc − depth(u)): its nodes, local parent/child links, and
+// levels. The skeleton forest (M, Sparse, KeyPos) is filled in separately
+// by buildBlock or, on snapshot import, validated against stored state.
+func (st *Structure) blockTopology(u tree.NodeID, h, trunc int) Block {
 	t := st.t
 	baseDepth := t.Depth(u)
 	maxLevel := h
@@ -186,7 +193,6 @@ func (st *Structure) buildBlock(u tree.NodeID, h, trunc, s int) Block {
 		maxLevel = trunc - baseDepth
 	}
 	b := Block{Root: u}
-	// BFS collect.
 	b.Nodes = append(b.Nodes, u)
 	b.Parent = append(b.Parent, -1)
 	b.Level = append(b.Level, 0)
@@ -205,6 +211,13 @@ func (st *Structure) buildBlock(u tree.NodeID, h, trunc, s int) Block {
 		}
 	}
 	b.Height = maxLevel
+	return b
+}
+
+// buildBlock builds one block rooted at u with height min(h, trunc −
+// depth(u)) and its skeleton forest with stride s.
+func (st *Structure) buildBlock(u tree.NodeID, h, trunc, s int) Block {
+	b := st.blockTopology(u, h, trunc)
 	// Skeleton forest: sample the root catalog with stride s.
 	tLen := st.s.Aug(u).Len()
 	m := tLen / s

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/tree"
+)
+
+func buildForExport(t *testing.T, cfg Config) *Structure {
+	t.Helper()
+	tr, err := tree.NewBalancedBinary(16)
+	if err != nil {
+		t.Fatalf("tree: %v", err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	native := make([]catalog.Catalog, tr.N())
+	for v := range native {
+		keys := make([]catalog.Key, 0, 20)
+		seen := make(map[catalog.Key]bool)
+		for len(keys) < 20 {
+			k := catalog.Key(rng.Int63n(1 << 20))
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		c, err := catalog.FromKeys(keys, nil)
+		if err != nil {
+			t.Fatalf("catalog: %v", err)
+		}
+		native[v] = c
+	}
+	st, err := Build(tr, native, cfg)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return st
+}
+
+func TestExportStateRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{{}, {NoTruncation: true, MaxSubs: 2}} {
+		st := buildForExport(t, cfg)
+		state, err := st.ExportState()
+		if err != nil {
+			t.Fatalf("export: %v", err)
+		}
+		got, err := FromParts(st.Cascade(), state)
+		if err != nil {
+			t.Fatalf("FromParts: %v", err)
+		}
+		if got.NumSubstructures() != st.NumSubstructures() {
+			t.Fatalf("substructure counts diverge")
+		}
+		if !reflect.DeepEqual(got.SpaceReport(), st.SpaceReport()) {
+			t.Fatalf("space reports diverge")
+		}
+		for i := 0; i < st.NumSubstructures(); i++ {
+			w, g := st.Substructure(i), got.Substructure(i)
+			if w.H != g.H || w.S != g.S || w.TruncDepth != g.TruncDepth || w.SkeletonSlots != g.SkeletonSlots {
+				t.Fatalf("sub %d metadata diverges", i)
+			}
+			if !reflect.DeepEqual(w.Blocks(), g.Blocks()) {
+				t.Fatalf("sub %d blocks diverge", i)
+			}
+		}
+		tr := st.Tree()
+		var leaf tree.NodeID
+		for v := 0; v < tr.N(); v++ {
+			if tr.IsLeaf(tree.NodeID(v)) {
+				leaf = tree.NodeID(v)
+			}
+		}
+		path := tr.RootPath(leaf)
+		for _, p := range []int{2, 32, 512} {
+			for y := catalog.Key(0); y < 1<<20; y += 99991 {
+				wr, ws, err1 := st.SearchExplicit(y, path, p)
+				gr, gs, err2 := got.SearchExplicit(y, path, p)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("search: %v / %v", err1, err2)
+				}
+				if !reflect.DeepEqual(wr, gr) || ws != gs {
+					t.Fatalf("p=%d y=%d: answers diverge", p, y)
+				}
+			}
+		}
+	}
+}
+
+func TestExportStateRefusesHOverride(t *testing.T) {
+	st := buildForExport(t, Config{HOverride: func(int) int { return 2 }})
+	if _, err := st.ExportState(); err == nil {
+		t.Fatalf("HOverride structure exported")
+	}
+}
+
+func TestFromPartsRejectsDamage(t *testing.T) {
+	st := buildForExport(t, Config{})
+	base, err := st.ExportState()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	clone := func() State {
+		s := State{Cfg: base.Cfg, Subs: make([]SubState, len(base.Subs))}
+		for i, sub := range base.Subs {
+			s.Subs[i].Blocks = make([]BlockState, len(sub.Blocks))
+			for bi, b := range sub.Blocks {
+				kp := make([][]int32, len(b.KeyPos))
+				for j := range b.KeyPos {
+					kp[j] = append([]int32{}, b.KeyPos[j]...)
+				}
+				s.Subs[i].Blocks[bi] = BlockState{Root: b.Root, KeyPos: kp}
+			}
+		}
+		return s
+	}
+	// Substructures with a zero truncation depth hold no blocks; aim the
+	// block-level mutations at the first one that does.
+	si := -1
+	for i, sub := range base.Subs {
+		if len(sub.Blocks) > 0 {
+			si = i
+			break
+		}
+	}
+	if si < 0 {
+		t.Fatalf("no substructure with blocks")
+	}
+	if len(base.Subs[si].Blocks[0].KeyPos) < 2 {
+		t.Fatalf("fixture block needs at least two skeleton trees")
+	}
+	cases := []struct {
+		name   string
+		mutate func(s *State)
+	}{
+		{"sub count", func(s *State) { s.Subs = s.Subs[:len(s.Subs)-1] }},
+		{"block count", func(s *State) { s.Subs[si].Blocks = s.Subs[si].Blocks[:len(s.Subs[si].Blocks)-1] }},
+		{"wrong root", func(s *State) { s.Subs[si].Blocks[0].Root++ }},
+		{"skeleton count", func(s *State) { s.Subs[si].Blocks[0].KeyPos = s.Subs[si].Blocks[0].KeyPos[:1] }},
+		{"skeleton shape", func(s *State) {
+			kp := s.Subs[si].Blocks[0].KeyPos
+			kp[len(kp)-1] = kp[len(kp)-1][:1]
+		}},
+		{"root position", func(s *State) { s.Subs[si].Blocks[0].KeyPos[0][0]++ }},
+		{"position out of range", func(s *State) {
+			kp := s.Subs[si].Blocks[0].KeyPos[0]
+			kp[len(kp)-1] = 1 << 29
+		}},
+	}
+	for _, tc := range cases {
+		s := clone()
+		tc.mutate(&s)
+		if _, err := FromParts(st.Cascade(), s); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := FromParts(nil, base); err == nil {
+		t.Fatalf("nil cascade accepted")
+	}
+}

@@ -1,0 +1,159 @@
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
+	"fraccascade/internal/tree"
+)
+
+// PendingInsert is one buffered insertion awaiting the next flush.
+type PendingInsert struct {
+	Key     catalog.Key
+	Payload int32
+}
+
+// NodePending is one node's pending overlay, in canonical (sorted) form.
+type NodePending struct {
+	Node tree.NodeID
+	// Ins is sorted strictly by key.
+	Ins []PendingInsert
+	// Del is sorted strictly ascending.
+	Del []catalog.Key
+}
+
+// State is the persisted shape of a dynamic Structure minus the built
+// static structure, which is serialized separately (see core.ExportState).
+// It captures the committed catalogs, the pending overlays, and the flush
+// generation, so a mid-churn snapshot restores to exactly the same
+// answers, buffered count, and cache-invalidation state.
+type State struct {
+	Capacity   int
+	Generation uint64
+	// Keys[v]/Payloads[v] are node v's committed native keys, sorted.
+	Keys     [][]catalog.Key
+	Payloads [][]int32
+	// Pending lists nodes with non-empty overlays, sorted by node.
+	Pending []NodePending
+}
+
+// ExportState returns the structure's mutable state for serialization.
+// The committed key/payload slices alias live state; callers must treat
+// them as read-only.
+func (d *Structure) ExportState() State {
+	st := State{
+		Capacity:   d.capacity,
+		Generation: d.Generation(),
+		Keys:       d.curKeys,
+		Payloads:   d.curPayloads,
+	}
+	nodes := make([]tree.NodeID, 0, len(d.overlays))
+	for v, o := range d.overlays {
+		if len(o.ins) == 0 && len(o.del) == 0 {
+			continue
+		}
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, v := range nodes {
+		o := d.overlays[v]
+		np := NodePending{Node: v}
+		for _, ie := range o.ins {
+			np.Ins = append(np.Ins, PendingInsert{Key: ie.key, Payload: ie.payload})
+		}
+		for k := range o.del {
+			np.Del = append(np.Del, k)
+		}
+		sort.Slice(np.Del, func(i, j int) bool { return np.Del[i] < np.Del[j] })
+		st.Pending = append(st.Pending, np)
+	}
+	return st
+}
+
+// FromParts reassembles a dynamic Structure around an already-restored
+// static structure. The committed catalogs are cross-checked entry by
+// entry against the static structure's native catalogs (they are the same
+// data, stored once in each representation), overlays are validated for
+// canonical form, and the flush generation is stamped back so externally
+// cached artifacts keyed by Generation() stay correctly invalidated.
+func FromParts(st *core.Structure, state State) (*Structure, error) {
+	if st == nil {
+		return nil, fmt.Errorf("dynamic: nil static structure")
+	}
+	t := st.Tree()
+	if len(state.Keys) != t.N() || len(state.Payloads) != t.N() {
+		return nil, fmt.Errorf("dynamic: state covers %d/%d nodes, tree has %d", len(state.Keys), len(state.Payloads), t.N())
+	}
+	if state.Capacity < 1 {
+		return nil, fmt.Errorf("dynamic: capacity %d < 1", state.Capacity)
+	}
+	d := &Structure{
+		t:           t,
+		cfg:         st.Config(),
+		st:          st,
+		curKeys:     state.Keys,
+		curPayloads: state.Payloads,
+		overlays:    make(map[tree.NodeID]*overlay),
+		capacity:    state.Capacity,
+		maxAttempts: defaultRebuildAttempts,
+		sleep:       time.Sleep,
+	}
+	for v := 0; v < t.N(); v++ {
+		ks, ps := state.Keys[v], state.Payloads[v]
+		if len(ks) != len(ps) {
+			return nil, fmt.Errorf("dynamic: node %d: %d keys, %d payloads", v, len(ks), len(ps))
+		}
+		native := st.Cascade().Native(tree.NodeID(v))
+		if native.Len() != len(ks)+1 {
+			return nil, fmt.Errorf("dynamic: node %d: %d committed keys, static catalog has %d entries", v, len(ks), native.Len())
+		}
+		for i, k := range ks {
+			if k == catalog.PlusInf {
+				return nil, fmt.Errorf("dynamic: node %d: committed +inf key", v)
+			}
+			if i > 0 && ks[i-1] >= k {
+				return nil, fmt.Errorf("dynamic: node %d: committed keys not strictly increasing at %d", v, i)
+			}
+			if e := native.At(i); e.Key != k || e.Payload != ps[i] {
+				return nil, fmt.Errorf("dynamic: node %d entry %d: committed (%d,%d) disagrees with static (%d,%d)",
+					v, i, k, ps[i], e.Key, e.Payload)
+			}
+		}
+	}
+	prevNode := tree.Nil
+	for _, np := range state.Pending {
+		if np.Node <= prevNode || int(np.Node) >= t.N() {
+			return nil, fmt.Errorf("dynamic: pending overlay node %d out of order or range", np.Node)
+		}
+		prevNode = np.Node
+		if len(np.Ins) == 0 && len(np.Del) == 0 {
+			return nil, fmt.Errorf("dynamic: node %d: empty pending overlay", np.Node)
+		}
+		o := &overlay{del: make(map[catalog.Key]bool, len(np.Del))}
+		for i, ie := range np.Ins {
+			if ie.Key == catalog.PlusInf {
+				return nil, fmt.Errorf("dynamic: node %d: pending insert of +inf", np.Node)
+			}
+			if i > 0 && np.Ins[i-1].Key >= ie.Key {
+				return nil, fmt.Errorf("dynamic: node %d: pending inserts not strictly increasing at %d", np.Node, i)
+			}
+			o.ins = append(o.ins, insEntry{key: ie.Key, payload: ie.Payload})
+		}
+		for i, k := range np.Del {
+			if k == catalog.PlusInf {
+				return nil, fmt.Errorf("dynamic: node %d: pending delete of +inf", np.Node)
+			}
+			if i > 0 && np.Del[i-1] >= k {
+				return nil, fmt.Errorf("dynamic: node %d: pending deletes not strictly increasing at %d", np.Node, i)
+			}
+			o.del[k] = true
+		}
+		d.overlays[np.Node] = o
+		d.buffered += len(np.Ins) + len(np.Del)
+	}
+	d.gen.Store(state.Generation)
+	return d, nil
+}

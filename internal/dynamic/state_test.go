@@ -1,0 +1,151 @@
+package dynamic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
+	"fraccascade/internal/tree"
+)
+
+func churnedStructure(t *testing.T) *Structure {
+	t.Helper()
+	tr, err := tree.NewBalancedBinary(8)
+	if err != nil {
+		t.Fatalf("tree: %v", err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	native := make([]catalog.Catalog, tr.N())
+	for v := range native {
+		keys := make([]catalog.Key, 10)
+		for i := range keys {
+			keys[i] = catalog.Key(v*10000 + i*20) // even spacing, gaps for inserts
+		}
+		c, err := catalog.FromKeys(keys, nil)
+		if err != nil {
+			t.Fatalf("catalog: %v", err)
+		}
+		native[v] = c
+	}
+	d, err := New(tr, native, core.Config{}, 500)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 30; i++ {
+		v := tree.NodeID(rng.Intn(tr.N()))
+		if err := d.Insert(v, catalog.Key(int(v)*10000+i*20+7), int32(i)); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	for i := 0; i < 15; i++ {
+		v := tree.NodeID(rng.Intn(tr.N()))
+		if i%3 == 0 {
+			if err := d.Delete(v, catalog.Key(int(v)*10000+(i%10)*20)); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+		} else if err := d.Insert(v, catalog.Key(int(v)*10000+i*20+11), int32(i)); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	if d.Buffered() == 0 {
+		t.Fatalf("expected pending overlays")
+	}
+	return d
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	d := churnedStructure(t)
+	state := d.ExportState()
+	got, err := FromParts(d.Static(), state)
+	if err != nil {
+		t.Fatalf("FromParts: %v", err)
+	}
+	if got.Generation() != d.Generation() || got.Buffered() != d.Buffered() || got.Capacity() != d.Capacity() {
+		t.Fatalf("metadata diverges")
+	}
+	if !reflect.DeepEqual(got.ExportState(), state) {
+		t.Fatalf("re-exported state diverges")
+	}
+	tr := d.Static().Tree()
+	for v := 0; v < tr.N(); v++ {
+		for y := catalog.Key(0); y < 80000; y += 333 {
+			wk, wp := d.Find(tree.NodeID(v), y)
+			gk, gp := got.Find(tree.NodeID(v), y)
+			if wk != gk || wp != gp {
+				t.Fatalf("node %d y=%d: find diverges", v, y)
+			}
+		}
+	}
+	// Restored structures stay fully updatable: flushing pending overlays
+	// advances the generation past the stamped value.
+	gen := got.Generation()
+	if err := got.Flush(); err != nil {
+		t.Fatalf("flush restored: %v", err)
+	}
+	if got.Generation() != gen+1 {
+		t.Fatalf("generation after flush = %d, want %d", got.Generation(), gen+1)
+	}
+}
+
+func TestFromPartsRejectsDamage(t *testing.T) {
+	d := churnedStructure(t)
+	base := d.ExportState()
+	clone := func() State {
+		s := State{Capacity: base.Capacity, Generation: base.Generation}
+		s.Keys = make([][]catalog.Key, len(base.Keys))
+		s.Payloads = make([][]int32, len(base.Payloads))
+		for v := range base.Keys {
+			s.Keys[v] = append([]catalog.Key{}, base.Keys[v]...)
+			s.Payloads[v] = append([]int32{}, base.Payloads[v]...)
+		}
+		for _, np := range base.Pending {
+			s.Pending = append(s.Pending, NodePending{
+				Node: np.Node,
+				Ins:  append([]PendingInsert{}, np.Ins...),
+				Del:  append([]catalog.Key{}, np.Del...),
+			})
+		}
+		return s
+	}
+	cases := []struct {
+		name   string
+		mutate func(s *State)
+	}{
+		{"zero capacity", func(s *State) { s.Capacity = 0 }},
+		{"node count", func(s *State) { s.Keys = s.Keys[:len(s.Keys)-1] }},
+		{"key/payload mismatch", func(s *State) { s.Payloads[0] = s.Payloads[0][:len(s.Payloads[0])-1] }},
+		{"key disagrees with static", func(s *State) { s.Keys[0][0]++ }},
+		{"committed +inf", func(s *State) { s.Keys[0][len(s.Keys[0])-1] = catalog.PlusInf }},
+		{"unsorted pending nodes", func(s *State) {
+			if len(s.Pending) > 1 {
+				s.Pending[0], s.Pending[1] = s.Pending[1], s.Pending[0]
+			} else {
+				s.Pending = append(s.Pending, s.Pending[0])
+			}
+		}},
+		{"unsorted pending inserts", func(s *State) {
+			for i := range s.Pending {
+				if len(s.Pending[i].Ins) > 1 {
+					s.Pending[i].Ins[0], s.Pending[i].Ins[1] = s.Pending[i].Ins[1], s.Pending[i].Ins[0]
+					return
+				}
+			}
+			s.Pending[0].Ins = append(s.Pending[0].Ins, s.Pending[0].Ins...)
+		}},
+	}
+	for _, tc := range cases {
+		s := clone()
+		tc.mutate(&s)
+		if _, err := FromParts(d.Static(), s); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := FromParts(nil, base); err == nil {
+		t.Fatalf("nil static accepted")
+	}
+}

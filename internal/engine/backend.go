@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"fraccascade/internal/cascade"
 	"fraccascade/internal/catalog"
 	"fraccascade/internal/core"
@@ -17,6 +19,11 @@ type CatalogBackend interface {
 	// SearchExplicit is the Theorem 1 cooperative search along path with p
 	// processors.
 	SearchExplicit(y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, core.Stats, error)
+	// SearchExplicitContext is SearchExplicit honouring cancellation and
+	// deadlines: it checks ctx between simulated rounds and returns the
+	// context's error with partial stats once it fires. Answers on the
+	// nil-error path are identical to SearchExplicit.
+	SearchExplicitContext(ctx context.Context, y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, core.Stats, error)
 	// SearchExplicitWithEntry seeds the search with a cached entry
 	// position; used reports whether the hint validated and the Step-1
 	// cooperative search was skipped.
@@ -47,6 +54,11 @@ type StaticShard struct {
 // SearchExplicit implements CatalogBackend.
 func (s StaticShard) SearchExplicit(y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, core.Stats, error) {
 	return s.St.SearchExplicit(y, path, p)
+}
+
+// SearchExplicitContext implements CatalogBackend.
+func (s StaticShard) SearchExplicitContext(ctx context.Context, y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, core.Stats, error) {
+	return s.St.SearchExplicitContext(ctx, y, path, p)
 }
 
 // SearchExplicitWithEntry implements CatalogBackend.
@@ -83,6 +95,11 @@ type DynamicShard struct {
 // SearchExplicit implements CatalogBackend.
 func (s DynamicShard) SearchExplicit(y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, core.Stats, error) {
 	return s.D.SearchExplicit(y, path, p)
+}
+
+// SearchExplicitContext implements CatalogBackend.
+func (s DynamicShard) SearchExplicitContext(ctx context.Context, y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, core.Stats, error) {
+	return s.D.SearchExplicitContext(ctx, y, path, p)
 }
 
 // SearchExplicitWithEntry implements CatalogBackend.

@@ -29,6 +29,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -296,6 +297,23 @@ func (e *Engine) Pool() *Pool { return e.pool }
 // the pool. Per-query failures land in the answers; the error return is
 // reserved for empty batches.
 func (e *Engine) ExecuteBatch(qs []Query) ([]Answer, BatchReport, error) {
+	return e.execute(nil, qs)
+}
+
+// ExecuteBatchContext is ExecuteBatch honouring cancellation and deadlines:
+// ctx is checked before each query starts and threaded into the
+// context-aware search paths of every backend kind, so a fired context
+// surfaces promptly as per-query errors (counted in the report) rather
+// than hanging the batch. A nil ctx runs the plain uncancellable path and
+// is behaviourally identical to ExecuteBatch. Cache-hit catalog entries
+// stay uncancellable — the hinted search skips the expensive cooperative
+// rounds the context guard exists to bound.
+func (e *Engine) ExecuteBatchContext(ctx context.Context, qs []Query) ([]Answer, BatchReport, error) {
+	return e.execute(ctx, qs)
+}
+
+// execute runs one batch; a nil ctx selects the plain search paths.
+func (e *Engine) execute(ctx context.Context, qs []Query) ([]Answer, BatchReport, error) {
 	if len(qs) == 0 {
 		return nil, BatchReport{}, fmt.Errorf("engine: empty batch")
 	}
@@ -311,7 +329,7 @@ func (e *Engine) ExecuteBatch(qs []Query) ([]Answer, BatchReport, error) {
 	tasks := make([]func(), len(qs))
 	for i := range qs {
 		i := i
-		tasks[i] = func() { answers[i] = e.runQuery(qs[i], pShare, true) }
+		tasks[i] = func() { answers[i] = e.runQuery(ctx, qs[i], pShare, true) }
 	}
 	e.pool.Run(tasks)
 	rep := BatchReport{B: len(qs), PTotal: e.cfg.Procs, PShare: pShare}
@@ -438,7 +456,7 @@ func (e *Engine) ExecuteSequential(qs []Query) ([]Answer, int, error) {
 	answers := make([]Answer, len(qs))
 	total := 0
 	for i := range qs {
-		answers[i] = e.runQuery(qs[i], e.cfg.Procs, false)
+		answers[i] = e.runQuery(nil, qs[i], e.cfg.Procs, false)
 		total += answers[i].Steps
 	}
 	return answers, total, nil
@@ -522,18 +540,35 @@ func spatialPhases(s spatial.Stats) map[string]int {
 }
 
 // runQuery executes one query with processor share p. useCache gates the
-// entry-point cache (the sequential baseline runs without it).
-func (e *Engine) runQuery(q Query, p int, useCache bool) Answer {
+// entry-point cache (the sequential baseline runs without it). A nil ctx
+// selects the plain uncancellable search paths; a non-nil ctx is checked
+// up front and threaded into each backend's context-aware variant.
+func (e *Engine) runQuery(ctx context.Context, q Query, p int, useCache bool) Answer {
 	a := Answer{Query: q, P: p}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			a.Err = err
+			return a
+		}
+	}
 	switch q.Kind {
 	case KindCatalog:
-		e.runCatalog(&a, q, p, useCache)
+		e.runCatalog(ctx, &a, q, p, useCache)
 	case KindPoint:
 		if e.pl == nil {
 			a.Err = fmt.Errorf("engine: no point-location backend configured")
 			return a
 		}
-		region, stats, err := e.pl.LocateCoop(q.Point, p)
+		var (
+			region int
+			stats  core.Stats
+			err    error
+		)
+		if ctx != nil {
+			region, stats, err = e.pl.LocateCoopContext(ctx, q.Point, p)
+		} else {
+			region, stats, err = e.pl.LocateCoop(q.Point, p)
+		}
 		a.Region, a.Steps, a.Rounds, a.Err = region, stats.Steps, stats.RootRounds, err
 		if err == nil {
 			a.PhaseSteps = catalogPhases(stats)
@@ -543,7 +578,16 @@ func (e *Engine) runQuery(q Query, p int, useCache bool) Answer {
 			a.Err = fmt.Errorf("engine: no spatial backend configured")
 			return a
 		}
-		cell, stats, err := e.sp.LocateCoop(q.SX, q.SY, q.SZ, p)
+		var (
+			cell  int
+			stats spatial.Stats
+			err   error
+		)
+		if ctx != nil {
+			cell, stats, err = e.sp.LocateCoopContext(ctx, q.SX, q.SY, q.SZ, p)
+		} else {
+			cell, stats, err = e.sp.LocateCoop(q.SX, q.SY, q.SZ, p)
+		}
 		a.Cell, a.Steps, a.Rounds, a.Err = cell, stats.Steps, stats.DiscrimRounds, err
 		if err == nil {
 			a.PhaseSteps = spatialPhases(stats)
@@ -555,8 +599,10 @@ func (e *Engine) runQuery(q Query, p int, useCache bool) Answer {
 }
 
 // runCatalog executes a catalog query, consulting and filling the shard's
-// entry cache.
-func (e *Engine) runCatalog(a *Answer, q Query, p int, useCache bool) {
+// entry cache. A non-nil ctx makes the cache-miss search cancellable; the
+// cache-hit path runs uncancellable because the hint already skips the
+// cooperative entry rounds the guard exists to bound.
+func (e *Engine) runCatalog(ctx context.Context, a *Answer, q Query, p int, useCache bool) {
 	if q.Shard < 0 || q.Shard >= len(e.shards) {
 		a.Err = fmt.Errorf("engine: catalog shard %d out of range [0, %d)", q.Shard, len(e.shards))
 		return
@@ -591,7 +637,16 @@ func (e *Engine) runCatalog(a *Answer, q Query, p int, useCache bool) {
 			return
 		}
 	}
-	results, stats, err := be.SearchExplicit(q.Key, q.Path, p)
+	var (
+		results []cascade.Result
+		stats   core.Stats
+		err     error
+	)
+	if ctx != nil {
+		results, stats, err = be.SearchExplicitContext(ctx, q.Key, q.Path, p)
+	} else {
+		results, stats, err = be.SearchExplicit(q.Key, q.Path, p)
+	}
 	a.Results, a.Steps, a.Rounds, a.Err = results, stats.Steps, stats.RootRounds, err
 	if err == nil {
 		a.PhaseSteps = catalogPhases(stats)

@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"fmt"
+
+	"fraccascade/internal/snapshot"
+)
+
+// BackendsFromStore adapts a decoded snapshot store into catalog backends,
+// in shard order. It is the engine-side half of the crash-safe restore
+// path: snapshot.Load validates the bytes, this maps the reconstructed
+// structures onto the live serving interface, and New accepts the result
+// exactly like freshly built shards.
+func BackendsFromStore(store *snapshot.Store) ([]CatalogBackend, error) {
+	if store == nil {
+		return nil, fmt.Errorf("engine: nil snapshot store")
+	}
+	shards := make([]CatalogBackend, len(store.Shards))
+	for i, sh := range store.Shards {
+		switch sh.Kind {
+		case snapshot.KindStatic:
+			if sh.Static == nil {
+				return nil, fmt.Errorf("engine: snapshot shard %d is static with no structure", i)
+			}
+			shards[i] = StaticShard{St: sh.Static}
+		case snapshot.KindDynamic:
+			if sh.Dynamic == nil {
+				return nil, fmt.Errorf("engine: snapshot shard %d is dynamic with no structure", i)
+			}
+			shards[i] = DynamicShard{D: sh.Dynamic}
+		default:
+			return nil, fmt.Errorf("engine: snapshot shard %d has unknown kind %d", i, sh.Kind)
+		}
+	}
+	return shards, nil
+}

@@ -1,0 +1,254 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+)
+
+// DiskPlan is a deterministic disk fault schedule for snapshot
+// persistence, the storage-side sibling of Plan. It implements the
+// snapshot writer's filesystem seam (snapshot.FS — satisfied structurally,
+// so this package stays free of a dependency on the code it sabotages) and
+// perturbs the crash-safe write path:
+//
+//   - Torn writes and tail truncation shorten the temp file's contents
+//     (a crash after a partial write, or an fsync the firmware lied
+//     about) while the rename still goes through.
+//   - Bit flips corrupt one bit of the written data (media rot, a torn
+//     sector rewrite).
+//   - Rename failures abort the atomic replace (a crash between the temp
+//     write and the rename), leaving any previous snapshot intact.
+//
+// Faults are scheduled per call index — the i-th WriteTemp or the i-th
+// Rename observed by the plan — either explicitly or pseudo-randomly from
+// a seed, so every chaos run is replayable. The zero value is unusable;
+// construct with NewDiskPlan or RandomDisk.
+type DiskPlan struct {
+	mu      sync.Mutex
+	seed    int64
+	writes  int
+	renames int
+
+	tornFrac   map[int]float64
+	truncTail  map[int]int
+	flipBit    map[int]int
+	failRename map[int]bool
+}
+
+// NewDiskPlan returns an empty (fault-free) disk plan, to be populated
+// with TornWrite, TruncateTail, BitFlip, and FailRename.
+func NewDiskPlan() *DiskPlan {
+	return &DiskPlan{
+		seed:       -1,
+		tornFrac:   make(map[int]float64),
+		truncTail:  make(map[int]int),
+		flipBit:    make(map[int]int),
+		failRename: make(map[int]bool),
+	}
+}
+
+// DiskOptions configures random disk plan generation. Rates are
+// probabilities in [0, 1] applied independently per call index.
+type DiskOptions struct {
+	// TornRate tears the write, keeping a uniform 10–90% prefix.
+	TornRate float64
+	// TruncateRate cuts 1..16 bytes off the written tail.
+	TruncateRate float64
+	// FlipRate flips one pseudo-random bit of the written data.
+	FlipRate float64
+	// RenameFailRate fails the atomic replace.
+	RenameFailRate float64
+	// Horizon is the number of call indices covered (default 8).
+	Horizon int
+}
+
+// RandomDisk generates a seeded pseudo-random disk plan; the same
+// (seed, opts) pair always yields the identical schedule.
+func RandomDisk(seed int64, opts DiskOptions) (*DiskPlan, error) {
+	for _, rate := range []float64{opts.TornRate, opts.TruncateRate, opts.FlipRate, opts.RenameFailRate} {
+		if rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("faults: rates must lie in [0,1]: %+v", opts)
+		}
+	}
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		horizon = 8
+	}
+	p := NewDiskPlan()
+	p.seed = seed
+	rng := rand.New(rand.NewSource(seed))
+	for call := 0; call < horizon; call++ {
+		if opts.TornRate > 0 && rng.Float64() < opts.TornRate {
+			p.tornFrac[call] = 0.1 + 0.8*rng.Float64()
+		}
+		if opts.TruncateRate > 0 && rng.Float64() < opts.TruncateRate {
+			p.truncTail[call] = 1 + rng.Intn(16)
+		}
+		if opts.FlipRate > 0 && rng.Float64() < opts.FlipRate {
+			p.flipBit[call] = rng.Intn(1 << 20)
+		}
+		if opts.RenameFailRate > 0 && rng.Float64() < opts.RenameFailRate {
+			p.failRename[call] = true
+		}
+	}
+	return p, nil
+}
+
+// Seed returns the generation seed, or -1 for explicitly built plans.
+func (p *DiskPlan) Seed() int64 { return p.seed }
+
+// TornWrite schedules the call-th WriteTemp to persist only the first
+// frac of its data (0 < frac < 1); the rename still succeeds.
+func (p *DiskPlan) TornWrite(call int, frac float64) error {
+	if call < 0 || frac <= 0 || frac >= 1 {
+		return fmt.Errorf("faults: bad torn write (call=%d, frac=%g)", call, frac)
+	}
+	p.tornFrac[call] = frac
+	return nil
+}
+
+// TruncateTail schedules the call-th WriteTemp to lose its last n bytes.
+func (p *DiskPlan) TruncateTail(call, n int) error {
+	if call < 0 || n < 1 {
+		return fmt.Errorf("faults: bad truncation (call=%d, n=%d)", call, n)
+	}
+	p.truncTail[call] = n
+	return nil
+}
+
+// BitFlip schedules the call-th WriteTemp to flip one bit; bit is an
+// absolute bit index reduced modulo the data length.
+func (p *DiskPlan) BitFlip(call, bit int) error {
+	if call < 0 || bit < 0 {
+		return fmt.Errorf("faults: bad bit flip (call=%d, bit=%d)", call, bit)
+	}
+	p.flipBit[call] = bit
+	return nil
+}
+
+// FailRename schedules the call-th Rename to fail.
+func (p *DiskPlan) FailRename(call int) error {
+	if call < 0 {
+		return fmt.Errorf("faults: negative rename call %d", call)
+	}
+	p.failRename[call] = true
+	return nil
+}
+
+// Injected reports the number of scheduled fault events.
+func (p *DiskPlan) Injected() int {
+	return len(p.tornFrac) + len(p.truncTail) + len(p.flipBit) + len(p.failRename)
+}
+
+// Writes reports how many WriteTemp calls the plan has observed.
+func (p *DiskPlan) Writes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.writes
+}
+
+// Events returns a human-readable, deterministic summary of the schedule,
+// for logging alongside a replay seed.
+func (p *DiskPlan) Events() []string {
+	var out []string
+	for call, frac := range p.tornFrac {
+		out = append(out, fmt.Sprintf("torn-write call=%d frac=%.2f", call, frac))
+	}
+	for call, n := range p.truncTail {
+		out = append(out, fmt.Sprintf("truncate call=%d bytes=%d", call, n))
+	}
+	for call, bit := range p.flipBit {
+		out = append(out, fmt.Sprintf("bit-flip call=%d bit=%d", call, bit))
+	}
+	for call := range p.failRename {
+		out = append(out, fmt.Sprintf("rename-fail call=%d", call))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (p *DiskPlan) String() string {
+	return fmt.Sprintf("faults.DiskPlan{seed:%d events:%d}", p.seed, p.Injected())
+}
+
+// sabotage applies this call's scheduled data corruptions.
+func (p *DiskPlan) sabotage(call int, data []byte) []byte {
+	out := data
+	if frac, ok := p.tornFrac[call]; ok {
+		out = out[:int(float64(len(out))*frac)]
+	}
+	if n, ok := p.truncTail[call]; ok {
+		if n > len(out) {
+			n = len(out)
+		}
+		out = out[:len(out)-n]
+	}
+	if bit, ok := p.flipBit[call]; ok && len(out) > 0 {
+		// Copy before flipping: the slice may alias the caller's buffer.
+		mut := append([]byte{}, out...)
+		idx := (bit / 8) % len(mut)
+		mut[idx] ^= 1 << (bit % 8)
+		out = mut
+	}
+	return out
+}
+
+// WriteTemp implements the snapshot filesystem seam: it performs a real
+// temp-file write of the (possibly sabotaged) data so the downstream
+// rename and load paths run against the actual filesystem.
+func (p *DiskPlan) WriteTemp(dir, pattern string, data []byte) (string, error) {
+	p.mu.Lock()
+	call := p.writes
+	p.writes++
+	data = p.sabotage(call, data)
+	p.mu.Unlock()
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return "", err
+	}
+	name := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(name)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(name)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(name)
+		return "", err
+	}
+	return name, nil
+}
+
+// Rename implements the snapshot filesystem seam with scheduled failures.
+func (p *DiskPlan) Rename(oldpath, newpath string) error {
+	p.mu.Lock()
+	call := p.renames
+	p.renames++
+	fail := p.failRename[call]
+	p.mu.Unlock()
+	if fail {
+		return fmt.Errorf("faults: injected rename failure (call %d)", call)
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// SyncDir implements the snapshot filesystem seam.
+func (p *DiskPlan) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Remove implements the snapshot filesystem seam.
+func (p *DiskPlan) Remove(path string) error { return os.Remove(path) }

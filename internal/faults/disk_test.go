@@ -1,0 +1,157 @@
+package faults
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func readBack(t *testing.T, p *DiskPlan, data []byte) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	tmp, err := p.WriteTemp(dir, "x-*.tmp", data)
+	if err != nil {
+		t.Fatalf("WriteTemp: %v", err)
+	}
+	dst := filepath.Join(dir, "out")
+	if err := p.Rename(tmp, dst); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := p.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	return got
+}
+
+func TestDiskPlanFaultKinds(t *testing.T) {
+	data := bytes.Repeat([]byte{0xA5}, 100)
+
+	p := NewDiskPlan()
+	if err := p.TornWrite(0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBack(t, p, data); len(got) != 50 {
+		t.Fatalf("torn write kept %d bytes, want 50", len(got))
+	}
+
+	p = NewDiskPlan()
+	if err := p.TruncateTail(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBack(t, p, data); len(got) != 93 {
+		t.Fatalf("truncation kept %d bytes, want 93", len(got))
+	}
+
+	p = NewDiskPlan()
+	if err := p.BitFlip(0, 8*13+2); err != nil {
+		t.Fatal(err)
+	}
+	got := readBack(t, p, data)
+	if len(got) != len(data) {
+		t.Fatalf("bit flip changed length")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != data[i] {
+			diff++
+			if got[i] != data[i]^(1<<2) || i != 13 {
+				t.Fatalf("wrong flip at byte %d: %#x", i, got[i])
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want 1", diff)
+	}
+	// The caller's buffer must be untouched.
+	if !bytes.Equal(data, bytes.Repeat([]byte{0xA5}, 100)) {
+		t.Fatalf("bit flip mutated the caller's buffer")
+	}
+
+	p = NewDiskPlan()
+	if err := p.FailRename(0); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tmp, err := p.WriteTemp(dir, "x-*.tmp", data)
+	if err != nil {
+		t.Fatalf("WriteTemp: %v", err)
+	}
+	if err := p.Rename(tmp, filepath.Join(dir, "out")); err == nil {
+		t.Fatalf("scheduled rename did not fail")
+	}
+	// A later, unscheduled rename succeeds.
+	if err := p.Rename(tmp, filepath.Join(dir, "out")); err != nil {
+		t.Fatalf("second rename: %v", err)
+	}
+}
+
+func TestDiskPlanSchedulesByCall(t *testing.T) {
+	p := NewDiskPlan()
+	if err := p.TornWrite(1, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{1}, 10)
+	if got := readBack(t, p, data); len(got) != 10 {
+		t.Fatalf("call 0 was sabotaged")
+	}
+	if got := readBack(t, p, data); len(got) != 2 {
+		t.Fatalf("call 1 kept %d bytes, want 2", len(got))
+	}
+	if p.Writes() != 2 {
+		t.Fatalf("Writes() = %d, want 2", p.Writes())
+	}
+}
+
+func TestDiskPlanValidation(t *testing.T) {
+	p := NewDiskPlan()
+	bad := []error{
+		p.TornWrite(-1, 0.5),
+		p.TornWrite(0, 0),
+		p.TornWrite(0, 1),
+		p.TruncateTail(0, 0),
+		p.BitFlip(-1, 0),
+		p.FailRename(-1),
+	}
+	for i, err := range bad {
+		if err == nil {
+			t.Fatalf("case %d: bad schedule accepted", i)
+		}
+	}
+	if _, err := RandomDisk(1, DiskOptions{TornRate: 1.5}); err == nil {
+		t.Fatalf("out-of-range rate accepted")
+	}
+}
+
+func TestRandomDiskDeterministic(t *testing.T) {
+	opts := DiskOptions{TornRate: 0.4, TruncateRate: 0.4, FlipRate: 0.4, RenameFailRate: 0.3, Horizon: 16}
+	a, err := RandomDisk(99, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomDisk(99, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatalf("same seed produced different schedules")
+	}
+	if a.Injected() == 0 {
+		t.Fatalf("no events at these rates (seed-sensitive fixture broke)")
+	}
+	c, err := RandomDisk(100, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events(), c.Events()) {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+	if a.Seed() != 99 || NewDiskPlan().Seed() != -1 {
+		t.Fatalf("seed accessors wrong")
+	}
+}

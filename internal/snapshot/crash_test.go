@@ -1,0 +1,100 @@
+package snapshot
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fraccascade/internal/faults"
+)
+
+// TestSaveFaultsDetectedAtLoad drives the crash-safe write path through
+// the disk fault injector: every in-flight corruption must surface as a
+// typed error at load (the rebuild-from-source signal), and a failed
+// rename must leave the previous snapshot intact.
+func TestSaveFaultsDetectedAtLoad(t *testing.T) {
+	st := buildStatic(t, 8, 10, 51)
+	store := &Store{Generation: 1, Shards: []Shard{{Kind: KindStatic, Static: st}}}
+
+	corrupting := []struct {
+		name     string
+		schedule func(p *faults.DiskPlan) error
+	}{
+		{"torn write", func(p *faults.DiskPlan) error { return p.TornWrite(0, 0.6) }},
+		{"truncation", func(p *faults.DiskPlan) error { return p.TruncateTail(0, 5) }},
+		{"bit flip", func(p *faults.DiskPlan) error { return p.BitFlip(0, 12345) }},
+	}
+	for _, tc := range corrupting {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "s.snap")
+		plan := faults.NewDiskPlan()
+		if err := tc.schedule(plan); err != nil {
+			t.Fatalf("%s: schedule: %v", tc.name, err)
+		}
+		if err := SaveFS(plan, path, store); err != nil {
+			t.Fatalf("%s: save reported %v (corruption is silent until load)", tc.name, err)
+		}
+		if _, err := Load(path); err == nil || !IsCorrupt(err) {
+			t.Fatalf("%s: load err = %v, want typed corruption", tc.name, err)
+		}
+	}
+
+	// Rename failure: Save errors, and an existing good snapshot at path
+	// survives untouched (atomic-replace durability).
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.snap")
+	if err := Save(path, store); err != nil {
+		t.Fatalf("seed save: %v", err)
+	}
+	plan := faults.NewDiskPlan()
+	if err := plan.FailRename(0); err != nil {
+		t.Fatal(err)
+	}
+	newer := &Store{Generation: 2, Shards: store.Shards}
+	if err := SaveFS(plan, path, newer); err == nil {
+		t.Fatalf("save with failed rename reported success")
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("previous snapshot unreadable after failed rename: %v", err)
+	}
+	if got.Generation != 1 {
+		t.Fatalf("previous snapshot generation = %d, want 1", got.Generation)
+	}
+	assertSameAnswers(t, st, got.Shards[0].Static, 52)
+}
+
+// TestRandomDiskSweep replays seeded random fault schedules: every save
+// either loads back exactly or fails typed — never a silent wrong load.
+func TestRandomDiskSweep(t *testing.T) {
+	st := buildStatic(t, 8, 10, 61)
+	store := &Store{Generation: 9, Shards: []Shard{{Kind: KindStatic, Static: st}}}
+	detected, clean := 0, 0
+	for seed := int64(0); seed < 20; seed++ {
+		plan, err := faults.RandomDisk(seed, faults.DiskOptions{
+			TornRate: 0.3, TruncateRate: 0.3, FlipRate: 0.3, RenameFailRate: 0.2, Horizon: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		path := filepath.Join(dir, "s.snap")
+		saveErr := SaveFS(plan, path, store)
+		loaded, loadErr := Load(path)
+		switch {
+		case saveErr != nil:
+			// Rename failed: nothing at path is acceptable.
+			detected++
+		case loadErr != nil:
+			if !IsCorrupt(loadErr) {
+				t.Fatalf("seed %d: untyped load error %v (events %v)", seed, loadErr, plan.Events())
+			}
+			detected++
+		default:
+			assertSameAnswers(t, st, loaded.Shards[0].Static, seed)
+			clean++
+		}
+	}
+	if detected == 0 || clean == 0 {
+		t.Fatalf("sweep not exercising both outcomes: %d detected, %d clean", detected, clean)
+	}
+}

@@ -1,0 +1,33 @@
+package snapshot
+
+import "testing"
+
+// FuzzSnapshotDecode feeds arbitrary bytes to the snapshot reader. The
+// contract under fuzzing is strict: Decode either succeeds or returns a
+// typed corruption error — it never panics, never over-allocates on a
+// hostile length, and never returns an untyped error.
+func FuzzSnapshotDecode(f *testing.F) {
+	valid := encodeFixture(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(valid[:headerSize])
+	f.Add(valid[:len(valid)-5])
+	truncSec := append([]byte{}, valid[:headerSize+8]...)
+	f.Add(truncSec)
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			if !IsCorrupt(err) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if st == nil || len(st.Shards) == 0 {
+			t.Fatalf("nil/empty store with nil error")
+		}
+	})
+}

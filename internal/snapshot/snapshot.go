@@ -1,0 +1,530 @@
+package snapshot
+
+import (
+	"fmt"
+	"math"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
+	"fraccascade/internal/dynamic"
+	"fraccascade/internal/tree"
+)
+
+// Kind identifies what a persisted shard restores into; it mirrors the
+// engine's shard kinds.
+type Kind uint8
+
+const (
+	// KindStatic is a built static structure (engine.StaticShard).
+	KindStatic Kind = 1
+	// KindDynamic is a dynamic structure with committed catalogs and
+	// pending overlays (engine.DynamicShard).
+	KindDynamic Kind = 2
+)
+
+// Shard is one persisted catalog shard. Exactly one of Static and Dynamic
+// is non-nil, according to Kind.
+type Shard struct {
+	Kind    Kind
+	Static  *core.Structure
+	Dynamic *dynamic.Structure
+}
+
+// Store is the unit of persistence: an ordered set of shards plus a
+// caller-defined generation stamp (coopserve uses the sum of dynamic shard
+// generations) surfaced in the file header for cheap inspection.
+type Store struct {
+	Generation uint64
+	Shards     []Shard
+}
+
+// Encode serializes the store into the snapshot wire format.
+func Encode(st *Store) ([]byte, error) {
+	if st == nil || len(st.Shards) == 0 {
+		return nil, fmt.Errorf("snapshot: empty store")
+	}
+	var ids []uint32
+	var payloads [][]byte
+	add := func(id uint32, w *writer) {
+		ids = append(ids, id)
+		payloads = append(payloads, w.buf)
+	}
+	manifest := &writer{}
+	manifest.uint(len(st.Shards))
+	for _, sh := range st.Shards {
+		manifest.byteVal(byte(sh.Kind))
+	}
+	add(secManifest, manifest)
+	for i, sh := range st.Shards {
+		var stc *core.Structure
+		switch sh.Kind {
+		case KindStatic:
+			stc = sh.Static
+		case KindDynamic:
+			if sh.Dynamic == nil {
+				return nil, fmt.Errorf("snapshot: shard %d: nil dynamic structure", i)
+			}
+			stc = sh.Dynamic.Static()
+		default:
+			return nil, fmt.Errorf("snapshot: shard %d: unknown kind %d", i, sh.Kind)
+		}
+		if stc == nil {
+			return nil, fmt.Errorf("snapshot: shard %d: nil structure", i)
+		}
+		coreState, err := stc.ExportState()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: shard %d: %w", i, err)
+		}
+		add(secTree, encodeTree(stc.Tree()))
+		add(secCascade, encodeCascade(stc.Cascade().ExportParts()))
+		add(secCore, encodeCore(coreState))
+		if sh.Kind == KindDynamic {
+			add(secDynamic, encodeDynamic(sh.Dynamic.ExportState()))
+		}
+	}
+	out := appendHeader(nil, st.Generation, len(ids))
+	for i := range ids {
+		out = appendSection(out, ids[i], payloads[i])
+	}
+	return out, nil
+}
+
+// Decode reassembles a store from snapshot bytes. Every defect returns a
+// *CorruptionError (see IsCorrupt); Decode never panics on hostile input.
+func Decode(data []byte) (*Store, error) {
+	generation, nsec, off, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	// Each section occupies at least its 16-byte framing, which bounds a
+	// hostile section count before the loop runs.
+	const minSection = 16
+	if uint64(nsec)*minSection > uint64(len(data)-off) {
+		return nil, corruptf(ErrTruncated, "%d sections declared in %d bytes", nsec, len(data)-off)
+	}
+	type section struct {
+		id      uint32
+		payload []byte
+	}
+	secs := make([]section, 0, nsec)
+	for i := uint32(0); i < nsec; i++ {
+		id, payload, next, err := nextSection(data, off)
+		if err != nil {
+			return nil, err
+		}
+		secs = append(secs, section{id, payload})
+		off = next
+	}
+	if off != len(data) {
+		return nil, corruptf(ErrCorrupt, "%d trailing bytes after last section", len(data)-off)
+	}
+	if len(secs) == 0 || secs[0].id != secManifest {
+		return nil, corruptf(ErrCorrupt, "first section is not the manifest")
+	}
+	kinds, err := decodeManifest(secs[0].payload)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{Generation: generation}
+	idx := 1
+	take := func(want uint32) ([]byte, error) {
+		if idx >= len(secs) {
+			return nil, corruptf(ErrTruncated, "missing section %d", want)
+		}
+		if secs[idx].id != want {
+			return nil, corruptf(ErrCorrupt, "section %d where %d expected", secs[idx].id, want)
+		}
+		p := secs[idx].payload
+		idx++
+		return p, nil
+	}
+	for si, kind := range kinds {
+		sh, err := decodeShard(kind, take)
+		if err != nil {
+			return nil, &CorruptionError{Reason: errReason(err), Detail: fmt.Sprintf("shard %d: %s", si, errDetail(err))}
+		}
+		st.Shards = append(st.Shards, sh)
+	}
+	if idx != len(secs) {
+		return nil, corruptf(ErrCorrupt, "%d sections beyond the manifest's shards", len(secs)-idx)
+	}
+	return st, nil
+}
+
+// errReason and errDetail re-wrap a nested corruption error so shard
+// context prepends to the detail while the sentinel reason survives for
+// errors.Is.
+func errReason(err error) error {
+	if ce, ok := err.(*CorruptionError); ok {
+		return ce.Reason
+	}
+	return ErrCorrupt
+}
+
+func errDetail(err error) string {
+	if ce, ok := err.(*CorruptionError); ok {
+		return ce.Detail
+	}
+	return err.Error()
+}
+
+func decodeShard(kind Kind, take func(uint32) ([]byte, error)) (Shard, error) {
+	treePayload, err := take(secTree)
+	if err != nil {
+		return Shard{}, err
+	}
+	t, err := decodeTree(treePayload)
+	if err != nil {
+		return Shard{}, err
+	}
+	cascadePayload, err := take(secCascade)
+	if err != nil {
+		return Shard{}, err
+	}
+	cs, err := decodeCascade(t, cascadePayload)
+	if err != nil {
+		return Shard{}, err
+	}
+	corePayload, err := take(secCore)
+	if err != nil {
+		return Shard{}, err
+	}
+	stc, err := decodeCore(cs, corePayload)
+	if err != nil {
+		return Shard{}, err
+	}
+	if kind == KindStatic {
+		return Shard{Kind: KindStatic, Static: stc}, nil
+	}
+	dynPayload, err := take(secDynamic)
+	if err != nil {
+		return Shard{}, err
+	}
+	d, err := decodeDynamic(stc, dynPayload)
+	if err != nil {
+		return Shard{}, err
+	}
+	return Shard{Kind: KindDynamic, Dynamic: d}, nil
+}
+
+func decodeManifest(payload []byte) ([]Kind, error) {
+	r := &reader{buf: payload}
+	n := r.count(1)
+	kinds := make([]Kind, 0, n)
+	for i := 0; i < n; i++ {
+		k := Kind(r.byteVal())
+		if r.err == nil && k != KindStatic && k != KindDynamic {
+			r.fail(ErrCorrupt, "shard %d: unknown kind %d", i, k)
+		}
+		kinds = append(kinds, k)
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	if len(kinds) == 0 {
+		return nil, corruptf(ErrCorrupt, "manifest declares no shards")
+	}
+	return kinds, nil
+}
+
+// i32 narrows a varint to int32, failing the reader on overflow.
+func (r *reader) i32() int32 {
+	v := r.i64()
+	if r.err == nil && (v < math.MinInt32 || v > math.MaxInt32) {
+		r.fail(ErrCorrupt, "value %d overflows int32", v)
+	}
+	return int32(v)
+}
+
+// u32i narrows a uvarint to a non-negative int32, failing on overflow.
+func (r *reader) u32i() int32 {
+	v := r.u64()
+	if r.err == nil && v > math.MaxInt32 {
+		r.fail(ErrCorrupt, "value %d overflows int32", v)
+	}
+	return int32(v)
+}
+
+func encodeTree(t *tree.Tree) *writer {
+	parent, order := t.ExportParents()
+	w := &writer{}
+	w.uint(len(parent))
+	for _, p := range parent {
+		w.i64(int64(p))
+	}
+	for _, o := range order {
+		w.u64(uint64(o))
+	}
+	return w
+}
+
+func decodeTree(payload []byte) (*tree.Tree, error) {
+	r := &reader{buf: payload}
+	n := r.count(2) // one parent varint and one order varint per node
+	parent := make([]tree.NodeID, n)
+	for i := range parent {
+		parent[i] = r.i32()
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = r.u32i()
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	t, err := tree.Build(parent, order)
+	if err != nil {
+		return nil, corruptf(ErrCorrupt, "tree: %v", err)
+	}
+	return t, nil
+}
+
+// encodeCascade stores stride, bidirectionality, and per node the
+// augmented catalog plus bridge arrays. Native catalogs are not stored:
+// a node's native catalog is exactly the native-flagged subsequence of
+// its augmented catalog, so decode reconstructs it.
+func encodeCascade(p cascade.Parts) *writer {
+	w := &writer{}
+	w.uint(p.Stride)
+	w.boolVal(p.Bidirectional)
+	w.uint(len(p.Aug))
+	for v := range p.Aug {
+		entries := p.Aug[v].Entries()
+		w.uint(len(entries))
+		for _, e := range entries {
+			w.i64(e.Key)
+			w.i64(int64(e.Payload))
+			w.boolVal(e.Native)
+		}
+		for _, br := range p.Bridges[v] {
+			for _, b := range br {
+				w.u64(uint64(b))
+			}
+		}
+	}
+	return w
+}
+
+func decodeCascade(t *tree.Tree, payload []byte) (*cascade.Structure, error) {
+	r := &reader{buf: payload}
+	parts := cascade.Parts{
+		Stride:        int(r.u32i()),
+		Bidirectional: r.boolVal(),
+	}
+	n := r.count(1)
+	if r.err == nil && n != t.N() {
+		r.fail(ErrCorrupt, "cascade covers %d nodes, tree has %d", n, t.N())
+	}
+	parts.Native = make([]catalog.Catalog, 0, n)
+	parts.Aug = make([]catalog.Catalog, 0, n)
+	parts.Bridges = make([][][]int32, 0, n)
+	for v := 0; v < n && r.err == nil; v++ {
+		aug, native, err := decodeCatalogPair(r)
+		if err != nil {
+			return nil, err
+		}
+		parts.Aug = append(parts.Aug, aug)
+		parts.Native = append(parts.Native, native)
+		ch := t.Children(tree.NodeID(v))
+		var brs [][]int32
+		if len(ch) > 0 {
+			brs = make([][]int32, len(ch))
+			for ci := range ch {
+				br := make([]int32, aug.Len())
+				for j := range br {
+					br[j] = r.u32i()
+				}
+				brs[ci] = br
+			}
+		}
+		parts.Bridges = append(parts.Bridges, brs)
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	cs, err := cascade.FromParts(t, parts)
+	if err != nil {
+		return nil, corruptf(ErrCorrupt, "cascade: %v", err)
+	}
+	return cs, nil
+}
+
+// decodeCatalogPair reads one augmented catalog and derives the native
+// catalog from its native-flagged entries. NativeSucc indices are
+// recomputed, then both catalogs pass the package's own validation.
+func decodeCatalogPair(r *reader) (aug, native catalog.Catalog, err error) {
+	count := r.count(3) // key + payload + native flag per entry
+	entries := make([]catalog.Entry, count)
+	for i := range entries {
+		entries[i] = catalog.Entry{
+			Key:     r.i64(),
+			Payload: r.i32(),
+			Native:  r.boolVal(),
+		}
+	}
+	if r.err != nil {
+		return aug, native, r.err
+	}
+	var nativeEntries []catalog.Entry
+	next := int32(len(entries) - 1)
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].Native {
+			next = int32(i)
+		}
+		entries[i].NativeSucc = next
+	}
+	for _, e := range entries {
+		if e.Native {
+			nativeEntries = append(nativeEntries, e)
+		}
+	}
+	for i := range nativeEntries {
+		nativeEntries[i].NativeSucc = int32(i)
+	}
+	if aug, err = catalog.FromEntries(entries); err != nil {
+		return aug, native, corruptf(ErrCorrupt, "augmented catalog: %v", err)
+	}
+	if native, err = catalog.FromEntries(nativeEntries); err != nil {
+		return aug, native, corruptf(ErrCorrupt, "native catalog: %v", err)
+	}
+	return aug, native, nil
+}
+
+func encodeCore(st core.State) *writer {
+	w := &writer{}
+	w.boolVal(st.Cfg.NoTruncation)
+	w.uint(st.Cfg.MaxSubs)
+	w.boolVal(st.Cfg.Sequential)
+	w.uint(st.Cfg.CascadeStride)
+	w.uint(len(st.Subs))
+	for _, sub := range st.Subs {
+		w.uint(len(sub.Blocks))
+		for _, b := range sub.Blocks {
+			w.u64(uint64(b.Root))
+			w.uint(len(b.KeyPos))
+			numNodes := 0
+			if len(b.KeyPos) > 0 {
+				numNodes = len(b.KeyPos[0])
+			}
+			w.uint(numNodes)
+			for _, kp := range b.KeyPos {
+				for _, pos := range kp {
+					w.u64(uint64(pos))
+				}
+			}
+		}
+	}
+	return w
+}
+
+func decodeCore(cs *cascade.Structure, payload []byte) (*core.Structure, error) {
+	r := &reader{buf: payload}
+	state := core.State{Cfg: core.ConfigState{
+		NoTruncation:  r.boolVal(),
+		MaxSubs:       int(r.u32i()),
+		Sequential:    r.boolVal(),
+		CascadeStride: int(r.u32i()),
+	}}
+	numSubs := r.count(1)
+	for i := 0; i < numSubs && r.err == nil; i++ {
+		numBlocks := r.count(2) // root + skeleton count per block at minimum
+		sub := core.SubState{Blocks: make([]core.BlockState, 0, numBlocks)}
+		for bi := 0; bi < numBlocks && r.err == nil; bi++ {
+			b := core.BlockState{Root: r.u32i()}
+			m := r.count(1)
+			numNodes := r.count(1)
+			if r.err == nil && int64(m)*int64(numNodes) > int64(r.remaining()) {
+				r.fail(ErrTruncated, "skeleton of %d x %d positions exceeds %d remaining bytes", m, numNodes, r.remaining())
+			}
+			b.KeyPos = make([][]int32, 0, m)
+			for j := 0; j < m && r.err == nil; j++ {
+				kp := make([]int32, numNodes)
+				for z := range kp {
+					kp[z] = r.u32i()
+				}
+				b.KeyPos = append(b.KeyPos, kp)
+			}
+			sub.Blocks = append(sub.Blocks, b)
+		}
+		state.Subs = append(state.Subs, sub)
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	stc, err := core.FromParts(cs, state)
+	if err != nil {
+		return nil, corruptf(ErrCorrupt, "%v", err)
+	}
+	return stc, nil
+}
+
+func encodeDynamic(st dynamic.State) *writer {
+	w := &writer{}
+	w.uint(st.Capacity)
+	w.u64(st.Generation)
+	w.uint(len(st.Keys))
+	for v := range st.Keys {
+		w.uint(len(st.Keys[v]))
+		for i := range st.Keys[v] {
+			w.i64(st.Keys[v][i])
+			w.i64(int64(st.Payloads[v][i]))
+		}
+	}
+	w.uint(len(st.Pending))
+	for _, np := range st.Pending {
+		w.u64(uint64(np.Node))
+		w.uint(len(np.Ins))
+		for _, ie := range np.Ins {
+			w.i64(ie.Key)
+			w.i64(int64(ie.Payload))
+		}
+		w.uint(len(np.Del))
+		for _, k := range np.Del {
+			w.i64(k)
+		}
+	}
+	return w
+}
+
+func decodeDynamic(stc *core.Structure, payload []byte) (*dynamic.Structure, error) {
+	r := &reader{buf: payload}
+	state := dynamic.State{
+		Capacity:   int(r.u32i()),
+		Generation: r.u64(),
+	}
+	n := r.count(1)
+	state.Keys = make([][]catalog.Key, n)
+	state.Payloads = make([][]int32, n)
+	for v := 0; v < n && r.err == nil; v++ {
+		count := r.count(2) // key + payload per entry
+		ks := make([]catalog.Key, count)
+		ps := make([]int32, count)
+		for i := 0; i < count; i++ {
+			ks[i] = r.i64()
+			ps[i] = r.i32()
+		}
+		state.Keys[v], state.Payloads[v] = ks, ps
+	}
+	pending := r.count(3) // node + two counts per overlay at minimum
+	for pi := 0; pi < pending && r.err == nil; pi++ {
+		np := dynamic.NodePending{Node: r.u32i()}
+		insCount := r.count(2)
+		for i := 0; i < insCount; i++ {
+			np.Ins = append(np.Ins, dynamic.PendingInsert{Key: r.i64(), Payload: r.i32()})
+		}
+		delCount := r.count(1)
+		for i := 0; i < delCount; i++ {
+			np.Del = append(np.Del, r.i64())
+		}
+		state.Pending = append(state.Pending, np)
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	d, err := dynamic.FromParts(stc, state)
+	if err != nil {
+		return nil, corruptf(ErrCorrupt, "%v", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,17 @@
+package tree
+
+// ExportParents returns the parent vector and sibling-rank order slice from
+// which Build reconstructs this tree exactly: same node numbering, same
+// child order, same root. It is the serialization counterpart of Build;
+// both slices are fresh copies the caller owns.
+func (t *Tree) ExportParents() (parent []NodeID, order []int32) {
+	parent = make([]NodeID, t.N())
+	copy(parent, t.parent)
+	order = make([]int32, t.N())
+	for _, ch := range t.children {
+		for rank, c := range ch {
+			order[c] = int32(rank)
+		}
+	}
+	return parent, order
+}

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# chaos-smoke: deterministic end-to-end robustness check.
+#
+# Part 1 runs experiment E21 (the kill/restart/corrupt loop over snapshot
+# save/load under injected disk faults) at a fixed seed; it panics on any
+# undetected fault or wrong recovered answer, so completing is the check.
+#
+# Part 2 exercises the real daemon lifecycle: boot coopserve with -snapshot,
+# wait for ready, serve a query batch, SIGTERM it, and assert that it exits 0
+# having written a loadable snapshot; then boot a second instance against the
+# same path and assert it restores from the snapshot instead of rebuilding,
+# and serves queries again.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+ADDR=${CHAOS_SMOKE_ADDR:-localhost:8123}
+WORK=$(mktemp -d)
+SNAP="$WORK/shards.snap"
+SERVE_PID=""
+
+cleanup() {
+    if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill -9 "$SERVE_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== chaos-smoke: E21 kill/restart/corrupt loop =="
+$GO run ./cmd/coopbench -experiment=e21 -seed=1
+
+echo
+echo "== chaos-smoke: coopserve SIGTERM drain + restore =="
+$GO build -o "$WORK/coopserve" ./cmd/coopserve
+
+SERVE_FLAGS=(-addr="$ADDR" -snapshot="$SNAP" -leaves=16 -entries=800 -regions=24 -tiles=20 -shards=2 -drain-timeout=5s)
+
+wait_ready() {
+    for _ in $(seq 1 100); do
+        if curl -fs "http://$ADDR/readyz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "chaos-smoke: daemon never became ready" >&2
+    return 1
+}
+
+query() {
+    curl -fs -d '{"queries":[{"kind":"catalog","shard":0,"key":400,"leaf":3},{"kind":"point","x":11,"y":7}]}' \
+        "http://$ADDR/query"
+}
+
+# First boot: builds from scratch and saves a snapshot.
+"$WORK/coopserve" "${SERVE_FLAGS[@]}" >"$WORK/boot1.log" 2>&1 &
+SERVE_PID=$!
+wait_ready
+FIRST=$(query)
+echo "first boot answers: $FIRST"
+
+# SIGTERM: must drain, write the final snapshot, and exit 0.
+kill -TERM "$SERVE_PID"
+EXIT=0
+wait "$SERVE_PID" || EXIT=$?
+SERVE_PID=""
+if [ "$EXIT" -ne 0 ]; then
+    echo "chaos-smoke: coopserve exited $EXIT on SIGTERM" >&2
+    cat "$WORK/boot1.log" >&2
+    exit 1
+fi
+grep -q 'drained, exiting' "$WORK/boot1.log"
+grep -q "final snapshot written to $SNAP" "$WORK/boot1.log"
+test -s "$SNAP"
+
+# Second boot: must restore from the snapshot (no rebuild) and serve the
+# same answers the first boot did.
+"$WORK/coopserve" "${SERVE_FLAGS[@]}" >"$WORK/boot2.log" 2>&1 &
+SERVE_PID=$!
+wait_ready
+grep -q "restored from $SNAP" "$WORK/boot2.log"
+SECOND=$(query)
+echo "second boot answers: $SECOND"
+if [ "$FIRST" != "$SECOND" ]; then
+    echo "chaos-smoke: restored daemon served different answers" >&2
+    exit 1
+fi
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+SERVE_PID=""
+
+echo
+echo "chaos-smoke: ok"
