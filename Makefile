@@ -1,9 +1,9 @@
 GO ?= go
 COVER_THRESHOLD ?= 80
 
-.PHONY: check vet build lint test test-engine test-snapshot race cover bench bench-check bench-json bench-diff bench-smoke metrics-smoke chaos chaos-smoke
+.PHONY: check vet build lint test test-engine test-snapshot test-flat race cover bench bench-check bench-json bench-diff bench-smoke bench-wall metrics-smoke chaos chaos-smoke
 
-check: vet build lint test test-engine test-snapshot race cover bench-check bench-smoke metrics-smoke
+check: vet build lint test test-engine test-snapshot test-flat race cover bench-check bench-smoke bench-wall metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -42,8 +42,17 @@ test-snapshot:
 	$(GO) test ./internal/snapshot ./internal/faults
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/snapshot
 
+# Flat-layout gate: the 1000-case flat-vs-pointer differential and the
+# zero-alloc guards under the race detector, plus short fuzz smokes of the
+# freeze round-trip and the bounds-validated blob decoder (hostile bytes:
+# typed error or a queryable structure, never a panic).
+test-flat:
+	$(GO) test -race ./internal/flat
+	$(GO) test -run='^$$' -fuzz=FuzzFlatFreeze -fuzztime=10s ./internal/flat
+	$(GO) test -run='^$$' -fuzz=FuzzFlatDecode -fuzztime=10s ./internal/flat
+
 race:
-	$(GO) test -race ./internal/pram/... ./internal/parallel/... ./internal/engine/... ./internal/obs/...
+	$(GO) test -race ./internal/pram/... ./internal/parallel/... ./internal/engine/... ./internal/obs/... ./internal/flat/...
 
 # Coverage floor on the paper-critical packages: the core cascaded
 # structure, the batch engine, and the instrumentation they publish
@@ -77,14 +86,28 @@ bench-json:
 # refresh baselines by copying bench/out/*.json into bench/baselines.
 BENCH_STEP_TOL ?= 0
 BENCH_THR_TOL ?= 0.35
+BENCH_WALL_TOL ?= 3.0
 bench-diff:
 	@mkdir -p bench/out
 	$(GO) build -o bench/out/coopbench ./cmd/coopbench
 	cd bench/out && ./coopbench -experiment=e17 -json >/dev/null \
 		&& ./coopbench -experiment=e18 -json >/dev/null \
-		&& ./coopbench -experiment=e20 -json >/dev/null
+		&& ./coopbench -experiment=e20 -json >/dev/null \
+		&& ./coopbench -experiment=e22 -executor=wall -json >/dev/null
 	$(GO) run ./cmd/benchdiff -baseline bench/baselines -candidate bench/out \
-		-step-tol $(BENCH_STEP_TOL) -throughput-tol $(BENCH_THR_TOL)
+		-step-tol $(BENCH_STEP_TOL) -throughput-tol $(BENCH_THR_TOL) -wall-tol $(BENCH_WALL_TOL)
+
+# Wall-executor smoke: run E22 on the native goroutine pool and hold the
+# tentpole claim — the flat and wall hot paths allocate nothing per query.
+# (bench-diff holds the same claim against the committed baseline; this
+# target works without one.)
+bench-wall:
+	@mkdir -p bench/out
+	cd bench/out && $(GO) run ../../cmd/coopbench -experiment=e22 -executor=wall -json
+	@awk '/"(flat|wall)_allocs_per_op":/ { v=$$2; gsub(/[",]/, "", v); \
+		if (v+0 != 0) { print "bench-wall: FAIL: " $$0; bad=1 } } \
+		END { if (bad) exit 1; print "bench-wall: zero-alloc hot path confirmed" }' \
+		bench/out/BENCH_E22.json
 
 # Executor differential gate: the harnesses asserting that the barrier and
 # virtual executors produce identical results, step counts, work, conflict

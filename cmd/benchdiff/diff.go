@@ -32,10 +32,13 @@ func loadBench(path string) (benchFile, error) {
 // from the deterministic simulator (seeded workloads, executor-independent
 // by the differential tests), so their tolerance defaults to exact;
 // throughput rates depend on concurrent cache-fill order and get generous
-// slack.
+// slack. Latency covers host-clock ns/op columns (E22's flat-vs-pointer
+// hot path), which vary with the machine running the gate — the default
+// slack is very generous, so only an order-of-magnitude regression fails.
 type tolerance struct {
 	Steps      float64
 	Throughput float64
+	Latency    float64
 }
 
 // Metric classification. Step-class fields regress upward (more simulated
@@ -54,6 +57,14 @@ var (
 		"queries_per_step": true, "sequential_queries_per_step": true,
 		"cache_hit_rate": true,
 	}
+	// Host-clock latencies regress upward under the generous Latency slack;
+	// allocation counts regress upward with no slack at all — the flat hot
+	// path's zero allocs/op is a statement, and one malloc per op is the
+	// exact failure the gate exists to catch.
+	latencyFields = map[string]bool{
+		"pointer_ns_per_op": true, "flat_ns_per_op": true, "wall_ns_per_op": true,
+	}
+	allocFields    = map[string]bool{"flat_allocs_per_op": true, "wall_allocs_per_op": true}
 	exactFields    = map[string]bool{"lower_bound": true}
 	identityFields = map[string]bool{"n": true, "p": true, "batch": true, "procs_per_query": true}
 )
@@ -107,6 +118,16 @@ func compare(base, cand benchFile, tol tolerance) []string {
 				if cv < bv*(1-tol.Throughput)-1e-9 {
 					fail("row %d (%s): %s regressed %.4f -> %.4f (tol %.0f%%)",
 						i, rowKey(br), f, bv, cv, 100*tol.Throughput)
+				}
+			case latencyFields[f]:
+				if cv > bv*(1+tol.Latency)+1e-9 {
+					fail("row %d (%s): %s regressed %.1fns -> %.1fns (tol %.0f%%)",
+						i, rowKey(br), f, bv, cv, 100*tol.Latency)
+				}
+			case allocFields[f]:
+				if cv > bv+1e-9 {
+					fail("row %d (%s): %s regressed %.3f -> %.3f (allocations are exact: the hot path must not grow a malloc)",
+						i, rowKey(br), f, bv, cv)
 				}
 			case exactFields[f]:
 				if cv != bv {

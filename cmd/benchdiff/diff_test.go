@@ -37,7 +37,7 @@ func cloneRows(b benchFile) benchFile {
 // against themselves — the `make bench-diff` pass-on-unchanged-tree
 // guarantee, minus the regeneration step.
 func TestCompareIdenticalPasses(t *testing.T) {
-	for _, exp := range []string{"E17", "E18", "E20"} {
+	for _, exp := range []string{"E17", "E18", "E20", "E22"} {
 		b := loadBaseline(t, exp)
 		if regs := compare(b, cloneRows(b), tolerance{}); len(regs) != 0 {
 			t.Fatalf("%s: self-compare regressed: %v", exp, regs)
@@ -173,5 +173,69 @@ func TestCompareRowShapeChanges(t *testing.T) {
 	regs := compare(base, gone, tolerance{})
 	if len(regs) == 0 || !strings.Contains(regs[0], "missing") {
 		t.Fatalf("missing field not flagged: %v", regs)
+	}
+}
+
+// TestCompareLatencyDirection: E22's host-clock ns/op columns regress
+// upward under the wide -wall-tol slack — machine noise inside the slack
+// passes, an order-of-magnitude slowdown fails, and getting faster never
+// fails. Injected on each latency column separately so a class mixup in
+// the field tables cannot hide.
+func TestCompareLatencyDirection(t *testing.T) {
+	base := loadBaseline(t, "E22")
+	tol := tolerance{Latency: 3.0}
+	for _, field := range []string{"pointer_ns_per_op", "flat_ns_per_op", "wall_ns_per_op"} {
+		scale := func(f float64) benchFile {
+			c := cloneRows(base)
+			for _, row := range c.Rows {
+				if v, ok := num(row[field]); ok {
+					row[field] = v * f
+				}
+			}
+			return c
+		}
+		if regs := compare(base, scale(2), tol); len(regs) != 0 {
+			t.Fatalf("2x %s flagged under 4x tolerance: %v", field, regs)
+		}
+		regs := compare(base, scale(10), tol)
+		if len(regs) == 0 {
+			t.Fatalf("10x %s passed under 4x tolerance", field)
+		}
+		if !strings.Contains(regs[0], field) {
+			t.Fatalf("regression message does not name %s: %q", field, regs[0])
+		}
+		if regs := compare(base, scale(0.1), tol); len(regs) != 0 {
+			t.Fatalf("%s speedup flagged: %v", field, regs)
+		}
+	}
+}
+
+// TestCompareAllocsExact: the committed E22 baseline claims 0 allocs/op on
+// the flat and wall hot paths, and the gate holds that claim exactly —
+// even a fraction of a malloc per op (one allocation somewhere in a timed
+// loop) fails regardless of the latency slack.
+func TestCompareAllocsExact(t *testing.T) {
+	base := loadBaseline(t, "E22")
+	for _, field := range []string{"flat_allocs_per_op", "wall_allocs_per_op"} {
+		v, ok := num(base.Rows[0][field])
+		if !ok || v != 0 {
+			t.Fatalf("baseline row 0 %s = %v, want the committed zero-alloc claim", field, base.Rows[0][field])
+		}
+		leak := cloneRows(base)
+		leak.Rows[0][field] = 0.5
+		regs := compare(base, leak, tolerance{Latency: 100})
+		if len(regs) == 0 {
+			t.Fatalf("half a malloc per op in %s passed", field)
+		}
+		if !strings.Contains(regs[0], field) {
+			t.Fatalf("regression message does not name %s: %q", field, regs[0])
+		}
+	}
+	// The workload tag is a string, not a metric: renaming it is invisible
+	// to the numeric diff (the shape is pinned by n/p identity fields).
+	tagged := cloneRows(base)
+	tagged.Rows[0]["workload"] = "renamed"
+	if regs := compare(base, tagged, tolerance{}); len(regs) != 0 {
+		t.Fatalf("string field change flagged as numeric regression: %v", regs)
 	}
 }

@@ -6,12 +6,17 @@
 // processors) are deterministic for a fixed seed, so their tolerance
 // defaults to exact; throughput-class metrics (queries/step, cache hit
 // rate) depend on concurrent cache-fill order and get generous slack.
+// Host-clock latency metrics (E22's ns/op columns) get the widest slack
+// of all (-wall-tol, default 3.0 = 4x) since the gate may run on a very
+// different machine than the baseline; allocs/op columns, by contrast,
+// are machine-independent and diff exact — the zero-alloc hot path may
+// never grow a malloc.
 //
 // Usage:
 //
 //	benchdiff -baseline bench/baselines -candidate bench/out
 //	benchdiff -baseline bench/baselines -candidate bench/out e17 e20
-//	benchdiff -step-tol 0.02 -throughput-tol 0.5 ...
+//	benchdiff -step-tol 0.02 -throughput-tol 0.5 -wall-tol 3.0 ...
 //
 // `make bench-diff` regenerates the candidate files and runs this.
 package main
@@ -29,6 +34,7 @@ func main() {
 	candDir := flag.String("candidate", ".", "directory holding freshly generated BENCH_<EXP>.json files")
 	stepTol := flag.Float64("step-tol", 0, "relative tolerance for deterministic step metrics (0 = exact)")
 	thrTol := flag.Float64("throughput-tol", 0.35, "relative tolerance for throughput metrics")
+	wallTol := flag.Float64("wall-tol", 3.0, "relative tolerance for host-clock ns/op metrics (3.0 = candidate may be 4x the baseline)")
 	flag.Parse()
 
 	names := flag.Args() // e.g. "e17" — empty means every baseline present
@@ -46,7 +52,7 @@ func main() {
 		}
 	}
 
-	tol := tolerance{Steps: *stepTol, Throughput: *thrTol}
+	tol := tolerance{Steps: *stepTol, Throughput: *thrTol, Latency: *wallTol}
 	failed := false
 	for _, bf := range files {
 		base, err := loadBench(bf)

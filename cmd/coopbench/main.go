@@ -1,4 +1,4 @@
-// Command coopbench runs the reproduction experiments E1–E21 (see
+// Command coopbench runs the reproduction experiments E1–E22 (see
 // DESIGN.md for the per-experiment index) and prints the tables recorded
 // in EXPERIMENTS.md. Each experiment regenerates one of the paper's
 // claims: a time/processor tradeoff, a space bound, or a structural lemma.
@@ -11,6 +11,7 @@
 //	coopbench -seed=7               # change workload seed
 //	coopbench -chaos                # shorthand for -experiment=e19
 //	coopbench -experiment=e17 -executor=barrier # run PRAM programs on the goroutine machine
+//	coopbench -experiment=e22 -executor=wall    # time the flat hot path on native goroutines
 //	coopbench -experiment=all -json             # write BENCH_<EXP>.json next to the tables
 //	coopbench -experiment=e20 -metrics          # dump the obs snapshot after the run
 //	coopbench -experiment=e20 -cpuprofile=cpu.pb.gz -memprofile=mem.pb.gz
@@ -44,6 +45,15 @@ var obsRegistry *obs.Registry
 // a fraction of the wall-clock cost.
 var execKind = pram.KindVirtual
 
+// wallMode is set by -executor=wall. The wall executor is native (real
+// goroutines over the flat layout, no simulated machine), so it cannot
+// back the PRAM experiments; simulated passes fall back to the virtual
+// executor — bit-identical step counts by the differential tests — while
+// the host-time experiment (E22) times the wall pool itself. The JSON
+// recorder still tags the run "wall" so baselines taken under each
+// executor stay distinguishable.
+var wallMode bool
+
 // stepsProfile is non-nil when -stepsprofile is set: every PRAM machine
 // built by newPRAM attaches to it, so phase-attributed step counts
 // accumulate across machines into one aggregate profile written as a
@@ -66,10 +76,10 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("experiment", "all", "experiment id (e1..e21, fig5, all)")
+	expFlag := flag.String("experiment", "all", "experiment id (e1..e22, fig5, all)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	chaos := flag.Bool("chaos", false, "run the chaos-mode fault sweep (alias for -experiment=e19)")
-	executor := flag.String("executor", "virtual", "PRAM executor for machine-executing experiments: barrier or virtual")
+	executor := flag.String("executor", "virtual", "executor for machine-executing experiments: barrier, virtual, or wall (native goroutines over the flat layout; simulated passes fall back to virtual)")
 	jsonOut := flag.Bool("json", false, "write BENCH_<EXP>.json (wall time plus instrumented rows) for each experiment run")
 	metrics := flag.Bool("metrics", false, "collect obs metrics during the run and print a text snapshot at the end")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -84,9 +94,14 @@ func main() {
 		log.Fatal(err)
 	}
 	if kind == pram.KindUncosted {
-		log.Fatal("coopbench: the uncosted executor skips cost tracing; experiments need barrier or virtual")
+		log.Fatal("coopbench: the uncosted executor skips cost tracing; experiments need barrier, virtual, or wall")
 	}
-	execKind = kind
+	if kind == pram.KindWall {
+		wallMode = true
+		execKind = pram.KindVirtual
+	} else {
+		execKind = kind
+	}
 	if *metrics {
 		obsRegistry = obs.NewRegistry()
 	}
@@ -127,6 +142,7 @@ func main() {
 		{"e19", "E19 (chaos mode): fault-injected degrading cooperative search", runE19},
 		{"e20", "E20 (extension): batched multi-query engine throughput", runE20},
 		{"e21", "E21 (robustness): crash-safe snapshot persistence under disk faults", runE21},
+		{"e22", "E22 (extension): flat-layout hot path, host ns/op and allocs/op vs the pointer structure", runE22},
 	}
 	want := strings.ToLower(*expFlag)
 	ran := 0
@@ -134,7 +150,7 @@ func main() {
 		if want == "all" || want == e.name {
 			fmt.Printf("\n=== %s ===\n", e.title)
 			if *jsonOut {
-				benchOut = newBenchRecorder(e.name, *seed, execKind.String())
+				benchOut = newBenchRecorder(e.name, *seed, kind.String())
 			}
 			start := time.Now()
 			e.run(*seed)

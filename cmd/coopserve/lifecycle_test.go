@@ -322,3 +322,117 @@ func TestSnapshotShapeMismatchRebuilds(t *testing.T) {
 		t.Fatalf("2-shard snapshot served for 3-shard flags")
 	}
 }
+
+// TestFlatServingLifecycle: -flat serves the same answers as the pointer
+// engine, persists a frozen-layout sidecar next to the snapshot, and
+// preloads it on restart (refreezing zero times when the sidecar is good).
+func TestFlatServingLifecycle(t *testing.T) {
+	for _, dynamic := range []bool{false, true} {
+		dir := t.TempDir()
+		cfg := lifecycleConfig()
+		cfg.Dynamic = dynamic
+		cfg.SnapshotPath = filepath.Join(dir, "shards.snap")
+
+		var req queryRequest
+		for i := 0; i < 10; i++ {
+			req.Queries = append(req.Queries, wireQuery{Kind: "catalog", Shard: i % 2, Key: int64(131 * i), Leaf: int64(i)})
+		}
+
+		// Pointer baseline.
+		ptrCfg := cfg
+		ptrCfg.SnapshotPath = filepath.Join(dir, "ptr.snap")
+		ptr, err := newServer(ptrCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tsPtr := httptest.NewServer(ptr.handler())
+		respPtr, want := postQuery(t, tsPtr, req)
+		tsPtr.Close()
+		if respPtr.StatusCode != http.StatusOK {
+			t.Fatalf("dynamic=%v: pointer query = %d", dynamic, respPtr.StatusCode)
+		}
+
+		// Flat server over the same seed: identical wire answers.
+		cfg.Flat = true
+		first, err := newServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(first.flatShards) != cfg.Shards {
+			t.Fatalf("dynamic=%v: %d flat shards, want %d", dynamic, len(first.flatShards), cfg.Shards)
+		}
+		ts := httptest.NewServer(first.handler())
+		resp, got := postQuery(t, ts, req)
+		ts.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("dynamic=%v: flat query = %d", dynamic, resp.StatusCode)
+		}
+		if !reflect.DeepEqual(want.Answers, got.Answers) {
+			t.Fatalf("dynamic=%v: flat answers diverge from pointer answers", dynamic)
+		}
+
+		// Save-on-build wrote the sidecar next to the snapshot.
+		sidecar := cfg.SnapshotPath + ".flat"
+		if _, err := os.Stat(sidecar); err != nil {
+			t.Fatalf("dynamic=%v: sidecar missing: %v", dynamic, err)
+		}
+		gen, blobs, err := snapshot.LoadFlat(sidecar)
+		if err != nil || len(blobs) != cfg.Shards {
+			t.Fatalf("dynamic=%v: sidecar unreadable: gen=%d blobs=%d err=%v", dynamic, gen, len(blobs), err)
+		}
+
+		// Restart: shards restore from the snapshot, layouts from the
+		// sidecar — no refreeze on boot.
+		second, err := newServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !second.loadedSnapshot {
+			t.Fatalf("dynamic=%v: restart rebuilt instead of restoring", dynamic)
+		}
+		for i, fs := range second.flatShards {
+			if fs.Refreezes() != 0 {
+				t.Fatalf("dynamic=%v: shard %d refroze %d times despite a good sidecar", dynamic, i, fs.Refreezes())
+			}
+		}
+		ts2 := httptest.NewServer(second.handler())
+		resp2, got2 := postQuery(t, ts2, req)
+		ts2.Close()
+		if resp2.StatusCode != http.StatusOK {
+			t.Fatalf("dynamic=%v: restored flat query = %d", dynamic, resp2.StatusCode)
+		}
+		if !reflect.DeepEqual(want.Answers, got2.Answers) {
+			t.Fatalf("dynamic=%v: restored flat answers diverge", dynamic)
+		}
+
+		// Corrupt the sidecar: the next boot logs, refreezes, and still
+		// serves correct answers.
+		data, err := os.ReadFile(sidecar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x20
+		if err := os.WriteFile(sidecar, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		third, err := newServer(cfg)
+		if err != nil {
+			t.Fatalf("dynamic=%v: corrupt sidecar aborted startup: %v", dynamic, err)
+		}
+		refroze := false
+		for _, fs := range third.flatShards {
+			if fs.Refreezes() > 0 {
+				refroze = true
+			}
+		}
+		if !refroze {
+			t.Fatalf("dynamic=%v: corrupt sidecar served without a refreeze", dynamic)
+		}
+		ts3 := httptest.NewServer(third.handler())
+		resp3, got3 := postQuery(t, ts3, req)
+		ts3.Close()
+		if resp3.StatusCode != http.StatusOK || !reflect.DeepEqual(want.Answers, got3.Answers) {
+			t.Fatalf("dynamic=%v: post-corruption flat answers diverge (status %d)", dynamic, resp3.StatusCode)
+		}
+	}
+}

@@ -54,6 +54,7 @@ func main() {
 	flag.IntVar(&cfg.Tiles, "tiles", cfg.Tiles, "spatial complex tiles")
 	flag.IntVar(&cfg.RingSize, "ring", cfg.RingSize, "span flight-recorder capacity")
 	flag.BoolVar(&cfg.Dynamic, "dynamic", cfg.Dynamic, "serve dynamic (updatable) catalog shards")
+	flag.BoolVar(&cfg.Flat, "flat", cfg.Flat, "serve catalog shards from the frozen flat layout (zero-alloc hot path; with -snapshot, persists a .flat sidecar)")
 	flag.StringVar(&cfg.SnapshotPath, "snapshot", cfg.SnapshotPath, "snapshot path: load on start, save after build and on drain (empty = disabled)")
 	flag.DurationVar(&cfg.RequestTimeout, "request-timeout", cfg.RequestTimeout, "per-request deadline on POST /query (0 = none)")
 	flag.IntVar(&cfg.MaxInflight, "max-inflight", cfg.MaxInflight, "concurrent /query cap before shedding with 503 (0 = unlimited)")

@@ -18,6 +18,7 @@ import (
 	"fraccascade/internal/core"
 	"fraccascade/internal/dynamic"
 	"fraccascade/internal/engine"
+	"fraccascade/internal/flat"
 	"fraccascade/internal/obs"
 	"fraccascade/internal/pointloc"
 	"fraccascade/internal/snapshot"
@@ -41,6 +42,7 @@ type serverConfig struct {
 	RingSize  int // span flight-recorder capacity
 
 	Dynamic        bool          // serve dynamic (updatable) catalog shards
+	Flat           bool          // serve catalog shards from the frozen flat layout
 	SnapshotPath   string        // load-on-start / save-on-build / save-on-drain path
 	RequestTimeout time.Duration // per-request deadline on POST /query (0 = none)
 	MaxInflight    int           // admission-control cap on concurrent queries (0 = unlimited)
@@ -86,9 +88,12 @@ type server struct {
 	ring   *obs.Ring
 	stream *spanStream
 	shards []engine.CatalogBackend
-	trees  []*tree.Tree
-	sub    *subdivision.Subdivision
-	cx     *spatial.Complex
+	// flatShards holds the flat wrappers the engine serves from when
+	// cfg.Flat is set; s.shards keeps the inner (snapshotable) backends.
+	flatShards []*engine.FlatShard
+	trees      []*tree.Tree
+	sub        *subdivision.Subdivision
+	cx         *spatial.Complex
 
 	state    atomic.Int32
 	inflight atomic.Int64
@@ -150,6 +155,17 @@ func (s *server) build() error {
 	}
 	s.shards, s.trees = shards, trees
 
+	// Flat serving: the engine gets the frozen wrappers; s.shards keeps the
+	// inner backends so the snapshot path is unchanged.
+	engineShards := shards
+	if s.cfg.Flat {
+		wrapped, err := s.wrapFlat(shards, loaded)
+		if err != nil {
+			return err
+		}
+		engineShards = wrapped
+	}
+
 	geomRNG := rand.New(rand.NewSource(s.cfg.Seed ^ 0x67656f6d)) // "geom"
 	sub, err := subdivision.Generate(s.cfg.Regions, 24, geomRNG)
 	if err != nil {
@@ -174,7 +190,7 @@ func (s *server) build() error {
 		BatchSize: s.cfg.BatchSize,
 		Obs:       s.reg,
 		Tracer:    obs.Fanout(s.ring, s.stream),
-	}, shards, pl, sp)
+	}, engineShards, pl, sp)
 	if err != nil {
 		return err
 	}
@@ -291,7 +307,10 @@ func (s *server) snapshotStore() (*snapshot.Store, error) {
 }
 
 // saveSnapshot writes the current shard state crash-safely to the
-// configured path; a no-op without one (or before the shards exist).
+// configured path; a no-op without one (or before the shards exist). Under
+// flat serving it also writes the frozen-layout sidecar next to the
+// snapshot; a sidecar failure only logs — it is a cache, and the loader
+// refreezes without one.
 func (s *server) saveSnapshot() error {
 	if s.cfg.SnapshotPath == "" || s.shards == nil {
 		return nil
@@ -304,7 +323,113 @@ func (s *server) saveSnapshot() error {
 		return err
 	}
 	s.obsSnapSave.Inc()
+	if err := s.saveFlatSidecar(); err != nil {
+		log.Printf("coopserve: flat sidecar save failed (snapshot itself is intact): %v", err)
+	}
 	return nil
+}
+
+// flatSidecarPath locates the frozen-layout sidecar next to the snapshot.
+func (s *server) flatSidecarPath() string {
+	if s.cfg.SnapshotPath == "" {
+		return ""
+	}
+	return s.cfg.SnapshotPath + ".flat"
+}
+
+// shardsGeneration sums the shard generations — the same quantity the
+// snapshot store records, used to pair a sidecar with its snapshot.
+func shardsGeneration(shards []engine.CatalogBackend) uint64 {
+	var g uint64
+	for _, be := range shards {
+		g += be.Generation()
+	}
+	return g
+}
+
+// wrapFlat wraps every shard for flat serving. When the shards were just
+// restored from the snapshot and a sidecar of the matching generation sits
+// next to it, the frozen layouts are preloaded from disk instead of
+// refrozen; any defect (corruption, shape or content mismatch) falls back
+// to freezing from the pointer structures.
+func (s *server) wrapFlat(shards []engine.CatalogBackend, fromSnapshot bool) ([]engine.CatalogBackend, error) {
+	var blobs [][]byte
+	if path := s.flatSidecarPath(); path != "" && fromSnapshot {
+		gen, bs, err := snapshot.LoadFlat(path)
+		switch {
+		case err != nil:
+			log.Printf("coopserve: flat sidecar %s unusable, refreezing: %v", path, err)
+		case gen != shardsGeneration(shards) || len(bs) != len(shards):
+			log.Printf("coopserve: flat sidecar %s is for another snapshot (generation %d, %d shards); refreezing", path, gen, len(bs))
+		default:
+			blobs = bs
+		}
+	}
+	out := make([]engine.CatalogBackend, len(shards))
+	s.flatShards = make([]*engine.FlatShard, len(shards))
+	for i, be := range shards {
+		var fs *engine.FlatShard
+		if blobs != nil {
+			fs = preloadFlatShard(i, be, blobs[i])
+		}
+		if fs == nil {
+			var err error
+			fs, err = engine.NewFlatShard(be)
+			if err != nil {
+				return nil, err
+			}
+		}
+		s.flatShards[i] = fs
+		out[i] = fs
+	}
+	return out, nil
+}
+
+// preloadFlatShard decodes one sidecar blob and wraps the backend around
+// it, spot-checking entry probes against the live catalogs so a sidecar
+// swapped in from a different dataset is rejected rather than served. Any
+// failure returns nil and the caller refreezes.
+func preloadFlatShard(i int, be engine.CatalogBackend, blob []byte) *engine.FlatShard {
+	var f flat.Structure
+	if err := f.UnmarshalBinary(blob); err != nil {
+		log.Printf("coopserve: flat sidecar shard %d undecodable, refreezing: %v", i, err)
+		return nil
+	}
+	fs, err := engine.NewFlatShardFrom(be, &f)
+	if err != nil {
+		log.Printf("coopserve: flat sidecar shard %d rejected, refreezing: %v", i, err)
+		return nil
+	}
+	root := be.Root()
+	for _, y := range []catalog.Key{0, 1, 1 << 10, 1 << 20, catalog.PlusInf} {
+		if f.EntryProbe(root, y) != be.EntryProbe(root, y) {
+			log.Printf("coopserve: flat sidecar shard %d disagrees with the snapshot at key %d, refreezing", i, y)
+			return nil
+		}
+	}
+	return fs
+}
+
+// saveFlatSidecar persists the current frozen layouts next to the
+// snapshot; a no-op unless flat serving and snapshotting are both on.
+func (s *server) saveFlatSidecar() error {
+	path := s.flatSidecarPath()
+	if path == "" || s.flatShards == nil {
+		return nil
+	}
+	blobs := make([][]byte, len(s.flatShards))
+	for i, fs := range s.flatShards {
+		f, err := fs.Flat()
+		if err != nil {
+			return err
+		}
+		b, err := f.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		blobs[i] = b
+	}
+	return snapshot.SaveFlat(path, shardsGeneration(s.shards), blobs)
 }
 
 // beginDrain moves the server to draining: new queries are refused with

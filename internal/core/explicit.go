@@ -156,7 +156,7 @@ func (st *Structure) hopExplicit(sub *Substructure, block *Block, seg []tree.Nod
 			return 0, 0, fmt.Errorf("core: path leaves block at level %d", l)
 		}
 		local = block.Children[local][ci]
-		lo = st.params.windowLo(lo)
+		lo = st.params.WindowLo(lo)
 		anchor := int(kp[local])
 		winLo, winHi := anchor+lo, anchor
 		cat := st.s.Aug(v)

@@ -115,7 +115,7 @@ func (st *Structure) FindAllInBlock(sub *Substructure, block *Block, y catalog.K
 	for z := 1; z < len(block.Nodes); z++ {
 		if block.Level[z] != curLevel {
 			curLevel = block.Level[z]
-			lo = st.params.windowLo(lo)
+			lo = st.params.WindowLo(lo)
 		}
 		anchor := int(kp[z])
 		winLo, winHi := anchor+lo, anchor

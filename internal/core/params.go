@@ -117,12 +117,12 @@ func (p Params) SubstructureFor(procs int) int {
 	return p.NumSubs - 1
 }
 
-// windowLo advances the Lemma 3 window recurrence one level:
+// WindowLo advances the Lemma 3 window recurrence one level:
 // lo′ = F·lo − B, where lo ≤ 0 is the (non-positive) left slack of the
 // current level's window relative to the skeleton key position. The true
 // successor position never lies right of the skeleton key (bridges point
 // to successors), so the window is always [key+lo, key].
-func (p Params) windowLo(lo int) int {
+func (p Params) WindowLo(lo int) int {
 	next := p.F*lo - p.B
 	if next < -(1 << 30) {
 		return -(1 << 30) // clamp; windows are intersected with catalogs

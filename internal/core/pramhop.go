@@ -35,7 +35,7 @@ func (st *Structure) HopWindows(sub *Substructure, block *Block, pathInBlock []t
 			return nil, fmt.Errorf("core: path leaves block at level %d", l)
 		}
 		local = block.Children[local][ci]
-		lo = st.params.windowLo(lo)
+		lo = st.params.WindowLo(lo)
 		anchor := int(kp[local])
 		winLo := anchor + lo
 		if winLo < 0 {

@@ -82,7 +82,7 @@ func TestQuickWindowRecurrenceContainment(t *testing.T) {
 		for ci := range tr.Children(v) {
 			w := tr.Children(v)[ci]
 			childAnchor := st.Cascade().BridgePos(v, ci, anchor)
-			childLo := params.windowLo(lo)
+			childLo := params.WindowLo(lo)
 			childTrue := st.Cascade().Aug(w).Succ(y)
 			if childTrue > childAnchor || childTrue < childAnchor+childLo {
 				return false

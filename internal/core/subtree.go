@@ -127,7 +127,7 @@ func (st *Structure) hopSubtree(sub *Substructure, block *Block, y catalog.Key, 
 	for z := 1; z < len(block.Nodes); z++ {
 		if block.Level[z] != curLevel {
 			curLevel = block.Level[z]
-			lo = st.params.windowLo(lo)
+			lo = st.params.WindowLo(lo)
 		}
 		v := block.Nodes[z]
 		if !member[v] {

@@ -176,6 +176,12 @@ type Config struct {
 	// Tracer, when non-nil, receives one obs.Span per executed query
 	// (batched path only). It must be safe for concurrent Emit calls.
 	Tracer obs.Tracer
+	// Flat serves every catalog shard from its frozen flat layout
+	// (internal/flat) instead of the pointer structures: each shard is
+	// wrapped in a FlatShard at construction, so answers and Stats stay
+	// bit-identical while the hot path runs allocation-free on index
+	// arrays. Requires every shard to implement FlatSource.
+	Flat bool
 }
 
 // defaultCacheSize is the per-shard entry cache capacity when unset.
@@ -243,6 +249,18 @@ func New(cfg Config, shards []CatalogBackend, pl *pointloc.Locator, sp *spatial.
 		if s == nil {
 			return nil, fmt.Errorf("engine: shard %d is nil", i)
 		}
+	}
+	if cfg.Flat {
+		// Build a fresh slice so the caller's backing array is untouched.
+		wrapped := make([]CatalogBackend, len(shards))
+		for i, s := range shards {
+			fs, err := NewFlatShard(s)
+			if err != nil {
+				return nil, fmt.Errorf("engine: flat shard %d: %w", i, err)
+			}
+			wrapped[i] = fs
+		}
+		shards = wrapped
 	}
 	e := &Engine{
 		cfg:    cfg,

@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
+	"fraccascade/internal/flat"
+	"fraccascade/internal/tree"
+)
+
+// FlatSource is implemented by backends whose current static structure can
+// be frozen into the flat layout. Both shipped backends qualify; a custom
+// CatalogBackend must implement it to be wrapped by Config.Flat.
+type FlatSource interface {
+	// CurrentStructure returns the pointer structure backing the shard's
+	// current generation.
+	CurrentStructure() *core.Structure
+}
+
+// CurrentStructure implements FlatSource.
+func (s StaticShard) CurrentStructure() *core.Structure { return s.St }
+
+// CurrentStructure implements FlatSource.
+func (s DynamicShard) CurrentStructure() *core.Structure { return s.D.Static() }
+
+var _ FlatSource = StaticShard{}
+var _ FlatSource = DynamicShard{}
+
+// FlatShard serves catalog queries from the frozen flat layout of an inner
+// backend. It is a drop-in CatalogBackend — answers and Stats are
+// bit-identical to the inner shard's (the flat search replicates the cost
+// model exactly) — but the hot path runs on the index-based arrays with
+// zero allocations per level.
+//
+// The frozen layout is itself a generation-keyed cache of the inner
+// structure: every method that touches catalog positions goes through
+// current(), which refreezes when the inner generation moved (a dynamic
+// Flush replaced the static build). This matters for the engine's entry
+// cache: EntryProbe/EntryInterval fill cache slots tagged with the inner
+// generation, so they must resolve against the matching frozen layout — a
+// stale flat would hand out positions from the previous build under the
+// new generation's tag, poisoning the cache (covered by the flat cache-
+// validity tests).
+type FlatShard struct {
+	inner CatalogBackend
+	src   FlatSource
+
+	mu  sync.RWMutex
+	f   *flat.Structure
+	gen uint64
+
+	refreezes uint64 // guarded by mu; freeze count since construction
+}
+
+// NewFlatShard wraps inner, freezing its current structure. inner must
+// implement FlatSource.
+func NewFlatShard(inner CatalogBackend) (*FlatShard, error) {
+	src, ok := inner.(FlatSource)
+	if !ok {
+		return nil, fmt.Errorf("engine: backend %T cannot serve flat (no FlatSource)", inner)
+	}
+	fs := &FlatShard{inner: inner, src: src}
+	if _, err := fs.current(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// NewFlatShardFrom wraps inner around an already-decoded flat structure
+// (a snapshot sidecar), skipping the initial freeze when the preloaded
+// layout matches the inner structure's shape. A mismatched preload is
+// rejected — the caller should fall back to NewFlatShard.
+func NewFlatShardFrom(inner CatalogBackend, f *flat.Structure) (*FlatShard, error) {
+	src, ok := inner.(FlatSource)
+	if !ok {
+		return nil, fmt.Errorf("engine: backend %T cannot serve flat (no FlatSource)", inner)
+	}
+	st := src.CurrentStructure()
+	if f == nil {
+		return nil, fmt.Errorf("engine: nil preloaded flat structure")
+	}
+	if f.NumNodes() != st.Tree().N() || f.Root() != st.Tree().Root() {
+		return nil, fmt.Errorf("engine: preloaded flat structure shape mismatch (%d nodes root %d, want %d nodes root %d)",
+			f.NumNodes(), f.Root(), st.Tree().N(), st.Tree().Root())
+	}
+	return &FlatShard{inner: inner, src: src, f: f, gen: inner.Generation()}, nil
+}
+
+// current returns the frozen layout for the inner backend's current
+// generation, refreezing under the write lock if a flush moved it.
+func (fs *FlatShard) current() (*flat.Structure, error) {
+	gen := fs.inner.Generation()
+	fs.mu.RLock()
+	f := fs.f
+	ok := f != nil && fs.gen == gen
+	fs.mu.RUnlock()
+	if ok {
+		return f, nil
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	// Double-check: another goroutine may have refrozen while we waited,
+	// and the generation may have moved again under it.
+	gen = fs.inner.Generation()
+	if fs.f != nil && fs.gen == gen {
+		return fs.f, nil
+	}
+	f, err := flat.Freeze(fs.src.CurrentStructure())
+	if err != nil {
+		return nil, fmt.Errorf("engine: refreeze flat shard: %w", err)
+	}
+	fs.f = f
+	fs.gen = gen
+	fs.refreezes++
+	return f, nil
+}
+
+// Refreezes reports how many times the shard froze the inner structure
+// (initial freeze included unless preloaded), for tests and metrics.
+func (fs *FlatShard) Refreezes() uint64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.refreezes
+}
+
+// Flat returns the current frozen layout (refreezing if stale), for
+// snapshot export.
+func (fs *FlatShard) Flat() (*flat.Structure, error) { return fs.current() }
+
+// SearchExplicit implements CatalogBackend on the flat layout.
+func (fs *FlatShard) SearchExplicit(y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, core.Stats, error) {
+	f, err := fs.current()
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	return f.SearchExplicit(y, path, p)
+}
+
+// SearchExplicitContext implements CatalogBackend. The flat search runs in
+// microseconds host-side, so cancellation is checked once up front rather
+// than between simulated rounds; nil-error answers equal SearchExplicit.
+func (fs *FlatShard) SearchExplicitContext(ctx context.Context, y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, core.Stats, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, core.Stats{}, err
+		}
+	}
+	return fs.SearchExplicit(y, path, p)
+}
+
+// SearchExplicitWithEntry implements CatalogBackend.
+func (fs *FlatShard) SearchExplicitWithEntry(y catalog.Key, path []tree.NodeID, p, entryPos int) ([]cascade.Result, core.Stats, bool, error) {
+	f, err := fs.current()
+	if err != nil {
+		return nil, core.Stats{}, false, err
+	}
+	return f.SearchExplicitWithEntry(y, path, p, entryPos)
+}
+
+// EntryProbe implements CatalogBackend. It resolves against the current
+// generation's frozen layout (see the type comment; a freeze error
+// degrades to the inner backend so cache fills never dereference a stale
+// layout).
+func (fs *FlatShard) EntryProbe(v tree.NodeID, y catalog.Key) int {
+	f, err := fs.current()
+	if err != nil {
+		return fs.inner.EntryProbe(v, y)
+	}
+	return f.EntryProbe(v, y)
+}
+
+// EntryInterval implements CatalogBackend.
+func (fs *FlatShard) EntryInterval(v tree.NodeID, pos int) (lo, hi catalog.Key, err error) {
+	f, err := fs.current()
+	if err != nil {
+		return 0, 0, err
+	}
+	return f.EntryInterval(v, pos)
+}
+
+// Root implements CatalogBackend.
+func (fs *FlatShard) Root() tree.NodeID { return fs.inner.Root() }
+
+// Generation implements CatalogBackend, forwarding the inner generation so
+// the engine's entry-cache invalidation keys match the layout served.
+func (fs *FlatShard) Generation() uint64 { return fs.inner.Generation() }

@@ -1,0 +1,400 @@
+package flat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
+)
+
+// Binary encoding of a frozen Structure: a fixed header, the parameter
+// block, every slice length-prefixed in little-endian, and a trailing
+// CRC-32C over everything before it. The format is position-independent
+// and free of internal pointers — the groundwork for the mmap-able
+// snapshot encoding (ROADMAP item 2).
+//
+// UnmarshalBinary is safe on hostile input: every length is checked
+// against the remaining bytes before any allocation sized by it, and the
+// decoded structure passes a full structural validation (validate) before
+// it is returned, so queries on a decoded structure cannot index out of
+// range. Corrupt input yields an error, never a panic.
+
+// codecMagic identifies a flat blob; codecVersion gates compatibility.
+const (
+	codecMagic   = "\x89FCFLAT\n"
+	codecVersion = uint32(1)
+)
+
+type enc struct{ buf []byte }
+
+func (e *enc) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *enc) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *enc) i32s(s []int32) {
+	e.u32(uint32(len(s)))
+	for _, v := range s {
+		e.u32(uint32(v))
+	}
+}
+func (e *enc) i64s(s []int64) {
+	e.u32(uint32(len(s)))
+	for _, v := range s {
+		e.u64(uint64(v))
+	}
+}
+
+// MarshalBinary encodes the structure.
+func (f *Structure) MarshalBinary() ([]byte, error) {
+	e := &enc{buf: make([]byte, 0, 64+8*len(f.keys)+4*(len(f.bridges)+len(f.children)))}
+	e.buf = append(e.buf, codecMagic...)
+	e.u32(codecVersion)
+	e.u32(uint32(f.params.B))
+	e.u32(uint32(f.params.F))
+	e.u64(math.Float64bits(f.params.Alpha))
+	e.u32(uint32(f.params.NumSubs))
+	e.u32(uint32(f.params.LogN))
+	e.u32(uint32(f.root))
+	e.u32(uint32(f.n))
+	e.i32s(f.parent)
+	e.i32s(f.depth)
+	e.i32s(f.childStart)
+	e.i32s(f.children)
+	e.i32s(f.catStart)
+	e.i64s(f.keys)
+	e.i32s(f.payloads)
+	e.i32s(f.nativeSucc)
+	e.i32s(f.bridgeStart)
+	e.i32s(f.bridges)
+	e.u32(uint32(len(f.subs)))
+	for i := range f.subs {
+		fs := &f.subs[i]
+		e.u32(uint32(fs.h))
+		e.u32(uint32(fs.s))
+		e.u32(uint32(fs.truncDepth))
+		e.i32s(fs.blockOf)
+		e.i32s(fs.blockStart)
+		e.i32s(fs.blockHeight)
+		e.i32s(fs.blockM)
+		e.i32s(fs.blockChildStart)
+		e.i32s(fs.blockChildren)
+		e.i32s(fs.keyPosStart)
+		e.i32s(fs.keyPos)
+	}
+	e.u32(crc32.Checksum(e.buf, crcTable))
+	return e.buf, nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("flat: "+format, args...)
+	}
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.buf) {
+		d.fail("truncated at offset %d", d.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("truncated at offset %d", d.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// i32s reads a length-prefixed int32 slice, rejecting lengths that exceed
+// the remaining bytes before allocating.
+func (d *dec) i32s() []int32 {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+4*n > len(d.buf) {
+		d.fail("slice length %d exceeds %d remaining bytes", n, len(d.buf)-d.off)
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(d.buf[d.off:]))
+		d.off += 4
+	}
+	return out
+}
+
+func (d *dec) i64s() []int64 {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+8*n > len(d.buf) {
+		d.fail("slice length %d exceeds %d remaining bytes", n, len(d.buf)-d.off)
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(d.buf[d.off:]))
+		d.off += 8
+	}
+	return out
+}
+
+// UnmarshalBinary decodes and fully validates a flat blob. The receiver is
+// overwritten only on success.
+func (f *Structure) UnmarshalBinary(data []byte) error {
+	if len(data) < len(codecMagic)+8 {
+		return fmt.Errorf("flat: %d-byte blob too short", len(data))
+	}
+	if string(data[:len(codecMagic)]) != codecMagic {
+		return fmt.Errorf("flat: bad magic")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(tail), crc32.Checksum(body, crcTable); got != want {
+		return fmt.Errorf("flat: checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	d := &dec{buf: body, off: len(codecMagic)}
+	if v := d.u32(); d.err == nil && v != codecVersion {
+		return fmt.Errorf("flat: unsupported version %d (want %d)", v, codecVersion)
+	}
+	var g Structure
+	g.params = core.Params{
+		B:       int(int32(d.u32())),
+		F:       int(int32(d.u32())),
+		Alpha:   math.Float64frombits(d.u64()),
+		NumSubs: int(int32(d.u32())),
+		LogN:    int(int32(d.u32())),
+	}
+	g.root = int32(d.u32())
+	g.n = int32(d.u32())
+	g.parent = d.i32s()
+	g.depth = d.i32s()
+	g.childStart = d.i32s()
+	g.children = d.i32s()
+	g.catStart = d.i32s()
+	g.keys = d.i64s()
+	g.payloads = d.i32s()
+	g.nativeSucc = d.i32s()
+	g.bridgeStart = d.i32s()
+	g.bridges = d.i32s()
+	nsubs := int(d.u32())
+	if d.err == nil {
+		if nsubs < 0 || nsubs > 64 {
+			return fmt.Errorf("flat: implausible substructure count %d", nsubs)
+		}
+		g.subs = make([]flatSub, nsubs)
+		for i := range g.subs {
+			fs := &g.subs[i]
+			fs.h = int32(d.u32())
+			fs.s = int32(d.u32())
+			fs.truncDepth = int32(d.u32())
+			fs.blockOf = d.i32s()
+			fs.blockStart = d.i32s()
+			fs.blockHeight = d.i32s()
+			fs.blockM = d.i32s()
+			fs.blockChildStart = d.i32s()
+			fs.blockChildren = d.i32s()
+			fs.keyPosStart = d.i32s()
+			fs.keyPos = d.i32s()
+		}
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(body) {
+		return fmt.Errorf("flat: %d trailing bytes", len(body)-d.off)
+	}
+	if err := g.validate(); err != nil {
+		return err
+	}
+	*f = g
+	return nil
+}
+
+// validate checks every structural invariant the query paths rely on for
+// memory safety, so a decoded structure can be searched without panics:
+// index ranges, monotone offset arrays, catalog well-formedness (sorted,
+// +∞-terminated), and bridge/skeleton bounds.
+func (f *Structure) validate() error {
+	n := int(f.n)
+	if n < 1 {
+		return fmt.Errorf("flat: %d nodes", n)
+	}
+	if f.root < 0 || int(f.root) >= n {
+		return fmt.Errorf("flat: root %d out of range [0, %d)", f.root, n)
+	}
+	if len(f.parent) != n || len(f.depth) != n {
+		return fmt.Errorf("flat: parent/depth length %d/%d, want %d", len(f.parent), len(f.depth), n)
+	}
+	if err := validateStarts("childStart", f.childStart, n, len(f.children)); err != nil {
+		return err
+	}
+	for i, c := range f.children {
+		if c < 0 || int(c) >= n {
+			return fmt.Errorf("flat: child slot %d holds node %d out of range", i, c)
+		}
+	}
+	for v, p := range f.parent {
+		if p != -1 && (p < 0 || int(p) >= n) {
+			return fmt.Errorf("flat: node %d has parent %d out of range", v, p)
+		}
+	}
+	// Catalogs: per node non-empty, strictly increasing, +∞-terminated,
+	// with in-range native-successor links.
+	if err := validateStarts("catStart", f.catStart, n, len(f.keys)); err != nil {
+		return err
+	}
+	if len(f.payloads) != len(f.keys) || len(f.nativeSucc) != len(f.keys) {
+		return fmt.Errorf("flat: payloads/nativeSucc length %d/%d, want %d",
+			len(f.payloads), len(f.nativeSucc), len(f.keys))
+	}
+	for v := 0; v < n; v++ {
+		base, end := int(f.catStart[v]), int(f.catStart[v+1])
+		cl := end - base
+		if cl < 1 {
+			return fmt.Errorf("flat: node %d has empty catalog", v)
+		}
+		if f.keys[end-1] != catalog.PlusInf {
+			return fmt.Errorf("flat: node %d catalog missing +inf terminal", v)
+		}
+		for i := base + 1; i < end; i++ {
+			if f.keys[i] <= f.keys[i-1] {
+				return fmt.Errorf("flat: node %d catalog not strictly increasing at %d", v, i-base)
+			}
+		}
+		for i := base; i < end; i++ {
+			if ns := f.nativeSucc[i]; ns < 0 || int(ns) >= cl {
+				return fmt.Errorf("flat: node %d entry %d native successor %d out of range", v, i-base, ns)
+			}
+		}
+	}
+	// Bridges: one vector per edge, exactly catLen(v) wide, every target a
+	// valid position in the child's catalog.
+	if err := validateStarts("bridgeStart", f.bridgeStart, len(f.children), len(f.bridges)); err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		cl := f.catLen(int32(v))
+		for e := int(f.childStart[v]); e < int(f.childStart[v+1]); e++ {
+			if got := int(f.bridgeStart[e+1] - f.bridgeStart[e]); got != cl {
+				return fmt.Errorf("flat: edge %d bridge vector %d wide, want %d", e, got, cl)
+			}
+			childLen := f.catLen(f.children[e])
+			for i := int(f.bridgeStart[e]); i < int(f.bridgeStart[e+1]); i++ {
+				if b := f.bridges[i]; b < 0 || int(b) >= childLen {
+					return fmt.Errorf("flat: edge %d bridge %d out of child catalog [0, %d)", e, b, childLen)
+				}
+			}
+		}
+	}
+	for i, fs := range f.subs {
+		if err := f.validateSub(i, &fs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateSub checks one substructure's block partition and skeleton
+// arrays.
+func (f *Structure) validateSub(i int, fs *flatSub) error {
+	n := int(f.n)
+	if fs.s < 1 {
+		return fmt.Errorf("flat: sub %d stride %d < 1", i, fs.s)
+	}
+	if len(fs.blockOf) != n {
+		return fmt.Errorf("flat: sub %d blockOf length %d, want %d", i, len(fs.blockOf), n)
+	}
+	nb := len(fs.blockStart) - 1
+	if nb < 0 {
+		return fmt.Errorf("flat: sub %d has empty blockStart", i)
+	}
+	if len(fs.blockHeight) != nb || len(fs.blockM) != nb {
+		return fmt.Errorf("flat: sub %d blockHeight/blockM length %d/%d, want %d",
+			i, len(fs.blockHeight), len(fs.blockM), nb)
+	}
+	for v, bi := range fs.blockOf {
+		if bi != -1 && (bi < 0 || int(bi) >= nb) {
+			return fmt.Errorf("flat: sub %d node %d in block %d out of range", i, v, bi)
+		}
+	}
+	totalSlots := 0
+	if nb > 0 {
+		totalSlots = int(fs.blockStart[nb])
+	}
+	if err := validateStarts(fmt.Sprintf("sub %d blockStart", i), fs.blockStart, nb, totalSlots); err != nil {
+		return err
+	}
+	if err := validateStarts(fmt.Sprintf("sub %d blockChildStart", i), fs.blockChildStart, totalSlots, len(fs.blockChildren)); err != nil {
+		return err
+	}
+	if err := validateStarts(fmt.Sprintf("sub %d keyPosStart", i), fs.keyPosStart, nb, len(fs.keyPos)); err != nil {
+		return err
+	}
+	for b := 0; b < nb; b++ {
+		blockLen := int(fs.blockStart[b+1] - fs.blockStart[b])
+		if blockLen < 1 {
+			return fmt.Errorf("flat: sub %d block %d is empty", i, b)
+		}
+		m := int(fs.blockM[b])
+		if m < 1 {
+			return fmt.Errorf("flat: sub %d block %d has %d skeleton trees", i, b, m)
+		}
+		if fs.blockHeight[b] < 0 {
+			return fmt.Errorf("flat: sub %d block %d height %d", i, b, fs.blockHeight[b])
+		}
+		if got := int(fs.keyPosStart[b+1] - fs.keyPosStart[b]); got != m*blockLen {
+			return fmt.Errorf("flat: sub %d block %d keyPos span %d, want %d", i, b, got, m*blockLen)
+		}
+		for s := int(fs.blockStart[b]); s < int(fs.blockStart[b+1]); s++ {
+			for c := int(fs.blockChildStart[s]); c < int(fs.blockChildStart[s+1]); c++ {
+				if lc := fs.blockChildren[c]; lc < 0 || int(lc) >= blockLen {
+					return fmt.Errorf("flat: sub %d block %d local child %d out of range [0, %d)", i, b, lc, blockLen)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// validateStarts checks that starts is a monotone offset array of count+1
+// entries beginning at 0 and ending at total.
+func validateStarts(name string, starts []int32, count, total int) error {
+	if len(starts) != count+1 {
+		return fmt.Errorf("flat: %s length %d, want %d", name, len(starts), count+1)
+	}
+	if starts[0] != 0 {
+		return fmt.Errorf("flat: %s[0] = %d, want 0", name, starts[0])
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] < starts[i-1] {
+			return fmt.Errorf("flat: %s not monotone at %d", name, i)
+		}
+	}
+	if int(starts[len(starts)-1]) != total {
+		return fmt.Errorf("flat: %s ends at %d, want %d", name, starts[len(starts)-1], total)
+	}
+	return nil
+}

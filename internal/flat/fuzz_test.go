@@ -1,0 +1,130 @@
+package flat_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/core"
+	"fraccascade/internal/flat"
+	"fraccascade/internal/tree"
+)
+
+// FuzzFlatFreeze round-trips arbitrary seeded builds through
+// Freeze → MarshalBinary → UnmarshalBinary and cross-checks both the frozen
+// and the decoded structure against the pointer oracle on arbitrary
+// queries. Any divergence — answer, stats, or an unexpected error — crashes
+// the target.
+func FuzzFlatFreeze(f *testing.F) {
+	f.Add(int64(1), uint16(64), uint32(100), uint16(1))
+	f.Add(int64(7), uint16(3), uint32(0), uint16(65535))
+	f.Add(int64(0x5EED), uint16(200), uint32(999999), uint16(300))
+	f.Fuzz(func(t *testing.T, seed int64, shape uint16, yRaw uint32, pRaw uint16) {
+		rng := rand.New(rand.NewSource(seed))
+		var bt *tree.Tree
+		var err error
+		if shape%2 == 0 {
+			bt, err = tree.NewBalancedBinary(1 << uint(1+shape%5))
+		} else {
+			bt, err = tree.NewRandom(1+int(shape%120), 1+int(shape%5), rng)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := core.Build(bt, randCatalogs(bt, 30+int(shape%900), rng), core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fz, err := flat.Freeze(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := fz.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dec flat.Structure
+		if err := dec.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("round-trip decode: %v", err)
+		}
+
+		y := catalog.Key(yRaw)
+		p := int(pRaw) + 1
+		for _, v := range []tree.NodeID{bt.Root(), tree.NodeID(bt.N() - 1), tree.NodeID(int(shape) % bt.N())} {
+			path := bt.RootPath(v)
+			wantRes, wantStats, err := st.SearchExplicit(y, path, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, g := range []*flat.Structure{fz, &dec} {
+				gotRes, gotStats, err := g.SearchExplicit(y, path, p)
+				if err != nil {
+					t.Fatalf("flat SearchExplicit: %v", err)
+				}
+				if gotStats != wantStats {
+					t.Fatalf("stats %+v, want %+v", gotStats, wantStats)
+				}
+				for i := range wantRes {
+					if gotRes[i] != wantRes[i] {
+						t.Fatalf("result[%d] = %+v, want %+v", i, gotRes[i], wantRes[i])
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzFlatDecode feeds arbitrary bytes to the decoder. It must either
+// reject them or produce a structure whose queries complete without
+// panicking — the decoder's bounds validation is the only line of defence
+// for snapshot sidecars read off disk.
+func FuzzFlatDecode(f *testing.F) {
+	// Seed with a valid blob and a few mangled variants so coverage starts
+	// inside the format.
+	rng := rand.New(rand.NewSource(99))
+	bt, err := tree.NewBalancedBinary(8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	st, err := core.Build(bt, randCatalogs(bt, 300, rng), core.Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	fz, err := flat.Freeze(st)
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, err := fz.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	mangled := append([]byte{}, blob...)
+	for i := 16; i < len(mangled); i += 37 {
+		mangled[i] ^= 0x41
+	}
+	f.Add(mangled)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g flat.Structure
+		if err := g.UnmarshalBinary(data); err != nil {
+			return // rejected: fine
+		}
+		// Accepted: the structure must be fully queryable without panics.
+		n := g.NumNodes()
+		if n == 0 {
+			t.Fatal("decoder accepted a structure with no nodes")
+		}
+		for v := 0; v < n; v++ {
+			for _, y := range []catalog.Key{0, 42, catalog.PlusInf} {
+				pos := g.EntryProbe(tree.NodeID(v), y)
+				g.ValidEntry(tree.NodeID(v), pos, y)
+				if _, _, err := g.EntryInterval(tree.NodeID(v), pos); err != nil {
+					t.Fatalf("EntryInterval(%d, %d) on accepted blob: %v", v, pos, err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package flat
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/tree"
+)
+
+// Wall is the native executor-analog over the flat layout: a persistent
+// pool of p real goroutines cooperatively draining a batch of searches.
+// Where the simulated executors (pram.KindBarrier/KindVirtual) charge
+// synchronous step costs, Wall realises the processor budget as wall-clock
+// parallelism: the sequential per-query walk is already O(1) per level, so
+// the p-way split goes across queries — each worker claims the next
+// unclaimed query off a shared atomic counter and runs the zero-alloc
+// SearchPathInto. Answers are bit-identical to the pointer oracle
+// (asserted by the differential harness); only the clock differs.
+//
+// SearchBatch itself performs zero heap allocations: workers are spawned
+// once in NewWall and parked on a channel between batches, and all batch
+// state lives in caller-provided slices.
+type Wall struct {
+	f     *Structure
+	procs int
+
+	mu    sync.Mutex // serialises batches
+	ready chan struct{}
+	done  chan struct{}
+
+	// Current batch, valid between the ready tokens and the done collects.
+	ys    []catalog.Key
+	paths [][]tree.NodeID
+	out   [][]cascade.Result
+	errs  []error
+	next  atomic.Int64
+
+	closed bool
+}
+
+// NewWall starts a worker pool of procs goroutines over f. Close releases
+// them.
+func NewWall(f *Structure, procs int) (*Wall, error) {
+	if f == nil {
+		return nil, fmt.Errorf("flat: nil structure")
+	}
+	if procs < 1 {
+		return nil, fmt.Errorf("flat: wall executor needs at least 1 processor, got %d", procs)
+	}
+	w := &Wall{
+		f:     f,
+		procs: procs,
+		ready: make(chan struct{}),
+		done:  make(chan struct{}, procs),
+	}
+	for i := 0; i < procs; i++ {
+		go w.worker()
+	}
+	return w, nil
+}
+
+// Procs returns the worker count.
+func (w *Wall) Procs() int { return w.procs }
+
+// worker drains queries for one batch per ready token, then reports done.
+// A worker that loops around fast enough to steal a second token of the
+// same batch just re-checks the exhausted counter and reports done again;
+// token and done counts still balance, so SearchBatch's collect is exact.
+func (w *Wall) worker() {
+	for range w.ready {
+		for {
+			i := w.next.Add(1) - 1
+			if i >= int64(len(w.ys)) {
+				break
+			}
+			w.errs[i] = w.f.SearchPathInto(w.ys[i], w.paths[i], w.out[i])
+		}
+		w.done <- struct{}{}
+	}
+}
+
+// SearchBatch runs one search per (ys[i], paths[i]) across the worker
+// pool, writing results into out[i] (each needs len(paths[i]) slots) and
+// per-query errors into errs[i]. All four slices must have equal length.
+// It blocks until the whole batch is drained. Zero heap allocations.
+func (w *Wall) SearchBatch(ys []catalog.Key, paths [][]tree.NodeID, out [][]cascade.Result, errs []error) error {
+	if len(paths) != len(ys) || len(out) != len(ys) || len(errs) != len(ys) {
+		return fmt.Errorf("flat: batch slice lengths differ: %d keys, %d paths, %d outs, %d errs",
+			len(ys), len(paths), len(out), len(errs))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("flat: wall executor is closed")
+	}
+	w.ys, w.paths, w.out, w.errs = ys, paths, out, errs
+	w.next.Store(0)
+	for i := 0; i < w.procs; i++ {
+		w.ready <- struct{}{}
+	}
+	for i := 0; i < w.procs; i++ {
+		<-w.done
+	}
+	w.ys, w.paths, w.out, w.errs = nil, nil, nil, nil
+	return nil
+}
+
+// Close terminates the worker goroutines. The Wall is unusable afterwards.
+func (w *Wall) Close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.closed {
+		w.closed = true
+		close(w.ready)
+	}
+}

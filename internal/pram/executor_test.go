@@ -125,8 +125,11 @@ func metricsText(reg *obs.Registry) string {
 // stringsBuilder avoids importing strings just for a Builder in this file.
 type stringsBuilder struct{ buf []byte }
 
-func (b *stringsBuilder) Write(p []byte) (int, error) { b.buf = append(b.buf, p...); return len(p), nil }
-func (b *stringsBuilder) String() string              { return string(b.buf) }
+func (b *stringsBuilder) Write(p []byte) (int, error) {
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+func (b *stringsBuilder) String() string { return string(b.buf) }
 
 func sameConflict(t *testing.T, label string, a, b error) {
 	t.Helper()
@@ -398,6 +401,18 @@ func TestExecutorKindRoundTrip(t *testing.T) {
 		if x.Procs() != 4 || x.Model() != CREW {
 			t.Fatalf("NewExecutor(%v) misconfigured: procs=%d model=%v", k, x.Procs(), x.Model())
 		}
+	}
+	// KindWall parses and prints like the simulated kinds but is native:
+	// NewExecutor must refuse to build a simulated machine for it.
+	k, err := ParseExecutorKind("wall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != KindWall || k.String() != "wall" {
+		t.Fatalf("round trip: %q -> %v", "wall", k)
+	}
+	if _, err := NewExecutor(KindWall, CREW, 4); err == nil {
+		t.Fatal("NewExecutor built a simulated machine for the native wall kind")
 	}
 	if _, err := ParseExecutorKind("warp"); err == nil {
 		t.Fatal("unknown executor name accepted")

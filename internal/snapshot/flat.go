@@ -1,0 +1,100 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// secFlat is the sidecar section id: one section per shard, payload is the
+// shard's flat.Structure MarshalBinary blob (which carries its own magic,
+// version, and CRC on top of the section checksum here).
+const secFlat uint32 = 6
+
+// EncodeFlat serialises a flat-layout sidecar: the generation of the
+// snapshot it accompanies and one frozen-structure blob per shard, in
+// shard order. The sidecar is a pure cache — a loader that finds it
+// missing, corrupt, or generation-skewed refreezes from the snapshot
+// proper — so it reuses the container format but stays a separate file:
+// the snapshot's crash-safety story is untouched by sidecar writes.
+func EncodeFlat(generation uint64, blobs [][]byte) []byte {
+	size := headerSize
+	for _, b := range blobs {
+		size += 4 + 8 + len(b) + 4
+	}
+	data := make([]byte, 0, size)
+	data = appendHeader(data, generation, len(blobs))
+	for _, b := range blobs {
+		data = appendSection(data, secFlat, b)
+	}
+	return data
+}
+
+// DecodeFlat parses a sidecar produced by EncodeFlat, returning the
+// generation it was written against and the per-shard flat blobs. The
+// blobs are returned as-is; callers hand them to flat.UnmarshalBinary,
+// whose bounds-validated decoder is the real gatekeeper.
+func DecodeFlat(data []byte) (generation uint64, blobs [][]byte, err error) {
+	generation, sections, off, err := parseHeader(data)
+	if err != nil {
+		return 0, nil, err
+	}
+	blobs = make([][]byte, 0, minInt(int(sections), 1024))
+	for i := uint32(0); i < sections; i++ {
+		id, payload, next, err := nextSection(data, off)
+		if err != nil {
+			return 0, nil, err
+		}
+		if id != secFlat {
+			return 0, nil, corruptf(ErrCorrupt, "sidecar section %d has id %d, want %d", i, id, secFlat)
+		}
+		blobs = append(blobs, payload)
+		off = next
+	}
+	if off != len(data) {
+		return 0, nil, corruptf(ErrCorrupt, "%d trailing bytes after %d sidecar sections", len(data)-off, sections)
+	}
+	return generation, blobs, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SaveFlat writes the sidecar crash-safely next to the snapshot (same
+// temp + rename + dir-sync discipline as Save).
+func SaveFlat(path string, generation uint64, blobs [][]byte) error {
+	return SaveFlatFS(OSFS{}, path, generation, blobs)
+}
+
+// SaveFlatFS is SaveFlat over an injectable filesystem.
+func SaveFlatFS(fsys FS, path string, generation uint64, blobs [][]byte) error {
+	data := EncodeFlat(generation, blobs)
+	dir := filepath.Dir(path)
+	tmp, err := fsys.WriteTemp(dir, ".snapshot-flat-*.tmp", data)
+	if err != nil {
+		return fmt.Errorf("snapshot: write flat temp in %s: %w", dir, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("snapshot: rename %s -> %s: %w", tmp, path, err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("snapshot: sync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// LoadFlat reads and parses the sidecar at path. Missing files surface the
+// I/O error (IsCorrupt false); undecodable contents a *CorruptionError.
+// Either way the caller refreezes from the pointer structures.
+func LoadFlat(path string) (generation uint64, blobs [][]byte, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	return DecodeFlat(data)
+}
