@@ -1,9 +1,9 @@
 GO ?= go
 COVER_THRESHOLD ?= 80
 
-.PHONY: check vet build lint test test-engine test-snapshot test-flat race cover bench bench-check bench-json bench-diff bench-smoke bench-wall metrics-smoke chaos chaos-smoke
+.PHONY: check vet build lint test test-engine test-snapshot test-flat race cover bench bench-check bench-json bench-diff bench-smoke bench-wall bench-build metrics-smoke chaos chaos-smoke
 
-check: vet build lint test test-engine test-snapshot test-flat race cover bench-check bench-smoke bench-wall metrics-smoke
+check: vet build lint test test-engine test-snapshot test-flat race cover bench-check bench-smoke bench-wall bench-build metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -52,7 +52,7 @@ test-flat:
 	$(GO) test -run='^$$' -fuzz=FuzzFlatDecode -fuzztime=10s ./internal/flat
 
 race:
-	$(GO) test -race ./internal/pram/... ./internal/parallel/... ./internal/engine/... ./internal/obs/... ./internal/flat/...
+	$(GO) test -race ./internal/pram/... ./internal/parallel/... ./internal/buildpool/... ./internal/cascade/... ./internal/engine/... ./internal/obs/... ./internal/flat/...
 
 # Coverage floor on the paper-critical packages: the core cascaded
 # structure, the batch engine, and the instrumentation they publish
@@ -87,15 +87,18 @@ bench-json:
 BENCH_STEP_TOL ?= 0
 BENCH_THR_TOL ?= 0.35
 BENCH_WALL_TOL ?= 3.0
+BENCH_BUILD_TOL ?= 3.0
 bench-diff:
 	@mkdir -p bench/out
 	$(GO) build -o bench/out/coopbench ./cmd/coopbench
 	cd bench/out && ./coopbench -experiment=e17 -json >/dev/null \
 		&& ./coopbench -experiment=e18 -json >/dev/null \
 		&& ./coopbench -experiment=e20 -json >/dev/null \
-		&& ./coopbench -experiment=e22 -executor=wall -json >/dev/null
+		&& ./coopbench -experiment=e22 -executor=wall -json >/dev/null \
+		&& ./coopbench -experiment=e23 -json >/dev/null
 	$(GO) run ./cmd/benchdiff -baseline bench/baselines -candidate bench/out \
-		-step-tol $(BENCH_STEP_TOL) -throughput-tol $(BENCH_THR_TOL) -wall-tol $(BENCH_WALL_TOL)
+		-step-tol $(BENCH_STEP_TOL) -throughput-tol $(BENCH_THR_TOL) -wall-tol $(BENCH_WALL_TOL) \
+		-build-tol $(BENCH_BUILD_TOL)
 
 # Wall-executor smoke: run E22 on the native goroutine pool and hold the
 # tentpole claim — the flat and wall hot paths allocate nothing per query.
@@ -108,6 +111,17 @@ bench-wall:
 		if (v+0 != 0) { print "bench-wall: FAIL: " $$0; bad=1 } } \
 		END { if (bad) exit 1; print "bench-wall: zero-alloc hot path confirmed" }' \
 		bench/out/BENCH_E22.json
+
+# Build-throughput smoke: run E23 (sequential vs parallel construction)
+# and diff it against the committed baseline under BENCH_BUILD_TOL. The
+# speedup column is informational — the baseline is taken on a single-core
+# box, so multi-core runs only ever improve it — while build/freeze wall
+# times are gated with the same generous slack as the E22 latencies.
+bench-build:
+	@mkdir -p bench/out
+	cd bench/out && $(GO) run ../../cmd/coopbench -experiment=e23 -json
+	$(GO) run ./cmd/benchdiff -baseline bench/baselines -candidate bench/out \
+		-build-tol $(BENCH_BUILD_TOL) e23
 
 # Executor differential gate: the harnesses asserting that the barrier and
 # virtual executors produce identical results, step counts, work, conflict

@@ -39,6 +39,7 @@ type tolerance struct {
 	Steps      float64
 	Throughput float64
 	Latency    float64
+	Build      float64
 }
 
 // Metric classification. Step-class fields regress upward (more simulated
@@ -55,7 +56,7 @@ var (
 	}
 	throughputFields = map[string]bool{
 		"queries_per_step": true, "sequential_queries_per_step": true,
-		"cache_hit_rate": true,
+		"cache_hit_rate": true, "build_speedup": true,
 	}
 	// Host-clock latencies regress upward under the generous Latency slack;
 	// allocation counts regress upward with no slack at all — the flat hot
@@ -64,9 +65,14 @@ var (
 	latencyFields = map[string]bool{
 		"pointer_ns_per_op": true, "flat_ns_per_op": true, "wall_ns_per_op": true,
 	}
-	allocFields    = map[string]bool{"flat_allocs_per_op": true, "wall_allocs_per_op": true}
+	allocFields = map[string]bool{"flat_allocs_per_op": true, "wall_allocs_per_op": true}
+	// Host-clock construction times (E23) regress upward under their own
+	// slack: like the latency class they vary with the gating machine, but
+	// a separate knob (-build-tol, BENCH_BUILD_TOL) lets CI track build
+	// throughput independently of query latency.
+	buildFields    = map[string]bool{"build_ms": true, "freeze_ms": true}
 	exactFields    = map[string]bool{"lower_bound": true}
-	identityFields = map[string]bool{"n": true, "p": true, "batch": true, "procs_per_query": true}
+	identityFields = map[string]bool{"n": true, "p": true, "batch": true, "procs_per_query": true, "par": true}
 )
 
 // compare returns one message per regression of cand against base (empty
@@ -124,6 +130,11 @@ func compare(base, cand benchFile, tol tolerance) []string {
 					fail("row %d (%s): %s regressed %.1fns -> %.1fns (tol %.0f%%)",
 						i, rowKey(br), f, bv, cv, 100*tol.Latency)
 				}
+			case buildFields[f]:
+				if cv > bv*(1+tol.Build)+1e-9 {
+					fail("row %d (%s): %s regressed %.2fms -> %.2fms (tol %.0f%%)",
+						i, rowKey(br), f, bv, cv, 100*tol.Build)
+				}
 			case allocFields[f]:
 				if cv > bv+1e-9 {
 					fail("row %d (%s): %s regressed %.3f -> %.3f (allocations are exact: the hot path must not grow a malloc)",
@@ -159,7 +170,7 @@ func num(v any) (float64, bool) {
 // rowKey renders the identity fields present in a row for messages.
 func rowKey(row map[string]any) string {
 	s := ""
-	for _, f := range []string{"n", "p", "batch", "procs_per_query"} {
+	for _, f := range []string{"n", "p", "batch", "procs_per_query", "par"} {
 		if v, ok := row[f]; ok {
 			if s != "" {
 				s += " "

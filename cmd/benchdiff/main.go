@@ -35,6 +35,7 @@ func main() {
 	stepTol := flag.Float64("step-tol", 0, "relative tolerance for deterministic step metrics (0 = exact)")
 	thrTol := flag.Float64("throughput-tol", 0.35, "relative tolerance for throughput metrics")
 	wallTol := flag.Float64("wall-tol", 3.0, "relative tolerance for host-clock ns/op metrics (3.0 = candidate may be 4x the baseline)")
+	buildTol := flag.Float64("build-tol", 3.0, "relative tolerance for host-clock construction metrics (E23's build/freeze ms)")
 	flag.Parse()
 
 	names := flag.Args() // e.g. "e17" — empty means every baseline present
@@ -52,7 +53,7 @@ func main() {
 		}
 	}
 
-	tol := tolerance{Steps: *stepTol, Throughput: *thrTol, Latency: *wallTol}
+	tol := tolerance{Steps: *stepTol, Throughput: *thrTol, Latency: *wallTol, Build: *buildTol}
 	failed := false
 	for _, bf := range files {
 		base, err := loadBench(bf)

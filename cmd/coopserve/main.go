@@ -55,6 +55,8 @@ func main() {
 	flag.IntVar(&cfg.RingSize, "ring", cfg.RingSize, "span flight-recorder capacity")
 	flag.BoolVar(&cfg.Dynamic, "dynamic", cfg.Dynamic, "serve dynamic (updatable) catalog shards")
 	flag.BoolVar(&cfg.Flat, "flat", cfg.Flat, "serve catalog shards from the frozen flat layout (zero-alloc hot path; with -snapshot, persists a .flat sidecar)")
+	flag.IntVar(&cfg.BuildParallelism, "build-parallelism", cfg.BuildParallelism, "host workers for shard builds, flat freezes, and snapshot restores (0 = all cores, 1 = sequential)")
+	flag.BoolVar(&cfg.FingerCache, "finger-cache", cfg.FingerCache, "serve catalog queries with distance-sensitive finger search from cached entry points")
 	flag.StringVar(&cfg.SnapshotPath, "snapshot", cfg.SnapshotPath, "snapshot path: load on start, save after build and on drain (empty = disabled)")
 	flag.DurationVar(&cfg.RequestTimeout, "request-timeout", cfg.RequestTimeout, "per-request deadline on POST /query (0 = none)")
 	flag.IntVar(&cfg.MaxInflight, "max-inflight", cfg.MaxInflight, "concurrent /query cap before shedding with 503 (0 = unlimited)")

@@ -41,12 +41,14 @@ type serverConfig struct {
 	Tiles     int // spatial complex tiles
 	RingSize  int // span flight-recorder capacity
 
-	Dynamic        bool          // serve dynamic (updatable) catalog shards
-	Flat           bool          // serve catalog shards from the frozen flat layout
-	SnapshotPath   string        // load-on-start / save-on-build / save-on-drain path
-	RequestTimeout time.Duration // per-request deadline on POST /query (0 = none)
-	MaxInflight    int           // admission-control cap on concurrent queries (0 = unlimited)
-	DrainTimeout   time.Duration // how long SIGTERM waits for in-flight queries
+	Dynamic          bool          // serve dynamic (updatable) catalog shards
+	Flat             bool          // serve catalog shards from the frozen flat layout
+	BuildParallelism int           // host workers for builds, freezes, and snapshot restores (0 = all cores)
+	FingerCache      bool          // distance-sensitive finger search from cached entries
+	SnapshotPath     string        // load-on-start / save-on-build / save-on-drain path
+	RequestTimeout   time.Duration // per-request deadline on POST /query (0 = none)
+	MaxInflight      int           // admission-control cap on concurrent queries (0 = unlimited)
+	DrainTimeout     time.Duration // how long SIGTERM waits for in-flight queries
 }
 
 func defaultServerConfig() serverConfig {
@@ -186,10 +188,12 @@ func (s *server) build() error {
 	}
 	s.cx = cx
 	s.eng, err = engine.New(engine.Config{
-		Procs:     s.cfg.Procs,
-		BatchSize: s.cfg.BatchSize,
-		Obs:       s.reg,
-		Tracer:    obs.Fanout(s.ring, s.stream),
+		Procs:            s.cfg.Procs,
+		BatchSize:        s.cfg.BatchSize,
+		BuildParallelism: s.cfg.BuildParallelism,
+		FingerCache:      s.cfg.FingerCache,
+		Obs:              s.reg,
+		Tracer:           obs.Fanout(s.ring, s.stream),
 	}, engineShards, pl, sp)
 	if err != nil {
 		return err
@@ -215,14 +219,15 @@ func buildShards(cfg serverConfig) ([]engine.CatalogBackend, []*tree.Tree, error
 			return nil, nil, err
 		}
 		cats := randomCatalogs(bt, cfg.Entries, rng)
+		coreCfg := core.Config{Parallelism: cfg.BuildParallelism}
 		if cfg.Dynamic {
-			d, err := dynamic.New(bt, cats, core.Config{}, 0)
+			d, err := dynamic.New(bt, cats, coreCfg, 0)
 			if err != nil {
 				return nil, nil, err
 			}
 			shards = append(shards, engine.DynamicShard{D: d})
 		} else {
-			st, err := core.Build(bt, cats, core.Config{})
+			st, err := core.Build(bt, cats, coreCfg)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -241,7 +246,7 @@ func (s *server) restoreShards() ([]engine.CatalogBackend, []*tree.Tree, bool) {
 	if s.cfg.SnapshotPath == "" {
 		return nil, nil, false
 	}
-	store, err := snapshot.Load(s.cfg.SnapshotPath)
+	store, err := snapshot.LoadParallel(s.cfg.SnapshotPath, s.cfg.BuildParallelism)
 	if err != nil {
 		log.Printf("coopserve: snapshot %s unusable, rebuilding: %v", s.cfg.SnapshotPath, err)
 		return nil, nil, false
@@ -374,7 +379,7 @@ func (s *server) wrapFlat(shards []engine.CatalogBackend, fromSnapshot bool) ([]
 		}
 		if fs == nil {
 			var err error
-			fs, err = engine.NewFlatShard(be)
+			fs, err = engine.NewFlatShardParallel(be, s.cfg.BuildParallelism)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,162 @@
+// Package buildpool schedules structure construction on real cores: a
+// work-stealing fan-out over the independent per-level units of the
+// cascade and separator-tree builds (in the style of Sun–Blelloch's
+// parallel augmented-map construction).
+//
+// The engine's query pool (internal/engine.Pool) balances many small
+// heterogeneous query tasks; construction instead partitions one index
+// range [0, n) into contiguous chunks whose costs are skewed by catalog
+// sizes, so the pool over-splits the range (several chunks per worker)
+// and lets idle workers steal the tail. Determinism is the caller's
+// contract, not the scheduler's: a chunk body must write only state owned
+// by its indices, which makes the output independent of execution order —
+// the property the parallel-vs-sequential differential tests pin.
+package buildpool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// chunksPerWorker over-splits the range so the deques hold spare chunks
+// for stealing; beyond ~4 the per-chunk scheduling overhead outweighs the
+// balance gained on the skewed catalog-merge workloads.
+const chunksPerWorker = 4
+
+// Workers resolves a Parallelism knob to a worker count: values <= 0
+// select GOMAXPROCS (all cores), 1 is sequential, anything else is taken
+// literally.
+func Workers(parallelism int) int {
+	if parallelism > 0 {
+		return parallelism
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// chunk is one contiguous sub-range of the iteration space.
+type chunk struct{ lo, hi int }
+
+// deque is one worker's chunk queue: the owner pops LIFO from the bottom,
+// thieves steal FIFO from the top (the engine pool's discipline, sized
+// down to plain chunks).
+type deque struct {
+	mu    sync.Mutex
+	items []chunk
+}
+
+func (d *deque) popBottom() (chunk, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return chunk{}, false
+	}
+	c := d.items[n-1]
+	d.items = d.items[:n-1]
+	return c, true
+}
+
+func (d *deque) stealTop() (chunk, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return chunk{}, false
+	}
+	c := d.items[0]
+	d.items = d.items[1:]
+	return c, true
+}
+
+// ForEach partitions [0, n) into contiguous chunks of at least grain
+// elements and runs fn over them on min(parallelism, needed) workers with
+// work stealing. parallelism <= 0 selects GOMAXPROCS; 1 (or a range small
+// enough for a single chunk) runs fn(0, n) inline with no goroutines and
+// no allocations. fn must confine its writes to state owned by indices in
+// [lo, hi) — under that contract the result is identical for every
+// parallelism value, which the construction code relies on for its
+// deterministic-output guarantee.
+//
+// A panic inside fn is captured on the worker and re-raised on the
+// calling goroutine after every worker has drained, so callers see the
+// same panic they would under sequential execution instead of a crashed
+// process.
+func ForEach(parallelism, n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers := Workers(parallelism)
+	maxChunks := (n + grain - 1) / grain
+	if workers > maxChunks {
+		workers = maxChunks
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunks := workers * chunksPerWorker
+	if chunks > maxChunks {
+		chunks = maxChunks
+	}
+	per := (n + chunks - 1) / chunks
+
+	// Deal chunks round-robin so every deque starts with local work.
+	deques := make([]deque, workers)
+	idx := 0
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		d := &deques[idx%workers]
+		d.items = append(d.items, chunk{lo, hi})
+		idx++
+	}
+
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	run := func(self int) {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicked == nil {
+					panicked = r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		for {
+			c, ok := deques[self].popBottom()
+			if !ok {
+				// One sweep over the other deques; an empty sweep means
+				// the range is (or is about to be) fully claimed.
+				for off := 1; off < workers && !ok; off++ {
+					c, ok = deques[(self+off)%workers].stealTop()
+				}
+				if !ok {
+					return
+				}
+			}
+			fn(c.lo, c.hi)
+		}
+	}
+	wg.Add(workers)
+	for w := 1; w < workers; w++ {
+		go run(w)
+	}
+	run(0)
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,116 @@
+package buildpool
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversRange: every index in [0, n) is visited exactly once,
+// for a sweep of range sizes, grains, and parallelism values (including
+// the inline sequential path and over-subscribed worker counts).
+func TestForEachCoversRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(2000)
+		grain := rng.Intn(64)
+		par := rng.Intn(12) - 2 // includes <= 0 (all cores) and 1 (inline)
+		visits := make([]int32, n)
+		ForEach(par, n, grain, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("trial %d (n=%d grain=%d par=%d): chunk [%d, %d) outside [0, %d)", trial, n, grain, par, lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, c := range visits {
+			if c != 1 {
+				t.Fatalf("trial %d (n=%d grain=%d par=%d): index %d visited %d times", trial, n, grain, par, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachEmptyAndTiny: degenerate ranges neither call fn out of range
+// nor hang.
+func TestForEachEmptyAndTiny(t *testing.T) {
+	called := 0
+	ForEach(4, 0, 8, func(lo, hi int) { called++ })
+	ForEach(4, -3, 8, func(lo, hi int) { called++ })
+	if called != 0 {
+		t.Fatalf("fn called %d times on empty ranges", called)
+	}
+	ForEach(8, 1, 1, func(lo, hi int) {
+		if lo != 0 || hi != 1 {
+			t.Fatalf("single-element range gave chunk [%d, %d)", lo, hi)
+		}
+		called++
+	})
+	if called != 1 {
+		t.Fatalf("single-element range called fn %d times", called)
+	}
+}
+
+// TestForEachDeterministicOutput: writes confined to owned indices give
+// identical output for every parallelism value — the contract the
+// construction code builds its determinism guarantee on.
+func TestForEachDeterministicOutput(t *testing.T) {
+	const n = 4096
+	want := make([]int64, n)
+	ForEach(1, n, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			want[i] = int64(i*i + 7)
+		}
+	})
+	for _, par := range []int{2, 3, 8, 0, runtime.NumCPU()} {
+		got := make([]int64, n)
+		ForEach(par, n, 8, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				got[i] = int64(i*i + 7)
+			}
+		})
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("par=%d: output diverged at index %d: %d != %d", par, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestForEachPanicPropagates: a panic on a worker surfaces on the caller,
+// matching sequential semantics, after all workers drained.
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("par=%d: recovered %v, want \"boom\"", par, r)
+				}
+			}()
+			ForEach(par, 256, 1, func(lo, hi int) {
+				if lo <= 100 && 100 < hi {
+					panic("boom")
+				}
+			})
+			t.Fatalf("par=%d: ForEach returned without panicking", par)
+		}()
+	}
+}
+
+// TestWorkers pins the knob resolution: <= 0 means all cores, positive
+// values are literal.
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-5) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, p := range []int{1, 2, 17} {
+		if got := Workers(p); got != p {
+			t.Fatalf("Workers(%d) = %d", p, got)
+		}
+	}
+}

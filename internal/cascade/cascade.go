@@ -25,8 +25,8 @@ package cascade
 import (
 	"fmt"
 
+	"fraccascade/internal/buildpool"
 	"fraccascade/internal/catalog"
-	"fraccascade/internal/parallel"
 	"fraccascade/internal/tree"
 )
 
@@ -77,6 +77,11 @@ type Options struct {
 	Stride int
 	// Sequential disables host-level parallelism during construction.
 	Sequential bool
+	// Parallelism bounds the host workers used for construction: 0 selects
+	// all cores (GOMAXPROCS), 1 is sequential, higher values are taken
+	// literally. Sequential forces 1 regardless. The built structure is
+	// bit-identical for every value — parallelism only changes wall time.
+	Parallelism int
 	// Bidirectional applies the paper's construction on the bidirectional
 	// version of the tree: after the bottom-up pass, a top-down pass merges
 	// a sample of each node's (already augmented) parent catalog into the
@@ -115,14 +120,15 @@ func Build(t *tree.Tree, native []catalog.Catalog, opts Options) (*Structure, er
 		s.stats.NativeEntries += int64(c.Len())
 	}
 	levels := t.LevelNodes()
-	grain := 8
+	par := opts.Parallelism
 	if opts.Sequential {
-		grain = 1 << 30
+		par = 1
 	}
+	const grain = 8
 	// Bottom-up rounds: children's augmented catalogs exist before parents'.
 	for d := len(levels) - 1; d >= 0; d-- {
 		nodes := levels[d]
-		parallel.ForEach(len(nodes), grain, func(lo, hi int) {
+		buildpool.ForEach(par, len(nodes), grain, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				s.buildBottomUp(nodes[i])
 			}
@@ -135,7 +141,7 @@ func Build(t *tree.Tree, native []catalog.Catalog, opts Options) (*Structure, er
 		// round all merges are independent.
 		for d := 1; d < len(levels); d++ {
 			nodes := levels[d]
-			parallel.ForEach(len(nodes), grain, func(lo, hi int) {
+			buildpool.ForEach(par, len(nodes), grain, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					v := nodes[i]
 					// Stride is validated ≥ 2 in Build, so the error path
@@ -149,7 +155,7 @@ func Build(t *tree.Tree, native []catalog.Catalog, opts Options) (*Structure, er
 	}
 	// Bridge installation: one merge-walk per edge over the final catalogs.
 	all := t.LevelOrder()
-	parallel.ForEach(len(all), grain, func(lo, hi int) {
+	buildpool.ForEach(par, len(all), grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			s.buildBridges(all[i])
 		}

@@ -2,7 +2,9 @@ package cascade
 
 import (
 	"fmt"
+	"sync"
 
+	"fraccascade/internal/buildpool"
 	"fraccascade/internal/catalog"
 	"fraccascade/internal/tree"
 )
@@ -44,6 +46,15 @@ func (s *Structure) ExportParts() Parts {
 // parts are reported as an error, never as a later panic or a silently
 // wrong answer. Build statistics are recomputed from the catalogs.
 func FromParts(t *tree.Tree, p Parts) (*Structure, error) {
+	return FromPartsParallel(t, p, 1)
+}
+
+// FromPartsParallel is FromParts with the per-node invariant validation
+// fanned out over parallelism host workers (0 = all cores). Validation is
+// read-only per node, so the outcome is identical for every parallelism
+// value; when several nodes are invalid, the error for the lowest node
+// index is reported, matching the sequential scan.
+func FromPartsParallel(t *tree.Tree, p Parts, parallelism int) (*Structure, error) {
 	if t == nil {
 		return nil, fmt.Errorf("cascade: nil tree")
 	}
@@ -64,40 +75,28 @@ func FromParts(t *tree.Tree, p Parts) (*Structure, error) {
 		stride:  p.Stride,
 		bidir:   p.Bidirectional,
 	}
-	for v := 0; v < n; v++ {
-		for _, c := range []catalog.Catalog{p.Native[v], p.Aug[v]} {
-			if c.Len() == 0 {
-				return nil, fmt.Errorf("cascade: node %d: empty catalog", v)
-			}
-			if last := c.At(c.Len() - 1); last.Key != catalog.PlusInf || !last.Native {
-				return nil, fmt.Errorf("cascade: node %d: catalog missing native +inf terminal", v)
+	var (
+		errMu   sync.Mutex
+		errNode = n
+		errVal  error
+	)
+	report := func(v int, err error) {
+		errMu.Lock()
+		if v < errNode {
+			errNode, errVal = v, err
+		}
+		errMu.Unlock()
+	}
+	buildpool.ForEach(parallelism, n, 64, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if err := validateNode(t, p, v); err != nil {
+				report(v, err)
+				return
 			}
 		}
-		ch := t.Children(tree.NodeID(v))
-		if len(ch) == 0 {
-			if len(p.Bridges[v]) != 0 {
-				return nil, fmt.Errorf("cascade: leaf %d has %d bridge arrays", v, len(p.Bridges[v]))
-			}
-			continue
-		}
-		if len(p.Bridges[v]) != len(ch) {
-			return nil, fmt.Errorf("cascade: node %d: %d bridge arrays for %d children", v, len(p.Bridges[v]), len(ch))
-		}
-		avLen := p.Aug[v].Len()
-		for ci, c := range ch {
-			br := p.Bridges[v][ci]
-			if len(br) != avLen {
-				return nil, fmt.Errorf("cascade: node %d child %d: %d bridges for %d entries", v, ci, len(br), avLen)
-			}
-			limit := int32(p.Aug[c].Len())
-			prev := int32(0)
-			for j, b := range br {
-				if b < prev || b >= limit {
-					return nil, fmt.Errorf("cascade: node %d child %d pos %d: bridge %d outside [%d, %d)", v, ci, j, b, prev, limit)
-				}
-				prev = b
-			}
-		}
+	})
+	if errVal != nil {
+		return nil, errVal
 	}
 	// Recompute statistics; Rounds mirrors the Build schedule (height+1
 	// bottom-up rounds, height top-down rounds when bidirectional, one
@@ -113,4 +112,45 @@ func FromParts(t *tree.Tree, p Parts) (*Structure, error) {
 		s.stats.Work += a
 	}
 	return s, nil
+}
+
+// validateNode checks every search-bearing invariant of node v in isolation:
+// catalog terminals, bridge array shapes, bridge monotonicity (property 3),
+// and bridge range. It reads only v's own parts plus the lengths of its
+// children's catalogs, so nodes validate independently.
+func validateNode(t *tree.Tree, p Parts, v int) error {
+	for _, c := range []catalog.Catalog{p.Native[v], p.Aug[v]} {
+		if c.Len() == 0 {
+			return fmt.Errorf("cascade: node %d: empty catalog", v)
+		}
+		if last := c.At(c.Len() - 1); last.Key != catalog.PlusInf || !last.Native {
+			return fmt.Errorf("cascade: node %d: catalog missing native +inf terminal", v)
+		}
+	}
+	ch := t.Children(tree.NodeID(v))
+	if len(ch) == 0 {
+		if len(p.Bridges[v]) != 0 {
+			return fmt.Errorf("cascade: leaf %d has %d bridge arrays", v, len(p.Bridges[v]))
+		}
+		return nil
+	}
+	if len(p.Bridges[v]) != len(ch) {
+		return fmt.Errorf("cascade: node %d: %d bridge arrays for %d children", v, len(p.Bridges[v]), len(ch))
+	}
+	avLen := p.Aug[v].Len()
+	for ci, c := range ch {
+		br := p.Bridges[v][ci]
+		if len(br) != avLen {
+			return fmt.Errorf("cascade: node %d child %d: %d bridges for %d entries", v, ci, len(br), avLen)
+		}
+		limit := int32(p.Aug[c].Len())
+		prev := int32(0)
+		for j, b := range br {
+			if b < prev || b >= limit {
+				return fmt.Errorf("cascade: node %d child %d pos %d: bridge %d outside [%d, %d)", v, ci, j, b, prev, limit)
+			}
+			prev = b
+		}
+	}
+	return nil
 }

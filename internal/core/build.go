@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 
+	"fraccascade/internal/buildpool"
 	"fraccascade/internal/cascade"
 	"fraccascade/internal/catalog"
-	"fraccascade/internal/parallel"
 	"fraccascade/internal/tree"
 )
 
@@ -27,6 +27,12 @@ type Config struct {
 	HOverride func(i int) int
 	// Sequential disables host-level parallelism during construction.
 	Sequential bool
+	// Parallelism bounds the host workers used for construction: 0 selects
+	// all cores, 1 is sequential, higher values are taken literally.
+	// Sequential forces 1. The built structure is identical for every value
+	// (only wall time changes), so the knob is not persisted in snapshots —
+	// restored structures adopt whatever the restoring host asks for.
+	Parallelism int
 	// CascadeOptions tunes the underlying fractional cascading build.
 	// Bidirectional is forced on: Lemma 1 requires the bidirectional
 	// structure.
@@ -95,6 +101,7 @@ func Build(t *tree.Tree, native []catalog.Catalog, cfg Config) (*Structure, erro
 	s, err := cascade.Build(t, native, cascade.Options{
 		Stride:        cfg.CascadeStride,
 		Sequential:    cfg.Sequential,
+		Parallelism:   cfg.Parallelism,
 		Bidirectional: true,
 	})
 	if err != nil {
@@ -149,11 +156,11 @@ func BuildFromCascade(s *cascade.Structure, cfg Config) (*Structure, error) {
 func (st *Structure) buildSubstructure(sub *Substructure) {
 	roots := st.blockRoots(sub)
 	sub.blocks = make([]Block, len(roots))
-	grain := 4
+	par := st.cfg.Parallelism
 	if st.cfg.Sequential {
-		grain = 1 << 30
+		par = 1
 	}
-	parallel.ForEach(len(roots), grain, func(lo, hi int) {
+	buildpool.ForEach(par, len(roots), 4, func(lo, hi int) {
 		for bi := lo; bi < hi; bi++ {
 			sub.blocks[bi] = st.buildBlock(roots[bi], sub.H, sub.TruncDepth, sub.S)
 		}

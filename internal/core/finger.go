@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/tree"
+)
+
+// SearchExplicitFromFinger is SearchExplicit entered through a finger: a
+// previously resolved position in the path head's augmented catalog
+// (typically the entry position of an earlier nearby query). Instead of
+// the Step-1 cooperative binary search, the entry position is located by
+// galloping from the finger (catalog.SuccFromFinger), whose probe count
+// grows as O(log d) for key-distance d between the finger and the true
+// successor — distance-sensitive entry in the style of Gilbert–Lim's
+// parallel finger search structures. The probes are charged as entry
+// rounds, so Stats reflect the saving while the descent below the entry
+// is byte-for-byte the SearchExplicit machinery: results are always
+// oracle-exact regardless of how stale the finger is.
+//
+// A finger outside the head catalog cannot seed a gallop; the search
+// falls back to the full Step-1 entry (used = false), still returning
+// exact results.
+func (st *Structure) SearchExplicitFromFinger(y catalog.Key, path []tree.NodeID, p, finger int) ([]cascade.Result, Stats, bool, error) {
+	if err := st.t.ValidatePath(path); err != nil {
+		return nil, Stats{}, false, err
+	}
+	if path[0] != st.t.Root() {
+		return nil, Stats{}, false, fmt.Errorf("core: path must start at the root")
+	}
+	if p < 1 {
+		p = 1
+	}
+	si := st.SelectSub(p)
+	sub := st.subs[si]
+	stats := Stats{Sub: si, P: p}
+	head := st.s.Aug(path[0])
+	if finger < 0 || finger >= head.Len() {
+		results, err := st.searchSegmentCtl(sub, y, path, p, &stats, nil)
+		return results, stats, false, err
+	}
+	pos, probes := head.SuccFromFinger(y, finger)
+	stats.RootRounds += probes
+	stats.Steps += probes
+	results, err := st.descendFromCtl(sub, y, path, p, pos, &stats, nil)
+	return results, stats, true, err
+}

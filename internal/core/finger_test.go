@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/tree"
+)
+
+// fingerProbeBound is the distance-sensitivity claim: galloping from a
+// finger at position distance d from the true successor costs at most
+// 2⌈log₂(d+1)⌉ + c probes (one finger probe, a doubling gallop, and a
+// binary search over the final bracket).
+func fingerProbeBound(d int) int {
+	return 2*int(math.Ceil(math.Log2(float64(d)+1))) + 4
+}
+
+// TestFingerSearchMatchesOracle is the acceptance differential: over 1000
+// randomized cases — arbitrary fingers, in and out of range, stale and
+// exact — SearchExplicitFromFinger must return exactly SearchExplicit's
+// results. Only the charged entry rounds may differ.
+func TestFingerSearchMatchesOracle(t *testing.T) {
+	cases := 1000
+	if testing.Short() {
+		cases = 100
+	}
+	st, _, rng := buildStructure(t, 32, 1200, 11, Config{})
+	tr := st.Tree()
+	head := st.Cascade().Aug(tr.Root())
+	for i := 0; i < cases; i++ {
+		y := catalog.Key(rng.Intn(5000))
+		path := tr.RootPath(tree.NodeID(rng.Intn(tr.N())))
+		p := 1 + rng.Intn(256)
+		finger := rng.Intn(head.Len()+8) - 4 // includes out-of-range
+		want, _, err := st.SearchExplicit(y, path, p)
+		if err != nil {
+			t.Fatalf("case %d seed 11: oracle: %v", i, err)
+		}
+		got, stats, used, err := st.SearchExplicitFromFinger(y, path, p, finger)
+		if err != nil {
+			t.Fatalf("case %d seed 11 y %d finger %d: %v", i, y, finger, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d seed 11 y %d finger %d (used %v): finger results differ from oracle", i, y, finger, used)
+		}
+		if inRange := finger >= 0 && finger < head.Len(); used != inRange {
+			t.Fatalf("case %d: used = %v for finger %d (catalog len %d)", i, used, finger, head.Len())
+		}
+		if used && stats.RootRounds < 1 {
+			t.Fatalf("case %d: finger entry charged %d rounds", i, stats.RootRounds)
+		}
+	}
+}
+
+// TestFingerSearchDistanceSensitive pins the O(log d) claim on a
+// key-local workload: when the finger is the entry position of a nearby
+// earlier query, the charged entry rounds grow with the log of the
+// position distance, not with log n.
+func TestFingerSearchDistanceSensitive(t *testing.T) {
+	st, _, rng := buildStructure(t, 64, 20000, 13, Config{})
+	tr := st.Tree()
+	head := st.Cascade().Aug(tr.Root())
+	n := head.Len()
+	if n < 256 {
+		t.Fatalf("workload too small for distance sweep: head catalog has %d entries", n)
+	}
+	path := randomLeafPath(tr, rng)
+	maxD := 0
+	for trial := 0; trial < 400; trial++ {
+		finger := rng.Intn(n)
+		d := rng.Intn(n / 4)
+		target := finger + d
+		if trial%2 == 0 {
+			target = finger - d
+		}
+		if target < 0 || target >= n {
+			continue
+		}
+		// The entry key at target is the exact successor of itself, so the
+		// gallop must land on target having covered position distance d.
+		y := head.At(target).Key
+		if target > 0 && head.At(target-1).Key == y {
+			continue
+		}
+		got, stats, used, err := st.SearchExplicitFromFinger(y, path, 16, finger)
+		if err != nil {
+			t.Fatalf("trial %d seed 13: %v", trial, err)
+		}
+		if !used {
+			t.Fatalf("trial %d: in-range finger %d not used", trial, finger)
+		}
+		want, _, err := st.SearchExplicit(y, path, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d seed 13: results differ from oracle", trial)
+		}
+		if bound := fingerProbeBound(d); stats.RootRounds > bound {
+			t.Fatalf("trial %d seed 13: distance %d cost %d entry rounds, bound %d (not distance-sensitive)",
+				trial, d, stats.RootRounds, bound)
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if maxD == 0 {
+		t.Fatal("sweep never exercised a nonzero distance")
+	}
+}

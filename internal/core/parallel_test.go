@@ -1,0 +1,113 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"fraccascade/internal/catalog"
+	"fraccascade/internal/faults"
+)
+
+// TestParallelBuildStateIdentical pins the tentpole contract at the core
+// layer: Config.Parallelism fans catalog merges, block construction, and
+// bridge installation over the build pool, but the exported state and the
+// underlying cascade parts must be bit-identical to the sequential build
+// for every value, on seeded random workloads.
+func TestParallelBuildStateIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seq, _, _ := buildStructure(t, 32, 1200, seed, Config{Parallelism: 1})
+		seqState, err := seq.ExportState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqParts := seq.Cascade().ExportParts()
+		for _, par := range []int{2, 8, 0, runtime.NumCPU()} {
+			st, _, _ := buildStructure(t, 32, 1200, seed, Config{Parallelism: par})
+			state, err := st.ExportState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(state, seqState) {
+				t.Fatalf("seed %d: state built with parallelism %d differs from sequential", seed, par)
+			}
+			if !reflect.DeepEqual(st.Cascade().ExportParts(), seqParts) {
+				t.Fatalf("seed %d: cascade parts built with parallelism %d differ from sequential", seed, par)
+			}
+		}
+	}
+}
+
+// TestCoreFromPartsParallelDeterministic pins the parallel restore path:
+// importing the same exported state at any parallelism yields a structure
+// whose re-export is bit-identical to the sequential import's.
+func TestCoreFromPartsParallelDeterministic(t *testing.T) {
+	st, _, _ := buildStructure(t, 32, 1200, 5, Config{})
+	state, err := st.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := FromParts(st.Cascade(), state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqState, err := seq.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 8, 0, runtime.NumCPU()} {
+		got, err := FromPartsParallel(st.Cascade(), state, par)
+		if err != nil {
+			t.Fatalf("par %d: %v", par, err)
+		}
+		gotState, err := got.ExportState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotState, seqState) {
+			t.Fatalf("FromPartsParallel(par=%d) re-export differs from sequential import", par)
+		}
+	}
+}
+
+// TestParallelBuildDegradedEquivalence closes the loop with the fault
+// injector: a structure built in parallel must behave identically to the
+// sequential build even under degraded execution — the same seeded fault
+// plan yields the same answers and the same degraded statistics on both.
+func TestParallelBuildDegradedEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seq, _, rng := buildStructure(t, 16, 400, seed, Config{Parallelism: 1})
+		par, _, _ := buildStructure(t, 16, 400, seed, Config{Parallelism: 0})
+		p := 4 + rng.Intn(28)
+		plan, err := faults.Random(seed, p, faults.Options{
+			CrashRate:     0.3,
+			StragglerRate: 0.3,
+			MaxStall:      3,
+			Horizon:       32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.MinLive(64) < 1 {
+			continue
+		}
+		path := randomLeafPath(seq.Tree(), rng)
+		for q := 0; q < 5; q++ {
+			y := catalog.Key(rng.Intn(1800))
+			gotSeq, dsSeq, errSeq := seq.SearchExplicitDegraded(y, path, p, plan)
+			gotPar, dsPar, errPar := par.SearchExplicitDegraded(y, path, p, plan)
+			if (errSeq == nil) != (errPar == nil) {
+				t.Fatalf("seed %d y %d: error mismatch: seq %v, par %v", seed, y, errSeq, errPar)
+			}
+			if errSeq != nil {
+				continue
+			}
+			if !reflect.DeepEqual(gotSeq, gotPar) {
+				t.Fatalf("seed %d y %d: degraded results differ between sequential and parallel builds", seed, y)
+			}
+			if !reflect.DeepEqual(dsSeq, dsPar) {
+				t.Fatalf("seed %d y %d: degraded stats differ: seq %+v, par %+v", seed, y, dsSeq, dsPar)
+			}
+		}
+	}
+}

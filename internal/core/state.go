@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
+	"fraccascade/internal/buildpool"
 	"fraccascade/internal/cascade"
 	"fraccascade/internal/tree"
 )
@@ -84,6 +86,15 @@ func (st *Structure) ExportState() (State, error) {
 // out-of-range key position is reported as an error, never as a later
 // panic or a silently wrong answer.
 func FromParts(s *cascade.Structure, state State) (*Structure, error) {
+	return FromPartsParallel(s, state, 1)
+}
+
+// FromPartsParallel is FromParts with the per-block topology rebuild and
+// skeleton validation fanned out over parallelism host workers (0 = all
+// cores). Blocks import independently, so the outcome is identical for
+// every parallelism value; when several blocks are invalid, the error for
+// the lowest block index is reported, matching the sequential scan.
+func FromPartsParallel(s *cascade.Structure, state State, parallelism int) (*Structure, error) {
 	if s == nil {
 		return nil, fmt.Errorf("core: nil cascade structure")
 	}
@@ -123,13 +134,32 @@ func FromParts(s *cascade.Structure, state State) (*Structure, error) {
 			return nil, fmt.Errorf("core: sub %d: state has %d blocks, tree derives %d", i, len(state.Subs[i].Blocks), len(roots))
 		}
 		sub.blocks = make([]Block, len(roots))
-		for bi, u := range roots {
-			blk, err := st.importBlock(u, sub.H, sub.TruncDepth, sub.S, state.Subs[i].Blocks[bi])
-			if err != nil {
-				return nil, fmt.Errorf("core: sub %d block %d: %w", i, bi, err)
+		var (
+			errMu    sync.Mutex
+			errBlock = len(roots)
+			errVal   error
+		)
+		stored := state.Subs[i].Blocks
+		buildpool.ForEach(parallelism, len(roots), 4, func(lo, hi int) {
+			for bi := lo; bi < hi; bi++ {
+				blk, err := st.importBlock(roots[bi], sub.H, sub.TruncDepth, sub.S, stored[bi])
+				if err != nil {
+					errMu.Lock()
+					if bi < errBlock {
+						errBlock, errVal = bi, fmt.Errorf("core: sub %d block %d: %w", i, bi, err)
+					}
+					errMu.Unlock()
+					return
+				}
+				sub.blocks[bi] = blk
 			}
-			sub.blocks[bi] = blk
-			sub.blockOf[u] = int32(bi)
+		})
+		if errVal != nil {
+			return nil, errVal
+		}
+		for bi := range sub.blocks {
+			blk := &sub.blocks[bi]
+			sub.blockOf[blk.Root] = int32(bi)
 			sub.SkeletonSlots += int64(blk.M) * int64(len(blk.Nodes))
 		}
 		st.subs = append(st.subs, sub)

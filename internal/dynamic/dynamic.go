@@ -442,6 +442,22 @@ func (d *Structure) SearchExplicitWithEntry(y catalog.Key, path []tree.NodeID, p
 	return results, stats, used, err
 }
 
+// SearchExplicitFromFinger is SearchExplicit entered by galloping from a
+// finger position in the root catalog (see core.SearchExplicitFromFinger);
+// overlay corrections are applied to every result exactly as in
+// SearchExplicit. Like cached entry positions, fingers refer to the static
+// structure and are only meaningful while Generation() is unchanged.
+func (d *Structure) SearchExplicitFromFinger(y catalog.Key, path []tree.NodeID, p, finger int) ([]cascade.Result, core.Stats, bool, error) {
+	results, stats, used, err := d.st.SearchExplicitFromFinger(y, path, p, finger)
+	if err != nil {
+		return nil, stats, used, err
+	}
+	for i := range results {
+		results[i] = d.correct(path[i], y, results[i])
+	}
+	return results, stats, used, err
+}
+
 // SearchExplicitContext is SearchExplicit honouring cancellation and
 // deadlines between hops of the underlying static search.
 func (d *Structure) SearchExplicitContext(ctx context.Context, y catalog.Key, path []tree.NodeID, p int) ([]cascade.Result, core.Stats, error) {

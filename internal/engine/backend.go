@@ -28,6 +28,12 @@ type CatalogBackend interface {
 	// position; used reports whether the hint validated and the Step-1
 	// cooperative search was skipped.
 	SearchExplicitWithEntry(y catalog.Key, path []tree.NodeID, p, entryPos int) ([]cascade.Result, core.Stats, bool, error)
+	// SearchExplicitFromFinger enters the search by galloping from a
+	// nearby root-catalog position (a finger) instead of the Step-1
+	// cooperative search, spending O(log d) probes for key-distance d;
+	// used reports whether the finger was in range and seeded the gallop.
+	// Answers are always identical to SearchExplicit.
+	SearchExplicitFromFinger(y catalog.Key, path []tree.NodeID, p, finger int) ([]cascade.Result, core.Stats, bool, error)
 	// EntryProbe returns Aug(v).Succ(y): the entry position a Step-1
 	// search at node v resolves for key y. Host-side, used to fill the
 	// entry cache after a miss.
@@ -64,6 +70,11 @@ func (s StaticShard) SearchExplicitContext(ctx context.Context, y catalog.Key, p
 // SearchExplicitWithEntry implements CatalogBackend.
 func (s StaticShard) SearchExplicitWithEntry(y catalog.Key, path []tree.NodeID, p, entryPos int) ([]cascade.Result, core.Stats, bool, error) {
 	return s.St.SearchExplicitWithEntry(y, path, p, entryPos)
+}
+
+// SearchExplicitFromFinger implements CatalogBackend.
+func (s StaticShard) SearchExplicitFromFinger(y catalog.Key, path []tree.NodeID, p, finger int) ([]cascade.Result, core.Stats, bool, error) {
+	return s.St.SearchExplicitFromFinger(y, path, p, finger)
 }
 
 // EntryProbe implements CatalogBackend.
@@ -105,6 +116,11 @@ func (s DynamicShard) SearchExplicitContext(ctx context.Context, y catalog.Key, 
 // SearchExplicitWithEntry implements CatalogBackend.
 func (s DynamicShard) SearchExplicitWithEntry(y catalog.Key, path []tree.NodeID, p, entryPos int) ([]cascade.Result, core.Stats, bool, error) {
 	return s.D.SearchExplicitWithEntry(y, path, p, entryPos)
+}
+
+// SearchExplicitFromFinger implements CatalogBackend.
+func (s DynamicShard) SearchExplicitFromFinger(y catalog.Key, path []tree.NodeID, p, finger int) ([]cascade.Result, core.Stats, bool, error) {
+	return s.D.SearchExplicitFromFinger(y, path, p, finger)
 }
 
 // EntryProbe implements CatalogBackend.

@@ -36,12 +36,12 @@ type entryCache struct {
 	size    int
 	perNode map[tree.NodeID][]entrySlot
 
-	hits, misses, stale, evictions uint64
+	hits, misses, stale, evictions, fingerHits uint64
 
 	// obs mirrors (nil-safe no-ops when no registry is attached): the
 	// struct counters above stay the CacheStats ground truth; these export
 	// the same increments under engine.shard.<i>.cache.* names.
-	obsHits, obsMisses, obsStale, obsEvictions *obs.Counter
+	obsHits, obsMisses, obsStale, obsEvictions, obsFingerHits *obs.Counter
 }
 
 // entrySlot caches one resolved entry interval (lo, hi] → pos.
@@ -56,6 +56,11 @@ type CacheStats struct {
 	// Hits and Misses count lookups; Stale counts wholesale purges caused
 	// by a generation change; Evictions counts LRU evictions.
 	Hits, Misses, Stale, Evictions uint64
+	// FingerHits counts exact misses that were instead served by galloping
+	// from a nearby cached entry (distance-sensitive finger search). A
+	// finger hit is also counted as a Miss — it is the miss path made
+	// cheap, not a cache hit.
+	FingerHits uint64
 	// Size is the current number of cached entry intervals.
 	Size int
 }
@@ -79,6 +84,7 @@ func newEntryCache(capacity int, r *obs.Registry, shard int) *entryCache {
 		c.obsMisses = r.Counter(prefix + "misses")
 		c.obsStale = r.Counter(prefix + "stale_purges")
 		c.obsEvictions = r.Counter(prefix + "evictions")
+		c.obsFingerHits = r.Counter(prefix + "finger_hits")
 		r.RegisterFunc(prefix+"size", func() int64 { return int64(c.statsSnapshot().Size) })
 	}
 	return c
@@ -119,6 +125,46 @@ func (c *entryCache) lookup(node tree.NodeID, y catalog.Key, gen uint64) (int, b
 	c.misses++
 	c.obsMisses.Inc()
 	return 0, false
+}
+
+// nearest returns the cached slot position whose interval endpoint is
+// key-closest to y at node, as a finger for the gallop entry after an
+// exact lookup miss. It never counts as a hit or miss — the preceding
+// lookup already counted the miss — and touches no LRU state: the finger
+// only seeds a gallop, it is not an answer.
+func (c *entryCache) nearest(node tree.NodeID, y catalog.Key, gen uint64) (int, bool) {
+	if c == nil || c.cap <= 0 {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncGen(gen)
+	slots := c.perNode[node]
+	if len(slots) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(slots), func(i int) bool { return slots[i].hi >= y })
+	switch {
+	case i == len(slots):
+		return slots[i-1].pos, true
+	case i == 0:
+		return slots[0].pos, true
+	}
+	if y-slots[i-1].hi <= slots[i].hi-y {
+		return slots[i-1].pos, true
+	}
+	return slots[i].pos, true
+}
+
+// fingerHit records a miss that was served through the finger gallop.
+func (c *entryCache) fingerHit() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.fingerHits++
+	c.mu.Unlock()
+	c.obsFingerHits.Inc()
 }
 
 // insert caches (lo, hi] → pos for node under the given generation,
@@ -183,5 +229,5 @@ func (c *entryCache) statsSnapshot() CacheStats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Stale: c.stale, Evictions: c.evictions, Size: c.size}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Stale: c.stale, Evictions: c.evictions, FingerHits: c.fingerHits, Size: c.size}
 }

@@ -112,6 +112,11 @@ type Answer struct {
 	// failed O(1) revalidation (a flush raced the lookup); the query fell
 	// back to the full entry search, so CacheHit is false.
 	CacheStale bool
+	// FingerHit reports a catalog query whose exact cache lookup missed
+	// but which entered by galloping from a nearby cached entry position
+	// (distance-sensitive finger search, Config.FingerCache). CacheHit is
+	// false — the finger makes the miss path cheap, it is not a hit.
+	FingerHit bool
 	// PhaseSteps decomposes Steps by algorithm phase per the Stats cost
 	// model — catalog and planar queries: "root-coop" (Step-1 cooperative
 	// rounds), "hop-descent" (block-jump steps), "seq-tail" (sequential
@@ -144,6 +149,9 @@ type BatchReport struct {
 	Steps int
 	// CacheHits and CacheMisses count catalog queries by entry outcome.
 	CacheHits, CacheMisses int
+	// FingerHits counts the subset of CacheMisses served by galloping from
+	// a nearby cached entry (Config.FingerCache).
+	FingerHits int
 	// Errors counts failed queries.
 	Errors int
 }
@@ -182,6 +190,17 @@ type Config struct {
 	// bit-identical while the hot path runs allocation-free on index
 	// arrays. Requires every shard to implement FlatSource.
 	Flat bool
+	// BuildParallelism bounds the host workers used when Flat shards freeze
+	// or refreeze the pointer structure (0 = all cores, 1 = sequential).
+	// The frozen layout is bit-identical for every value.
+	BuildParallelism int
+	// FingerCache upgrades the entry cache to distance-sensitive finger
+	// search: when a lookup misses exactly but a cached entry exists near
+	// the key on the same entry node, the search gallops from that finger
+	// position in O(log d) probes for key-distance d instead of paying the
+	// full O(log n) cooperative root search. Answers stay oracle-exact;
+	// only the charged entry rounds shrink. Off by default.
+	FingerCache bool
 }
 
 // defaultCacheSize is the per-shard entry cache capacity when unset.
@@ -254,13 +273,22 @@ func New(cfg Config, shards []CatalogBackend, pl *pointloc.Locator, sp *spatial.
 		// Build a fresh slice so the caller's backing array is untouched.
 		wrapped := make([]CatalogBackend, len(shards))
 		for i, s := range shards {
-			fs, err := NewFlatShard(s)
+			fs, err := NewFlatShardParallel(s, cfg.BuildParallelism)
 			if err != nil {
 				return nil, fmt.Errorf("engine: flat shard %d: %w", i, err)
 			}
 			wrapped[i] = fs
 		}
 		shards = wrapped
+	}
+	if cfg.BuildParallelism > 0 {
+		// Shards pre-wrapped by the caller (coopserve's snapshot preload
+		// path) adopt the engine's refreeze parallelism too.
+		for _, s := range shards {
+			if fs, ok := s.(*FlatShard); ok {
+				fs.SetBuildParallelism(cfg.BuildParallelism)
+			}
+		}
 	}
 	e := &Engine{
 		cfg:    cfg,
@@ -362,6 +390,9 @@ func (e *Engine) execute(ctx context.Context, qs []Query) ([]Answer, BatchReport
 				rep.CacheHits++
 			} else {
 				rep.CacheMisses++
+				if answers[i].FingerHit {
+					rep.FingerHits++
+				}
 			}
 		}
 	}
@@ -430,6 +461,8 @@ func (e *Engine) observeBatch(answers []Answer, rep BatchReport, stepBase uint64
 				s.Cache = "hit"
 			case a.CacheStale:
 				s.Cache = "stale"
+			case a.FingerHit:
+				s.Cache = "finger"
 			default:
 				s.Cache = "miss"
 			}
@@ -653,6 +686,25 @@ func (e *Engine) runCatalog(ctx context.Context, a *Answer, q Query, p int, useC
 			}
 			e.fillEntry(be, cache, q)
 			return
+		}
+		if e.cfg.FingerCache {
+			if finger, ok := cache.nearest(q.Path[0], q.Key, gen); ok {
+				// Exact miss with a nearby cached entry: gallop from the
+				// finger instead of paying the cooperative root search.
+				// Like the hit path this runs uncancellable — the gallop
+				// already skips the rounds the context guard bounds.
+				results, stats, used, err := be.SearchExplicitFromFinger(q.Key, q.Path, p, finger)
+				a.Results, a.Steps, a.Rounds, a.Err = results, stats.Steps, stats.RootRounds, err
+				if err == nil {
+					a.PhaseSteps = catalogPhases(stats)
+					e.fillEntry(be, cache, q)
+				}
+				if used {
+					a.FingerHit = true
+					cache.fingerHit()
+				}
+				return
+			}
 		}
 	}
 	var (

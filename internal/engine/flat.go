@@ -54,20 +54,37 @@ type FlatShard struct {
 	gen uint64
 
 	refreezes uint64 // guarded by mu; freeze count since construction
+	buildPar  int    // guarded by mu; freeze parallelism (0 = all cores)
 }
 
-// NewFlatShard wraps inner, freezing its current structure. inner must
-// implement FlatSource.
+// NewFlatShard wraps inner, freezing its current structure sequentially.
+// inner must implement FlatSource.
 func NewFlatShard(inner CatalogBackend) (*FlatShard, error) {
+	return NewFlatShardParallel(inner, 1)
+}
+
+// NewFlatShardParallel is NewFlatShard with the initial freeze and every
+// later refreeze fanned out over parallelism host workers (0 = all cores).
+// The frozen layout is bit-identical for every value; only the freeze wall
+// time changes.
+func NewFlatShardParallel(inner CatalogBackend, parallelism int) (*FlatShard, error) {
 	src, ok := inner.(FlatSource)
 	if !ok {
 		return nil, fmt.Errorf("engine: backend %T cannot serve flat (no FlatSource)", inner)
 	}
-	fs := &FlatShard{inner: inner, src: src}
+	fs := &FlatShard{inner: inner, src: src, buildPar: parallelism}
 	if _, err := fs.current(); err != nil {
 		return nil, err
 	}
 	return fs, nil
+}
+
+// SetBuildParallelism changes the host parallelism used by later
+// refreezes (0 = all cores). Safe for concurrent use.
+func (fs *FlatShard) SetBuildParallelism(parallelism int) {
+	fs.mu.Lock()
+	fs.buildPar = parallelism
+	fs.mu.Unlock()
 }
 
 // NewFlatShardFrom wraps inner around an already-decoded flat structure
@@ -87,7 +104,7 @@ func NewFlatShardFrom(inner CatalogBackend, f *flat.Structure) (*FlatShard, erro
 		return nil, fmt.Errorf("engine: preloaded flat structure shape mismatch (%d nodes root %d, want %d nodes root %d)",
 			f.NumNodes(), f.Root(), st.Tree().N(), st.Tree().Root())
 	}
-	return &FlatShard{inner: inner, src: src, f: f, gen: inner.Generation()}, nil
+	return &FlatShard{inner: inner, src: src, f: f, gen: inner.Generation(), buildPar: 1}, nil
 }
 
 // current returns the frozen layout for the inner backend's current
@@ -109,7 +126,7 @@ func (fs *FlatShard) current() (*flat.Structure, error) {
 	if fs.f != nil && fs.gen == gen {
 		return fs.f, nil
 	}
-	f, err := flat.Freeze(fs.src.CurrentStructure())
+	f, err := flat.FreezeParallel(fs.src.CurrentStructure(), fs.buildPar)
 	if err != nil {
 		return nil, fmt.Errorf("engine: refreeze flat shard: %w", err)
 	}
@@ -159,6 +176,15 @@ func (fs *FlatShard) SearchExplicitWithEntry(y catalog.Key, path []tree.NodeID, 
 		return nil, core.Stats{}, false, err
 	}
 	return f.SearchExplicitWithEntry(y, path, p, entryPos)
+}
+
+// SearchExplicitFromFinger implements CatalogBackend.
+func (fs *FlatShard) SearchExplicitFromFinger(y catalog.Key, path []tree.NodeID, p, finger int) ([]cascade.Result, core.Stats, bool, error) {
+	f, err := fs.current()
+	if err != nil {
+		return nil, core.Stats{}, false, err
+	}
+	return f.SearchExplicitFromFinger(y, path, p, finger)
 }
 
 // EntryProbe implements CatalogBackend. It resolves against the current

@@ -3,7 +3,9 @@ package flat
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"fraccascade/internal/buildpool"
 	"fraccascade/internal/core"
 	"fraccascade/internal/tree"
 )
@@ -15,6 +17,20 @@ import (
 // is narrowed, so a structure too large for the encoding fails loudly
 // instead of wrapping.
 func Freeze(st *core.Structure) (*Structure, error) {
+	return freeze(st, 1)
+}
+
+// FreezeParallel is Freeze with the heavy per-node fills (catalog entries,
+// bridge targets, substructure skeletons) fanned out over parallelism host
+// workers (0 = all cores). Offsets are computed in a cheap sequential
+// prefix pass and each worker writes only its nodes' segments, so the
+// frozen structure is bit-identical to Freeze's for every parallelism
+// value.
+func FreezeParallel(st *core.Structure, parallelism int) (*Structure, error) {
+	return freeze(st, parallelism)
+}
+
+func freeze(st *core.Structure, par int) (*Structure, error) {
 	t := st.Tree()
 	s := st.Cascade()
 	n := t.N()
@@ -31,7 +47,7 @@ func Freeze(st *core.Structure) (*Structure, error) {
 		childStart: make([]int32, n+1),
 	}
 
-	// Tree: children flattened in sibling order.
+	// Tree: children flattened in sibling order (cheap, stays sequential).
 	totalChildren := 0
 	for v := 0; v < n; v++ {
 		totalChildren += len(t.Children(tree.NodeID(v)))
@@ -49,7 +65,8 @@ func Freeze(st *core.Structure) (*Structure, error) {
 	}
 	f.childStart[n] = int32(off)
 
-	// Catalogs: node-major SoA over every augmented entry.
+	// Catalogs: node-major SoA over every augmented entry. catStart doubles
+	// as the prefix table, so the entry fill parallelizes per node.
 	totalEntries := 0
 	for v := 0; v < n; v++ {
 		totalEntries += s.Aug(tree.NodeID(v)).Len()
@@ -64,17 +81,23 @@ func Freeze(st *core.Structure) (*Structure, error) {
 	off = 0
 	for v := 0; v < n; v++ {
 		f.catStart[v] = int32(off)
-		for _, e := range s.Aug(tree.NodeID(v)).Entries() {
-			f.keys[off] = e.Key
-			f.payloads[off] = e.Payload
-			f.nativeSucc[off] = e.NativeSucc
-			off++
-		}
+		off += s.Aug(tree.NodeID(v)).Len()
 	}
 	f.catStart[n] = int32(off)
+	buildpool.ForEach(par, n, 64, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			o := int(f.catStart[v])
+			for _, e := range s.Aug(tree.NodeID(v)).Entries() {
+				f.keys[o] = e.Key
+				f.payloads[o] = e.Payload
+				f.nativeSucc[o] = e.NativeSucc
+				o++
+			}
+		}
+	})
 
 	// Bridges: edge slot e = childStart[v]+ci carries one target per entry
-	// of v's catalog.
+	// of v's catalog. bridgeStart is the prefix table for the parallel fill.
 	totalBridges := 0
 	for v := 0; v < n; v++ {
 		totalBridges += len(t.Children(tree.NodeID(v))) * s.Aug(tree.NodeID(v)).Len()
@@ -88,22 +111,46 @@ func Freeze(st *core.Structure) (*Structure, error) {
 	for v := 0; v < n; v++ {
 		catLen := s.Aug(tree.NodeID(v)).Len()
 		for ci := range t.Children(tree.NodeID(v)) {
-			e := int(f.childStart[v]) + ci
-			f.bridgeStart[e] = int32(off)
-			for pos := 0; pos < catLen; pos++ {
-				f.bridges[off] = int32(s.BridgePos(tree.NodeID(v), ci, pos))
-				off++
-			}
+			f.bridgeStart[int(f.childStart[v])+ci] = int32(off)
+			off += catLen
 		}
 	}
 	f.bridgeStart[totalChildren] = int32(off)
-
-	// Substructures.
-	f.subs = make([]flatSub, st.NumSubstructures())
-	for i := range f.subs {
-		if err := freezeSub(&f.subs[i], st.Substructure(i), n); err != nil {
-			return nil, err
+	buildpool.ForEach(par, n, 16, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			catLen := s.Aug(tree.NodeID(v)).Len()
+			for ci := range t.Children(tree.NodeID(v)) {
+				o := int(f.bridgeStart[int(f.childStart[v])+ci])
+				for pos := 0; pos < catLen; pos++ {
+					f.bridges[o] = int32(s.BridgePos(tree.NodeID(v), ci, pos))
+					o++
+				}
+			}
 		}
+	})
+
+	// Substructures freeze independently; report the lowest failing index
+	// so the error matches the sequential scan.
+	f.subs = make([]flatSub, st.NumSubstructures())
+	var (
+		errMu  sync.Mutex
+		errIdx = len(f.subs)
+		errVal error
+	)
+	buildpool.ForEach(par, len(f.subs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if err := freezeSub(&f.subs[i], st.Substructure(i), n); err != nil {
+				errMu.Lock()
+				if i < errIdx {
+					errIdx, errVal = i, err
+				}
+				errMu.Unlock()
+				return
+			}
+		}
+	})
+	if errVal != nil {
+		return nil, errVal
 	}
 	return f, nil
 }

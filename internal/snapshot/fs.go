@@ -103,9 +103,15 @@ func SaveFS(fsys FS, path string, st *Store) error {
 // undecodable contents return a *CorruptionError (IsCorrupt reports
 // true). Either way the caller's move is the same: rebuild from source.
 func Load(path string) (*Store, error) {
+	return LoadParallel(path, 1)
+}
+
+// LoadParallel is Load with the restore re-validation fanned out over
+// parallelism host workers (0 = all cores); see DecodeParallel.
+func LoadParallel(path string, parallelism int) (*Store, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return Decode(data)
+	return DecodeParallel(data, parallelism)
 }

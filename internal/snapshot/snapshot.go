@@ -93,6 +93,15 @@ func Encode(st *Store) ([]byte, error) {
 // Decode reassembles a store from snapshot bytes. Every defect returns a
 // *CorruptionError (see IsCorrupt); Decode never panics on hostile input.
 func Decode(data []byte) (*Store, error) {
+	return DecodeParallel(data, 1)
+}
+
+// DecodeParallel is Decode with the restore re-validation — the cascade
+// bridge checks and the core block topology rebuild, the dominant cost of
+// a restore — fanned out over parallelism host workers (0 = all cores).
+// The restored store and every error are identical to Decode's for every
+// parallelism value.
+func DecodeParallel(data []byte, parallelism int) (*Store, error) {
 	generation, nsec, off, err := parseHeader(data)
 	if err != nil {
 		return nil, err
@@ -140,7 +149,7 @@ func Decode(data []byte) (*Store, error) {
 		return p, nil
 	}
 	for si, kind := range kinds {
-		sh, err := decodeShard(kind, take)
+		sh, err := decodeShard(kind, take, parallelism)
 		if err != nil {
 			return nil, &CorruptionError{Reason: errReason(err), Detail: fmt.Sprintf("shard %d: %s", si, errDetail(err))}
 		}
@@ -169,7 +178,7 @@ func errDetail(err error) string {
 	return err.Error()
 }
 
-func decodeShard(kind Kind, take func(uint32) ([]byte, error)) (Shard, error) {
+func decodeShard(kind Kind, take func(uint32) ([]byte, error), parallelism int) (Shard, error) {
 	treePayload, err := take(secTree)
 	if err != nil {
 		return Shard{}, err
@@ -182,7 +191,7 @@ func decodeShard(kind Kind, take func(uint32) ([]byte, error)) (Shard, error) {
 	if err != nil {
 		return Shard{}, err
 	}
-	cs, err := decodeCascade(t, cascadePayload)
+	cs, err := decodeCascade(t, cascadePayload, parallelism)
 	if err != nil {
 		return Shard{}, err
 	}
@@ -190,7 +199,7 @@ func decodeShard(kind Kind, take func(uint32) ([]byte, error)) (Shard, error) {
 	if err != nil {
 		return Shard{}, err
 	}
-	stc, err := decodeCore(cs, corePayload)
+	stc, err := decodeCore(cs, corePayload, parallelism)
 	if err != nil {
 		return Shard{}, err
 	}
@@ -306,7 +315,7 @@ func encodeCascade(p cascade.Parts) *writer {
 	return w
 }
 
-func decodeCascade(t *tree.Tree, payload []byte) (*cascade.Structure, error) {
+func decodeCascade(t *tree.Tree, payload []byte, parallelism int) (*cascade.Structure, error) {
 	r := &reader{buf: payload}
 	parts := cascade.Parts{
 		Stride:        int(r.u32i()),
@@ -343,7 +352,7 @@ func decodeCascade(t *tree.Tree, payload []byte) (*cascade.Structure, error) {
 	if err := r.finish(); err != nil {
 		return nil, err
 	}
-	cs, err := cascade.FromParts(t, parts)
+	cs, err := cascade.FromPartsParallel(t, parts, parallelism)
 	if err != nil {
 		return nil, corruptf(ErrCorrupt, "cascade: %v", err)
 	}
@@ -418,7 +427,7 @@ func encodeCore(st core.State) *writer {
 	return w
 }
 
-func decodeCore(cs *cascade.Structure, payload []byte) (*core.Structure, error) {
+func decodeCore(cs *cascade.Structure, payload []byte, parallelism int) (*core.Structure, error) {
 	r := &reader{buf: payload}
 	state := core.State{Cfg: core.ConfigState{
 		NoTruncation:  r.boolVal(),
@@ -452,7 +461,7 @@ func decodeCore(cs *cascade.Structure, payload []byte) (*core.Structure, error) 
 	if err := r.finish(); err != nil {
 		return nil, err
 	}
-	stc, err := core.FromParts(cs, state)
+	stc, err := core.FromPartsParallel(cs, state, parallelism)
 	if err != nil {
 		return nil, corruptf(ErrCorrupt, "%v", err)
 	}

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Fail if .golangci.yml enables a linter that golangci-lint has deprecated
+# and removed. The pinned runner silently drops unknown linters (or errors,
+# depending on the version), so a stale config can quietly stop linting a
+# class of bugs; this guard turns that into a loud CI failure.
+set -eu
+
+CONFIG="${1:-.golangci.yml}"
+if [ ! -f "$CONFIG" ]; then
+    echo "lint_config_check: $CONFIG not found" >&2
+    exit 1
+fi
+
+# Linters removed from golangci-lint (superseded by staticcheck/unused,
+# revive, copyloopvar, mnd, ...). Matched as whole words so e.g. the
+# "unused" linter never trips the "varcheck" pattern.
+DEPRECATED="deadcode exhaustivestruct golint ifshort interfacer maligned \
+nosnakecase scopelint structcheck varcheck execinquery exportloopref gomnd"
+
+status=0
+for linter in $DEPRECATED; do
+    if grep -nE "(^|[^a-z0-9_-])${linter}([^a-z0-9_-]|$)" "$CONFIG"; then
+        echo "lint_config_check: $CONFIG references deprecated linter '$linter'" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "lint_config_check: FAIL — remove the linters above (see golangci-lint deprecations)" >&2
+    exit 1
+fi
+echo "lint_config_check: ok ($CONFIG references no deprecated linters)"
