@@ -1,9 +1,9 @@
 GO ?= go
 COVER_THRESHOLD ?= 80
 
-.PHONY: check vet build lint test test-engine test-snapshot test-flat race cover bench bench-check bench-json bench-diff bench-smoke bench-wall bench-build metrics-smoke chaos chaos-smoke
+.PHONY: check vet build lint test test-engine test-snapshot test-flat race cover bench bench-check bench-json bench-diff bench-smoke bench-wall bench-build bench-restore metrics-smoke chaos chaos-smoke
 
-check: vet build lint test test-engine test-snapshot test-flat race cover bench-check bench-smoke bench-wall bench-build metrics-smoke
+check: vet build lint test test-engine test-snapshot test-flat race cover bench-check bench-smoke bench-wall bench-build bench-restore metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,7 @@ test-engine:
 test-snapshot:
 	$(GO) test ./internal/snapshot ./internal/faults
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/snapshot
+	$(GO) test -run='^$$' -fuzz=FuzzFlatMmap -fuzztime=10s ./internal/snapshot
 
 # Flat-layout gate: the 1000-case flat-vs-pointer differential and the
 # zero-alloc guards under the race detector, plus short fuzz smokes of the
@@ -88,6 +89,7 @@ BENCH_STEP_TOL ?= 0
 BENCH_THR_TOL ?= 0.35
 BENCH_WALL_TOL ?= 3.0
 BENCH_BUILD_TOL ?= 3.0
+BENCH_RESTORE_TOL ?= 3.0
 bench-diff:
 	@mkdir -p bench/out
 	$(GO) build -o bench/out/coopbench ./cmd/coopbench
@@ -95,10 +97,11 @@ bench-diff:
 		&& ./coopbench -experiment=e18 -json >/dev/null \
 		&& ./coopbench -experiment=e20 -json >/dev/null \
 		&& ./coopbench -experiment=e22 -executor=wall -json >/dev/null \
-		&& ./coopbench -experiment=e23 -json >/dev/null
+		&& ./coopbench -experiment=e23 -json >/dev/null \
+		&& ./coopbench -experiment=e24 -json >/dev/null
 	$(GO) run ./cmd/benchdiff -baseline bench/baselines -candidate bench/out \
 		-step-tol $(BENCH_STEP_TOL) -throughput-tol $(BENCH_THR_TOL) -wall-tol $(BENCH_WALL_TOL) \
-		-build-tol $(BENCH_BUILD_TOL)
+		-build-tol $(BENCH_BUILD_TOL) -restore-tol $(BENCH_RESTORE_TOL)
 
 # Wall-executor smoke: run E22 on the native goroutine pool and hold the
 # tentpole claim — the flat and wall hot paths allocate nothing per query.
@@ -122,6 +125,18 @@ bench-build:
 	cd bench/out && $(GO) run ../../cmd/coopbench -experiment=e23 -json
 	$(GO) run ./cmd/benchdiff -baseline bench/baselines -candidate bench/out \
 		-build-tol $(BENCH_BUILD_TOL) e23
+
+# Snapshot cold-start smoke: run E24 (per-backend restore latency and
+# pinned heap across the mmap / deserialized / refrozen paths) and diff
+# it against the committed baseline under BENCH_RESTORE_TOL. The mmap
+# rows are the claim a coopserve -flat restart rides on: reopening the
+# sidecar must stay cheap and near-zero-heap however large the frozen
+# structures grow.
+bench-restore:
+	@mkdir -p bench/out
+	cd bench/out && $(GO) run ../../cmd/coopbench -experiment=e24 -json
+	$(GO) run ./cmd/benchdiff -baseline bench/baselines -candidate bench/out \
+		-restore-tol $(BENCH_RESTORE_TOL) e24
 
 # Executor differential gate: the harnesses asserting that the barrier and
 # virtual executors produce identical results, step counts, work, conflict

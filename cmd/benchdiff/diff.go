@@ -40,6 +40,7 @@ type tolerance struct {
 	Throughput float64
 	Latency    float64
 	Build      float64
+	Restore    float64
 }
 
 // Metric classification. Step-class fields regress upward (more simulated
@@ -70,9 +71,16 @@ var (
 	// slack: like the latency class they vary with the gating machine, but
 	// a separate knob (-build-tol, BENCH_BUILD_TOL) lets CI track build
 	// throughput independently of query latency.
-	buildFields    = map[string]bool{"build_ms": true, "freeze_ms": true}
+	buildFields = map[string]bool{"build_ms": true, "freeze_ms": true}
+	// Snapshot cold-start metrics (E24) regress upward under their own
+	// knob (-restore-tol, BENCH_RESTORE_TOL): restore latency and the
+	// heap a restore path pins. Both get a small absolute slack on top of
+	// the relative one — the cheap rows (a sub-millisecond mmap, a few KB
+	// of view bookkeeping) would otherwise fail on scheduler and
+	// allocator noise alone.
+	restoreFields  = map[string]bool{"restore_ms": true, "heap_kb": true}
 	exactFields    = map[string]bool{"lower_bound": true}
-	identityFields = map[string]bool{"n": true, "p": true, "batch": true, "procs_per_query": true, "par": true}
+	identityFields = map[string]bool{"n": true, "p": true, "batch": true, "procs_per_query": true, "par": true, "kind": true, "mode": true}
 )
 
 // compare returns one message per regression of cand against base (empty
@@ -99,7 +107,16 @@ func compare(base, cand benchFile, tol tolerance) []string {
 		for f := range identityFields {
 			bv, bok := num(br[f])
 			cv, cok := num(cr[f])
-			if bok != cok || (bok && bv != cv) {
+			if bok && cok {
+				if bv != cv {
+					fail("row %d: identity field %s changed (%v -> %v); regenerate the baseline", i, f, br[f], cr[f])
+					return regs
+				}
+				continue
+			}
+			// Non-numeric identities (E24's kind/mode strings) compare
+			// by their rendered value; absent on both sides is fine.
+			if fmt.Sprint(br[f]) != fmt.Sprint(cr[f]) {
 				fail("row %d: identity field %s changed (%v -> %v); regenerate the baseline", i, f, br[f], cr[f])
 				return regs
 			}
@@ -134,6 +151,17 @@ func compare(base, cand benchFile, tol tolerance) []string {
 				if cv > bv*(1+tol.Build)+1e-9 {
 					fail("row %d (%s): %s regressed %.2fms -> %.2fms (tol %.0f%%)",
 						i, rowKey(br), f, bv, cv, 100*tol.Build)
+				}
+			case restoreFields[f]:
+				// 1 ms / 64 KB absolute slack keeps the near-zero mmap
+				// rows from failing on pure noise.
+				slack := 1.0
+				if f == "heap_kb" {
+					slack = 64.0
+				}
+				if cv > bv*(1+tol.Restore)+slack {
+					fail("row %d (%s): %s regressed %.3f -> %.3f (tol %.0f%%)",
+						i, rowKey(br), f, bv, cv, 100*tol.Restore)
 				}
 			case allocFields[f]:
 				if cv > bv+1e-9 {
@@ -170,7 +198,7 @@ func num(v any) (float64, bool) {
 // rowKey renders the identity fields present in a row for messages.
 func rowKey(row map[string]any) string {
 	s := ""
-	for _, f := range []string{"n", "p", "batch", "procs_per_query", "par"} {
+	for _, f := range []string{"n", "p", "batch", "procs_per_query", "par", "kind", "mode"} {
 		if v, ok := row[f]; ok {
 			if s != "" {
 				s += " "

@@ -36,6 +36,7 @@ func main() {
 	thrTol := flag.Float64("throughput-tol", 0.35, "relative tolerance for throughput metrics")
 	wallTol := flag.Float64("wall-tol", 3.0, "relative tolerance for host-clock ns/op metrics (3.0 = candidate may be 4x the baseline)")
 	buildTol := flag.Float64("build-tol", 3.0, "relative tolerance for host-clock construction metrics (E23's build/freeze ms)")
+	restoreTol := flag.Float64("restore-tol", 3.0, "relative tolerance for snapshot cold-start metrics (E24's restore ms and pinned-heap KB)")
 	flag.Parse()
 
 	names := flag.Args() // e.g. "e17" — empty means every baseline present
@@ -53,7 +54,7 @@ func main() {
 		}
 	}
 
-	tol := tolerance{Steps: *stepTol, Throughput: *thrTol, Latency: *wallTol, Build: *buildTol}
+	tol := tolerance{Steps: *stepTol, Throughput: *thrTol, Latency: *wallTol, Build: *buildTol, Restore: *restoreTol}
 	failed := false
 	for _, bf := range files {
 		base, err := loadBench(bf)

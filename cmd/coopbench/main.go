@@ -144,6 +144,7 @@ func main() {
 		{"e21", "E21 (robustness): crash-safe snapshot persistence under disk faults", runE21},
 		{"e22", "E22 (extension): flat-layout hot path, host ns/op and allocs/op vs the pointer structure", runE22},
 		{"e23", "E23 (extension): construction throughput, sequential vs parallel build and flat freeze", runE23},
+		{"e24", "E24 (extension): snapshot cold-start, mmap vs deserialized vs refrozen restore per backend kind", runE24},
 	}
 	want := strings.ToLower(*expFlag)
 	ran := 0

@@ -24,6 +24,7 @@ func TestExperimentsSmoke(t *testing.T) {
 		{"e17", runE17},
 		{"e19", runE19},
 		{"e21", runE21},
+		{"e24", runE24},
 		{"fig5", runFig5},
 	} {
 		e := e

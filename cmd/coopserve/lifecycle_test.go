@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -371,18 +372,20 @@ func TestFlatServingLifecycle(t *testing.T) {
 			t.Fatalf("dynamic=%v: flat answers diverge from pointer answers", dynamic)
 		}
 
-		// Save-on-build wrote the sidecar next to the snapshot.
+		// Save-on-build wrote the sidecar next to the snapshot: one blob
+		// per catalog shard plus the spatial locator's.
 		sidecar := cfg.SnapshotPath + ".flat"
 		if _, err := os.Stat(sidecar); err != nil {
 			t.Fatalf("dynamic=%v: sidecar missing: %v", dynamic, err)
 		}
 		gen, blobs, err := snapshot.LoadFlat(sidecar)
-		if err != nil || len(blobs) != cfg.Shards {
-			t.Fatalf("dynamic=%v: sidecar unreadable: gen=%d blobs=%d err=%v", dynamic, gen, len(blobs), err)
+		if err != nil || len(blobs) != cfg.Shards+1 {
+			t.Fatalf("dynamic=%v: sidecar unreadable: gen=%d blobs=%d err=%v (want %d blobs)",
+				dynamic, gen, len(blobs), err, cfg.Shards+1)
 		}
 
-		// Restart: shards restore from the snapshot, layouts from the
-		// sidecar — no refreeze on boot.
+		// Restart: shards restore from the snapshot, every frozen layout —
+		// catalog and spatial — from the sidecar, with no refreeze on boot.
 		second, err := newServer(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -390,10 +393,31 @@ func TestFlatServingLifecycle(t *testing.T) {
 		if !second.loadedSnapshot {
 			t.Fatalf("dynamic=%v: restart rebuilt instead of restoring", dynamic)
 		}
-		for i, fs := range second.flatShards {
-			if fs.Refreezes() != 0 {
-				t.Fatalf("dynamic=%v: shard %d refroze %d times despite a good sidecar", dynamic, i, fs.Refreezes())
+		fbs := second.eng.FrozenBackends()
+		if len(fbs) != cfg.Shards+1 {
+			t.Fatalf("dynamic=%v: %d frozen backends, want %d", dynamic, len(fbs), cfg.Shards+1)
+		}
+		for i, fb := range fbs {
+			if fb.Refreezes() != 0 {
+				t.Fatalf("dynamic=%v: frozen backend %d (kind %d) refroze %d times despite a good sidecar",
+					dynamic, i, fb.FrozenKind(), fb.Refreezes())
 			}
+		}
+		if second.flatView == nil {
+			t.Fatalf("dynamic=%v: restart did not retain the sidecar view", dynamic)
+		}
+		wantMode := "deserialized"
+		if runtime.GOOS == "linux" || runtime.GOOS == "darwin" {
+			wantMode = "mmap"
+		}
+		if second.restoreMode != wantMode {
+			t.Fatalf("dynamic=%v: restore mode %q, want %q", dynamic, second.restoreMode, wantMode)
+		}
+		ts2r := httptest.NewServer(second.handler())
+		code, readyBody := getStatus(t, ts2r, "/readyz")
+		ts2r.Close()
+		if code != http.StatusOK || !strings.HasPrefix(readyBody, "ready") || !strings.Contains(readyBody, "restore_mode="+wantMode) {
+			t.Fatalf("dynamic=%v: /readyz = %d %q, want ready restore_mode=%s", dynamic, code, readyBody, wantMode)
 		}
 		ts2 := httptest.NewServer(second.handler())
 		resp2, got2 := postQuery(t, ts2, req)
@@ -420,13 +444,16 @@ func TestFlatServingLifecycle(t *testing.T) {
 			t.Fatalf("dynamic=%v: corrupt sidecar aborted startup: %v", dynamic, err)
 		}
 		refroze := false
-		for _, fs := range third.flatShards {
-			if fs.Refreezes() > 0 {
+		for _, fb := range third.eng.FrozenBackends() {
+			if fb.Refreezes() > 0 {
 				refroze = true
 			}
 		}
 		if !refroze {
 			t.Fatalf("dynamic=%v: corrupt sidecar served without a refreeze", dynamic)
+		}
+		if third.restoreMode != "refrozen" {
+			t.Fatalf("dynamic=%v: post-corruption restore mode %q, want refrozen", dynamic, third.restoreMode)
 		}
 		ts3 := httptest.NewServer(third.handler())
 		resp3, got3 := postQuery(t, ts3, req)

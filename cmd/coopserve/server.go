@@ -102,13 +102,24 @@ type server struct {
 	// loadedSnapshot reports whether build restored the catalog shards from
 	// cfg.SnapshotPath instead of rebuilding them from the seed.
 	loadedSnapshot bool
+	// flatView is the opened (possibly memory-mapped) sidecar the frozen
+	// backends were preloaded from. Zero-copy structures alias its pages,
+	// so it stays open for the server's lifetime; nil when the layouts
+	// were refrozen or read into private memory.
+	flatView *snapshot.FlatView
+	// restoreMode records how the frozen layouts came to be under flat
+	// serving: "mmap", "deserialized", or "refrozen" (empty without
+	// -flat). Written before the ready flip; surfaced on /readyz and as
+	// the serve.restore_mode gauge.
+	restoreMode string
 
-	obsShed     *obs.Counter // admission-control 503s
-	obsPanics   *obs.Counter // handler panics recovered to 500s
-	obsTimeouts *obs.Counter // per-request deadlines fired
-	obsCanceled *obs.Counter // client disconnects observed mid-query
-	obsSnapSave *obs.Counter // snapshots written
-	obsSnapLoad *obs.Counter // snapshots restored on start
+	obsShed        *obs.Counter // admission-control 503s
+	obsPanics      *obs.Counter // handler panics recovered to 500s
+	obsTimeouts    *obs.Counter // per-request deadlines fired
+	obsCanceled    *obs.Counter // client disconnects observed mid-query
+	obsSnapSave    *obs.Counter // snapshots written
+	obsSnapLoad    *obs.Counter // snapshots restored on start
+	obsRestoreMode *obs.Gauge   // 2 = mmap, 1 = deserialized, 0 = refrozen
 }
 
 // newServerShell creates the server with its observability plumbing but no
@@ -128,6 +139,7 @@ func newServerShell(cfg serverConfig) *server {
 	s.obsCanceled = s.reg.Counter("serve.canceled")
 	s.obsSnapSave = s.reg.Counter("serve.snapshot.saves")
 	s.obsSnapLoad = s.reg.Counter("serve.snapshot.loads")
+	s.obsRestoreMode = s.reg.Gauge("serve.restore_mode")
 	return s
 }
 
@@ -158,10 +170,16 @@ func (s *server) build() error {
 	s.shards, s.trees = shards, trees
 
 	// Flat serving: the engine gets the frozen wrappers; s.shards keeps the
-	// inner backends so the snapshot path is unchanged.
+	// inner backends so the snapshot path is unchanged. The sidecar — when
+	// the shards were just restored and one of the matching generation sits
+	// next to the snapshot — is opened once (memory-mapped where the
+	// platform allows) and its blobs routed to the backends by kind.
 	engineShards := shards
+	var catBlobs [][]byte
+	var spatialBlob []byte
 	if s.cfg.Flat {
-		wrapped, err := s.wrapFlat(shards, loaded)
+		catBlobs, spatialBlob = s.openFlatSidecar(loaded, len(shards))
+		wrapped, err := s.wrapFlat(shards, catBlobs)
 		if err != nil {
 			return err
 		}
@@ -173,7 +191,7 @@ func (s *server) build() error {
 	if err != nil {
 		return err
 	}
-	pl, err := pointloc.Build(sub, core.Config{})
+	pl, err := pointloc.Build(sub, core.Config{Parallelism: s.cfg.BuildParallelism})
 	if err != nil {
 		return err
 	}
@@ -182,11 +200,15 @@ func (s *server) build() error {
 	if err != nil {
 		return err
 	}
-	sp, err := spatial.NewLocator(cx)
+	sp, err := spatial.NewLocatorParallel(cx, s.cfg.BuildParallelism)
 	if err != nil {
 		return err
 	}
 	s.cx = cx
+	var frozenSp *spatial.Frozen
+	if s.cfg.Flat && spatialBlob != nil {
+		frozenSp = preloadFlatSpatial(sp, cx, spatialBlob)
+	}
 	s.eng, err = engine.New(engine.Config{
 		Procs:            s.cfg.Procs,
 		BatchSize:        s.cfg.BatchSize,
@@ -194,10 +216,13 @@ func (s *server) build() error {
 		FingerCache:      s.cfg.FingerCache,
 		Obs:              s.reg,
 		Tracer:           obs.Fanout(s.ring, s.stream),
+		Flat:             s.cfg.Flat,
+		FrozenSpatial:    frozenSp,
 	}, engineShards, pl, sp)
 	if err != nil {
 		return err
 	}
+	s.setRestoreMode()
 	if !loaded {
 		// Save-on-build: the next restart skips the shard rebuild entirely.
 		if err := s.saveSnapshot(); err != nil {
@@ -206,6 +231,32 @@ func (s *server) build() error {
 	}
 	s.state.Store(stateReady)
 	return nil
+}
+
+// setRestoreMode classifies how the frozen layouts were restored and
+// publishes it ("mmap" > "deserialized" > "refrozen": any backend that had
+// to refreeze demotes the whole restore). A no-op without flat serving.
+func (s *server) setRestoreMode() {
+	if !s.cfg.Flat {
+		return
+	}
+	preloaded := s.flatView != nil
+	for _, fb := range s.eng.FrozenBackends() {
+		if fb.Refreezes() != 0 {
+			preloaded = false
+		}
+	}
+	switch {
+	case preloaded && s.flatView.Mapped:
+		s.restoreMode = "mmap"
+		s.obsRestoreMode.Set(2)
+	case preloaded:
+		s.restoreMode = "deserialized"
+		s.obsRestoreMode.Set(1)
+	default:
+		s.restoreMode = "refrozen"
+		s.obsRestoreMode.Set(0)
+	}
 }
 
 // buildShards generates the catalog shards from the seed.
@@ -352,24 +403,54 @@ func shardsGeneration(shards []engine.CatalogBackend) uint64 {
 	return g
 }
 
-// wrapFlat wraps every shard for flat serving. When the shards were just
-// restored from the snapshot and a sidecar of the matching generation sits
-// next to it, the frozen layouts are preloaded from disk instead of
-// refrozen; any defect (corruption, shape or content mismatch) falls back
-// to freezing from the pointer structures.
-func (s *server) wrapFlat(shards []engine.CatalogBackend, fromSnapshot bool) ([]engine.CatalogBackend, error) {
-	var blobs [][]byte
-	if path := s.flatSidecarPath(); path != "" && fromSnapshot {
-		gen, bs, err := snapshot.LoadFlat(path)
-		switch {
-		case err != nil:
-			log.Printf("coopserve: flat sidecar %s unusable, refreezing: %v", path, err)
-		case gen != shardsGeneration(shards) || len(bs) != len(shards):
-			log.Printf("coopserve: flat sidecar %s is for another snapshot (generation %d, %d shards); refreezing", path, gen, len(bs))
+// openFlatSidecar opens the sidecar next to the snapshot — memory-mapped
+// where the platform allows — and splits its blobs by kind: the catalog
+// shard blobs in shard order plus the spatial locator's blob. Any defect
+// (missing, corrupt, generation skew, wrong shard count, unknown kinds)
+// logs, discards the view, and returns nils: every backend then refreezes
+// from its pointer structure. On success the view is retained on s for the
+// server's lifetime, because zero-copy layouts serve straight out of it.
+func (s *server) openFlatSidecar(fromSnapshot bool, nShards int) (catBlobs [][]byte, spatialBlob []byte) {
+	path := s.flatSidecarPath()
+	if path == "" || !fromSnapshot {
+		return nil, nil
+	}
+	v, err := snapshot.OpenFlat(path)
+	if err != nil {
+		log.Printf("coopserve: flat sidecar %s unusable, refreezing: %v", path, err)
+		return nil, nil
+	}
+	if v.Generation != shardsGeneration(s.shards) {
+		log.Printf("coopserve: flat sidecar %s is for another snapshot (generation %d); refreezing", path, v.Generation)
+		_ = v.Close()
+		return nil, nil
+	}
+	for _, b := range v.Blobs {
+		switch b.Kind {
+		case flat.StoreKindCatalog:
+			catBlobs = append(catBlobs, b.Data)
+		case flat.StoreKindSpatial:
+			spatialBlob = b.Data
 		default:
-			blobs = bs
+			log.Printf("coopserve: flat sidecar %s has a blob of unknown kind %d; refreezing", path, b.Kind)
+			_ = v.Close()
+			return nil, nil
 		}
 	}
+	if len(catBlobs) != nShards {
+		log.Printf("coopserve: flat sidecar %s has %d catalog blobs, want %d; refreezing", path, len(catBlobs), nShards)
+		_ = v.Close()
+		return nil, nil
+	}
+	s.flatView = v
+	return catBlobs, spatialBlob
+}
+
+// wrapFlat wraps every shard for flat serving, preloading the frozen
+// layout from the matching sidecar blob when one was opened; any defect
+// (corruption, shape or content mismatch) falls back to freezing from the
+// pointer structures.
+func (s *server) wrapFlat(shards []engine.CatalogBackend, blobs [][]byte) ([]engine.CatalogBackend, error) {
 	out := make([]engine.CatalogBackend, len(shards))
 	s.flatShards = make([]*engine.FlatShard, len(shards))
 	for i, be := range shards {
@@ -390,17 +471,18 @@ func (s *server) wrapFlat(shards []engine.CatalogBackend, fromSnapshot bool) ([]
 	return out, nil
 }
 
-// preloadFlatShard decodes one sidecar blob and wraps the backend around
-// it, spot-checking entry probes against the live catalogs so a sidecar
+// preloadFlatShard decodes one sidecar blob — zero-copy, so a mapped blob
+// serves from the page cache — and wraps the backend around it,
+// spot-checking entry probes against the live catalogs so a sidecar
 // swapped in from a different dataset is rejected rather than served. Any
 // failure returns nil and the caller refreezes.
 func preloadFlatShard(i int, be engine.CatalogBackend, blob []byte) *engine.FlatShard {
-	var f flat.Structure
-	if err := f.UnmarshalBinary(blob); err != nil {
+	f, _, err := flat.OpenStructure(blob)
+	if err != nil {
 		log.Printf("coopserve: flat sidecar shard %d undecodable, refreezing: %v", i, err)
 		return nil
 	}
-	fs, err := engine.NewFlatShardFrom(be, &f)
+	fs, err := engine.NewFlatShardFrom(be, f)
 	if err != nil {
 		log.Printf("coopserve: flat sidecar shard %d rejected, refreezing: %v", i, err)
 		return nil
@@ -415,24 +497,53 @@ func preloadFlatShard(i int, be engine.CatalogBackend, blob []byte) *engine.Flat
 	return fs
 }
 
-// saveFlatSidecar persists the current frozen layouts next to the
-// snapshot; a no-op unless flat serving and snapshotting are both on.
-func (s *server) saveFlatSidecar() error {
-	path := s.flatSidecarPath()
-	if path == "" || s.flatShards == nil {
+// preloadFlatSpatial decodes the sidecar's spatial blob — zero-copy, like
+// the catalog shards — and spot-checks a few located cells against the
+// freshly built locator so a sidecar from a different complex is rejected.
+// Any failure returns nil and the engine freezes the locator itself.
+func preloadFlatSpatial(sp *spatial.Locator, cx *spatial.Complex, blob []byte) *spatial.Frozen {
+	f, _, err := spatial.OpenFrozen(blob)
+	if err != nil {
+		log.Printf("coopserve: flat sidecar spatial blob undecodable, refreezing: %v", err)
 		return nil
 	}
-	blobs := make([][]byte, len(s.flatShards))
-	for i, fs := range s.flatShards {
-		f, err := fs.Flat()
+	if f.Cells() != sp.Cells() {
+		log.Printf("coopserve: flat sidecar spatial blob has %d cells, locator has %d; refreezing", f.Cells(), sp.Cells())
+		return nil
+	}
+	rng := rand.New(rand.NewSource(0x73706f74)) // "spot"
+	sc := f.NewScratch()
+	for i := 0; i < 5; i++ {
+		x, y, z, _ := cx.RandomInteriorPoint(rng)
+		wantCell, wantStats, wantErr := sp.LocateCoop(x, y, z, 64)
+		gotCell, gotStats, gotErr := f.LocateCoopInto(x, y, z, 64, sc)
+		if gotCell != wantCell || gotStats != wantStats || (gotErr == nil) != (wantErr == nil) {
+			log.Printf("coopserve: flat sidecar spatial blob disagrees with the locator at (%d,%d,%d), refreezing", x, y, z)
+			return nil
+		}
+	}
+	return f
+}
+
+// saveFlatSidecar persists the current frozen layouts — every backend the
+// engine serves flat, catalog shards and spatial locator alike — next to
+// the snapshot; a no-op unless flat serving and snapshotting are both on.
+func (s *server) saveFlatSidecar() error {
+	path := s.flatSidecarPath()
+	if path == "" || s.eng == nil {
+		return nil
+	}
+	fbs := s.eng.FrozenBackends()
+	if len(fbs) == 0 {
+		return nil
+	}
+	blobs := make([]snapshot.FlatBlob, len(fbs))
+	for i, fb := range fbs {
+		b, err := fb.FrozenBlob()
 		if err != nil {
 			return err
 		}
-		b, err := f.MarshalBinary()
-		if err != nil {
-			return err
-		}
-		blobs[i] = b
+		blobs[i] = snapshot.FlatBlob{Kind: fb.FrozenKind(), Data: b}
 	}
 	return snapshot.SaveFlat(path, shardsGeneration(s.shards), blobs)
 }
@@ -745,7 +856,11 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			unavailable(w, "overloaded")
 			return
 		}
-		fmt.Fprintln(w, "ready")
+		if s.restoreMode != "" {
+			fmt.Fprintf(w, "ready restore_mode=%s\n", s.restoreMode)
+		} else {
+			fmt.Fprintln(w, "ready")
+		}
 	}
 }
 

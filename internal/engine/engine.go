@@ -201,6 +201,13 @@ type Config struct {
 	// full O(log n) cooperative root search. Answers stay oracle-exact;
 	// only the charged entry rounds shrink. Off by default.
 	FingerCache bool
+	// FrozenSpatial, under Flat, preloads the spatial locator's frozen
+	// layout (a decoded snapshot-sidecar blob) instead of freezing at
+	// construction. A shape mismatch with the locator fails New — callers
+	// restoring from an untrusted sidecar should validate first and fall
+	// back to a nil FrozenSpatial. Ignored unless Flat is set and a
+	// locator is supplied.
+	FrozenSpatial *spatial.Frozen
 }
 
 // defaultCacheSize is the per-shard entry cache capacity when unset.
@@ -218,7 +225,7 @@ type Engine struct {
 	shards []CatalogBackend
 	caches []*entryCache
 	pl     *pointloc.Locator
-	sp     *spatial.Locator
+	sp     spatialBackend
 	pool   *Pool
 
 	mu      sync.Mutex
@@ -271,8 +278,14 @@ func New(cfg Config, shards []CatalogBackend, pl *pointloc.Locator, sp *spatial.
 	}
 	if cfg.Flat {
 		// Build a fresh slice so the caller's backing array is untouched.
+		// Shards the caller already wrapped (coopserve's sidecar preload
+		// path) pass through untouched, so Flat is idempotent.
 		wrapped := make([]CatalogBackend, len(shards))
 		for i, s := range shards {
+			if fs, ok := s.(*FlatShard); ok {
+				wrapped[i] = fs
+				continue
+			}
 			fs, err := NewFlatShardParallel(s, cfg.BuildParallelism)
 			if err != nil {
 				return nil, fmt.Errorf("engine: flat shard %d: %w", i, err)
@@ -290,12 +303,32 @@ func New(cfg Config, shards []CatalogBackend, pl *pointloc.Locator, sp *spatial.
 			}
 		}
 	}
+	// The spatial locator goes through the same flat unification as the
+	// catalog shards: under Config.Flat it is served from its frozen twin,
+	// preloaded from a sidecar when the caller provides one.
+	var spb spatialBackend
+	if sp != nil {
+		spb = sp
+		if cfg.Flat {
+			var fsp *FlatSpatial
+			var err error
+			if cfg.FrozenSpatial != nil {
+				fsp, err = NewFlatSpatialFrom(sp, cfg.FrozenSpatial)
+			} else {
+				fsp, err = NewFlatSpatial(sp)
+			}
+			if err != nil {
+				return nil, err
+			}
+			spb = fsp
+		}
+	}
 	e := &Engine{
 		cfg:    cfg,
 		shards: shards,
 		caches: make([]*entryCache, len(shards)),
 		pl:     pl,
-		sp:     sp,
+		sp:     spb,
 		pool:   NewPool(cfg.Workers),
 		tracer: cfg.Tracer,
 	}

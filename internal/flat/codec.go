@@ -1,7 +1,6 @@
 package flat
 
 import (
-	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -10,227 +9,171 @@ import (
 	"fraccascade/internal/core"
 )
 
-// Binary encoding of a frozen Structure: a fixed header, the parameter
-// block, every slice length-prefixed in little-endian, and a trailing
-// CRC-32C over everything before it. The format is position-independent
-// and free of internal pointers — the groundwork for the mmap-able
-// snapshot encoding (ROADMAP item 2).
+// Binary encoding of a frozen Structure, expressed through the general
+// Store codec (store.go): scalar parameters as metadata words, every array
+// as one section of the page-aligned arena. The format is position-
+// independent and free of internal pointers, so a blob inside an mmap-ed
+// sidecar can be opened zero-copy (OpenStructure) with the arrays aliasing
+// the mapping.
 //
-// UnmarshalBinary is safe on hostile input: every length is checked
-// against the remaining bytes before any allocation sized by it, and the
+// Decoding is safe on hostile input: the store layer validates the header,
+// table, bounds, and checksum before any section view exists, and the
 // decoded structure passes a full structural validation (validate) before
 // it is returned, so queries on a decoded structure cannot index out of
 // range. Corrupt input yields an error, never a panic.
 
-// codecMagic identifies a flat blob; codecVersion gates compatibility.
-const (
-	codecMagic   = "\x89FCFLAT\n"
-	codecVersion = uint32(1)
-)
-
-type enc struct{ buf []byte }
-
-func (e *enc) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
-func (e *enc) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
-func (e *enc) i32s(s []int32) {
-	e.u32(uint32(len(s)))
-	for _, v := range s {
-		e.u32(uint32(v))
-	}
-}
-func (e *enc) i64s(s []int64) {
-	e.u32(uint32(len(s)))
-	for _, v := range s {
-		e.u64(uint64(v))
-	}
-}
-
-// MarshalBinary encodes the structure.
-func (f *Structure) MarshalBinary() ([]byte, error) {
-	e := &enc{buf: make([]byte, 0, 64+8*len(f.keys)+4*(len(f.bridges)+len(f.children)))}
-	e.buf = append(e.buf, codecMagic...)
-	e.u32(codecVersion)
-	e.u32(uint32(f.params.B))
-	e.u32(uint32(f.params.F))
-	e.u64(math.Float64bits(f.params.Alpha))
-	e.u32(uint32(f.params.NumSubs))
-	e.u32(uint32(f.params.LogN))
-	e.u32(uint32(f.root))
-	e.u32(uint32(f.n))
-	e.i32s(f.parent)
-	e.i32s(f.depth)
-	e.i32s(f.childStart)
-	e.i32s(f.children)
-	e.i32s(f.catStart)
-	e.i64s(f.keys)
-	e.i32s(f.payloads)
-	e.i32s(f.nativeSucc)
-	e.i32s(f.bridgeStart)
-	e.i32s(f.bridges)
-	e.u32(uint32(len(f.subs)))
-	for i := range f.subs {
-		fs := &f.subs[i]
-		e.u32(uint32(fs.h))
-		e.u32(uint32(fs.s))
-		e.u32(uint32(fs.truncDepth))
-		e.i32s(fs.blockOf)
-		e.i32s(fs.blockStart)
-		e.i32s(fs.blockHeight)
-		e.i32s(fs.blockM)
-		e.i32s(fs.blockChildStart)
-		e.i32s(fs.blockChildren)
-		e.i32s(fs.keyPosStart)
-		e.i32s(fs.keyPos)
-	}
-	e.u32(crc32.Checksum(e.buf, crcTable))
-	return e.buf, nil
-}
-
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-type dec struct {
-	buf []byte
-	off int
-	err error
+// MarshalBinary encodes the structure as a catalog-kind store.
+func (f *Structure) MarshalBinary() ([]byte, error) {
+	b := NewStoreBuilder(StoreKindCatalog)
+	f.AppendToStore(b)
+	return b.Marshal()
 }
 
-func (d *dec) fail(format string, args ...any) {
-	if d.err == nil {
-		d.err = fmt.Errorf("flat: "+format, args...)
+// AppendToStore appends the structure's metadata words and sections to a
+// store builder, so backends layered on the catalog structure (rangetree,
+// segtree) can embed it inside their own store kind. DecodeFromStore is
+// the inverse.
+func (f *Structure) AppendToStore(b *StoreBuilder) {
+	b.Meta(uint64(int64(f.params.B)))
+	b.Meta(uint64(int64(f.params.F)))
+	b.Meta(math.Float64bits(f.params.Alpha))
+	b.Meta(uint64(int64(f.params.NumSubs)))
+	b.Meta(uint64(int64(f.params.LogN)))
+	b.Meta(uint64(int64(f.root)))
+	b.Meta(uint64(int64(f.n)))
+	b.Meta(uint64(len(f.subs)))
+	b.I32s(f.parent)
+	b.I32s(f.depth)
+	b.I32s(f.childStart)
+	b.I32s(f.children)
+	b.I32s(f.catStart)
+	b.I64s(f.keys)
+	b.I32s(f.payloads)
+	b.I32s(f.nativeSucc)
+	b.I32s(f.bridgeStart)
+	b.I32s(f.bridges)
+	for i := range f.subs {
+		fs := &f.subs[i]
+		b.Meta(uint64(int64(fs.h)))
+		b.Meta(uint64(int64(fs.s)))
+		b.Meta(uint64(int64(fs.truncDepth)))
+		b.I32s(fs.blockOf)
+		b.I32s(fs.blockStart)
+		b.I32s(fs.blockHeight)
+		b.I32s(fs.blockM)
+		b.I32s(fs.blockChildStart)
+		b.I32s(fs.blockChildren)
+		b.I32s(fs.keyPosStart)
+		b.I32s(fs.keyPos)
 	}
 }
 
-func (d *dec) u32() uint32 {
-	if d.err != nil {
-		return 0
+// decodeStructure reads a catalog-kind store into a Structure and fully
+// validates it.
+func decodeStructure(st *Store) (*Structure, error) {
+	if st.Kind() != StoreKindCatalog {
+		return nil, fmt.Errorf("flat: store kind %d, want catalog (%d)", st.Kind(), StoreKindCatalog)
 	}
-	if d.off+4 > len(d.buf) {
-		d.fail("truncated at offset %d", d.off)
-		return 0
+	c := NewStoreCursor(st)
+	g, err := DecodeFromStore(c)
+	if err != nil {
+		return nil, err
 	}
-	v := binary.LittleEndian.Uint32(d.buf[d.off:])
-	d.off += 4
-	return v
+	if err := c.Finish(); err != nil {
+		return nil, err
+	}
+	return g, nil
 }
 
-func (d *dec) u64() uint64 {
-	if d.err != nil {
-		return 0
-	}
-	if d.off+8 > len(d.buf) {
-		d.fail("truncated at offset %d", d.off)
-		return 0
-	}
-	v := binary.LittleEndian.Uint64(d.buf[d.off:])
-	d.off += 8
-	return v
-}
-
-// i32s reads a length-prefixed int32 slice, rejecting lengths that exceed
-// the remaining bytes before allocating.
-func (d *dec) i32s() []int32 {
-	n := int(d.u32())
-	if d.err != nil {
-		return nil
-	}
-	if n < 0 || d.off+4*n > len(d.buf) {
-		d.fail("slice length %d exceeds %d remaining bytes", n, len(d.buf)-d.off)
-		return nil
-	}
-	out := make([]int32, n)
-	for i := range out {
-		out[i] = int32(binary.LittleEndian.Uint32(d.buf[d.off:]))
-		d.off += 4
-	}
-	return out
-}
-
-func (d *dec) i64s() []int64 {
-	n := int(d.u32())
-	if d.err != nil {
-		return nil
-	}
-	if n < 0 || d.off+8*n > len(d.buf) {
-		d.fail("slice length %d exceeds %d remaining bytes", n, len(d.buf)-d.off)
-		return nil
-	}
-	out := make([]int64, n)
-	for i := range out {
-		out[i] = int64(binary.LittleEndian.Uint64(d.buf[d.off:]))
-		d.off += 8
-	}
-	return out
-}
-
-// UnmarshalBinary decodes and fully validates a flat blob. The receiver is
-// overwritten only on success.
-func (f *Structure) UnmarshalBinary(data []byte) error {
-	if len(data) < len(codecMagic)+8 {
-		return fmt.Errorf("flat: %d-byte blob too short", len(data))
-	}
-	if string(data[:len(codecMagic)]) != codecMagic {
-		return fmt.Errorf("flat: bad magic")
-	}
-	body, tail := data[:len(data)-4], data[len(data)-4:]
-	if got, want := binary.LittleEndian.Uint32(tail), crc32.Checksum(body, crcTable); got != want {
-		return fmt.Errorf("flat: checksum mismatch (got %08x, want %08x)", got, want)
-	}
-	d := &dec{buf: body, off: len(codecMagic)}
-	if v := d.u32(); d.err == nil && v != codecVersion {
-		return fmt.Errorf("flat: unsupported version %d (want %d)", v, codecVersion)
-	}
+// DecodeFromStore reads one embedded structure off the cursor (the inverse
+// of AppendToStore) and fully validates it. It does not require the cursor
+// to be exhausted — the embedding backend reads its own fields around it
+// and calls Finish itself.
+func DecodeFromStore(c *StoreCursor) (*Structure, error) {
 	var g Structure
 	g.params = core.Params{
-		B:       int(int32(d.u32())),
-		F:       int(int32(d.u32())),
-		Alpha:   math.Float64frombits(d.u64()),
-		NumSubs: int(int32(d.u32())),
-		LogN:    int(int32(d.u32())),
+		B:       int(int64(c.Meta())),
+		F:       int(int64(c.Meta())),
+		Alpha:   math.Float64frombits(c.Meta()),
+		NumSubs: int(int64(c.Meta())),
+		LogN:    int(int64(c.Meta())),
 	}
-	g.root = int32(d.u32())
-	g.n = int32(d.u32())
-	g.parent = d.i32s()
-	g.depth = d.i32s()
-	g.childStart = d.i32s()
-	g.children = d.i32s()
-	g.catStart = d.i32s()
-	g.keys = d.i64s()
-	g.payloads = d.i32s()
-	g.nativeSucc = d.i32s()
-	g.bridgeStart = d.i32s()
-	g.bridges = d.i32s()
-	nsubs := int(d.u32())
-	if d.err == nil {
+	g.root = int32(int64(c.Meta()))
+	g.n = int32(int64(c.Meta()))
+	nsubs := int(int64(c.Meta()))
+	g.parent = c.I32s()
+	g.depth = c.I32s()
+	g.childStart = c.I32s()
+	g.children = c.I32s()
+	g.catStart = c.I32s()
+	g.keys = c.I64s()
+	g.payloads = c.I32s()
+	g.nativeSucc = c.I32s()
+	g.bridgeStart = c.I32s()
+	g.bridges = c.I32s()
+	if c.Err() == nil {
 		if nsubs < 0 || nsubs > 64 {
-			return fmt.Errorf("flat: implausible substructure count %d", nsubs)
+			return nil, fmt.Errorf("flat: implausible substructure count %d", nsubs)
 		}
 		g.subs = make([]flatSub, nsubs)
 		for i := range g.subs {
 			fs := &g.subs[i]
-			fs.h = int32(d.u32())
-			fs.s = int32(d.u32())
-			fs.truncDepth = int32(d.u32())
-			fs.blockOf = d.i32s()
-			fs.blockStart = d.i32s()
-			fs.blockHeight = d.i32s()
-			fs.blockM = d.i32s()
-			fs.blockChildStart = d.i32s()
-			fs.blockChildren = d.i32s()
-			fs.keyPosStart = d.i32s()
-			fs.keyPos = d.i32s()
+			fs.h = int32(int64(c.Meta()))
+			fs.s = int32(int64(c.Meta()))
+			fs.truncDepth = int32(int64(c.Meta()))
+			fs.blockOf = c.I32s()
+			fs.blockStart = c.I32s()
+			fs.blockHeight = c.I32s()
+			fs.blockM = c.I32s()
+			fs.blockChildStart = c.I32s()
+			fs.blockChildren = c.I32s()
+			fs.keyPosStart = c.I32s()
+			fs.keyPos = c.I32s()
 		}
 	}
-	if d.err != nil {
-		return d.err
-	}
-	if d.off != len(body) {
-		return fmt.Errorf("flat: %d trailing bytes", len(body)-d.off)
+	if err := c.Err(); err != nil {
+		return nil, err
 	}
 	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// UnmarshalBinary decodes and fully validates a flat blob, copying every
+// array out of data so the input may be reused. The receiver is
+// overwritten only on success.
+func (f *Structure) UnmarshalBinary(data []byte) error {
+	st, err := OpenStore(data, false)
+	if err != nil {
 		return err
 	}
-	*f = g
+	g, err := decodeStructure(st)
+	if err != nil {
+		return err
+	}
+	*f = *g
 	return nil
+}
+
+// OpenStructure decodes and fully validates a flat blob with the arrays
+// aliasing data when the host allows it (little-endian, aligned input) —
+// the zero-copy mmap restore path. The caller must keep data alive and
+// unmodified for the structure's lifetime. The returned flag reports
+// whether aliasing actually happened; when false the open degraded to the
+// same copying decode as UnmarshalBinary.
+func OpenStructure(data []byte) (*Structure, bool, error) {
+	st, err := OpenStore(data, true)
+	if err != nil {
+		return nil, false, err
+	}
+	g, err := decodeStructure(st)
+	if err != nil {
+		return nil, false, err
+	}
+	return g, st.ZeroCopy(), nil
 }
 
 // validate checks every structural invariant the query paths rely on for

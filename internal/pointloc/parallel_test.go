@@ -1,0 +1,42 @@
+package pointloc
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"fraccascade/internal/core"
+)
+
+// TestBuildParallelDeterministic pins the build-pool contract for the
+// separator-tree preprocessing: the per-separator catalog construction
+// fans out over host workers, but the built locator — separator layout
+// and the underlying cooperative structure's exported state and cascade
+// parts — must be bit-identical to the sequential build for every
+// parallelism value.
+func TestBuildParallelDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seq, _, _ := buildLocator(t, 40, 6, seed, core.Config{Parallelism: 1})
+		seqState, err := seq.st.ExportState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqParts := seq.st.Cascade().ExportParts()
+		for _, par := range []int{2, 8, 0, runtime.NumCPU()} {
+			l, _, _ := buildLocator(t, 40, 6, seed, core.Config{Parallelism: par})
+			if !reflect.DeepEqual(l.sep, seq.sep) || !reflect.DeepEqual(l.region, seq.region) || !reflect.DeepEqual(l.sepNode, seq.sepNode) {
+				t.Fatalf("seed %d par %d: separator layout differs from sequential", seed, par)
+			}
+			state, err := l.st.ExportState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(state, seqState) {
+				t.Fatalf("seed %d par %d: structure state differs from sequential", seed, par)
+			}
+			if !reflect.DeepEqual(l.st.Cascade().ExportParts(), seqParts) {
+				t.Fatalf("seed %d par %d: cascade parts differ from sequential", seed, par)
+			}
+		}
+	}
+}

@@ -32,6 +32,7 @@ package pointloc
 import (
 	"fmt"
 
+	"fraccascade/internal/buildpool"
 	"fraccascade/internal/catalog"
 	"fraccascade/internal/core"
 	"fraccascade/internal/geom"
@@ -114,22 +115,35 @@ func Build(s *subdivision.Subdivision, cfg core.Config) (*Locator, error) {
 		}
 		perNode[home] = append(perNode[home], ei)
 	}
+	// Per-separator catalogs are independent (each iteration writes only
+	// cats[v]), so the loop fans out over the build pool; errors are
+	// recorded per node and reported in node order, keeping the failure
+	// deterministic too.
 	cats := make([]catalog.Catalog, t.N())
-	for v := range cats {
-		idxs := perNode[v]
-		if len(idxs) == 0 {
-			cats[v] = catalog.Empty()
-			continue
+	catErrs := make([]error, t.N())
+	par := cfg.Parallelism
+	if cfg.Sequential {
+		par = 1
+	}
+	buildpool.ForEach(par, t.N(), 32, func(loI, hiI int) {
+		for v := loI; v < hiI; v++ {
+			idxs := perNode[v]
+			if len(idxs) == 0 {
+				cats[v] = catalog.Empty()
+				continue
+			}
+			keys := make([]catalog.Key, len(idxs))
+			payloads := make([]int32, len(idxs))
+			for i, ei := range idxs {
+				keys[i] = s.Edges[ei].Seg.B.Y // top y is the successor-search key
+				payloads[i] = int32(ei)
+			}
+			cats[v], catErrs[v] = catalog.FromKeys(keys, payloads)
 		}
-		keys := make([]catalog.Key, len(idxs))
-		payloads := make([]int32, len(idxs))
-		for i, ei := range idxs {
-			keys[i] = s.Edges[ei].Seg.B.Y // top y is the successor-search key
-			payloads[i] = int32(ei)
-		}
-		cats[v], err = catalog.FromKeys(keys, payloads)
-		if err != nil {
-			return nil, fmt.Errorf("pointloc: separator %d catalog: %w", l.sep[v], err)
+	})
+	for v, cerr := range catErrs {
+		if cerr != nil {
+			return nil, fmt.Errorf("pointloc: separator %d catalog: %w", l.sep[v], cerr)
 		}
 	}
 	st, err := core.Build(t, cats, cfg)

@@ -1,0 +1,441 @@
+package rangetree
+
+import (
+	"fmt"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/flat"
+	"fraccascade/internal/parallel"
+	"fraccascade/internal/tree"
+)
+
+// Frozen2D is the flat SoA twin of Tree2D: the embedded catalog structure
+// frozen through internal/flat plus the x-boundary and id arrays, encoded
+// as one rangetree-kind flat.Store blob. The query twins replicate
+// QueryDirect/QueryIndirect/QueryCount cell for cell — identical answers,
+// bit-identical Stats — with all per-query state in a caller-owned
+// Scratch2D, so the steady state allocates nothing.
+type Frozen2D struct {
+	emb   *flat.Structure
+	ids   []int32
+	leafX []int64
+	nLeaf int32
+	// rank mirrors Tree2D.rank flattened: native-entry counts before each
+	// catalog position of node v at rank[rankStart[v]+pos]. Rebuilt from the
+	// embedded structure at decode time, never trusted from the wire.
+	rankStart []int32
+	rank      []int32
+}
+
+// Scratch2D holds the reusable per-query state of a frozen range query:
+// the boundary path buffer, the per-node catalog positions the pointer
+// path keeps in maps, the canonical-node list, and the search result
+// buffer.
+type Scratch2D struct {
+	posLo, posHi []int32 // per node; −1 = not on a boundary path
+	touched      []int32
+	path         []tree.NodeID
+	res          []cascade.Result
+	canon        []int32
+	ranges       []canonRange
+}
+
+// NewScratch returns a scratch sized for this structure.
+func (f *Frozen2D) NewScratch() *Scratch2D {
+	n := f.emb.NumNodes()
+	sc := &Scratch2D{
+		posLo:   make([]int32, n),
+		posHi:   make([]int32, n),
+		touched: make([]int32, 0, n),
+		path:    make([]tree.NodeID, 0, 64),
+		res:     make([]cascade.Result, 0, 64),
+		canon:   make([]int32, 0, 64),
+		ranges:  make([]canonRange, 0, 64),
+	}
+	for i := range sc.posLo {
+		sc.posLo[i], sc.posHi[i] = -1, -1
+	}
+	return sc
+}
+
+// Freeze re-encodes the range tree into the flat layout.
+func (rt *Tree2D) Freeze() (*Frozen2D, error) {
+	emb, err := flat.Freeze(rt.st)
+	if err != nil {
+		return nil, err
+	}
+	f := &Frozen2D{
+		emb:   emb,
+		ids:   rt.ids,
+		leafX: rt.leafX,
+		nLeaf: int32(rt.nLeaf),
+	}
+	f.buildRank()
+	return f, nil
+}
+
+// buildRank derives the flattened native-rank prefix sums from the
+// embedded structure (the frozen image of Tree2D's rank build).
+func (f *Frozen2D) buildRank() {
+	n := f.emb.NumNodes()
+	f.rankStart = make([]int32, n+1)
+	total := 0
+	for v := 0; v < n; v++ {
+		f.rankStart[v] = int32(total)
+		total += f.emb.CatalogLen(tree.NodeID(v)) + 1
+	}
+	f.rankStart[n] = int32(total)
+	f.rank = make([]int32, total)
+	for v := 0; v < n; v++ {
+		base := int(f.rankStart[v])
+		run := int32(0)
+		cl := f.emb.CatalogLen(tree.NodeID(v))
+		for i := 0; i < cl; i++ {
+			f.rank[base+i] = run
+			if f.emb.IsNative(tree.NodeID(v), i) && f.emb.PayloadAt(tree.NodeID(v), i) >= 0 {
+				run++
+			}
+		}
+		f.rank[base+cl] = run
+	}
+}
+
+// MarshalBinary encodes the frozen range tree as a rangetree-kind store.
+func (f *Frozen2D) MarshalBinary() ([]byte, error) {
+	b := flat.NewStoreBuilder(flat.StoreKindRangeTree)
+	b.Meta(uint64(int64(f.nLeaf)))
+	b.I32s(f.ids)
+	b.I64s(f.leafX)
+	f.emb.AppendToStore(b)
+	return b.Marshal()
+}
+
+// OpenFrozen2D decodes and fully validates a rangetree-kind store blob,
+// with the embedded arrays aliasing data when the host allows zero-copy.
+// The returned flag reports whether aliasing happened.
+func OpenFrozen2D(data []byte) (*Frozen2D, bool, error) {
+	st, err := flat.OpenStore(data, true)
+	if err != nil {
+		return nil, false, err
+	}
+	f, err := decodeFrozen2D(st)
+	if err != nil {
+		return nil, false, err
+	}
+	return f, st.ZeroCopy(), nil
+}
+
+// UnmarshalFrozen2D decodes and fully validates a rangetree-kind store
+// blob, copying every array out of data.
+func UnmarshalFrozen2D(data []byte) (*Frozen2D, error) {
+	st, err := flat.OpenStore(data, false)
+	if err != nil {
+		return nil, err
+	}
+	return decodeFrozen2D(st)
+}
+
+func decodeFrozen2D(st *flat.Store) (*Frozen2D, error) {
+	if st.Kind() != flat.StoreKindRangeTree {
+		return nil, fmt.Errorf("rangetree: store kind %d, want rangetree (%d)", st.Kind(), flat.StoreKindRangeTree)
+	}
+	c := flat.NewStoreCursor(st)
+	var f Frozen2D
+	f.nLeaf = int32(int64(c.Meta()))
+	f.ids = c.I32s()
+	f.leafX = c.I64s()
+	emb, err := flat.DecodeFromStore(c)
+	if err != nil {
+		return nil, err
+	}
+	f.emb = emb
+	if err := c.Finish(); err != nil {
+		return nil, err
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	f.buildRank()
+	return &f, nil
+}
+
+// validate pins the invariants the frozen query path relies on beyond the
+// embedded structure's own validation: the balanced-binary shape the
+// canonical decomposition assumes, the leaf arrays, and the id bounds.
+func (f *Frozen2D) validate() error {
+	nLeaf := int(f.nLeaf)
+	if nLeaf < 1 || nLeaf&(nLeaf-1) != 0 {
+		return fmt.Errorf("rangetree: frozen leaf count %d not a positive power of two", nLeaf)
+	}
+	n := f.emb.NumNodes()
+	if n != 2*nLeaf-1 {
+		return fmt.Errorf("rangetree: frozen %d nodes for %d leaves", n, nLeaf)
+	}
+	if f.emb.Root() != 0 {
+		return fmt.Errorf("rangetree: frozen root %d, want 0", f.emb.Root())
+	}
+	if len(f.leafX) != nLeaf {
+		return fmt.Errorf("rangetree: frozen leafX length %d, want %d", len(f.leafX), nLeaf)
+	}
+	for i := 1; i < nLeaf; i++ {
+		if f.leafX[i] < f.leafX[i-1] {
+			return fmt.Errorf("rangetree: frozen leafX not sorted at %d", i)
+		}
+	}
+	if f.emb.ParentOf(0) != tree.Nil {
+		return fmt.Errorf("rangetree: frozen root has parent %d", f.emb.ParentOf(0))
+	}
+	for v := 0; v < n; v++ {
+		internal := v < nLeaf-1
+		if internal {
+			l, r := tree.NodeID(2*v+1), tree.NodeID(2*v+2)
+			if f.emb.ChildIndexOf(tree.NodeID(v), l) != 0 || f.emb.ChildIndexOf(tree.NodeID(v), r) != 1 {
+				return fmt.Errorf("rangetree: frozen node %d lacks balanced-binary children", v)
+			}
+			if f.emb.ParentOf(l) != tree.NodeID(v) || f.emb.ParentOf(r) != tree.NodeID(v) {
+				return fmt.Errorf("rangetree: frozen node %d children disown it", v)
+			}
+		}
+		cl := f.emb.CatalogLen(tree.NodeID(v))
+		for pos := 0; pos < cl; pos++ {
+			if pl := f.emb.PayloadAt(tree.NodeID(v), pos); f.emb.IsNative(tree.NodeID(v), pos) && pl >= 0 && int(pl) >= len(f.ids) {
+				return fmt.Errorf("rangetree: frozen node %d entry %d points at id %d out of range", v, pos, pl)
+			}
+		}
+	}
+	return nil
+}
+
+// rankDiff counts native points in positions [lo, hi) of node v's catalog.
+func (f *Frozen2D) rankDiff(v int32, lo, hi int) int {
+	base := int(f.rankStart[v])
+	return int(f.rank[base+hi] - f.rank[base+lo])
+}
+
+// canonicalRangesInto is Tree2D.canonicalRanges on the frozen layout: the
+// two boundary paths, two cooperative y-searches each, and one O(1)
+// bridge descent per off-path canonical node, with identical Stats
+// accrual. The returned slice aliases sc.ranges.
+func (f *Frozen2D) canonicalRangesInto(q Query2, p int, sc *Scratch2D) ([]canonRange, Stats, error) {
+	if p < 1 {
+		p = 1
+	}
+	var stats Stats
+	if q.X1 > q.X2 || q.Y1 > q.Y2 {
+		return nil, stats, fmt.Errorf("rangetree: empty query %+v", q)
+	}
+	defer f.resetScratch(sc)
+	nLeaf := int(f.nLeaf)
+	lo := searchLeafGE(f.leafX, q.X1)
+	hi := searchLeafGT(f.leafX, q.X2)
+	stats.SearchSteps += 2 * parallel.CoopSearchSteps(nLeaf, p)
+	if lo >= hi {
+		return nil, stats, nil
+	}
+	kLo, kHi := composeLo(q.Y1), composeLo(q.Y2+1)
+	leftLeaf := tree.NodeID(nLeaf - 1 + lo)
+	rightLeaf := tree.NodeID(nLeaf - 1 + hi - 1)
+	for _, leaf := range [2]tree.NodeID{leftLeaf, rightLeaf} {
+		sc.path = f.emb.AppendRootPath(leaf, sc.path[:0])
+		if cap(sc.res) < len(sc.path) {
+			sc.res = make([]cascade.Result, len(sc.path))
+		}
+		res := sc.res[:len(sc.path)]
+		s1, err := f.emb.SearchExplicitInto(kLo, sc.path, p, res)
+		if err != nil {
+			return nil, stats, err
+		}
+		for i, v := range sc.path {
+			if sc.posLo[v] < 0 && sc.posHi[v] < 0 {
+				sc.touched = append(sc.touched, v)
+			}
+			sc.posLo[v] = int32(res[i].AugPos)
+		}
+		s2, err := f.emb.SearchExplicitInto(kHi, sc.path, p, res)
+		if err != nil {
+			return nil, stats, err
+		}
+		for i, v := range sc.path {
+			sc.posHi[v] = int32(res[i].AugPos)
+		}
+		stats.SearchSteps += s1.Steps + s2.Steps
+	}
+	sc.canon = f.collect(0, 0, nLeaf, lo, hi, sc.canon[:0])
+	sc.ranges = sc.ranges[:0]
+	for _, cn := range sc.canon {
+		pl, ph := int(sc.posLo[cn]), int(sc.posHi[cn])
+		if sc.posLo[cn] < 0 || sc.posHi[cn] < 0 {
+			parent := f.emb.ParentOf(cn)
+			ci := f.emb.ChildIndexOf(parent, cn)
+			if sc.posLo[parent] < 0 || sc.posHi[parent] < 0 {
+				return nil, stats, fmt.Errorf("rangetree: canonical node %d has off-path parent", cn)
+			}
+			pl = f.emb.DescendPos(kLo, parent, ci, int(sc.posLo[parent]))
+			ph = f.emb.DescendPos(kHi, parent, ci, int(sc.posHi[parent]))
+		}
+		if pl > ph {
+			ph = pl
+		}
+		sc.ranges = append(sc.ranges, canonRange{node: cn, lo: pl, hi: ph})
+	}
+	return sc.ranges, stats, nil
+}
+
+// resetScratch clears the boundary-path positions touched by this query.
+func (f *Frozen2D) resetScratch(sc *Scratch2D) {
+	for _, v := range sc.touched {
+		sc.posLo[v], sc.posHi[v] = -1, -1
+	}
+	sc.touched = sc.touched[:0]
+}
+
+// collect appends the canonical decomposition of leaf range [lo, hi) in
+// the pointer path's DFS order.
+func (f *Frozen2D) collect(v int32, nodeLo, nodeHi, lo, hi int, canon []int32) []int32 {
+	if lo <= nodeLo && nodeHi <= hi {
+		return append(canon, v)
+	}
+	mid := (nodeLo + nodeHi) / 2
+	if lo < mid {
+		canon = f.collect(2*v+1, nodeLo, mid, lo, hi, canon)
+	}
+	if hi > mid {
+		canon = f.collect(2*v+2, mid, nodeHi, lo, hi, canon)
+	}
+	return canon
+}
+
+// QueryDirectInto is Tree2D.QueryDirect on the frozen layout, appending
+// the sorted hit ids to out[:0]. Answers and Stats are bit-identical; the
+// steady state allocates nothing once out and the scratch have warmed up.
+func (f *Frozen2D) QueryDirectInto(q Query2, p int, sc *Scratch2D, out []int32) ([]int32, Stats, error) {
+	canon, stats, err := f.canonicalRangesInto(q, p, sc)
+	if err != nil {
+		return nil, stats, err
+	}
+	out = out[:0]
+	for _, c := range canon {
+		for pos := c.lo; pos < c.hi; pos++ {
+			if f.emb.IsNative(c.node, pos) {
+				if pl := f.emb.PayloadAt(c.node, pos); pl >= 0 {
+					out = append(out, f.ids[pl])
+				}
+			}
+		}
+	}
+	sortInt32s(out)
+	stats.K = len(out)
+	stats.AllocSteps = 2 * parallel.CeilLog2(len(canon)+1)
+	stats.ReportSteps = (len(out) + p - 1) / p
+	return out, stats, nil
+}
+
+// QueryIndirectInto is Tree2D.QueryIndirect on the frozen layout,
+// appending the non-empty canonical ranges to out[:0].
+func (f *Frozen2D) QueryIndirectInto(q Query2, p int, sc *Scratch2D, out []Range) ([]Range, Stats, error) {
+	canon, stats, err := f.canonicalRangesInto(q, p, sc)
+	if err != nil {
+		return nil, stats, err
+	}
+	out = out[:0]
+	for _, c := range canon {
+		if n := f.rankDiff(c.node, c.lo, c.hi); n > 0 {
+			out = append(out, Range{Node: c.node, Lo: c.lo, Hi: c.hi})
+			stats.K += n
+		}
+	}
+	stats.AllocSteps = 1
+	return out, stats, nil
+}
+
+// QueryCount is Tree2D.QueryCount on the frozen layout: zero allocations,
+// no k/p term.
+func (f *Frozen2D) QueryCount(q Query2, p int, sc *Scratch2D) (int, Stats, error) {
+	canon, stats, err := f.canonicalRangesInto(q, p, sc)
+	if err != nil {
+		return 0, stats, err
+	}
+	count := 0
+	for _, c := range canon {
+		count += f.rankDiff(c.node, c.lo, c.hi)
+	}
+	stats.K = count
+	stats.AllocSteps = 2 * parallel.CeilLog2(len(canon)+1)
+	return count, stats, nil
+}
+
+// ExpandInto materialises the points of indirect ranges into out[:0],
+// sorted by id (Tree2D.Expand on the frozen layout).
+func (f *Frozen2D) ExpandInto(ranges []Range, out []int32) []int32 {
+	out = out[:0]
+	for _, r := range ranges {
+		for pos := r.Lo; pos < r.Hi; pos++ {
+			if f.emb.IsNative(r.Node, pos) {
+				if pl := f.emb.PayloadAt(r.Node, pos); pl >= 0 {
+					out = append(out, f.ids[pl])
+				}
+			}
+		}
+	}
+	sortInt32s(out)
+	return out
+}
+
+// searchLeafGE returns the first index with xs[i] ≥ x (sort.Search,
+// hand-rolled so the hot path allocates nothing).
+func searchLeafGE(xs []int64, x int64) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] >= x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// searchLeafGT returns the first index with xs[i] > x.
+func searchLeafGT(xs []int64, x int64) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// sortInt32s sorts ascending in place with an allocation-free heapsort
+// (sort.Slice would allocate its closure on every query).
+func sortInt32s(a []int32) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownInt32(a, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		a[0], a[i] = a[i], a[0]
+		siftDownInt32(a, 0, i)
+	}
+}
+
+func siftDownInt32(a []int32, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}

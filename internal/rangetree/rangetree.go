@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 
+	"fraccascade/internal/buildpool"
 	"fraccascade/internal/catalog"
 	"fraccascade/internal/core"
 	"fraccascade/internal/parallel"
@@ -121,8 +122,15 @@ func new2D(pts []Point2, ids []int32, cfg core.Config) (*Tree2D, error) {
 	}
 	// Merge upward: each internal node's list is its children's union
 	// sorted by (Y, id) — the construction the EREW preprocessing does
-	// level by level.
-	for v := pad - 2; v >= 0; v-- {
+	// level by level. Within a level the merges are independent (node v
+	// writes only perNode[v], reading its two already-finished children),
+	// so each level fans out over the build pool; the level barrier
+	// preserves the bottom-up dependency.
+	par := cfg.Parallelism
+	if cfg.Sequential {
+		par = 1
+	}
+	mergeNode := func(v int) {
 		l, r := perNode[2*v+1], perNode[2*v+2]
 		merged := make([]int, 0, len(l)+len(r))
 		i, j := 0, 0
@@ -145,22 +153,35 @@ func new2D(pts []Point2, ids []int32, cfg core.Config) (*Tree2D, error) {
 		merged = append(merged, r[j:]...)
 		perNode[v] = merged
 	}
+	for levelSize := pad / 2; levelSize >= 1; levelSize /= 2 {
+		base := levelSize - 1 // level nodes are [base, base+levelSize)
+		buildpool.ForEach(par, levelSize, 4, func(loI, hiI int) {
+			for i := loI; i < hiI; i++ {
+				mergeNode(base + i)
+			}
+		})
+	}
 	cats := make([]catalog.Catalog, t.N())
-	for v := range cats {
-		list := perNode[v]
-		if len(list) == 0 {
-			cats[v] = catalog.Empty()
-			continue
+	catErrs := make([]error, t.N())
+	buildpool.ForEach(par, t.N(), 32, func(loI, hiI int) {
+		for v := loI; v < hiI; v++ {
+			list := perNode[v]
+			if len(list) == 0 {
+				cats[v] = catalog.Empty()
+				continue
+			}
+			keys := make([]catalog.Key, len(list))
+			payloads := make([]int32, len(list))
+			for i, pi := range list {
+				keys[i] = compose(pts[pi].Y, int32(pi))
+				payloads[i] = int32(pi)
+			}
+			cats[v], catErrs[v] = catalog.FromKeys(keys, payloads)
 		}
-		keys := make([]catalog.Key, len(list))
-		payloads := make([]int32, len(list))
-		for i, pi := range list {
-			keys[i] = compose(pts[pi].Y, int32(pi))
-			payloads[i] = int32(pi)
-		}
-		cats[v], err = catalog.FromKeys(keys, payloads)
-		if err != nil {
-			return nil, err
+	})
+	for _, cerr := range catErrs {
+		if cerr != nil {
+			return nil, cerr
 		}
 	}
 	st, err := core.Build(t, cats, cfg)
@@ -169,20 +190,22 @@ func new2D(pts []Point2, ids []int32, cfg core.Config) (*Tree2D, error) {
 	}
 	rt.st = st
 	rt.rank = make([][]int32, t.N())
-	for v := 0; v < t.N(); v++ {
-		cat := st.Cascade().Aug(tree.NodeID(v))
-		rk := make([]int32, cat.Len()+1)
-		run := int32(0)
-		for i := 0; i < cat.Len(); i++ {
-			rk[i] = run
-			e := cat.At(i)
-			if e.Native && e.Payload >= 0 {
-				run++
+	buildpool.ForEach(par, t.N(), 32, func(loI, hiI int) {
+		for v := loI; v < hiI; v++ {
+			cat := st.Cascade().Aug(tree.NodeID(v))
+			rk := make([]int32, cat.Len()+1)
+			run := int32(0)
+			for i := 0; i < cat.Len(); i++ {
+				rk[i] = run
+				e := cat.At(i)
+				if e.Native && e.Payload >= 0 {
+					run++
+				}
 			}
+			rk[cat.Len()] = run
+			rt.rank[v] = rk
 		}
-		rk[cat.Len()] = run
-		rt.rank[v] = rk
-	}
+	})
 	return rt, nil
 }
 

@@ -1,0 +1,345 @@
+package segtree
+
+import (
+	"fmt"
+
+	"fraccascade/internal/cascade"
+	"fraccascade/internal/flat"
+	"fraccascade/internal/parallel"
+	"fraccascade/internal/tree"
+)
+
+// FrozenIntersector is the flat SoA twin of Intersector: the embedded
+// catalog structure frozen through internal/flat plus the elementary
+// y-interval boundaries, encoded as one segtree-kind flat.Store blob. The
+// query twins replicate QueryDirect/QueryIndirect range for range —
+// identical answers, bit-identical RetrievalStats — with all per-query
+// state in a caller-owned IntersectorScratch.
+type FrozenIntersector struct {
+	emb    *flat.Structure
+	leafLo []int64
+	nLeaf  int32
+	// nativeTotal mirrors the cascade's NativeEntries (the paper's n),
+	// recomputed from the embedded structure at decode time: it prices the
+	// CRCW linking threshold of QueryIndirect.
+	nativeTotal int64
+}
+
+// IntersectorScratch holds the reusable per-query state of a frozen
+// intersection query: the stabbing path, the two search result buffers,
+// and the range lists.
+type IntersectorScratch struct {
+	path         []tree.NodeID
+	resLo, resHi []cascade.Result
+	all          []Range
+	filtered     []Range
+}
+
+// NewScratch returns a scratch sized for this structure.
+func (f *FrozenIntersector) NewScratch() *IntersectorScratch {
+	depth := 2
+	for n := int(f.nLeaf); n > 1; n >>= 1 {
+		depth++
+	}
+	return &IntersectorScratch{
+		path:     make([]tree.NodeID, 0, depth),
+		resLo:    make([]cascade.Result, 0, depth),
+		resHi:    make([]cascade.Result, 0, depth),
+		all:      make([]Range, 0, depth),
+		filtered: make([]Range, 0, depth),
+	}
+}
+
+// Freeze re-encodes the intersector into the flat layout.
+func (it *Intersector) Freeze() (*FrozenIntersector, error) {
+	emb, err := flat.Freeze(it.st)
+	if err != nil {
+		return nil, err
+	}
+	f := &FrozenIntersector{
+		emb:    emb,
+		leafLo: it.leafLo,
+		nLeaf:  int32(it.nLeaf),
+	}
+	f.countNatives()
+	return f, nil
+}
+
+// countNatives recomputes the cascade's NativeEntries from the embedded
+// structure: every native augmented entry descends from exactly one input
+// catalog entry, so the sums agree.
+func (f *FrozenIntersector) countNatives() {
+	total := int64(0)
+	for v := 0; v < f.emb.NumNodes(); v++ {
+		cl := f.emb.CatalogLen(tree.NodeID(v))
+		for pos := 0; pos < cl; pos++ {
+			if f.emb.IsNative(tree.NodeID(v), pos) {
+				total++
+			}
+		}
+	}
+	f.nativeTotal = total
+}
+
+// MarshalBinary encodes the frozen intersector as a segtree-kind store.
+func (f *FrozenIntersector) MarshalBinary() ([]byte, error) {
+	b := flat.NewStoreBuilder(flat.StoreKindSegTree)
+	b.Meta(uint64(int64(f.nLeaf)))
+	b.I64s(f.leafLo)
+	f.emb.AppendToStore(b)
+	return b.Marshal()
+}
+
+// OpenFrozenIntersector decodes and fully validates a segtree-kind store
+// blob, with the embedded arrays aliasing data when the host allows
+// zero-copy. The returned flag reports whether aliasing happened.
+func OpenFrozenIntersector(data []byte) (*FrozenIntersector, bool, error) {
+	st, err := flat.OpenStore(data, true)
+	if err != nil {
+		return nil, false, err
+	}
+	f, err := decodeFrozenIntersector(st)
+	if err != nil {
+		return nil, false, err
+	}
+	return f, st.ZeroCopy(), nil
+}
+
+// UnmarshalFrozenIntersector decodes and fully validates a segtree-kind
+// store blob, copying every array out of data.
+func UnmarshalFrozenIntersector(data []byte) (*FrozenIntersector, error) {
+	st, err := flat.OpenStore(data, false)
+	if err != nil {
+		return nil, err
+	}
+	return decodeFrozenIntersector(st)
+}
+
+func decodeFrozenIntersector(st *flat.Store) (*FrozenIntersector, error) {
+	if st.Kind() != flat.StoreKindSegTree {
+		return nil, fmt.Errorf("segtree: store kind %d, want segtree (%d)", st.Kind(), flat.StoreKindSegTree)
+	}
+	c := flat.NewStoreCursor(st)
+	var f FrozenIntersector
+	f.nLeaf = int32(int64(c.Meta()))
+	f.leafLo = c.I64s()
+	emb, err := flat.DecodeFromStore(c)
+	if err != nil {
+		return nil, err
+	}
+	f.emb = emb
+	if err := c.Finish(); err != nil {
+		return nil, err
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	f.countNatives()
+	return &f, nil
+}
+
+// validate pins the invariants the frozen query path relies on beyond the
+// embedded structure's own validation: the balanced-binary shape and the
+// sorted leaf boundaries.
+func (f *FrozenIntersector) validate() error {
+	nLeaf := int(f.nLeaf)
+	if nLeaf < 1 || nLeaf&(nLeaf-1) != 0 {
+		return fmt.Errorf("segtree: frozen leaf count %d not a positive power of two", nLeaf)
+	}
+	n := f.emb.NumNodes()
+	if n != 2*nLeaf-1 {
+		return fmt.Errorf("segtree: frozen %d nodes for %d leaves", n, nLeaf)
+	}
+	if f.emb.Root() != 0 {
+		return fmt.Errorf("segtree: frozen root %d, want 0", f.emb.Root())
+	}
+	if len(f.leafLo) != nLeaf {
+		return fmt.Errorf("segtree: frozen leafLo length %d, want %d", len(f.leafLo), nLeaf)
+	}
+	for i := 1; i < nLeaf; i++ {
+		if f.leafLo[i] < f.leafLo[i-1] {
+			return fmt.Errorf("segtree: frozen leafLo not sorted at %d", i)
+		}
+	}
+	if f.emb.ParentOf(0) != tree.Nil {
+		return fmt.Errorf("segtree: frozen root has parent %d", f.emb.ParentOf(0))
+	}
+	for v := 0; v < nLeaf-1; v++ {
+		l, r := tree.NodeID(2*v+1), tree.NodeID(2*v+2)
+		if f.emb.ChildIndexOf(tree.NodeID(v), l) != 0 || f.emb.ChildIndexOf(tree.NodeID(v), r) != 1 {
+			return fmt.Errorf("segtree: frozen node %d lacks balanced-binary children", v)
+		}
+		if f.emb.ParentOf(l) != tree.NodeID(v) || f.emb.ParentOf(r) != tree.NodeID(v) {
+			return fmt.Errorf("segtree: frozen node %d children disown it", v)
+		}
+	}
+	return nil
+}
+
+// leafIndex is Intersector.leafIndex hand-rolled: the elementary interval
+// containing y.
+func (f *FrozenIntersector) leafIndex(y int64) int {
+	lo, hi := 0, len(f.leafLo)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f.leafLo[mid] > y {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo - 1
+}
+
+// queryRangesAllInto is Intersector.queryRangesAll on the frozen layout:
+// the stabbing path, two cooperative x-searches, and the native narrowing
+// walk, with identical stats accrual. The result aliases sc.all.
+func (f *FrozenIntersector) queryRangesAllInto(q HQuery, p int, sc *IntersectorScratch) ([]Range, RetrievalStats, error) {
+	var stats RetrievalStats
+	if q.X1 > q.X2 {
+		return nil, stats, fmt.Errorf("segtree: empty x-range [%d, %d]", q.X1, q.X2)
+	}
+	leaf := f.leafIndex(q.Y)
+	if leaf < 0 {
+		leaf = 0
+	}
+	stats.SearchSteps += parallel.CoopSearchSteps(int(f.nLeaf), p)
+	leafNode := tree.NodeID(int(f.nLeaf) - 1 + leaf)
+	sc.path = f.emb.AppendRootPath(leafNode, sc.path[:0])
+	if cap(sc.resLo) < len(sc.path) {
+		sc.resLo = make([]cascade.Result, len(sc.path))
+		sc.resHi = make([]cascade.Result, len(sc.path))
+	}
+	loRes, hiRes := sc.resLo[:len(sc.path)], sc.resHi[:len(sc.path)]
+	s1, err := f.emb.SearchExplicitInto(composeLo(q.X1), sc.path, p, loRes)
+	if err != nil {
+		return nil, stats, err
+	}
+	s2, err := f.emb.SearchExplicitInto(composeLo(q.X2+1), sc.path, p, hiRes)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.SearchSteps += s1.Steps + s2.Steps
+	sc.all = sc.all[:0]
+	for i, v := range sc.path {
+		lo, hi := loRes[i].AugPos, hiRes[i].AugPos
+		for lo < hi && !f.emb.IsNative(v, lo) {
+			lo++
+		}
+		last := hi
+		for last > lo && !f.emb.IsNative(v, last-1) {
+			last--
+		}
+		if lo > last {
+			last = lo
+		}
+		sc.all = append(sc.all, Range{Node: v, Lo: lo, Hi: last})
+	}
+	return sc.all, stats, nil
+}
+
+// queryRangesInto filters the shared search phase down to the non-empty
+// ranges (aliasing sc.filtered).
+func (f *FrozenIntersector) queryRangesInto(q HQuery, p int, sc *IntersectorScratch) ([]Range, RetrievalStats, error) {
+	all, stats, err := f.queryRangesAllInto(q, p, sc)
+	if err != nil {
+		return nil, stats, err
+	}
+	sc.filtered = sc.filtered[:0]
+	for _, r := range all {
+		if r.Lo < r.Hi {
+			sc.filtered = append(sc.filtered, r)
+		}
+	}
+	return sc.filtered, stats, nil
+}
+
+// QueryDirectInto is Intersector.QueryDirect on the frozen layout,
+// appending the sorted hit ids to out[:0]. Answers and RetrievalStats are
+// bit-identical; the steady state allocates nothing once out and the
+// scratch have warmed up.
+func (f *FrozenIntersector) QueryDirectInto(q HQuery, p int, sc *IntersectorScratch, out []int32) ([]int32, RetrievalStats, error) {
+	if p < 1 {
+		p = 1
+	}
+	ranges, stats, err := f.queryRangesInto(q, p, sc)
+	if err != nil {
+		return nil, stats, err
+	}
+	out = f.ExpandInto(ranges, out)
+	stats.K = len(out)
+	stats.AllocSteps = 2 * parallel.CeilLog2(len(ranges)+1)
+	stats.ReportSteps = (len(out) + p - 1) / p
+	return out, stats, nil
+}
+
+// QueryIndirectInto is Intersector.QueryIndirect on the frozen layout,
+// appending the non-empty catalog ranges to out[:0].
+func (f *FrozenIntersector) QueryIndirectInto(q HQuery, p int, sc *IntersectorScratch, out []Range) ([]Range, RetrievalStats, error) {
+	if p < 1 {
+		p = 1
+	}
+	ranges, stats, err := f.queryRangesInto(q, p, sc)
+	if err != nil {
+		return nil, stats, err
+	}
+	logn := parallel.CeilLog2(int(f.nativeTotal))
+	if p >= logn*logn {
+		stats.AllocSteps = 1 // concurrent-write linking
+	} else {
+		stats.AllocSteps = 2 * parallel.CeilLog2(len(ranges)+1)
+	}
+	for _, r := range ranges {
+		stats.K += r.Hi - r.Lo
+	}
+	out = append(out[:0], ranges...)
+	return out, stats, nil
+}
+
+// ExpandInto materialises item ids from catalog ranges into out[:0],
+// sorted ascending (Intersector.expand on the frozen layout, with an
+// allocation-free heapsort).
+func (f *FrozenIntersector) ExpandInto(ranges []Range, out []int32) []int32 {
+	out = out[:0]
+	for _, r := range ranges {
+		for pos := r.Lo; pos < r.Hi; pos++ {
+			if f.emb.IsNative(r.Node, pos) {
+				if pl := f.emb.PayloadAt(r.Node, pos); pl >= 0 {
+					out = append(out, pl)
+				}
+			}
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+// sortIDs sorts ascending in place without allocating (sort.Slice would
+// allocate its closure on every query).
+func sortIDs(a []int32) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownID(a, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		a[0], a[i] = a[i], a[0]
+		siftDownID(a, 0, i)
+	}
+}
+
+func siftDownID(a []int32, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"fraccascade/internal/buildpool"
 	"fraccascade/internal/catalog"
 	"fraccascade/internal/core"
 	"fraccascade/internal/parallel"
@@ -111,22 +112,35 @@ func NewIntersector(segs []VSegment, cfg core.Config) (*Intersector, error) {
 		hi := it.leafIndex(s.Y2)
 		it.insert(0, 0, pad, lo, hi, int32(id), perNode)
 	}
+	// Node catalogs are independent of each other once the canonical
+	// decomposition is fixed (each iteration writes only cats[v]), so
+	// the builds fan out over the build pool with errors surfaced in
+	// node order.
 	cats := make([]catalog.Catalog, t.N())
-	for v := range cats {
-		ids := perNode[v]
-		if len(ids) == 0 {
-			cats[v] = catalog.Empty()
-			continue
+	catErrs := make([]error, t.N())
+	par := cfg.Parallelism
+	if cfg.Sequential {
+		par = 1
+	}
+	buildpool.ForEach(par, t.N(), 32, func(loI, hiI int) {
+		for v := loI; v < hiI; v++ {
+			ids := perNode[v]
+			if len(ids) == 0 {
+				cats[v] = catalog.Empty()
+				continue
+			}
+			keys := make([]catalog.Key, len(ids))
+			payloads := make([]int32, len(ids))
+			for i, id := range ids {
+				keys[i] = compose(segs[id].X, id)
+				payloads[i] = id
+			}
+			cats[v], catErrs[v] = catalog.FromKeys(keys, payloads)
 		}
-		keys := make([]catalog.Key, len(ids))
-		payloads := make([]int32, len(ids))
-		for i, id := range ids {
-			keys[i] = compose(segs[id].X, id)
-			payloads[i] = id
-		}
-		cats[v], err = catalog.FromKeys(keys, payloads)
-		if err != nil {
-			return nil, err
+	})
+	for _, cerr := range catErrs {
+		if cerr != nil {
+			return nil, cerr
 		}
 	}
 	st, err := core.Build(t, cats, cfg)

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"fraccascade/internal/core"
@@ -13,11 +14,11 @@ import (
 )
 
 // frozenBlobs builds a couple of frozen shard blobs for sidecar tests.
-func frozenBlobs(tb testing.TB, seed int64) ([]*flat.Structure, [][]byte) {
+func frozenBlobs(tb testing.TB, seed int64) ([]*flat.Structure, []FlatBlob) {
 	tb.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	var structs []*flat.Structure
-	var blobs [][]byte
+	var blobs []FlatBlob
 	for _, leaves := range []int{8, 16} {
 		bt, err := tree.NewBalancedBinary(leaves)
 		if err != nil {
@@ -36,7 +37,7 @@ func frozenBlobs(tb testing.TB, seed int64) ([]*flat.Structure, [][]byte) {
 			tb.Fatal(err)
 		}
 		structs = append(structs, f)
-		blobs = append(blobs, blob)
+		blobs = append(blobs, FlatBlob{Kind: flat.StoreKindCatalog, Data: blob})
 	}
 	return structs, blobs
 }
@@ -55,8 +56,11 @@ func TestFlatSidecarRoundTrip(t *testing.T) {
 		t.Fatalf("%d blobs, want %d", len(got), len(blobs))
 	}
 	for i := range blobs {
+		if got[i].Kind != flat.StoreKindCatalog {
+			t.Fatalf("blob %d: kind %d, want catalog", i, got[i].Kind)
+		}
 		var g flat.Structure
-		if err := g.UnmarshalBinary(got[i]); err != nil {
+		if err := g.UnmarshalBinary(got[i].Data); err != nil {
 			t.Fatalf("blob %d: %v", i, err)
 		}
 		if g.NumNodes() != structs[i].NumNodes() {
@@ -71,6 +75,35 @@ func TestFlatSidecarRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFlatSidecarBlobAlignment pins the property the zero-copy restore
+// rests on: every blob offset is a multiple of the page size, so blobs in
+// a page-aligned mapping keep the flat store's natural 8-byte alignment.
+func TestFlatSidecarBlobAlignment(t *testing.T) {
+	_, blobs := frozenBlobs(t, 74)
+	data := EncodeFlat(3, blobs)
+	_, got, err := DecodeFlat(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if len(b.Data) == 0 {
+			continue
+		}
+		// Alignment is asserted through behaviour: a zero-copy open
+		// silently degrades to copying if the blob is misaligned.
+		f, zeroCopy, err := flat.OpenStructure(b.Data)
+		if err != nil {
+			t.Fatalf("blob %d: %v", i, err)
+		}
+		if !zeroCopy {
+			t.Errorf("blob %d: zero-copy open degraded to copying (misaligned blob?)", i)
+		}
+		if f.NumNodes() == 0 {
+			t.Errorf("blob %d: empty structure", i)
+		}
+	}
+}
+
 func TestFlatSidecarRejectsCorruption(t *testing.T) {
 	_, blobs := frozenBlobs(t, 72)
 	data := EncodeFlat(9, blobs)
@@ -78,10 +111,10 @@ func TestFlatSidecarRejectsCorruption(t *testing.T) {
 	if _, _, err := DecodeFlat(nil); !IsCorrupt(err) {
 		t.Errorf("nil input: %v", err)
 	}
-	if _, _, err := DecodeFlat(data[:headerSize-2]); !errors.Is(err, ErrTruncated) {
+	if _, _, err := DecodeFlat(data[:flatHeaderFixed-2]); !errors.Is(err, ErrTruncated) {
 		t.Errorf("truncated header: %v", err)
 	}
-	if _, _, err := DecodeFlat(data[:len(data)-5]); !IsCorrupt(err) {
+	if _, _, err := DecodeFlat(data[:len(data)-5]); !errors.Is(err, ErrTruncated) {
 		t.Errorf("truncated body: %v", err)
 	}
 	if _, _, err := DecodeFlat(append(append([]byte{}, data...), 1, 2, 3)); !IsCorrupt(err) {
@@ -92,15 +125,26 @@ func TestFlatSidecarRejectsCorruption(t *testing.T) {
 	if _, _, err := DecodeFlat(bad); !errors.Is(err, ErrBadMagic) {
 		t.Errorf("bad magic: %v", err)
 	}
+	// Every bit flip is caught at one of the two levels: the sidecar
+	// header CRC (table flips) or the flat store CRC on first touch
+	// (payload flips).
 	rng := rand.New(rand.NewSource(720))
 	for i := 0; i < 64; i++ {
 		bad := append([]byte{}, data...)
 		bit := rng.Intn(len(bad) * 8)
 		bad[bit/8] ^= 1 << uint(bit%8)
-		if _, _, err := DecodeFlat(bad); err == nil {
-			// The flip may land inside a blob payload: the section CRC
-			// catches it here, but assert it did.
-			t.Fatalf("bit flip at %d went undetected by the sidecar container", bit)
+		_, got, err := DecodeFlat(bad)
+		if err != nil {
+			continue
+		}
+		caught := false
+		for _, b := range got {
+			if err := new(flat.Structure).UnmarshalBinary(b.Data); err != nil {
+				caught = true
+			}
+		}
+		if !caught {
+			t.Fatalf("bit flip at %d went undetected by both container and blob CRC", bit)
 		}
 	}
 }
@@ -130,5 +174,64 @@ func TestFlatSidecarSaveLoad(t *testing.T) {
 	// Missing file: plain not-exist I/O error, not corruption.
 	if _, _, err := LoadFlat(filepath.Join(dir, "absent.flat")); !os.IsNotExist(err) || IsCorrupt(err) {
 		t.Errorf("missing file: %v", err)
+	}
+}
+
+// TestFlatSidecarOpenMmap exercises the zero-copy restore path end to end:
+// save, open as a view, decode a structure straight out of the mapping,
+// query it, close.
+func TestFlatSidecarOpenMmap(t *testing.T) {
+	structs, blobs := frozenBlobs(t, 75)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.flat")
+	if err := SaveFlat(path, 21, blobs); err != nil {
+		t.Fatal(err)
+	}
+	v, err := OpenFlat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	wantMapped := runtime.GOOS == "linux" || runtime.GOOS == "darwin"
+	if v.Mapped != wantMapped {
+		t.Errorf("Mapped=%v on %s, want %v", v.Mapped, runtime.GOOS, wantMapped)
+	}
+	if v.Generation != 21 || len(v.Blobs) != len(blobs) {
+		t.Fatalf("view gen=%d blobs=%d, want 21/%d", v.Generation, len(v.Blobs), len(blobs))
+	}
+	for i, b := range v.Blobs {
+		f, zeroCopy, err := flat.OpenStructure(b.Data)
+		if err != nil {
+			t.Fatalf("blob %d: %v", i, err)
+		}
+		if v.Mapped && !zeroCopy {
+			t.Errorf("blob %d: mapped open degraded to copying", i)
+		}
+		if f.NumNodes() != structs[i].NumNodes() {
+			t.Errorf("blob %d: %d nodes, want %d", i, f.NumNodes(), structs[i].NumNodes())
+		}
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	// Opening a missing path surfaces not-exist, never corruption.
+	if _, err := OpenFlat(filepath.Join(dir, "absent.flat")); !os.IsNotExist(err) {
+		t.Errorf("missing file: %v", err)
+	}
+	// Opening a corrupt sidecar fails typed and leaks no mapping.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(flatMagic)+6] ^= 0xFF // blob-count field
+	badPath := filepath.Join(dir, "bad.flat")
+	if err := os.WriteFile(badPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFlat(badPath); !IsCorrupt(err) {
+		t.Errorf("corrupt sidecar: %v", err)
 	}
 }

@@ -1,0 +1,13 @@
+//go:build !linux && !darwin
+
+package snapshot
+
+import "errors"
+
+// errMmapUnsupported makes OpenFlat fall through to the plain-read path on
+// platforms without a wired-up mmap.
+var errMmapUnsupported = errors.New("snapshot: mmap unsupported on this platform")
+
+func mmapFile(path string) (data []byte, unmap func() error, err error) {
+	return nil, nil, errMmapUnsupported
+}

@@ -1,0 +1,38 @@
+//go:build linux || darwin
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only and returns the mapped bytes plus the
+// unmap closure. Empty files are returned as an empty non-mapped slice
+// (mmap of length 0 is an error on every platform) so the caller's decode
+// still sees the truncation. The mapping is MAP_PRIVATE: a concurrent
+// rewrite of the sidecar (which always goes through rename) never mutates
+// the pages a running view is serving from.
+func mmapFile(path string) (data []byte, unmap func() error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return []byte{}, func() error { return nil }, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, syscall.EFBIG
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

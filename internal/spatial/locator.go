@@ -3,7 +3,7 @@ package spatial
 import (
 	"fmt"
 
-	"fraccascade/internal/parallel"
+	"fraccascade/internal/buildpool"
 	"fraccascade/internal/tree"
 )
 
@@ -35,9 +35,20 @@ type Locator struct {
 	Debug bool
 }
 
+// Cells returns the real cell count of the located complex.
+func (l *Locator) Cells() int { return l.r }
+
 // NewLocator preprocesses the complex: builds the surface tree, assigns
-// proper facets by LCA, and builds each surface's planar structure.
+// proper facets by LCA, and builds each surface's planar structure, using
+// all cores for the per-surface builds.
 func NewLocator(c *Complex) (*Locator, error) {
+	return NewLocatorParallel(c, 0)
+}
+
+// NewLocatorParallel is NewLocator with an explicit host-parallelism
+// bound for construction (0 selects all cores, 1 is sequential). The
+// built locator is identical for every value — only wall time changes.
+func NewLocatorParallel(c *Complex, parallelism int) (*Locator, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -93,9 +104,11 @@ func NewLocator(c *Complex) (*Locator, error) {
 		}
 		perNode[home] = append(perNode[home], int32(fi))
 	}
+	// Each surface's planar structure depends only on its own facet list
+	// (writes confined to l.locs[v]), so the builds fan out over the
+	// work-stealing build pool.
 	l.locs = make([]nodeLocator, t.N())
-	grain := 16
-	parallel.ForEach(t.N(), grain, func(loI, hiI int) {
+	buildpool.ForEach(parallelism, t.N(), 16, func(loI, hiI int) {
 		for v := loI; v < hiI; v++ {
 			l.locs[v] = buildNodeLocator(c.Facets, perNode[v])
 		}

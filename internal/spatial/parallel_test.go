@@ -1,0 +1,56 @@
+package spatial
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestNewLocatorParallelDeterministic pins the build-pool contract for
+// the spatial preprocessing: the per-surface planar builds fan out over
+// host workers, but the locator — surface assignment, per-node planar
+// structures, and the frozen wire encoding — must be bit-identical to
+// the sequential build for every parallelism value.
+func TestNewLocatorParallelDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := mustGen(t, 40, 4, rng)
+		seq, err := NewLocatorParallel(c, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqFz, err := seq.Freeze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqBlob, err := seqFz.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 8, 0, runtime.NumCPU()} {
+			l, err := NewLocatorParallel(c, par)
+			if err != nil {
+				t.Fatalf("par %d: %v", par, err)
+			}
+			if !reflect.DeepEqual(l.sep, seq.sep) || !reflect.DeepEqual(l.cell, seq.cell) {
+				t.Fatalf("seed %d par %d: surface/cell layout differs from sequential", seed, par)
+			}
+			if !reflect.DeepEqual(l.locs, seq.locs) {
+				t.Fatalf("seed %d par %d: per-surface planar structures differ from sequential", seed, par)
+			}
+			fz, err := l.Freeze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := fz.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(blob, seqBlob) {
+				t.Fatalf("seed %d par %d: frozen encoding differs from sequential", seed, par)
+			}
+		}
+	}
+}
