@@ -1,9 +1,9 @@
 GO ?= go
 COVER_THRESHOLD ?= 80
 
-.PHONY: check vet build lint test test-engine test-snapshot test-flat race cover bench bench-check bench-json bench-diff bench-smoke bench-wall bench-build bench-restore metrics-smoke chaos chaos-smoke
+.PHONY: check vet build lint test test-engine test-snapshot test-flat race cover bench bench-check bench-json bench-diff bench-smoke bench-wall bench-build bench-restore bench-telemetry metrics-smoke chaos chaos-smoke
 
-check: vet build lint test test-engine test-snapshot test-flat race cover bench-check bench-smoke bench-wall bench-build bench-restore metrics-smoke
+check: vet build lint test test-engine test-snapshot test-flat race cover bench-check bench-smoke bench-wall bench-build bench-restore bench-telemetry metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -90,6 +90,7 @@ BENCH_THR_TOL ?= 0.35
 BENCH_WALL_TOL ?= 3.0
 BENCH_BUILD_TOL ?= 3.0
 BENCH_RESTORE_TOL ?= 3.0
+BENCH_TELEMETRY_TOL ?= 0.5
 bench-diff:
 	@mkdir -p bench/out
 	$(GO) build -o bench/out/coopbench ./cmd/coopbench
@@ -98,10 +99,12 @@ bench-diff:
 		&& ./coopbench -experiment=e20 -json >/dev/null \
 		&& ./coopbench -experiment=e22 -executor=wall -json >/dev/null \
 		&& ./coopbench -experiment=e23 -json >/dev/null \
-		&& ./coopbench -experiment=e24 -json >/dev/null
+		&& ./coopbench -experiment=e24 -json >/dev/null \
+		&& ./coopbench -experiment=e25 -json >/dev/null
 	$(GO) run ./cmd/benchdiff -baseline bench/baselines -candidate bench/out \
 		-step-tol $(BENCH_STEP_TOL) -throughput-tol $(BENCH_THR_TOL) -wall-tol $(BENCH_WALL_TOL) \
-		-build-tol $(BENCH_BUILD_TOL) -restore-tol $(BENCH_RESTORE_TOL)
+		-build-tol $(BENCH_BUILD_TOL) -restore-tol $(BENCH_RESTORE_TOL) \
+		-telemetry-tol $(BENCH_TELEMETRY_TOL)
 
 # Wall-executor smoke: run E22 on the native goroutine pool and hold the
 # tentpole claim — the flat and wall hot paths allocate nothing per query.
@@ -146,15 +149,29 @@ bench-smoke:
 	$(GO) test -run='Executor' ./internal/pram ./internal/parallel ./internal/core
 	$(GO) test -run='^$$' -bench='^BenchmarkE17SearchPRAM$$' -benchtime=3x .
 
+# Serving-telemetry smoke: run E25 (flight recorder + latency windows on
+# vs off over identical batches) and diff the overhead ratio against the
+# committed baseline under BENCH_TELEMETRY_TOL. The ratio is
+# machine-normalized (both arms run here), so unlike the raw ns columns
+# the slack prices measurement noise only.
+bench-telemetry:
+	@mkdir -p bench/out
+	cd bench/out && $(GO) run ../../cmd/coopbench -experiment=e25 -json
+	$(GO) run ./cmd/benchdiff -baseline bench/baselines -candidate bench/out \
+		-telemetry-tol $(BENCH_TELEMETRY_TOL) e25
+
 # Observability smoke: the -metrics surfaces must run end to end and
 # print the counters the dashboards key on (engine batch counters from
-# E20, machine step counters from E17).
+# E20, machine step counters from E17), and the serving telemetry
+# families (latency windows, SLO burn rates, flight recorder) must stay
+# Prometheus-lint-clean behind a live /metrics endpoint.
 metrics-smoke:
 	$(GO) run ./cmd/coopbench -experiment=e20 -metrics | grep '^engine\.batches ' >/dev/null
 	$(GO) run ./cmd/coopbench -experiment=e17 -metrics | grep '^pram\.steps ' >/dev/null
 	$(GO) run ./cmd/coopbench -experiment=e17 -metrics -stepsprofile=steps-smoke.pb.gz \
 		| grep '^pram\.phase\.root-coop\.steps ' >/dev/null
 	@test -s steps-smoke.pb.gz && rm -f steps-smoke.pb.gz
+	$(GO) test -run='^TestMetricsTelemetryFamilies$$' ./cmd/coopserve
 	@echo "metrics-smoke: ok"
 
 chaos:

@@ -41,6 +41,7 @@ type tolerance struct {
 	Latency    float64
 	Build      float64
 	Restore    float64
+	Telemetry  float64
 }
 
 // Metric classification. Step-class fields regress upward (more simulated
@@ -65,7 +66,14 @@ var (
 	// exact failure the gate exists to catch.
 	latencyFields = map[string]bool{
 		"pointer_ns_per_op": true, "flat_ns_per_op": true, "wall_ns_per_op": true,
+		"disabled_ns_per_query": true, "enabled_ns_per_query": true,
 	}
+	// The telemetry overhead ratio (E25's enabled/disabled ns per query)
+	// regresses upward under its own knob (-telemetry-tol,
+	// BENCH_TELEMETRY_TOL). Unlike the raw ns columns it is
+	// machine-normalized — both arms run on the gating machine — so its
+	// slack prices measurement noise, not hardware variance.
+	telemetryFields = map[string]bool{"telemetry_overhead_ratio": true}
 	allocFields = map[string]bool{"flat_allocs_per_op": true, "wall_allocs_per_op": true}
 	// Host-clock construction times (E23) regress upward under their own
 	// slack: like the latency class they vary with the gating machine, but
@@ -163,6 +171,11 @@ func compare(base, cand benchFile, tol tolerance) []string {
 					fail("row %d (%s): %s regressed %.3f -> %.3f (tol %.0f%%)",
 						i, rowKey(br), f, bv, cv, 100*tol.Restore)
 				}
+			case telemetryFields[f]:
+				if cv > bv*(1+tol.Telemetry)+1e-9 {
+					fail("row %d (%s): %s regressed %.3fx -> %.3fx (tol %.0f%%)",
+						i, rowKey(br), f, bv, cv, 100*tol.Telemetry)
+				}
 			case allocFields[f]:
 				if cv > bv+1e-9 {
 					fail("row %d (%s): %s regressed %.3f -> %.3f (allocations are exact: the hot path must not grow a malloc)",
@@ -198,7 +211,7 @@ func num(v any) (float64, bool) {
 // rowKey renders the identity fields present in a row for messages.
 func rowKey(row map[string]any) string {
 	s := ""
-	for _, f := range []string{"n", "p", "batch", "procs_per_query", "par", "kind", "mode"} {
+	for _, f := range []string{"n", "p", "batch", "procs_per_query", "par", "kind", "mode", "workload"} {
 		if v, ok := row[f]; ok {
 			if s != "" {
 				s += " "

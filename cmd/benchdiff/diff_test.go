@@ -239,3 +239,48 @@ func TestCompareAllocsExact(t *testing.T) {
 		t.Fatalf("string field change flagged as numeric regression: %v", regs)
 	}
 }
+
+// TestCompareTelemetryOverheadGate: E25's overhead ratio regresses upward
+// under its own knob — a regression past the slack fails naming the field,
+// growth inside it passes, and cheaper telemetry never fails. The raw
+// ns-per-query columns ride the latency class, so a machine-speed shift
+// that moves both arms equally leaves the gated ratio untouched.
+func TestCompareTelemetryOverheadGate(t *testing.T) {
+	base := loadBaseline(t, "E25")
+	tol := tolerance{Telemetry: 0.5, Latency: 3.0}
+	if regs := compare(base, cloneRows(base), tol); len(regs) != 0 {
+		t.Fatalf("E25 self-compare regressed: %v", regs)
+	}
+	scale := func(field string, f float64) benchFile {
+		c := cloneRows(base)
+		for _, row := range c.Rows {
+			if v, ok := num(row[field]); ok {
+				row[field] = v * f
+			}
+		}
+		return c
+	}
+	if regs := compare(base, scale("telemetry_overhead_ratio", 1.2), tol); len(regs) != 0 {
+		t.Fatalf("20%% ratio growth flagged under 50%% tolerance: %v", regs)
+	}
+	regs := compare(base, scale("telemetry_overhead_ratio", 2), tol)
+	if len(regs) == 0 {
+		t.Fatal("2x overhead ratio passed under 50% tolerance")
+	}
+	if !strings.Contains(regs[0], "telemetry_overhead_ratio") {
+		t.Fatalf("regression message does not name the ratio: %q", regs[0])
+	}
+	if regs := compare(base, scale("telemetry_overhead_ratio", 0.5), tol); len(regs) != 0 {
+		t.Fatalf("cheaper telemetry flagged: %v", regs)
+	}
+	// Both ns columns are latency-class: 10x fails, 2x passes under the
+	// wide machine slack.
+	for _, field := range []string{"disabled_ns_per_query", "enabled_ns_per_query"} {
+		if regs := compare(base, scale(field, 2), tol); len(regs) != 0 {
+			t.Fatalf("2x %s flagged under 4x tolerance: %v", field, regs)
+		}
+		if regs := compare(base, scale(field, 10), tol); len(regs) == 0 {
+			t.Fatalf("10x %s passed under 4x tolerance", field)
+		}
+	}
+}

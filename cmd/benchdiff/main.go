@@ -37,6 +37,7 @@ func main() {
 	wallTol := flag.Float64("wall-tol", 3.0, "relative tolerance for host-clock ns/op metrics (3.0 = candidate may be 4x the baseline)")
 	buildTol := flag.Float64("build-tol", 3.0, "relative tolerance for host-clock construction metrics (E23's build/freeze ms)")
 	restoreTol := flag.Float64("restore-tol", 3.0, "relative tolerance for snapshot cold-start metrics (E24's restore ms and pinned-heap KB)")
+	telemetryTol := flag.Float64("telemetry-tol", 0.5, "relative tolerance for the serving-telemetry overhead ratio (E25's enabled/disabled ns per query)")
 	flag.Parse()
 
 	names := flag.Args() // e.g. "e17" — empty means every baseline present
@@ -54,7 +55,7 @@ func main() {
 		}
 	}
 
-	tol := tolerance{Steps: *stepTol, Throughput: *thrTol, Latency: *wallTol, Build: *buildTol, Restore: *restoreTol}
+	tol := tolerance{Steps: *stepTol, Throughput: *thrTol, Latency: *wallTol, Build: *buildTol, Restore: *restoreTol, Telemetry: *telemetryTol}
 	failed := false
 	for _, bf := range files {
 		base, err := loadBench(bf)

@@ -1,4 +1,4 @@
-// Command coopbench runs the reproduction experiments E1–E23 (see
+// Command coopbench runs the reproduction experiments E1–E25 (see
 // DESIGN.md for the per-experiment index) and prints the tables recorded
 // in EXPERIMENTS.md. Each experiment regenerates one of the paper's
 // claims: a time/processor tradeoff, a space bound, or a structural lemma.
@@ -76,7 +76,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("experiment", "all", "experiment id (e1..e23, fig5, all)")
+	expFlag := flag.String("experiment", "all", "experiment id (e1..e25, fig5, all)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	chaos := flag.Bool("chaos", false, "run the chaos-mode fault sweep (alias for -experiment=e19)")
 	executor := flag.String("executor", "virtual", "executor for machine-executing experiments: barrier, virtual, or wall (native goroutines over the flat layout; simulated passes fall back to virtual)")
@@ -145,6 +145,7 @@ func main() {
 		{"e22", "E22 (extension): flat-layout hot path, host ns/op and allocs/op vs the pointer structure", runE22},
 		{"e23", "E23 (extension): construction throughput, sequential vs parallel build and flat freeze", runE23},
 		{"e24", "E24 (extension): snapshot cold-start, mmap vs deserialized vs refrozen restore per backend kind", runE24},
+		{"e25", "E25 (extension): serving-telemetry overhead, flight recorder and latency windows on vs off", runE25},
 	}
 	want := strings.ToLower(*expFlag)
 	ran := 0

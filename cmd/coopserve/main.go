@@ -6,10 +6,25 @@
 //	GET  /metrics             Prometheus text exposition of the obs registry
 //	GET  /healthz             liveness (always 200 once serving)
 //	GET  /readyz              readiness (503 building/draining/overloaded)
-//	GET  /spans?limit=N       JSONL span stream (replay=1 prepends history)
+//	GET  /spans?limit=N       JSONL span stream (replay=1 prepends history,
+//	                          follow=1 keeps tailing live spans)
+//	GET  /statusz             human-readable status page: live windowed
+//	                          latency quantiles, SLO burn rates, restore
+//	                          mode, cache/finger rates, recent slow queries
+//	GET  /debug/slowlog       flight-recorder dump (JSON), filterable by
+//	                          ?shard=N&kind=K&min_ms=F&errors=1&limit=N
 //	GET  /debug/pprof/        host CPU/heap/goroutine profiles
 //	GET  /debug/pprof/steps   simulated-parallel-time profile (phase stacks);
 //	                          loadable with `go tool pprof steps.pb.gz`
+//
+// Every request carries a correlation id (inbound X-Request-ID honored,
+// minted otherwise), echoed on the response and stamped on the request's
+// spans and flight records. The always-on flight recorder (sized by
+// -flight-records; 0 disables it and the per-query wall clocks entirely)
+// tail-samples per-query records — all errors, the slowest per window, and
+// a uniform reservoir — behind /debug/slowlog and /statusz, and feeds the
+// rolling-window latency quantiles and the -slo-latency/-slo-objective
+// burn-rate gauges on /metrics.
 //
 // With -snapshot the daemon restores its catalog shards from a crash-safe
 // snapshot on start (falling back to rebuild on any corruption), saves one
@@ -61,6 +76,9 @@ func main() {
 	flag.DurationVar(&cfg.RequestTimeout, "request-timeout", cfg.RequestTimeout, "per-request deadline on POST /query (0 = none)")
 	flag.IntVar(&cfg.MaxInflight, "max-inflight", cfg.MaxInflight, "concurrent /query cap before shedding with 503 (0 = unlimited)")
 	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", cfg.DrainTimeout, "how long SIGTERM waits for in-flight queries")
+	flag.IntVar(&cfg.FlightRecords, "flight-records", cfg.FlightRecords, "per-query flight-recorder reservoir size behind /debug/slowlog and /statusz (0 disables the recorder, wall timing, and the latency windows)")
+	flag.DurationVar(&cfg.SLOLatency, "slo-latency", cfg.SLOLatency, "latency SLO threshold surfaced as burn-rate gauges on /metrics")
+	flag.Float64Var(&cfg.SLOObjective, "slo-objective", cfg.SLOObjective, "fraction of queries that must finish within -slo-latency (0 < objective < 1)")
 	flag.Parse()
 
 	srv := newServerShell(cfg)

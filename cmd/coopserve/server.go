@@ -49,7 +49,28 @@ type serverConfig struct {
 	RequestTimeout   time.Duration // per-request deadline on POST /query (0 = none)
 	MaxInflight      int           // admission-control cap on concurrent queries (0 = unlimited)
 	DrainTimeout     time.Duration // how long SIGTERM waits for in-flight queries
+
+	// FlightRecords sizes the per-query flight recorder's uniform
+	// reservoir (errors and slowest-K pools ride along at fixed sizes);
+	// 0 disables the recorder, per-query wall timing, and the rolling
+	// latency windows wholesale — the engine hot path then takes no clock
+	// readings and records nothing (the 0-alloc disabled path).
+	FlightRecords int
+	// SLOLatency and SLOObjective define the latency SLO surfaced on
+	// /metrics and /statusz: SLOObjective (e.g. 0.99) of queries must
+	// finish within SLOLatency. Only meaningful with FlightRecords > 0.
+	SLOLatency   time.Duration
+	SLOObjective float64
 }
+
+// Rolling-window geometry: 12 sub-windows of 10s give a 2-minute visible
+// window for the live quantiles; the short SLO burn window is the last 3
+// sub-windows (30s), the long one the full 2 minutes.
+const (
+	telemetrySubWindow = 10 * time.Second
+	telemetrySubCount  = 12
+	burnShortSubs      = 3
+)
 
 func defaultServerConfig() serverConfig {
 	return serverConfig{
@@ -65,6 +86,9 @@ func defaultServerConfig() serverConfig {
 		RequestTimeout: 10 * time.Second,
 		MaxInflight:    256,
 		DrainTimeout:   10 * time.Second,
+		FlightRecords:  2048,
+		SLOLatency:     250 * time.Millisecond,
+		SLOObjective:   0.99,
 	}
 }
 
@@ -120,6 +144,17 @@ type server struct {
 	obsSnapSave    *obs.Counter // snapshots written
 	obsSnapLoad    *obs.Counter // snapshots restored on start
 	obsRestoreMode *obs.Gauge   // 2 = mmap, 1 = deserialized, 0 = refrozen
+	obsQueryErrs   *obs.Counter // per-query engine failures (sums BatchReport.Errors)
+
+	// Serving telemetry (all nil with FlightRecords == 0): the per-query
+	// flight recorder behind /debug/slowlog and /statusz, and the rolling
+	// latency window + SLO behind the live quantile and burn-rate gauges.
+	recorder *obs.FlightRecorder
+	latWin   *obs.WindowedHistogram
+	slo      *obs.SLO
+	started  time.Time
+	reqSeq   atomic.Uint64
+	bootID   string
 }
 
 // newServerShell creates the server with its observability plumbing but no
@@ -133,6 +168,7 @@ func newServerShell(cfg serverConfig) *server {
 		stream: newSpanStream(),
 	}
 	s.state.Store(stateBuilding)
+	s.started = time.Now()
 	s.obsShed = s.reg.Counter("serve.shed")
 	s.obsPanics = s.reg.Counter("serve.panics")
 	s.obsTimeouts = s.reg.Counter("serve.timeouts")
@@ -140,6 +176,8 @@ func newServerShell(cfg serverConfig) *server {
 	s.obsSnapSave = s.reg.Counter("serve.snapshot.saves")
 	s.obsSnapLoad = s.reg.Counter("serve.snapshot.loads")
 	s.obsRestoreMode = s.reg.Gauge("serve.restore_mode")
+	s.obsQueryErrs = s.reg.Counter("serve.query.errors")
+	s.initTelemetry()
 	return s
 }
 
@@ -216,6 +254,7 @@ func (s *server) build() error {
 		FingerCache:      s.cfg.FingerCache,
 		Obs:              s.reg,
 		Tracer:           obs.Fanout(s.ring, s.stream),
+		Recorder:         s.recorder,
 		Flat:             s.cfg.Flat,
 		FrozenSpatial:    frozenSp,
 	}, engineShards, pl, sp)
@@ -631,6 +670,8 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/spans", s.handleSpans)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -690,8 +731,12 @@ type queryRequest struct {
 }
 
 type queryResponse struct {
-	Batches []wireBatchReport `json:"batches"`
-	Answers []wireAnswer      `json:"answers"`
+	// RequestID is the correlation id (inbound X-Request-ID honored,
+	// minted otherwise) — also echoed as the X-Request-ID response header
+	// and stamped on every span and flight record of the request.
+	RequestID string            `json:"request_id"`
+	Batches   []wireBatchReport `json:"batches"`
+	Answers   []wireAnswer      `json:"answers"`
 }
 
 // handleQuery executes a batch of queries. The request body is a
@@ -739,14 +784,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// The request context carries the client disconnect; the configured
 	// per-request deadline stacks on top. Both propagate into the engine's
-	// context-aware search path.
-	ctx := r.Context()
+	// context-aware search path, as does the correlation id (inbound
+	// X-Request-ID honored, minted otherwise) that every span and flight
+	// record of this request will carry.
+	reqID := s.requestID(r)
+	w.Header().Set("X-Request-ID", reqID)
+	ctx := obs.WithRequestID(r.Context(), reqID)
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
 	}
-	var resp queryResponse
+	resp := queryResponse{RequestID: reqID}
 	for lo := 0; lo < len(qs); lo += s.cfg.BatchSize {
 		hi := min(lo+s.cfg.BatchSize, len(qs))
 		answers, rep, err := s.eng.ExecuteBatchContext(ctx, qs[lo:hi])
@@ -754,6 +803,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		// Failure counters and latency windows are fed before the
+		// context-expiry early return so /metrics, /spans, and
+		// /debug/slowlog agree on failure counts even for batches whose
+		// response was never written.
+		s.obsQueryErrs.Add(int64(rep.Errors))
+		s.observeAnswers(answers)
 		if err := ctx.Err(); err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				s.obsTimeouts.Inc()
@@ -924,6 +979,13 @@ func (s *server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	// Flush the headers up front: a live tail with no retained history
+	// would otherwise leave the client blocked on the status line until
+	// the first span happens to arrive.
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
 	sent := 0
 	emit := func(sp obs.Span) bool {
 		if err := enc.Encode(sp); err != nil {

@@ -129,31 +129,34 @@ func (c *entryCache) lookup(node tree.NodeID, y catalog.Key, gen uint64) (int, b
 
 // nearest returns the cached slot position whose interval endpoint is
 // key-closest to y at node, as a finger for the gallop entry after an
-// exact lookup miss. It never counts as a hit or miss — the preceding
-// lookup already counted the miss — and touches no LRU state: the finger
-// only seeds a gallop, it is not an answer.
-func (c *entryCache) nearest(node tree.NodeID, y catalog.Key, gen uint64) (int, bool) {
+// exact lookup miss, along with the key distance d = |y − endpoint| (the
+// quantity the finger gallop's O(log d) bound is sensitive to — the
+// flight recorder retains it so live traffic can confirm the bound). It
+// never counts as a hit or miss — the preceding lookup already counted
+// the miss — and touches no LRU state: the finger only seeds a gallop, it
+// is not an answer.
+func (c *entryCache) nearest(node tree.NodeID, y catalog.Key, gen uint64) (pos int, dist catalog.Key, ok bool) {
 	if c == nil || c.cap <= 0 {
-		return 0, false
+		return 0, 0, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.syncGen(gen)
 	slots := c.perNode[node]
 	if len(slots) == 0 {
-		return 0, false
+		return 0, 0, false
 	}
 	i := sort.Search(len(slots), func(i int) bool { return slots[i].hi >= y })
 	switch {
 	case i == len(slots):
-		return slots[i-1].pos, true
+		return slots[i-1].pos, y - slots[i-1].hi, true
 	case i == 0:
-		return slots[0].pos, true
+		return slots[0].pos, slots[0].hi - y, true
 	}
 	if y-slots[i-1].hi <= slots[i].hi-y {
-		return slots[i-1].pos, true
+		return slots[i-1].pos, y - slots[i-1].hi, true
 	}
-	return slots[i].pos, true
+	return slots[i].pos, slots[i].hi - y, true
 }
 
 // fingerHit records a miss that was served through the finger gallop.

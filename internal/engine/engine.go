@@ -136,6 +136,17 @@ type Answer struct {
 	Cell int
 	// Err is the per-query failure, nil on success.
 	Err error
+	// RequestID is the serving-layer correlation id carried by the batch
+	// context (obs.WithRequestID); empty when the caller attached none.
+	RequestID string
+	// WallNS is the query's host wall time in nanoseconds, measured only
+	// when a flight recorder is attached (Config.Recorder); 0 otherwise —
+	// the uninstrumented hot path takes no clock readings per query.
+	WallNS int64
+	// FingerDist is the key distance d between the query key and the
+	// cached finger entry a FingerHit galloped from (the O(log d) cost
+	// driver); 0 unless FingerHit.
+	FingerDist int64
 }
 
 // BatchReport summarises one executed batch.
@@ -184,6 +195,12 @@ type Config struct {
 	// Tracer, when non-nil, receives one obs.Span per executed query
 	// (batched path only). It must be safe for concurrent Emit calls.
 	Tracer obs.Tracer
+	// Recorder, when non-nil, retains per-query flight records (batched
+	// path only): request id, shard, kind, host wall ns, phase steps,
+	// cache outcome, finger distance, and error text, under the recorder's
+	// tail-sampling keep policy. Also enables per-query wall timing (see
+	// Answer.WallNS). Nil disables recording with zero hot-path cost.
+	Recorder *obs.FlightRecorder
 	// Flat serves every catalog shard from its frozen flat layout
 	// (internal/flat) instead of the pointer structures: each shard is
 	// wrapped in a FlatShard at construction, so answers and Stats stay
@@ -237,6 +254,7 @@ type Engine struct {
 
 	// Observability (all handles nil-safe; see Config.Obs / Config.Tracer).
 	tracer    obs.Tracer
+	recorder  *obs.FlightRecorder
 	qid       atomic.Uint64 // engine-unique query ids for spans
 	bid       atomic.Uint64 // engine-unique batch ids for spans
 	obsBatch  *obs.Counter
@@ -329,8 +347,9 @@ func New(cfg Config, shards []CatalogBackend, pl *pointloc.Locator, sp *spatial.
 		caches: make([]*entryCache, len(shards)),
 		pl:     pl,
 		sp:     spb,
-		pool:   NewPool(cfg.Workers),
-		tracer: cfg.Tracer,
+		pool:     NewPool(cfg.Workers),
+		tracer:   cfg.Tracer,
+		recorder: cfg.Recorder,
 	}
 	for i := range e.caches {
 		e.caches[i] = newEntryCache(cfg.CacheSize, cfg.Obs, i)
@@ -411,6 +430,11 @@ func (e *Engine) execute(ctx context.Context, qs []Query) ([]Answer, BatchReport
 		tasks[i] = func() { answers[i] = e.runQuery(ctx, qs[i], pShare, true) }
 	}
 	e.pool.Run(tasks)
+	if reqID := obs.RequestIDFrom(ctx); reqID != "" {
+		for i := range answers {
+			answers[i].RequestID = reqID
+		}
+	}
 	rep := BatchReport{B: len(qs), PTotal: e.cfg.Procs, PShare: pShare}
 	for i := range answers {
 		if answers[i].Steps > rep.Steps {
@@ -466,42 +490,75 @@ func (e *Engine) observeBatch(answers []Answer, rep BatchReport, stepBase uint64
 			}
 		}
 	}
-	if e.tracer == nil {
+	if e.tracer == nil && e.recorder == nil {
 		return
 	}
 	// Spans of one batch share the batch id and overlap on the engine's
 	// cumulative step clock: each query occupied [stepBase, stepBase+Steps)
 	// of the batch's [stepBase, stepBase+rep.Steps) window, concurrently on
-	// its own processor group.
+	// its own processor group. Flight records share the span's query id so
+	// a slowlog entry correlates with /spans output.
 	bid := e.bid.Add(1)
 	for i := range answers {
 		a := &answers[i]
-		s := obs.Span{
-			ID:       e.qid.Add(1),
-			Batch:    bid,
-			Kind:     a.Query.Kind.String(),
-			Shard:    a.Query.Shard,
-			P:        a.P,
-			Rounds:   a.Rounds,
-			Steps:    a.Steps,
-			StepLo:   stepBase,
-			StepHi:   stepBase + uint64(a.Steps),
-			CacheHit: a.CacheHit,
-		}
+		qid := e.qid.Add(1)
+		var cacheOutcome, errText string
 		if a.Query.Kind == KindCatalog && a.Err == nil {
 			switch {
 			case a.CacheHit:
-				s.Cache = "hit"
+				cacheOutcome = "hit"
 			case a.CacheStale:
-				s.Cache = "stale"
+				cacheOutcome = "stale"
 			case a.FingerHit:
-				s.Cache = "finger"
+				cacheOutcome = "finger"
 			default:
-				s.Cache = "miss"
+				cacheOutcome = "miss"
 			}
 		}
 		if a.Err != nil {
-			s.Err = a.Err.Error()
+			errText = a.Err.Error()
+		}
+		if e.recorder != nil {
+			rec := obs.FlightRecord{
+				ID:        qid,
+				Batch:     bid,
+				RequestID: a.RequestID,
+				Kind:      a.Query.Kind.String(),
+				Shard:     a.Query.Shard,
+				P:         a.P,
+				Steps:     a.Steps,
+				Rounds:    a.Rounds,
+				WallNS:    a.WallNS,
+				Cache:     cacheOutcome,
+				FingerD:   a.FingerDist,
+				Err:       errText,
+			}
+			pi := 0
+			for _, label := range phaseOrder {
+				if n := a.PhaseSteps[label]; n > 0 && pi < len(rec.Phases) {
+					rec.Phases[pi] = obs.PhaseCount{Label: label, Steps: n}
+					pi++
+				}
+			}
+			e.recorder.Record(&rec)
+		}
+		if e.tracer == nil {
+			continue
+		}
+		s := obs.Span{
+			ID:        qid,
+			Batch:     bid,
+			Kind:      a.Query.Kind.String(),
+			Shard:     a.Query.Shard,
+			P:         a.P,
+			Rounds:    a.Rounds,
+			Steps:     a.Steps,
+			StepLo:    stepBase,
+			StepHi:    stepBase + uint64(a.Steps),
+			Cache:     cacheOutcome,
+			CacheHit:  a.CacheHit,
+			Err:       errText,
+			RequestID: a.RequestID,
 		}
 		e.tracer.Emit(s)
 		// Per-phase child spans partition the parent's window in the fixed
@@ -513,16 +570,17 @@ func (e *Engine) observeBatch(answers []Answer, rep BatchReport, stepBase uint64
 				continue
 			}
 			e.tracer.Emit(obs.Span{
-				ID:     e.qid.Add(1),
-				Batch:  bid,
-				Parent: s.ID,
-				Kind:   s.Kind,
-				Shard:  s.Shard,
-				Phase:  label,
-				P:      a.P,
-				Steps:  n,
-				StepLo: off,
-				StepHi: off + uint64(n),
+				ID:        e.qid.Add(1),
+				Batch:     bid,
+				Parent:    s.ID,
+				Kind:      s.Kind,
+				Shard:     s.Shard,
+				Phase:     label,
+				P:         a.P,
+				Steps:     n,
+				StepLo:    off,
+				StepHi:    off + uint64(n),
+				RequestID: a.RequestID,
 			})
 			off += uint64(n)
 		}
@@ -627,8 +685,14 @@ func spatialPhases(s spatial.Stats) map[string]int {
 // entry-point cache (the sequential baseline runs without it). A nil ctx
 // selects the plain uncancellable search paths; a non-nil ctx is checked
 // up front and threaded into each backend's context-aware variant.
-func (e *Engine) runQuery(ctx context.Context, q Query, p int, useCache bool) Answer {
-	a := Answer{Query: q, P: p}
+func (e *Engine) runQuery(ctx context.Context, q Query, p int, useCache bool) (a Answer) {
+	a = Answer{Query: q, P: p}
+	// Per-query clock readings are paid only when a flight recorder wants
+	// the wall time; the uninstrumented path stays free of time syscalls.
+	if e.recorder != nil {
+		wallStart := time.Now()
+		defer func() { a.WallNS = time.Since(wallStart).Nanoseconds() }()
+	}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			a.Err = err
@@ -721,7 +785,7 @@ func (e *Engine) runCatalog(ctx context.Context, a *Answer, q Query, p int, useC
 			return
 		}
 		if e.cfg.FingerCache {
-			if finger, ok := cache.nearest(q.Path[0], q.Key, gen); ok {
+			if finger, dist, ok := cache.nearest(q.Path[0], q.Key, gen); ok {
 				// Exact miss with a nearby cached entry: gallop from the
 				// finger instead of paying the cooperative root search.
 				// Like the hit path this runs uncancellable — the gallop
@@ -734,6 +798,7 @@ func (e *Engine) runCatalog(ctx context.Context, a *Answer, q Query, p int, useC
 				}
 				if used {
 					a.FingerHit = true
+					a.FingerDist = int64(dist)
 					cache.fingerHit()
 				}
 				return

@@ -55,12 +55,21 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// NoData is the sentinel quantile value of a histogram with zero
+// observations. Returning a real number (0, or a bucket midpoint) for an
+// empty histogram reads as "the service is instantly fast" on a dashboard;
+// -1 is unambiguous because every observable quantity here (steps,
+// nanoseconds, batch sizes) is non-negative.
+const NoData int64 = -1
+
 // HistogramSnapshot is a point-in-time summary of a histogram.
 type HistogramSnapshot struct {
 	// Count and Sum aggregate all observations; Max is the largest.
 	Count, Sum, Max int64
 	// P50, P90, P95, and P99 are approximate quantiles: the upper bound of
-	// the log₂ bucket containing the quantile rank (capped at Max).
+	// the log₂ bucket containing the quantile rank (capped at Max). With a
+	// single observation every quantile is exactly that value; with zero
+	// observations every quantile is NoData.
 	P50, P90, P95, P99 int64
 	// Buckets holds the per-bucket counts (index per bucketOf).
 	Buckets [histBuckets]int64
@@ -87,12 +96,18 @@ func bucketUpper(i int) int64 {
 
 // quantile returns the approximate q-quantile (0 < q ≤ 1) of the bucket
 // distribution: the upper bound of the first bucket whose cumulative count
-// reaches rank ⌈q·Count⌉.
+// reaches rank ⌈q·Count⌉, or NoData with zero observations.
 func (s HistogramSnapshot) quantile(q float64) int64 {
 	if s.Count == 0 {
-		return 0
+		return NoData
 	}
-	rank := int64(q * float64(s.Count))
+	// Proper ceiling, not truncation: p99 of two samples must be the 2nd
+	// (rank ⌈1.98⌉ = 2), not silently the median.
+	f := q * float64(s.Count)
+	rank := int64(f)
+	if float64(rank) < f {
+		rank++
+	}
 	if rank < 1 {
 		rank = 1
 	}
@@ -109,19 +124,19 @@ func (s HistogramSnapshot) quantile(q float64) int64 {
 	return s.Max
 }
 
-// Snapshot returns the current summary (zero value on nil). The snapshot
-// is not atomic across fields under concurrent Observe calls, but each
-// field is individually consistent — fine for monitoring.
+// Snapshot returns the current summary (an empty snapshot on nil, with
+// NoData quantiles like any other empty histogram). The snapshot is not
+// atomic across fields under concurrent Observe calls, but each field is
+// individually consistent — fine for monitoring.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	var s HistogramSnapshot
-	if h == nil {
-		return s
-	}
-	s.Count = h.count.Load()
-	s.Sum = h.sum.Load()
-	s.Max = h.max.Load()
-	for i := range h.buckets {
-		s.Buckets[i] = h.buckets[i].Load()
+	if h != nil {
+		s.Count = h.count.Load()
+		s.Sum = h.sum.Load()
+		s.Max = h.max.Load()
+		for i := range h.buckets {
+			s.Buckets[i] = h.buckets[i].Load()
+		}
 	}
 	s.P50 = s.quantile(0.50)
 	s.P90 = s.quantile(0.90)

@@ -1,0 +1,28 @@
+package obs
+
+import "context"
+
+// reqIDKey is the private context key carrying a request id. Defined here
+// (not in the serving layer) so the engine can read the id without
+// importing coopserve and so every sink — spans, flight records, answers —
+// agrees on one key.
+type reqIDKey struct{}
+
+// WithRequestID returns a context carrying id. An empty id returns ctx
+// unchanged so callers can pass through unconditionally.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestIDFrom returns the request id carried by ctx, or "" when absent
+// (including a nil ctx, which the engine's uncontexted entry points pass).
+func RequestIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}

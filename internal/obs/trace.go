@@ -48,6 +48,10 @@ type Span struct {
 	CacheHit bool   `json:"cache_hit,omitempty"`
 	// Err is the failure message, "" on success.
 	Err string `json:"err,omitempty"`
+	// RequestID is the serving-layer correlation id (minted or honored by
+	// coopserve, carried through the batch context). Empty when the caller
+	// did not attach one — library use, benchmarks, most tests.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Tracer receives completed search spans. Implementations must be safe for
